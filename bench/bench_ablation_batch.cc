@@ -1,0 +1,55 @@
+// Ablation (paper Section 5.3): assigning K tasks per worker visit.
+//
+// The greedy top-K batch (Eq. 9) trades a little per-answer optimality
+// (scores are not re-optimized within the batch) for K-fold fewer policy
+// invocations. Expected: final quality nearly flat in K while the number of
+// policy calls drops by 1/K.
+
+#include <chrono>
+#include <cstdio>
+
+#include "assignment/policies.h"
+#include "common/string_util.h"
+#include "inference/tcrowd_model.h"
+#include "platform/experiment.h"
+#include "platform/report.h"
+#include "simulation/dataset_synthesizer.h"
+
+int main() {
+  using namespace tcrowd;
+  std::printf("=== Ablation: batch size K of Section 5.3 assignment ===\n\n");
+
+  Report report({"K", "final_error_rate", "final_mnad", "wall_seconds"});
+  TCrowdModel inference(TCrowdOptions::Fast());
+  for (int k : {1, 3, 5, 10}) {
+    sim::SynthesizerOptions opt;
+    opt.seed = 14100;  // identical world across K
+    opt.answers_per_task = 0;
+    auto world = sim::SynthesizeDataset(sim::PaperDataset::kRestaurant, opt);
+
+    EndToEndConfig cfg;
+    cfg.initial_answers_per_task = 2;
+    cfg.max_answers_per_task = 4.0;
+    cfg.record_every = 1.0;
+    cfg.refresh_every_answers = 60;
+    cfg.tasks_per_worker = k;
+
+    StructureAwarePolicy policy(TCrowdOptions::Fast());
+    auto t0 = std::chrono::steady_clock::now();
+    EndToEndResult result =
+        RunEndToEnd(world.dataset.schema, world.dataset.truth,
+                    world.crowd.get(), &policy, inference, cfg);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    report.AddRow({StrFormat("%d", k),
+                   StrFormat("%.4f", result.points.back().error_rate),
+                   StrFormat("%.4f", result.points.back().mnad),
+                   StrFormat("%.2f", secs)});
+  }
+  report.Print();
+  report.WriteCsv("bench_ablation_batch.csv");
+  std::printf("\n(paper Section 5.3: greedy top-K keeps quality near the "
+              "K=1 level while amortizing selection cost)\n");
+  return 0;
+}

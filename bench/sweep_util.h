@@ -1,0 +1,89 @@
+#ifndef TCROWD_BENCH_SWEEP_UTIL_H_
+#define TCROWD_BENCH_SWEEP_UTIL_H_
+
+// Shared harness of the synthetic-table sweeps (Figures 7, 8, 9): for a
+// table-generator configuration, synthesize worlds with the Celebrity-like
+// worker pool (paper Section 6.5.1 reuses the Celebrity worker sequence),
+// run T-Crowd / CRH / GLAD (error rate) and T-Crowd / CRH / GTM (MNAD),
+// and average over a few seeds.
+
+#include <vector>
+
+#include "inference/crh.h"
+#include "inference/glad.h"
+#include "inference/gtm.h"
+#include "inference/tcrowd_model.h"
+#include "platform/metrics.h"
+#include "simulation/dataset_synthesizer.h"
+#include "simulation/table_generator.h"
+
+namespace tcrowd::bench {
+
+struct SweepPoint {
+  double tcrowd_er = 0.0, crh_er = 0.0, glad_er = 0.0;
+  double tcrowd_mnad = 0.0, crh_mnad = 0.0, gtm_mnad = 0.0;
+};
+
+inline sim::CrowdOptions SweepCrowd() {
+  sim::CrowdOptions copt;
+  copt.num_workers = 60;  // Celebrity-like pool (Section 6.5.1)
+  copt.phi_median = 0.30;
+  copt.phi_log_sigma = 0.8;
+  copt.unfamiliar_prob = 0.30;
+  copt.unfamiliar_boost = 8.0;
+  return copt;
+}
+
+inline SweepPoint RunSweepPoint(const sim::TableGeneratorOptions& topt,
+                                int runs, uint64_t seed0,
+                                int answers_per_task = 5) {
+  SweepPoint acc;
+  int er_runs = 0, mnad_runs = 0;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(seed0 + r);
+    sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
+    auto world = sim::SynthesizeFromTable(std::move(table), SweepCrowd(),
+                                          answers_per_task, seed0 + 1000 + r);
+    const Schema& schema = world.dataset.schema;
+    const AnswerSet& answers = world.dataset.answers;
+    const Table& truth = world.dataset.truth;
+
+    InferenceResult tc = TCrowdModel().Infer(schema, answers);
+    InferenceResult crh = Crh().Infer(schema, answers);
+    bool has_cat = !schema.CategoricalColumns().empty();
+    bool has_cont = !schema.ContinuousColumns().empty();
+    if (has_cat) {
+      InferenceResult glad = Glad().Infer(schema, answers);
+      acc.tcrowd_er += Metrics::ErrorRate(truth, tc.estimated_truth);
+      acc.crh_er += Metrics::ErrorRate(truth, crh.estimated_truth);
+      acc.glad_er += Metrics::ErrorRate(truth, glad.estimated_truth);
+      ++er_runs;
+    }
+    if (has_cont) {
+      InferenceResult gtm = Gtm().Infer(schema, answers);
+      acc.tcrowd_mnad += Metrics::Mnad(truth, tc.estimated_truth);
+      acc.crh_mnad += Metrics::Mnad(truth, crh.estimated_truth);
+      acc.gtm_mnad += Metrics::Mnad(truth, gtm.estimated_truth);
+      ++mnad_runs;
+    }
+  }
+  if (er_runs > 0) {
+    acc.tcrowd_er /= er_runs;
+    acc.crh_er /= er_runs;
+    acc.glad_er /= er_runs;
+  } else {
+    acc.tcrowd_er = acc.crh_er = acc.glad_er = -1.0;
+  }
+  if (mnad_runs > 0) {
+    acc.tcrowd_mnad /= mnad_runs;
+    acc.crh_mnad /= mnad_runs;
+    acc.gtm_mnad /= mnad_runs;
+  } else {
+    acc.tcrowd_mnad = acc.crh_mnad = acc.gtm_mnad = -1.0;
+  }
+  return acc;
+}
+
+}  // namespace tcrowd::bench
+
+#endif  // TCROWD_BENCH_SWEEP_UTIL_H_

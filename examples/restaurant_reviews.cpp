@@ -1,0 +1,96 @@
+// Restaurant reviews: exploring the structure of tabular crowdsourcing.
+//
+// This example digs into WHY T-Crowd works, using the Restaurant-like
+// workload (aspect/attribute/sentiment + answer-span positions):
+//   1. fit the unified model and show worker quality is one number that
+//      explains both datatypes;
+//   2. fit the cross-attribute error-correlation model (paper Section 5.2)
+//      and show how a worker's mistake on one attribute predicts their
+//      reliability on the others;
+//   3. use it: compare the structure-aware information gain of a cell for
+//      a worker who just answered the same row correctly vs wrongly.
+//
+// Build & run:  ./build/examples/restaurant_reviews
+
+#include <cstdio>
+
+#include "assignment/correlation.h"
+#include "assignment/info_gain.h"
+#include "inference/tcrowd_model.h"
+#include "simulation/dataset_synthesizer.h"
+
+int main() {
+  using namespace tcrowd;
+
+  std::printf("Restaurant reviews: structure-aware crowdsourcing\n");
+  std::printf("=================================================\n\n");
+
+  sim::SynthesizerOptions opt;
+  opt.seed = 777;
+  auto world = sim::SynthesizeDataset(sim::PaperDataset::kRestaurant, opt);
+  const Schema& schema = world.dataset.schema;
+  const AnswerSet& answers = world.dataset.answers;
+
+  // --- 1. One quality number per worker. ---------------------------------
+  TCrowdState state = TCrowdModel().Fit(schema, answers);
+  std::printf("unified worker quality (first 8 workers):\n");
+  std::printf("worker  q_u     phi_u   (q_u = erf(eps / sqrt(2 phi_u)))\n");
+  int shown = 0;
+  for (WorkerId w : answers.Workers()) {
+    std::printf("%-7d %-7.3f %-7.3f\n", w, state.WorkerQuality(w),
+                state.WorkerPhi(w));
+    if (++shown == 8) break;
+  }
+
+  // --- 2. Cross-attribute error correlations. ----------------------------
+  auto corr = ErrorCorrelationModel::Fit(state, answers);
+  std::printf("\npairwise error-correlation weights W_jk:\n        ");
+  for (int k = 0; k < schema.num_columns(); ++k) {
+    std::printf("%-12.12s", schema.column(k).name.c_str());
+  }
+  std::printf("\n");
+  for (int j = 0; j < schema.num_columns(); ++j) {
+    std::printf("%-8.8s", schema.column(j).name.c_str());
+    for (int k = 0; k < schema.num_columns(); ++k) {
+      if (j == k) {
+        std::printf("%-12s", "-");
+      } else if (corr.PairAvailable(j, k)) {
+        std::printf("%-12.3f", corr.Weight(j, k));
+      } else {
+        std::printf("%-12s", "n/a");
+      }
+    }
+    std::printf("\n");
+  }
+
+  int aspect = schema.ColumnIndex("aspect");
+  int sentiment = schema.ColumnIndex("sentiment");
+  std::printf("\nP(sentiment wrong | aspect wrong)   = %.3f\n",
+              corr.CondCategoricalError(sentiment,
+                                        ObservedError{aspect, 1.0}));
+  std::printf("P(sentiment wrong | aspect correct) = %.3f\n",
+              corr.CondCategoricalError(sentiment,
+                                        ObservedError{aspect, 0.0}));
+
+  // --- 3. The gain of asking depends on the worker's row history. --------
+  InformationGain ig(&state);
+  WorkerId u = answers.Workers().front();
+  CellRef target{0, sentiment};
+  double base = ig.InherentGain(answers, u, target);
+  double q_bad =
+      corr.PredictCorrectProb(sentiment, {ObservedError{aspect, 1.0}});
+  double q_good =
+      corr.PredictCorrectProb(sentiment, {ObservedError{aspect, 0.0}});
+  std::printf("\ninformation gain of asking worker %d for cell (0, "
+              "sentiment):\n",
+              u);
+  std::printf("  inherent (no row history):             %.4f\n", base);
+  std::printf("  after a WRONG aspect answer (q=%.2f):   %.4f\n", q_bad,
+              ig.GainWithAnswerModel(answers, u, target, q_bad, -1.0));
+  std::printf("  after a CORRECT aspect answer (q=%.2f): %.4f\n", q_good,
+              ig.GainWithAnswerModel(answers, u, target, q_good, -1.0));
+  std::printf("\nA worker who just fumbled this row is a worse witness for "
+              "the rest of it,\nso T-Crowd routes them elsewhere — that is "
+              "the structure-aware policy.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include <algorithm>
+
+#include "assignment/policy.h"
+
+namespace tcrowd {
+
+std::vector<CellRef> AssignmentPolicy::SelectTasks(const Schema& schema,
+                                                   const AnswerSet& answers,
+                                                   WorkerId worker, int k) {
+  std::vector<CellRef> picked;
+  picked.reserve(k);
+  for (int n = 0; n < k; ++n) {
+    CellRef next;
+    if (!SelectTaskExcluding(schema, answers, worker, picked, &next)) break;
+    picked.push_back(next);
+  }
+  return picked;
+}
+
+std::vector<CellRef> CandidateCells(const AnswerSet& answers, WorkerId worker,
+                                    const std::vector<CellRef>& exclude) {
+  std::vector<CellRef> out;
+  for (int i = 0; i < answers.num_rows(); ++i) {
+    for (int j = 0; j < answers.num_cols(); ++j) {
+      CellRef cell{i, j};
+      if (answers.HasAnswered(worker, cell)) continue;
+      if (std::find(exclude.begin(), exclude.end(), cell) != exclude.end()) {
+        continue;
+      }
+      out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+}  // namespace tcrowd

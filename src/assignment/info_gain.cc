@@ -1,0 +1,67 @@
+#include "assignment/info_gain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/entropy.h"
+#include "math/special_functions.h"
+
+namespace tcrowd {
+
+double InformationGain::InherentGain(const AnswerSet& answers, WorkerId u,
+                                     CellRef cell) const {
+  return GainWithAnswerModel(answers, u, cell, -1.0, -1.0);
+}
+
+double InformationGain::GainWithAnswerModel(const AnswerSet& answers,
+                                            WorkerId u, CellRef cell,
+                                            double correct_prob,
+                                            double answer_variance_std) const {
+  (void)answers;  // posterior already reflects the collected answers
+  const CellPosterior& post = state_->posterior(cell.row, cell.col);
+  const ColumnSpec& col = state_->schema.column(cell.col);
+
+  if (col.type == ColumnType::kContinuous) {
+    double s = answer_variance_std >= 0.0
+                   ? std::max(answer_variance_std, 1e-12)
+                   : state_->AnswerVarianceStd(u, cell.row, cell.col);
+    double var = std::max(state_->StdPosteriorVariance(cell.row, cell.col),
+                          1e-12);
+    double updated = 1.0 / (1.0 / var + 1.0 / s);
+    // Delta differential entropy; always >= 0.
+    return 0.5 * std::log(var / updated);
+  }
+
+  // Categorical: exact expectation over the predicted answer.
+  const std::vector<double>& p = post.probs;
+  int L = col.num_labels();
+  TCROWD_CHECK(static_cast<int>(p.size()) == L)
+      << "posterior size mismatch on categorical cell";
+  double q = correct_prob >= 0.0
+                 ? math::ClampProb(correct_prob)
+                 : state_->CategoricalQuality(u, cell.row, cell.col);
+  double wrong = (1.0 - q) / std::max(1, L - 1);
+
+  double h_now = math::ShannonEntropy(p);
+  double expected_h = 0.0;
+  std::vector<double> updated(L);
+  for (int y = 0; y < L; ++y) {
+    // P(a = y) = sum_z p(z) * P(a = y | T = z).
+    double p_answer = 0.0;
+    double total = 0.0;
+    for (int z = 0; z < L; ++z) {
+      double like = (z == y) ? q : wrong;
+      double joint = p[z] * like;
+      p_answer += joint;
+      updated[z] = joint;
+      total += joint;
+    }
+    if (total <= 0.0 || p_answer <= 0.0) continue;
+    for (double& x : updated) x /= total;
+    expected_h += p_answer * math::ShannonEntropy(updated);
+  }
+  return h_now - expected_h;
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,47 @@
+#ifndef TCROWD_ASSIGNMENT_INFO_GAIN_H_
+#define TCROWD_ASSIGNMENT_INFO_GAIN_H_
+
+#include "data/answer.h"
+#include "inference/tcrowd_model.h"
+
+namespace tcrowd {
+
+/// Inherent information gain (paper Eq. 6): the expected drop in the
+/// uniform entropy of a cell's truth distribution when worker `u` submits
+/// one more answer, under the fitted T-Crowd model.
+///
+/// Categorical cells: exact expectation over the worker's predicted answer
+/// distribution; each hypothetical answer updates the posterior by one
+/// Bayes step (the paper's "update the parameters related to this answer"
+/// acceleration).
+///
+/// Continuous cells: the posterior is Gaussian and one more observation of
+/// variance s shrinks the posterior variance deterministically, so the
+/// expectation needs no sampling:
+///   IG = 1/2 * ln(var / var'),  var' = 1/(1/var + 1/s).
+/// Delta entropies of the two types are comparable (the paper's
+/// discretization argument), which is the whole point of the measure.
+class InformationGain {
+ public:
+  /// `state` must outlive this object.
+  explicit InformationGain(const TCrowdState* state) : state_(state) {}
+
+  /// IG_q(c_ij) for worker u with the model-implied answer quality.
+  double InherentGain(const AnswerSet& answers, WorkerId u, CellRef cell) const;
+
+  /// IG with an overridden answer model for this (worker, cell):
+  /// for categorical cells `correct_prob` replaces q^u_ij; for continuous
+  /// cells `answer_variance_std` replaces alpha*beta*phi_u (standardized
+  /// units). Pass a negative value to keep the model default. This is the
+  /// hook the structure-aware policy uses (paper Section 5.2).
+  double GainWithAnswerModel(const AnswerSet& answers, WorkerId u,
+                             CellRef cell, double correct_prob,
+                             double answer_variance_std) const;
+
+ private:
+  const TCrowdState* state_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_ASSIGNMENT_INFO_GAIN_H_

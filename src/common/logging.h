@@ -1,0 +1,51 @@
+#ifndef TCROWD_COMMON_LOGGING_H_
+#define TCROWD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tcrowd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits the accumulated message on destruction.
+/// Use via the TCROWD_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tcrowd
+
+#define TCROWD_LOG(level)                                                  \
+  ::tcrowd::internal_logging::LogMessage(::tcrowd::LogLevel::k##level,     \
+                                         __FILE__, __LINE__)               \
+      .stream()
+
+/// Fatal-on-false invariant check; active in all build types. On failure the
+/// message is emitted and the process aborts.
+#define TCROWD_CHECK(cond)                                                 \
+  if (!(cond))                                                             \
+  ::tcrowd::internal_logging::LogMessage(::tcrowd::LogLevel::kFatal,       \
+                                         __FILE__, __LINE__)               \
+      .stream()                                                            \
+      << "Check failed: " #cond " "
+
+#endif  // TCROWD_COMMON_LOGGING_H_

@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcrowd {
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  TCROWD_CHECK(!weights.empty()) << "Categorical draw from empty weights";
+  double total = 0.0;
+  for (double w : weights) {
+    TCROWD_CHECK(w >= 0.0) << "negative categorical weight " << w;
+    total += w;
+  }
+  if (total <= 0.0) {
+    return UniformInt(0, static_cast<int>(weights.size()) - 1);
+  }
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace tcrowd

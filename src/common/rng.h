@@ -1,0 +1,71 @@
+#ifndef TCROWD_COMMON_RNG_H_
+#define TCROWD_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tcrowd {
+
+/// Seeded random number generator used everywhere randomness is needed, so
+/// that every experiment in the repository is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x7c10ddull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Log-normal sample: exp(N(log_mean, log_sigma)).
+  double LogNormal(double log_mean, double log_sigma) {
+    std::lognormal_distribution<double> dist(log_mean, log_sigma);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Draws an index from an unnormalized non-negative weight vector.
+  /// Falls back to uniform if all weights are zero. Precondition: non-empty.
+  int Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Forks a new independent generator; streams stay reproducible because
+  /// the child seed is derived deterministically from this engine.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_COMMON_RNG_H_

@@ -1,0 +1,97 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+#include <cctype>
+
+namespace tcrowd {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts, char delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    out += parts[i];
+  }
+  return out;
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  std::string trimmed(Trim(s));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(trimmed.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: '" + trimmed + "'");
+  }
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not a double: '" + trimmed + "'");
+  }
+  return v;
+}
+
+StatusOr<int64_t> ParseInt(std::string_view s) {
+  std::string trimmed(Trim(s));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(trimmed.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + trimmed + "'");
+  }
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not an integer: '" + trimmed + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace tcrowd

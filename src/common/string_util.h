@@ -1,0 +1,33 @@
+#ifndef TCROWD_COMMON_STRING_UTIL_H_
+#define TCROWD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcrowd {
+
+/// Splits `s` on `delim` into (possibly empty) fields. "a,,b" -> {a, "", b}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, char delim);
+
+/// Strict numeric parsing: the entire (trimmed) string must be consumed.
+StatusOr<double> ParseDouble(std::string_view s);
+StatusOr<int64_t> ParseInt(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef TCROWD_COMMON_THREAD_POOL_H_
+#define TCROWD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcrowd {
+
+/// Fixed-size worker pool used to parallelize per-task information-gain
+/// scoring during assignment (the parallelization the paper sketches at the
+/// end of its Section 5.1).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; jobs may run in any order.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void Wait();
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable job_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_COMMON_THREAD_POOL_H_

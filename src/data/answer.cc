@@ -1,0 +1,85 @@
+#include "data/answer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcrowd {
+
+const std::vector<int> AnswerSet::kEmpty;
+
+AnswerSet::AnswerSet(int num_rows, int num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  TCROWD_CHECK(num_rows >= 0 && num_cols >= 0);
+  by_cell_.resize(static_cast<size_t>(num_rows) * num_cols);
+}
+
+int AnswerSet::CellIndex(int row, int col) const {
+  TCROWD_CHECK(row >= 0 && row < num_rows_) << "row " << row;
+  TCROWD_CHECK(col >= 0 && col < num_cols_) << "col " << col;
+  return row * num_cols_ + col;
+}
+
+int AnswerSet::Add(const Answer& answer) {
+  TCROWD_CHECK(answer.worker >= 0) << "negative worker id";
+  TCROWD_CHECK(answer.value.valid()) << "missing answer value";
+  int id = static_cast<int>(answers_.size());
+  answers_.push_back(answer);
+  by_cell_[CellIndex(answer.cell.row, answer.cell.col)].push_back(id);
+  if (static_cast<size_t>(answer.worker) >= by_worker_.size()) {
+    by_worker_.resize(answer.worker + 1);
+  }
+  by_worker_[answer.worker].push_back(id);
+  return id;
+}
+
+const std::vector<int>& AnswerSet::AnswersForCell(int row, int col) const {
+  return by_cell_[CellIndex(row, col)];
+}
+
+const std::vector<int>& AnswerSet::AnswersForWorker(WorkerId worker) const {
+  if (worker < 0 || static_cast<size_t>(worker) >= by_worker_.size()) {
+    return kEmpty;
+  }
+  return by_worker_[worker];
+}
+
+std::vector<int> AnswerSet::AnswersForWorkerInRow(WorkerId worker,
+                                                  int row) const {
+  std::vector<int> out;
+  for (int id : AnswersForWorker(worker)) {
+    if (answers_[id].cell.row == row) out.push_back(id);
+  }
+  return out;
+}
+
+bool AnswerSet::HasAnswered(WorkerId worker, CellRef cell) const {
+  for (int id : AnswersForWorker(worker)) {
+    if (answers_[id].cell == cell) return true;
+  }
+  return false;
+}
+
+std::vector<WorkerId> AnswerSet::Workers() const {
+  std::vector<WorkerId> out;
+  for (WorkerId w = 0; w < static_cast<WorkerId>(by_worker_.size()); ++w) {
+    if (!by_worker_[w].empty()) out.push_back(w);
+  }
+  return out;
+}
+
+double AnswerSet::MeanAnswersPerCell() const {
+  size_t cells = by_cell_.size();
+  if (cells == 0) return 0.0;
+  return static_cast<double>(answers_.size()) / static_cast<double>(cells);
+}
+
+void AnswerSet::ReplaceValue(int id, const Value& value) {
+  TCROWD_CHECK(id >= 0 && static_cast<size_t>(id) < answers_.size());
+  TCROWD_CHECK(value.valid());
+  TCROWD_CHECK(value.type() == answers_[id].value.type())
+      << "noise injection must preserve the answer type";
+  answers_[id].value = value;
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,90 @@
+#ifndef TCROWD_DATA_ANSWER_H_
+#define TCROWD_DATA_ANSWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "data/value.h"
+
+namespace tcrowd {
+
+using WorkerId = int32_t;
+
+/// One worker answer a^u_ij (paper Definition 2).
+struct Answer {
+  WorkerId worker = -1;
+  CellRef cell;
+  Value value;
+};
+
+/// The growing set A of all collected answers, with the index structures
+/// every inference/assignment algorithm needs:
+///   - answers per cell (for truth posteriors),
+///   - answers per worker (for worker-quality estimation),
+///   - answers per (worker, row) (for the structure-aware policy),
+///   - has-answered tests (to avoid assigning the same cell twice).
+class AnswerSet {
+ public:
+  AnswerSet() = default;
+  /// Table dimensions fix the index layout.
+  AnswerSet(int num_rows, int num_cols);
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+
+  /// Appends an answer and updates all indexes. Returns the answer's id.
+  /// Worker ids may be sparse/arbitrary non-negative integers.
+  int Add(const Answer& answer);
+  int Add(WorkerId worker, CellRef cell, const Value& value) {
+    return Add(Answer{worker, cell, value});
+  }
+
+  size_t size() const { return answers_.size(); }
+  bool empty() const { return answers_.empty(); }
+  const Answer& answer(int id) const { return answers_[id]; }
+  const std::vector<Answer>& answers() const { return answers_; }
+
+  /// Ids of answers on cell (row, col).
+  const std::vector<int>& AnswersForCell(int row, int col) const;
+  const std::vector<int>& AnswersForCell(CellRef c) const {
+    return AnswersForCell(c.row, c.col);
+  }
+
+  /// Ids of answers given by `worker` (empty vector if unknown worker).
+  const std::vector<int>& AnswersForWorker(WorkerId worker) const;
+
+  /// Ids of answers given by `worker` within row `row`.
+  std::vector<int> AnswersForWorkerInRow(WorkerId worker, int row) const;
+
+  /// True if `worker` has already answered the cell.
+  bool HasAnswered(WorkerId worker, CellRef cell) const;
+
+  /// All distinct workers that have answered at least once, ascending.
+  std::vector<WorkerId> Workers() const;
+
+  /// Number of answers collected for the given cell.
+  int CellAnswerCount(int row, int col) const {
+    return static_cast<int>(AnswersForCell(row, col).size());
+  }
+
+  /// Average number of answers per cell over the whole table.
+  double MeanAnswersPerCell() const;
+
+  /// Replaces the value of answer `id` (used by noise injection).
+  void ReplaceValue(int id, const Value& value);
+
+ private:
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  std::vector<Answer> answers_;
+  std::vector<std::vector<int>> by_cell_;              // row-major cell index
+  std::vector<std::vector<int>> by_worker_;            // worker -> answer ids
+  static const std::vector<int> kEmpty;
+
+  int CellIndex(int row, int col) const;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_DATA_ANSWER_H_

@@ -1,0 +1,127 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tcrowd::csv {
+
+StatusOr<std::vector<std::vector<std::string>>> Parse(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted CSV field");
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        // Swallow; the '\n' that follows (if any) terminates the row.
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  // Trailing record without final newline.
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+namespace {
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+}  // namespace
+
+std::string Serialize(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      if (NeedsQuoting(row[i])) {
+        out.push_back('"');
+        for (char c : row[i]) {
+          if (c == '"') out.push_back('"');
+          out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out += row[i];
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+Status WriteFile(const std::string& path,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << Serialize(rows);
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcrowd::csv

@@ -1,0 +1,33 @@
+#ifndef TCROWD_DATA_CSV_H_
+#define TCROWD_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcrowd {
+
+/// Minimal RFC-4180-style CSV support: comma-separated fields, double-quote
+/// quoting with "" escapes, \n or \r\n record separators. Sufficient for the
+/// dataset/answer persistence this project needs.
+namespace csv {
+
+/// Parses one CSV document into rows of fields.
+StatusOr<std::vector<std::vector<std::string>>> Parse(
+    const std::string& content);
+
+/// Serializes rows into a CSV document (always '\n' line endings). Fields
+/// containing commas, quotes, or newlines are quoted.
+std::string Serialize(const std::vector<std::vector<std::string>>& rows);
+
+/// Whole-file helpers.
+StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+    const std::string& path);
+Status WriteFile(const std::string& path,
+                 const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace csv
+}  // namespace tcrowd
+
+#endif  // TCROWD_DATA_CSV_H_

@@ -1,0 +1,178 @@
+#include "data/dataset.h"
+
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "data/csv.h"
+
+namespace tcrowd {
+
+namespace {
+
+constexpr char kSchemaFile[] = "schema.csv";
+constexpr char kTruthFile[] = "truth.csv";
+constexpr char kAnswersFile[] = "answers.csv";
+
+std::string ValueToField(const Value& v, const ColumnSpec& col) {
+  if (!v.valid()) return "";
+  if (v.is_categorical()) return col.labels[v.label()];
+  return StrFormat("%.17g", v.number());
+}
+
+StatusOr<Value> FieldToValue(const std::string& field, const ColumnSpec& col) {
+  if (field.empty()) return Value();  // missing
+  if (col.type == ColumnType::kCategorical) {
+    for (int l = 0; l < col.num_labels(); ++l) {
+      if (col.labels[l] == field) return Value::Categorical(l);
+    }
+    return Status::NotFound("label '" + field + "' not in column '" +
+                            col.name + "'");
+  }
+  auto num = ParseDouble(field);
+  if (!num.ok()) return num.status();
+  return Value::Continuous(*num);
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory: " + dir);
+
+  // schema.csv: name, type, then either labels (categorical) or min,max.
+  std::vector<std::vector<std::string>> schema_rows;
+  for (const ColumnSpec& col : dataset.schema.columns()) {
+    std::vector<std::string> row = {col.name, ColumnTypeName(col.type)};
+    if (col.type == ColumnType::kCategorical) {
+      for (const std::string& l : col.labels) row.push_back(l);
+    } else {
+      row.push_back(StrFormat("%.17g", col.min_value));
+      row.push_back(StrFormat("%.17g", col.max_value));
+    }
+    schema_rows.push_back(std::move(row));
+  }
+  TCROWD_RETURN_IF_ERROR(
+      csv::WriteFile(dir + "/" + kSchemaFile, schema_rows));
+
+  // truth.csv: header of column names, then one row per entity.
+  std::vector<std::vector<std::string>> truth_rows;
+  {
+    std::vector<std::string> header;
+    for (const ColumnSpec& col : dataset.schema.columns()) {
+      header.push_back(col.name);
+    }
+    truth_rows.push_back(std::move(header));
+  }
+  for (int i = 0; i < dataset.truth.num_rows(); ++i) {
+    std::vector<std::string> row;
+    for (int j = 0; j < dataset.schema.num_columns(); ++j) {
+      row.push_back(
+          ValueToField(dataset.truth.at(i, j), dataset.schema.column(j)));
+    }
+    truth_rows.push_back(std::move(row));
+  }
+  TCROWD_RETURN_IF_ERROR(csv::WriteFile(dir + "/" + kTruthFile, truth_rows));
+
+  // answers.csv: worker, row, column name, value.
+  std::vector<std::vector<std::string>> answer_rows;
+  answer_rows.push_back({"worker", "row", "column", "value"});
+  for (const Answer& a : dataset.answers.answers()) {
+    const ColumnSpec& col = dataset.schema.column(a.cell.col);
+    answer_rows.push_back({StrFormat("%d", a.worker),
+                           StrFormat("%d", a.cell.row), col.name,
+                           ValueToField(a.value, col)});
+  }
+  TCROWD_RETURN_IF_ERROR(
+      csv::WriteFile(dir + "/" + kAnswersFile, answer_rows));
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& dir) {
+  Dataset dataset;
+  dataset.name = std::filesystem::path(dir).filename().string();
+
+  auto schema_rows = csv::ReadFile(dir + "/" + kSchemaFile);
+  if (!schema_rows.ok()) return schema_rows.status();
+  std::vector<ColumnSpec> columns;
+  for (const auto& row : *schema_rows) {
+    if (row.size() < 2) {
+      return Status::InvalidArgument("schema row too short");
+    }
+    ColumnSpec col;
+    col.name = row[0];
+    if (row[1] == "categorical") {
+      col.type = ColumnType::kCategorical;
+      col.labels.assign(row.begin() + 2, row.end());
+    } else if (row[1] == "continuous") {
+      col.type = ColumnType::kContinuous;
+      if (row.size() < 4) {
+        return Status::InvalidArgument("continuous schema row needs min,max");
+      }
+      auto mn = ParseDouble(row[2]);
+      if (!mn.ok()) return mn.status();
+      auto mx = ParseDouble(row[3]);
+      if (!mx.ok()) return mx.status();
+      col.min_value = *mn;
+      col.max_value = *mx;
+    } else {
+      return Status::InvalidArgument("unknown column type: " + row[1]);
+    }
+    columns.push_back(std::move(col));
+  }
+  dataset.schema = Schema(std::move(columns));
+  TCROWD_RETURN_IF_ERROR(dataset.schema.Validate());
+
+  auto truth_rows = csv::ReadFile(dir + "/" + kTruthFile);
+  if (!truth_rows.ok()) return truth_rows.status();
+  if (truth_rows->empty()) {
+    return Status::InvalidArgument("truth.csv missing header");
+  }
+  int num_rows = static_cast<int>(truth_rows->size()) - 1;
+  dataset.truth = Table(dataset.schema, num_rows);
+  for (int i = 0; i < num_rows; ++i) {
+    const auto& row = (*truth_rows)[i + 1];
+    if (static_cast<int>(row.size()) != dataset.schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("truth row %d has %zu fields, expected %d", i, row.size(),
+                    dataset.schema.num_columns()));
+    }
+    for (int j = 0; j < dataset.schema.num_columns(); ++j) {
+      auto v = FieldToValue(row[j], dataset.schema.column(j));
+      if (!v.ok()) return v.status();
+      dataset.truth.Set(i, j, *v);
+    }
+  }
+
+  auto answer_rows = csv::ReadFile(dir + "/" + kAnswersFile);
+  if (!answer_rows.ok()) return answer_rows.status();
+  dataset.answers = AnswerSet(num_rows, dataset.schema.num_columns());
+  for (size_t r = 1; r < answer_rows->size(); ++r) {
+    const auto& row = (*answer_rows)[r];
+    if (row.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("answers row %zu has %zu fields, expected 4", r,
+                    row.size()));
+    }
+    auto worker = ParseInt(row[0]);
+    if (!worker.ok()) return worker.status();
+    auto entity = ParseInt(row[1]);
+    if (!entity.ok()) return entity.status();
+    int j = dataset.schema.ColumnIndex(row[2]);
+    if (j < 0) return Status::NotFound("unknown column: " + row[2]);
+    auto v = FieldToValue(row[3], dataset.schema.column(j));
+    if (!v.ok()) return v.status();
+    if (!v->valid()) {
+      return Status::InvalidArgument("answer value may not be missing");
+    }
+    if (*entity < 0 || *entity >= num_rows) {
+      return Status::OutOfRange(StrFormat("answer row index %lld",
+                                          static_cast<long long>(*entity)));
+    }
+    dataset.answers.Add(static_cast<WorkerId>(*worker),
+                        CellRef{static_cast<int>(*entity), j}, *v);
+  }
+  return dataset;
+}
+
+}  // namespace tcrowd

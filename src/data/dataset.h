@@ -1,0 +1,37 @@
+#ifndef TCROWD_DATA_DATASET_H_
+#define TCROWD_DATA_DATASET_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/answer.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace tcrowd {
+
+/// A complete crowdsourcing dataset: schema, (optionally partial) ground
+/// truth table, and the collected worker answers.
+struct Dataset {
+  std::string name;
+  Schema schema;
+  Table truth;
+  AnswerSet answers;
+
+  int num_rows() const { return truth.num_rows(); }
+  int num_cols() const { return schema.num_columns(); }
+};
+
+/// Persists a dataset as three CSV files in `dir`:
+///   schema.csv  - name,type,labels-or-range per column
+///   truth.csv   - one row per entity; labels by name, numbers as decimals
+///   answers.csv - worker,row,column,value
+/// The directory is created if absent.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset.
+StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_DATA_DATASET_H_

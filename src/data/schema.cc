@@ -1,0 +1,90 @@
+#include "data/schema.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace tcrowd {
+
+Schema::Schema(std::vector<ColumnSpec> columns)
+    : columns_(std::move(columns)) {}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string> names;
+  for (const ColumnSpec& col : columns_) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column with empty name");
+    }
+    if (!names.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + col.name);
+    }
+    if (col.type == ColumnType::kCategorical) {
+      if (col.num_labels() < 2) {
+        return Status::InvalidArgument(
+            "categorical column '" + col.name + "' needs >= 2 labels");
+      }
+      std::unordered_set<std::string> labels;
+      for (const std::string& l : col.labels) {
+        if (!labels.insert(l).second) {
+          return Status::InvalidArgument("duplicate label '" + l +
+                                         "' in column '" + col.name + "'");
+        }
+      }
+    } else {
+      if (!(col.min_value < col.max_value)) {
+        return Status::InvalidArgument(
+            "continuous column '" + col.name + "' needs min < max");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+const ColumnSpec& Schema::column(int j) const {
+  TCROWD_CHECK(j >= 0 && j < num_columns()) << "column index " << j;
+  return columns_[j];
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (int j = 0; j < num_columns(); ++j) {
+    if (columns_[j].name == name) return j;
+  }
+  return -1;
+}
+
+ColumnSpec Schema::MakeCategorical(std::string name,
+                                   std::vector<std::string> labels) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.type = ColumnType::kCategorical;
+  spec.labels = std::move(labels);
+  return spec;
+}
+
+ColumnSpec Schema::MakeContinuous(std::string name, double min_value,
+                                  double max_value) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.type = ColumnType::kContinuous;
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  return spec;
+}
+
+std::vector<int> Schema::CategoricalColumns() const {
+  std::vector<int> out;
+  for (int j = 0; j < num_columns(); ++j) {
+    if (columns_[j].type == ColumnType::kCategorical) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<int> Schema::ContinuousColumns() const {
+  std::vector<int> out;
+  for (int j = 0; j < num_columns(); ++j) {
+    if (columns_[j].type == ColumnType::kContinuous) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,61 @@
+#ifndef TCROWD_DATA_SCHEMA_H_
+#define TCROWD_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace tcrowd {
+
+/// Description of one non-key column of the crowdsourced table.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kCategorical;
+  /// Label names for categorical columns; |labels| is the domain size |L_j|.
+  /// Empty for continuous columns.
+  std::vector<std::string> labels;
+  /// Domain bounds for continuous columns (informational; used by
+  /// generators and priors). Ignored for categorical columns.
+  double min_value = 0.0;
+  double max_value = 1.0;
+
+  int num_labels() const { return static_cast<int>(labels.size()); }
+};
+
+/// The schema a requester publishes (paper Fig. 1, step 1): the non-key
+/// columns of the table with their datatypes and domains.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  /// Validation: categorical columns need >= 2 labels; continuous columns
+  /// need min < max; names must be unique and non-empty.
+  Status Validate() const;
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnSpec& column(int j) const;
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Convenience builders.
+  static ColumnSpec MakeCategorical(std::string name,
+                                    std::vector<std::string> labels);
+  static ColumnSpec MakeContinuous(std::string name, double min_value,
+                                   double max_value);
+
+  /// Indices of categorical / continuous columns, in ascending order.
+  std::vector<int> CategoricalColumns() const;
+  std::vector<int> ContinuousColumns() const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_DATA_SCHEMA_H_

@@ -1,0 +1,67 @@
+#include "data/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tcrowd {
+
+Table::Table(Schema schema, int num_rows)
+    : schema_(std::move(schema)), num_rows_(num_rows) {
+  TCROWD_CHECK(num_rows >= 0) << "negative row count";
+  cells_.resize(static_cast<size_t>(num_rows_) * schema_.num_columns());
+}
+
+int Table::Index(int row, int col) const {
+  TCROWD_CHECK(row >= 0 && row < num_rows_) << "row " << row;
+  TCROWD_CHECK(col >= 0 && col < num_columns()) << "col " << col;
+  return row * num_columns() + col;
+}
+
+const Value& Table::at(int row, int col) const {
+  return cells_[Index(row, col)];
+}
+
+void Table::Set(int row, int col, const Value& value) {
+  if (value.valid()) {
+    TCROWD_CHECK(value.type() == schema_.column(col).type)
+        << "type mismatch at (" << row << "," << col << "): value "
+        << value.ToString() << " vs column "
+        << ColumnTypeName(schema_.column(col).type);
+  }
+  cells_[Index(row, col)] = value;
+}
+
+std::vector<CellRef> Table::AllCells() const {
+  std::vector<CellRef> out;
+  out.reserve(static_cast<size_t>(num_cells()));
+  for (int i = 0; i < num_rows_; ++i) {
+    for (int j = 0; j < num_columns(); ++j) {
+      out.push_back(CellRef{i, j});
+    }
+  }
+  return out;
+}
+
+Status Table::Validate() const {
+  for (int i = 0; i < num_rows_; ++i) {
+    for (int j = 0; j < num_columns(); ++j) {
+      const Value& v = at(i, j);
+      if (!v.valid()) continue;
+      const ColumnSpec& col = schema_.column(j);
+      if (v.type() != col.type) {
+        return Status::InvalidArgument(StrFormat(
+            "cell (%d,%d): type mismatch against column '%s'", i, j,
+            col.name.c_str()));
+      }
+      if (v.is_categorical() &&
+          (v.label() < 0 || v.label() >= col.num_labels())) {
+        return Status::OutOfRange(StrFormat(
+            "cell (%d,%d): label %d outside domain of size %d", i, j,
+            v.label(), col.num_labels()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,60 @@
+#ifndef TCROWD_DATA_TABLE_H_
+#define TCROWD_DATA_TABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace tcrowd {
+
+/// Address of one cell (task) c_ij: row i (entity) and column j (attribute).
+struct CellRef {
+  int row = 0;
+  int col = 0;
+
+  bool operator==(const CellRef& other) const {
+    return row == other.row && col == other.col;
+  }
+};
+
+/// Dense N x M grid of cell values conforming to a Schema. Used both for
+/// ground truth and for estimated truth. Cells may be missing (invalid
+/// Value) — e.g. unlabeled ground truth.
+class Table {
+ public:
+  Table() = default;
+  Table(Schema schema, int num_rows);
+
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_columns(); }
+  int num_cells() const { return num_rows_ * num_columns(); }
+
+  const Value& at(int row, int col) const;
+  const Value& at(CellRef cell) const { return at(cell.row, cell.col); }
+
+  /// Sets a cell. The value's type must match the column type (checked).
+  void Set(int row, int col, const Value& value);
+  void Set(CellRef cell, const Value& value) { Set(cell.row, cell.col, value); }
+
+  /// All cell addresses in row-major order.
+  std::vector<CellRef> AllCells() const;
+
+  /// Checks every non-missing value matches its column's type and domain
+  /// (label in range; number within [min,max] is NOT enforced — workers and
+  /// generators may exceed nominal bounds).
+  Status Validate() const;
+
+ private:
+  Schema schema_;
+  int num_rows_ = 0;
+  std::vector<Value> cells_;  // row-major
+
+  int Index(int row, int col) const;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_DATA_TABLE_H_

@@ -1,0 +1,46 @@
+#include "data/value.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tcrowd {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kCategorical:
+      return "categorical";
+    case ColumnType::kContinuous:
+      return "continuous";
+  }
+  return "?";
+}
+
+int Value::label() const {
+  TCROWD_CHECK(is_categorical()) << "label() on " << ToString();
+  return label_;
+}
+
+double Value::number() const {
+  TCROWD_CHECK(is_continuous()) << "number() on " << ToString();
+  return number_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (valid_ != other.valid_) return false;
+  if (!valid_) return true;
+  if (type_ != other.type_) return false;
+  if (type_ == ColumnType::kCategorical) return label_ == other.label_;
+  return number_ == other.number_;
+}
+
+std::string Value::ToString() const {
+  if (!valid_) return "missing";
+  if (type_ == ColumnType::kCategorical) {
+    return StrFormat("cat:%d", label_);
+  }
+  return StrFormat("num:%g", number_);
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,69 @@
+#ifndef TCROWD_DATA_VALUE_H_
+#define TCROWD_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcrowd {
+
+/// Datatype of a table column (paper Definition 1): every non-key attribute
+/// is either categorical (finite unordered label set) or continuous (real).
+enum class ColumnType { kCategorical, kContinuous };
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A single cell value: a label index into the column's label set for
+/// categorical columns, or a real number for continuous columns. A Value is
+/// only meaningful together with the Schema of its column.
+class Value {
+ public:
+  /// Constructs a "missing" value (type-less). valid() is false.
+  Value() = default;
+
+  static Value Categorical(int label) {
+    Value v;
+    v.type_ = ColumnType::kCategorical;
+    v.label_ = label;
+    v.valid_ = true;
+    return v;
+  }
+  static Value Continuous(double number) {
+    Value v;
+    v.type_ = ColumnType::kContinuous;
+    v.number_ = number;
+    v.valid_ = true;
+    return v;
+  }
+
+  bool valid() const { return valid_; }
+  ColumnType type() const { return type_; }
+  bool is_categorical() const {
+    return valid_ && type_ == ColumnType::kCategorical;
+  }
+  bool is_continuous() const {
+    return valid_ && type_ == ColumnType::kContinuous;
+  }
+
+  /// Precondition: is_categorical().
+  int label() const;
+  /// Precondition: is_continuous().
+  double number() const;
+
+  /// Equality for categorical values is exact label identity; for continuous
+  /// values it is exact double equality (use with care in tests only).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Debug representation, e.g. "cat:3" or "num:1.75" or "missing".
+  std::string ToString() const;
+
+ private:
+  ColumnType type_ = ColumnType::kCategorical;
+  bool valid_ = false;
+  int label_ = -1;
+  double number_ = 0.0;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_DATA_VALUE_H_

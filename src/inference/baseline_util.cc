@@ -1,0 +1,47 @@
+#include "inference/baseline_util.h"
+
+#include <algorithm>
+
+#include "math/statistics.h"
+
+namespace tcrowd::baseline {
+
+std::vector<double> AnswerColumnScales(const Schema& schema,
+                                       const AnswerSet& answers) {
+  std::vector<double> scales(schema.num_columns(), 1.0);
+  for (int j = 0; j < schema.num_columns(); ++j) {
+    if (schema.column(j).type != ColumnType::kContinuous) continue;
+    std::vector<double> vals;
+    for (const Answer& a : answers.answers()) {
+      if (a.cell.col == j) vals.push_back(a.value.number());
+    }
+    double sd = math::StdDev(vals);
+    scales[j] = sd > 1e-9 ? sd : 1.0;
+  }
+  return scales;
+}
+
+Table InitialEstimates(const Schema& schema, const AnswerSet& answers) {
+  Table est(schema, answers.num_rows());
+  for (int i = 0; i < answers.num_rows(); ++i) {
+    for (int j = 0; j < answers.num_cols(); ++j) {
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      if (ids.empty()) continue;
+      const ColumnSpec& col = schema.column(j);
+      if (col.type == ColumnType::kCategorical) {
+        std::vector<int> counts(col.num_labels(), 0);
+        for (int id : ids) counts[answers.answer(id).value.label()]++;
+        int best = static_cast<int>(
+            std::max_element(counts.begin(), counts.end()) - counts.begin());
+        est.Set(i, j, Value::Categorical(best));
+      } else {
+        std::vector<double> vals;
+        for (int id : ids) vals.push_back(answers.answer(id).value.number());
+        est.Set(i, j, Value::Continuous(math::Median(vals)));
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace tcrowd::baseline

@@ -1,0 +1,24 @@
+#ifndef TCROWD_INFERENCE_BASELINE_UTIL_H_
+#define TCROWD_INFERENCE_BASELINE_UTIL_H_
+
+#include <vector>
+
+#include "data/answer.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace tcrowd::baseline {
+
+/// Per-column scale (standard deviation of the collected answers) used by
+/// CRH/CATD/GTM to make continuous losses comparable across columns.
+/// Categorical columns get scale 1. A degenerate column gets scale 1.
+std::vector<double> AnswerColumnScales(const Schema& schema,
+                                       const AnswerSet& answers);
+
+/// Majority-vote (categorical) / median (continuous) point estimates; the
+/// standard initialization of iterative truth-discovery methods.
+Table InitialEstimates(const Schema& schema, const AnswerSet& answers);
+
+}  // namespace tcrowd::baseline
+
+#endif  // TCROWD_INFERENCE_BASELINE_UTIL_H_

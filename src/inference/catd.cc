@@ -1,0 +1,136 @@
+#include "inference/catd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "inference/baseline_util.h"
+#include "math/special_functions.h"
+#include "math/statistics.h"
+
+namespace tcrowd {
+
+InferenceResult Catd::Infer(const Schema& schema,
+                            const AnswerSet& answers) const {
+  const int rows = answers.num_rows();
+  const int cols = answers.num_cols();
+  InferenceResult result;
+  result.estimated_truth = baseline::InitialEstimates(schema, answers);
+  result.posteriors.resize(static_cast<size_t>(rows) * cols);
+
+  std::vector<double> scales = baseline::AnswerColumnScales(schema, answers);
+  std::unordered_map<WorkerId, double> weight;
+  for (WorkerId w : answers.Workers()) weight[w] = 1.0;
+
+  auto loss_of = [&](const Answer& a, const Value& truth) -> double {
+    if (!truth.valid()) return 0.0;
+    if (a.value.is_categorical()) {
+      return a.value.label() == truth.label() ? 0.0 : 1.0;
+    }
+    double d = (a.value.number() - truth.number()) / scales[a.cell.col];
+    return d * d;
+  };
+
+  int iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    // Weight update with the chi-square confidence scaling.
+    std::unordered_map<WorkerId, double> loss, count;
+    for (const Answer& a : answers.answers()) {
+      loss[a.worker] += loss_of(a, result.estimated_truth.at(a.cell));
+      count[a.worker] += 1.0;
+    }
+    double max_delta = 0.0;
+    for (auto& [w, wt] : weight) {
+      double n = count.count(w) ? count[w] : 1.0;
+      double lu = (loss.count(w) ? loss[w] : 0.0) + options_.loss_floor;
+      double updated =
+          math::ChiSquareQuantile(options_.quantile, std::max(1.0, n)) / lu;
+      max_delta = std::max(max_delta, std::fabs(updated - wt));
+      wt = updated;
+    }
+
+    // Truth update (weighted vote / weighted mean).
+    bool truth_changed = false;
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        const std::vector<int>& ids = answers.AnswersForCell(i, j);
+        if (ids.empty()) continue;
+        const ColumnSpec& col = schema.column(j);
+        if (col.type == ColumnType::kCategorical) {
+          std::vector<double> votes(col.num_labels(), 0.0);
+          for (int id : ids) {
+            const Answer& a = answers.answer(id);
+            votes[a.value.label()] += weight.at(a.worker);
+          }
+          int best = static_cast<int>(
+              std::max_element(votes.begin(), votes.end()) - votes.begin());
+          Value updated = Value::Categorical(best);
+          if (!(updated == result.estimated_truth.at(i, j))) {
+            truth_changed = true;
+            result.estimated_truth.Set(i, j, updated);
+          }
+        } else {
+          double num = 0.0, den = 0.0;
+          for (int id : ids) {
+            const Answer& a = answers.answer(id);
+            double wt = weight.at(a.worker);
+            num += wt * a.value.number();
+            den += wt;
+          }
+          double mean = den > 0.0
+                            ? num / den
+                            : result.estimated_truth.at(i, j).number();
+          if (std::fabs(mean - result.estimated_truth.at(i, j).number()) >
+              options_.tolerance) {
+            truth_changed = true;
+          }
+          result.estimated_truth.Set(i, j, Value::Continuous(mean));
+        }
+      }
+    }
+    if (!truth_changed && max_delta < options_.tolerance) break;
+  }
+  result.iterations = std::min(iter + 1, options_.max_iterations);
+
+  double max_weight = 1e-12;
+  for (const auto& [w, wt] : weight) max_weight = std::max(max_weight, wt);
+  for (const auto& [w, wt] : weight) {
+    result.worker_quality[w] = wt / max_weight;
+  }
+  // Posteriors mirroring CRH's export (vote shares / mean + spread).
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      CellPosterior& post = result.posteriors[static_cast<size_t>(i) * cols + j];
+      const ColumnSpec& col = schema.column(j);
+      post.type = col.type;
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      if (ids.empty()) continue;
+      if (col.type == ColumnType::kCategorical) {
+        post.probs.assign(col.num_labels(), 0.0);
+        double total = 0.0;
+        for (int id : ids) {
+          const Answer& a = answers.answer(id);
+          post.probs[a.value.label()] += weight.at(a.worker);
+          total += weight.at(a.worker);
+        }
+        if (total > 0.0) {
+          for (double& p : post.probs) p /= total;
+        } else {
+          std::fill(post.probs.begin(), post.probs.end(),
+                    1.0 / col.num_labels());
+        }
+      } else {
+        post.mean = result.estimated_truth.at(i, j).number();
+        math::OnlineStats spread;
+        for (int id : ids) spread.Add(answers.answer(id).value.number());
+        post.variance =
+            std::max(spread.sample_variance() /
+                         std::max<double>(1.0, static_cast<double>(ids.size())),
+                     1e-12);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,39 @@
+#ifndef TCROWD_INFERENCE_CATD_H_
+#define TCROWD_INFERENCE_CATD_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// CATD [17]: confidence-aware truth discovery for long-tail sources. A
+/// worker's weight is the upper bound of a chi-square confidence interval
+/// over its error variance:
+///   w_u = chi2_{alpha}(n_u) / loss_u,
+/// which deliberately up-weights sparse workers less aggressively than a
+/// plain inverse-loss weight would. Truth updates are weighted vote /
+/// weighted mean, as in CRH.
+class Catd : public TruthInference {
+ public:
+  struct Options {
+    int max_iterations = 20;
+    double tolerance = 1e-6;
+    /// Upper-tail probability of the chi-square interval (paper uses 0.05
+    /// significance => 0.975 one-sided here).
+    double quantile = 0.975;
+    double loss_floor = 1e-6;
+  };
+
+  Catd() = default;
+  explicit Catd(Options options) : options_(options) {}
+
+  std::string name() const override { return "CATD"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_CATD_H_

@@ -1,0 +1,37 @@
+#ifndef TCROWD_INFERENCE_CRH_H_
+#define TCROWD_INFERENCE_CRH_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// CRH [18]: conflict resolution on heterogeneous data. Minimizes a joint
+/// loss over estimated truths and source (worker) weights:
+///   sum_u w_u * sum_i d(a_ui, t_i),  with w_u = -log(loss_u / sum loss),
+/// alternating weighted truth updates (weighted vote for categorical,
+/// weighted mean for continuous, normalized by the column's deviation) and
+/// weight updates. Handles both datatypes but with a single loss-derived
+/// weight — no difficulty modelling and no probabilistic answer model.
+class Crh : public TruthInference {
+ public:
+  struct Options {
+    int max_iterations = 50;
+    double tolerance = 1e-6;
+    /// Floor added to every worker's summed loss before the log.
+    double loss_floor = 1e-6;
+  };
+
+  Crh() = default;
+  explicit Crh(Options options) : options_(options) {}
+
+  std::string name() const override { return "CRH"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_CRH_H_

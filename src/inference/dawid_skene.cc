@@ -1,0 +1,156 @@
+#include "inference/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "math/special_functions.h"
+
+namespace tcrowd {
+
+namespace {
+
+/// Solves one categorical column by confusion-matrix EM. Returns per-row
+/// posteriors and accumulates the diagonal mass (accuracy) per worker.
+void SolveColumn(const Schema& schema, const AnswerSet& answers, int j,
+                 const DawidSkene::Options& options,
+                 std::vector<std::vector<double>>* row_posteriors,
+                 std::unordered_map<WorkerId, double>* accuracy_sum,
+                 std::unordered_map<WorkerId, double>* accuracy_count) {
+  const int L = schema.column(j).num_labels();
+  const int rows = answers.num_rows();
+
+  // Gather the workers active in this column.
+  std::unordered_map<WorkerId, int> worker_dense;
+  std::vector<WorkerId> worker_ids;
+  for (const Answer& a : answers.answers()) {
+    if (a.cell.col != j) continue;
+    if (worker_dense.emplace(a.worker, worker_ids.size()).second) {
+      worker_ids.push_back(a.worker);
+    }
+  }
+  const int W = static_cast<int>(worker_ids.size());
+
+  // Posterior init: per-cell answer frequencies (classic MV start).
+  row_posteriors->assign(rows, std::vector<double>(L, 1.0 / L));
+  for (int i = 0; i < rows; ++i) {
+    const std::vector<int>& ids = answers.AnswersForCell(i, j);
+    if (ids.empty()) continue;
+    std::vector<double>& p = (*row_posteriors)[i];
+    std::fill(p.begin(), p.end(), 0.0);
+    for (int id : ids) p[answers.answer(id).value.label()] += 1.0;
+    for (double& x : p) x /= static_cast<double>(ids.size());
+  }
+
+  // Confusion matrices pi[w][z][z'] = P(answer z' | truth z), and class
+  // prior over labels.
+  std::vector<std::vector<std::vector<double>>> pi(
+      W, std::vector<std::vector<double>>(L, std::vector<double>(L, 0.0)));
+  std::vector<double> prior(L, 1.0 / L);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // M-step: expected confusion counts with Laplace smoothing.
+    for (auto& mat : pi) {
+      for (auto& row : mat) {
+        std::fill(row.begin(), row.end(), options.smoothing);
+      }
+    }
+    std::vector<double> class_counts(L, options.smoothing);
+    for (int i = 0; i < rows; ++i) {
+      for (int id : answers.AnswersForCell(i, j)) {
+        const Answer& a = answers.answer(id);
+        int w = worker_dense.at(a.worker);
+        for (int z = 0; z < L; ++z) {
+          pi[w][z][a.value.label()] += (*row_posteriors)[i][z];
+        }
+      }
+      for (int z = 0; z < L; ++z) {
+        class_counts[z] += (*row_posteriors)[i][z];
+      }
+    }
+    for (auto& mat : pi) {
+      for (auto& row : mat) {
+        double total = 0.0;
+        for (double x : row) total += x;
+        for (double& x : row) x /= total;
+      }
+    }
+    {
+      double total = 0.0;
+      for (double x : class_counts) total += x;
+      for (int z = 0; z < L; ++z) prior[z] = class_counts[z] / total;
+    }
+
+    // E-step.
+    double max_delta = 0.0;
+    for (int i = 0; i < rows; ++i) {
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      if (ids.empty()) continue;
+      std::vector<double> log_p(L);
+      for (int z = 0; z < L; ++z) log_p[z] = math::SafeLog(prior[z]);
+      for (int id : ids) {
+        const Answer& a = answers.answer(id);
+        int w = worker_dense.at(a.worker);
+        for (int z = 0; z < L; ++z) {
+          log_p[z] += math::SafeLog(pi[w][z][a.value.label()]);
+        }
+      }
+      math::SoftmaxInPlace(&log_p);
+      for (int z = 0; z < L; ++z) {
+        max_delta =
+            std::max(max_delta, std::fabs(log_p[z] - (*row_posteriors)[i][z]));
+      }
+      (*row_posteriors)[i] = std::move(log_p);
+    }
+    if (max_delta < options.tolerance) break;
+  }
+
+  // Worker accuracy in this column: prior-weighted diagonal mass.
+  for (int w = 0; w < W; ++w) {
+    double acc = 0.0;
+    for (int z = 0; z < L; ++z) acc += prior[z] * pi[w][z][z];
+    (*accuracy_sum)[worker_ids[w]] += acc;
+    (*accuracy_count)[worker_ids[w]] += 1.0;
+  }
+}
+
+}  // namespace
+
+InferenceResult DawidSkene::Infer(const Schema& schema,
+                                  const AnswerSet& answers) const {
+  int rows = answers.num_rows();
+  int cols = answers.num_cols();
+  InferenceResult result;
+  result.estimated_truth = Table(schema, rows);
+  result.posteriors.resize(static_cast<size_t>(rows) * cols);
+  std::unordered_map<WorkerId, double> acc_sum, acc_count;
+
+  for (int j = 0; j < cols; ++j) {
+    CellPosterior proto;
+    proto.type = schema.column(j).type;
+    for (int i = 0; i < rows; ++i) {
+      result.posteriors[static_cast<size_t>(i) * cols + j] = proto;
+    }
+    if (schema.column(j).type != ColumnType::kCategorical) continue;
+
+    std::vector<std::vector<double>> row_posteriors;
+    SolveColumn(schema, answers, j, options_, &row_posteriors, &acc_sum,
+                &acc_count);
+    for (int i = 0; i < rows; ++i) {
+      CellPosterior& post =
+          result.posteriors[static_cast<size_t>(i) * cols + j];
+      post.probs = row_posteriors[i];
+      if (!answers.AnswersForCell(i, j).empty()) {
+        result.estimated_truth.Set(i, j, post.PointEstimate());
+      }
+    }
+    result.iterations = options_.max_iterations;
+  }
+
+  for (const auto& [w, total] : acc_sum) {
+    result.worker_quality[w] = total / acc_count[w];
+  }
+  return result;
+}
+
+}  // namespace tcrowd

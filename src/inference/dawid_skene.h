@@ -1,0 +1,35 @@
+#ifndef TCROWD_INFERENCE_DAWID_SKENE_H_
+#define TCROWD_INFERENCE_DAWID_SKENE_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// Dawid & Skene confusion-matrix EM [9] — the "EM" row of the paper's
+/// Table 7. Categorical-only. Because the label sets of different columns
+/// are incompatible, each column is solved by an independent EM run (this
+/// per-column independence is precisely the weakness T-Crowd targets).
+/// Continuous cells are left missing.
+class DawidSkene : public TruthInference {
+ public:
+  struct Options {
+    int max_iterations = 100;
+    double tolerance = 1e-6;
+    /// Laplace smoothing added to confusion-matrix counts.
+    double smoothing = 0.01;
+  };
+
+  DawidSkene() = default;
+  explicit DawidSkene(Options options) : options_(options) {}
+
+  std::string name() const override { return "D&S"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_DAWID_SKENE_H_

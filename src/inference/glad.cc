@@ -1,0 +1,158 @@
+#include "inference/glad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "math/gradient_ascent.h"
+#include "math/special_functions.h"
+
+namespace tcrowd {
+
+using math::ClampProb;
+using math::Sigmoid;
+
+InferenceResult Glad::Infer(const Schema& schema,
+                            const AnswerSet& answers) const {
+  const int rows = answers.num_rows();
+  const int cols = answers.num_cols();
+  InferenceResult result;
+  result.estimated_truth = Table(schema, rows);
+  result.posteriors.resize(static_cast<size_t>(rows) * cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      result.posteriors[static_cast<size_t>(i) * cols + j].type =
+          schema.column(j).type;
+    }
+  }
+
+  // Dense worker index and the set of categorical cells that have answers.
+  std::vector<WorkerId> worker_ids = answers.Workers();
+  std::unordered_map<WorkerId, int> worker_dense;
+  for (size_t k = 0; k < worker_ids.size(); ++k) {
+    worker_dense[worker_ids[k]] = static_cast<int>(k);
+  }
+  const int W = static_cast<int>(worker_ids.size());
+
+  std::vector<CellRef> tasks;
+  std::vector<int> task_of_cell(static_cast<size_t>(rows) * cols, -1);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (schema.column(j).type != ColumnType::kCategorical) continue;
+      if (answers.AnswersForCell(i, j).empty()) continue;
+      task_of_cell[static_cast<size_t>(i) * cols + j] =
+          static_cast<int>(tasks.size());
+      tasks.push_back(CellRef{i, j});
+    }
+  }
+  const int T = static_cast<int>(tasks.size());
+
+  auto posterior_at = [&](int i, int j) -> CellPosterior& {
+    return result.posteriors[static_cast<size_t>(i) * cols + j];
+  };
+
+  // Initialize posteriors to answer frequencies.
+  for (const CellRef& c : tasks) {
+    int L = schema.column(c.col).num_labels();
+    CellPosterior& post = posterior_at(c.row, c.col);
+    post.probs.assign(L, 0.0);
+    const std::vector<int>& ids = answers.AnswersForCell(c.row, c.col);
+    for (int id : ids) post.probs[answers.answer(id).value.label()] += 1.0;
+    for (double& p : post.probs) p /= static_cast<double>(ids.size());
+  }
+
+  // Parameters: abilities a_u (unconstrained) then log inverse-difficulty
+  // c_t (so b_t = exp(c_t) > 0).
+  std::vector<double> params(W + T, 0.0);
+  for (int w = 0; w < W; ++w) params[w] = options_.initial_ability;
+
+  const double inv_av = 1.0 / (options_.ability_prior_stddev *
+                               options_.ability_prior_stddev);
+  const double inv_dv = 1.0 / (options_.difficulty_prior_stddev *
+                               options_.difficulty_prior_stddev);
+
+  auto q_objective = [&](const std::vector<double>& p,
+                         std::vector<double>* grad) -> double {
+    std::fill(grad->begin(), grad->end(), 0.0);
+    double q_val = 0.0;
+    for (const Answer& a : answers.answers()) {
+      int t = task_of_cell[static_cast<size_t>(a.cell.row) * cols + a.cell.col];
+      if (t < 0) continue;
+      int w = worker_dense.at(a.worker);
+      int L = schema.column(a.cell.col).num_labels();
+      double ability = p[w];
+      double b = std::exp(p[W + t]);
+      double x = ability * b;
+      double sig = ClampProb(Sigmoid(x));
+      const CellPosterior& post = posterior_at(a.cell.row, a.cell.col);
+      double p_match = post.probs[a.value.label()];
+      q_val += p_match * std::log(sig) +
+               (1.0 - p_match) *
+                   std::log((1.0 - sig) / std::max(1, L - 1));
+      double dterm_dx = p_match * (1.0 - sig) - (1.0 - p_match) * sig;
+      (*grad)[w] += dterm_dx * b;
+      (*grad)[W + t] += dterm_dx * x;  // d x / d c_t = x
+    }
+    for (int w = 0; w < W; ++w) {
+      double v = p[w] - options_.initial_ability;
+      q_val -= 0.5 * inv_av * v * v;
+      (*grad)[w] -= inv_av * v;
+    }
+    for (int t = 0; t < T; ++t) {
+      double v = p[W + t];
+      q_val -= 0.5 * inv_dv * v * v;
+      (*grad)[W + t] -= inv_dv * v;
+    }
+    return q_val;
+  };
+
+  math::GradientAscentOptions ga;
+  ga.max_iterations = options_.mstep_iterations;
+  ga.initial_step = 0.1;
+
+  std::vector<double> prev = params;
+  int iter = 0;
+  for (; iter < options_.max_em_iterations; ++iter) {
+    auto opt = math::MaximizeByGradientAscent(q_objective, params, ga);
+    params = std::move(opt.params);
+    result.objective_trace.push_back(opt.objective);
+
+    // E-step.
+    for (int t = 0; t < T; ++t) {
+      const CellRef& c = tasks[t];
+      int L = schema.column(c.col).num_labels();
+      std::vector<double> log_p(L, 0.0);
+      for (int id : answers.AnswersForCell(c.row, c.col)) {
+        const Answer& a = answers.answer(id);
+        double x = params[worker_dense.at(a.worker)] * std::exp(params[W + t]);
+        double sig = ClampProb(Sigmoid(x));
+        double log_q = std::log(sig);
+        double log_wrong = std::log((1.0 - sig) / std::max(1, L - 1));
+        for (int z = 0; z < L; ++z) {
+          log_p[z] += (z == a.value.label()) ? log_q : log_wrong;
+        }
+      }
+      math::SoftmaxInPlace(&log_p);
+      posterior_at(c.row, c.col).probs = std::move(log_p);
+    }
+
+    double max_delta = 0.0;
+    for (size_t k = 0; k < params.size(); ++k) {
+      max_delta = std::max(max_delta, std::fabs(params[k] - prev[k]));
+    }
+    prev = params;
+    if (max_delta < options_.tolerance) break;
+  }
+  result.iterations = std::min(iter + 1, options_.max_em_iterations);
+
+  for (const CellRef& c : tasks) {
+    result.estimated_truth.Set(c, posterior_at(c.row, c.col).PointEstimate());
+  }
+  for (int w = 0; w < W; ++w) {
+    // Map the unbounded ability onto [0,1] for reporting.
+    result.worker_quality[worker_ids[w]] = Sigmoid(params[w]);
+  }
+  return result;
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,38 @@
+#ifndef TCROWD_INFERENCE_GLAD_H_
+#define TCROWD_INFERENCE_GLAD_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// GLAD [33]: probability of a correct answer is sigmoid(ability_u *
+/// inv_difficulty_t) with a real-valued worker ability and a positive
+/// per-task inverse difficulty; wrong answers are uniform over the
+/// remaining labels. EM with gradient ascent in the M-step, pooled across
+/// all categorical columns. Continuous cells are left missing.
+class Glad : public TruthInference {
+ public:
+  struct Options {
+    int max_em_iterations = 50;
+    int mstep_iterations = 25;
+    double tolerance = 1e-5;
+    double initial_ability = 1.0;
+    /// Gaussian prior stddevs over ability and log-inverse-difficulty.
+    double ability_prior_stddev = 1.0;
+    double difficulty_prior_stddev = 1.0;
+  };
+
+  Glad() = default;
+  explicit Glad(Options options) : options_(options) {}
+
+  std::string name() const override { return "GLAD"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_GLAD_H_

@@ -1,0 +1,121 @@
+#include "inference/gtm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "math/statistics.h"
+
+namespace tcrowd {
+
+InferenceResult Gtm::Infer(const Schema& schema,
+                           const AnswerSet& answers) const {
+  const int rows = answers.num_rows();
+  const int cols = answers.num_cols();
+  InferenceResult result;
+  result.estimated_truth = Table(schema, rows);
+  result.posteriors.resize(static_cast<size_t>(rows) * cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      result.posteriors[static_cast<size_t>(i) * cols + j].type =
+          schema.column(j).type;
+    }
+  }
+
+  // Standardization per continuous column (median / robust scale).
+  std::vector<double> center(cols, 0.0), scale(cols, 1.0);
+  for (int j = 0; j < cols; ++j) {
+    if (schema.column(j).type != ColumnType::kContinuous) continue;
+    std::vector<double> vals;
+    for (const Answer& a : answers.answers()) {
+      if (a.cell.col == j) vals.push_back(a.value.number());
+    }
+    if (vals.empty()) continue;
+    center[j] = math::Median(vals);
+    double s = math::RobustScale(vals);
+    if (s < 1e-9) s = math::StdDev(vals);
+    if (s < 1e-9) s = 1.0;
+    scale[j] = s;
+  }
+
+  std::unordered_map<WorkerId, double> variance;
+  for (WorkerId w : answers.Workers()) {
+    variance[w] = options_.initial_worker_variance;
+  }
+
+  // Truth posteriors in standardized units (mean, var) per continuous cell.
+  std::vector<double> t_mu(static_cast<size_t>(rows) * cols, 0.0);
+  std::vector<double> t_var(static_cast<size_t>(rows) * cols,
+                            options_.prior_variance);
+
+  auto e_step = [&] {
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        if (schema.column(j).type != ColumnType::kContinuous) continue;
+        const std::vector<int>& ids = answers.AnswersForCell(i, j);
+        double precision = 1.0 / options_.prior_variance;
+        double weighted = 0.0;
+        for (int id : ids) {
+          const Answer& a = answers.answer(id);
+          double s = std::max(variance.at(a.worker), 1e-12);
+          double z = (a.value.number() - center[j]) / scale[j];
+          precision += 1.0 / s;
+          weighted += z / s;
+        }
+        size_t idx = static_cast<size_t>(i) * cols + j;
+        t_var[idx] = 1.0 / precision;
+        t_mu[idx] = weighted * t_var[idx];
+      }
+    }
+  };
+
+  e_step();
+  int iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    // M-step: sigma_u^2 = E[sum of squared residuals] / n_u, smoothed
+    // toward the initial variance.
+    std::unordered_map<WorkerId, double> resid, count;
+    for (const Answer& a : answers.answers()) {
+      if (schema.column(a.cell.col).type != ColumnType::kContinuous) continue;
+      size_t idx = static_cast<size_t>(a.cell.row) * cols + a.cell.col;
+      double z = (a.value.number() - center[a.cell.col]) / scale[a.cell.col];
+      double d = z - t_mu[idx];
+      resid[a.worker] += d * d + t_var[idx];
+      count[a.worker] += 1.0;
+    }
+    double max_delta = 0.0;
+    for (auto& [w, v] : variance) {
+      double n = count.count(w) ? count[w] : 0.0;
+      double r = resid.count(w) ? resid[w] : 0.0;
+      double updated =
+          (r + options_.variance_prior_weight *
+                   options_.initial_worker_variance) /
+          (n + options_.variance_prior_weight);
+      updated = std::max(updated, 1e-9);
+      max_delta = std::max(max_delta, std::fabs(updated - v));
+      v = updated;
+    }
+    e_step();
+    if (max_delta < options_.tolerance) break;
+  }
+  result.iterations = std::min(iter + 1, options_.max_iterations);
+
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (schema.column(j).type != ColumnType::kContinuous) continue;
+      if (answers.AnswersForCell(i, j).empty()) continue;
+      size_t idx = static_cast<size_t>(i) * cols + j;
+      CellPosterior& post = result.posteriors[idx];
+      post.mean = center[j] + t_mu[idx] * scale[j];
+      post.variance = t_var[idx] * scale[j] * scale[j];
+      result.estimated_truth.Set(i, j, Value::Continuous(post.mean));
+    }
+  }
+  for (const auto& [w, v] : variance) {
+    // Report quality on a [0,1] scale comparable with other methods.
+    result.worker_quality[w] = 1.0 / (1.0 + v);
+  }
+  return result;
+}
+
+}  // namespace tcrowd

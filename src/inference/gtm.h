@@ -1,0 +1,38 @@
+#ifndef TCROWD_INFERENCE_GTM_H_
+#define TCROWD_INFERENCE_GTM_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// GTM [37] (Gaussian Truth Model): continuous-only truth finding. Each
+/// cell's latent truth has a Gaussian prior; each worker has an answer
+/// variance sigma_u^2; EM alternates Gaussian truth posteriors and
+/// closed-form variance updates. Columns are standardized internally so
+/// one variance per worker spans columns of different scales. Categorical
+/// cells are left missing.
+class Gtm : public TruthInference {
+ public:
+  struct Options {
+    int max_iterations = 100;
+    double tolerance = 1e-6;
+    double prior_variance = 4.0;  ///< standardized truth prior variance.
+    double initial_worker_variance = 0.5;
+    /// Inverse-gamma-style smoothing pseudo-counts for variance updates.
+    double variance_prior_weight = 2.0;
+  };
+
+  Gtm() = default;
+  explicit Gtm(Options options) : options_(options) {}
+
+  std::string name() const override { return "GTM"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_GTM_H_

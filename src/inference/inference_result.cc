@@ -1,0 +1,35 @@
+#include "inference/inference_result.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "math/entropy.h"
+
+namespace tcrowd {
+
+Value CellPosterior::PointEstimate() const {
+  if (type == ColumnType::kCategorical) {
+    if (probs.empty()) return Value();
+    int best = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    return Value::Categorical(best);
+  }
+  return Value::Continuous(mean);
+}
+
+double CellPosterior::Entropy() const {
+  if (type == ColumnType::kCategorical) {
+    return math::ShannonEntropy(probs);
+  }
+  return math::GaussianDifferentialEntropy(variance);
+}
+
+const CellPosterior& InferenceResult::posterior(int row, int col) const {
+  int cols = estimated_truth.num_columns();
+  size_t idx = static_cast<size_t>(row) * cols + col;
+  TCROWD_CHECK(idx < posteriors.size())
+      << "posterior index out of range: (" << row << "," << col << ")";
+  return posteriors[idx];
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,66 @@
+#ifndef TCROWD_INFERENCE_INFERENCE_RESULT_H_
+#define TCROWD_INFERENCE_INFERENCE_RESULT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/answer.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace tcrowd {
+
+/// Posterior distribution of the latent truth T_ij of one cell (paper's
+/// T_ij in Eq. 4). For categorical cells, `probs[z]` is P(T_ij = z); for
+/// continuous cells, T_ij ~ N(mean, variance). Exactly one branch is
+/// populated, indicated by `type`.
+struct CellPosterior {
+  ColumnType type = ColumnType::kCategorical;
+  /// Categorical branch: normalized probabilities over the label set.
+  std::vector<double> probs;
+  /// Continuous branch (original units, not standardized).
+  double mean = 0.0;
+  double variance = 1.0;
+
+  /// Point estimate: argmax label / posterior mean.
+  Value PointEstimate() const;
+  /// Uniform entropy H(T_ij): Shannon (categorical) or differential
+  /// (continuous), in nats.
+  double Entropy() const;
+};
+
+/// Output of a truth-inference method (paper Definition 3) plus the
+/// diagnostics the evaluation section inspects.
+struct InferenceResult {
+  /// Point estimates; cells without answers (or outside the method's column
+  /// mask) are left missing.
+  Table estimated_truth;
+  /// Full posterior per cell, row-major (size N*M); only meaningful for
+  /// probabilistic methods. Empty for plain MV/median variants that do not
+  /// produce calibrated posteriors.
+  std::vector<CellPosterior> posteriors;
+  /// Estimated worker quality in [0,1] (probability-of-good-answer scale),
+  /// when the method models workers at all.
+  std::unordered_map<WorkerId, double> worker_quality;
+  /// EM objective value after each iteration (for convergence plots).
+  std::vector<double> objective_trace;
+  int iterations = 0;
+
+  const CellPosterior& posterior(int row, int col) const;
+};
+
+/// Common interface of every truth-inference method in this repository.
+class TruthInference {
+ public:
+  virtual ~TruthInference() = default;
+  /// Short method name as printed in experiment tables (e.g. "T-Crowd").
+  virtual std::string name() const = 0;
+  /// Infers the truth of every cell from the collected answers.
+  virtual InferenceResult Infer(const Schema& schema,
+                                const AnswerSet& answers) const = 0;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_INFERENCE_RESULT_H_

@@ -1,0 +1,61 @@
+#include "inference/majority_voting.h"
+
+#include <algorithm>
+
+#include "math/statistics.h"
+
+namespace tcrowd {
+
+InferenceResult MajorityVoting::Infer(const Schema& schema,
+                                      const AnswerSet& answers) const {
+  int rows = answers.num_rows();
+  int cols = answers.num_cols();
+  InferenceResult result;
+  result.estimated_truth = Table(schema, rows);
+  result.posteriors.resize(static_cast<size_t>(rows) * cols);
+  result.iterations = 1;
+
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const ColumnSpec& col = schema.column(j);
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      CellPosterior& post = result.posteriors[static_cast<size_t>(i) * cols + j];
+      post.type = col.type;
+      if (ids.empty()) {
+        if (col.type == ColumnType::kCategorical) {
+          post.probs.assign(col.num_labels(),
+                            1.0 / std::max(1, col.num_labels()));
+        }
+        continue;
+      }
+      if (col.type == ColumnType::kCategorical) {
+        std::vector<double> counts(col.num_labels(), 0.0);
+        for (int id : ids) {
+          counts[answers.answer(id).value.label()] += 1.0;
+        }
+        double total = static_cast<double>(ids.size());
+        post.probs.resize(counts.size());
+        for (size_t z = 0; z < counts.size(); ++z) {
+          post.probs[z] = counts[z] / total;
+        }
+        int best = static_cast<int>(
+            std::max_element(counts.begin(), counts.end()) - counts.begin());
+        result.estimated_truth.Set(i, j, Value::Categorical(best));
+      } else {
+        math::OnlineStats stats;
+        for (int id : ids) stats.Add(answers.answer(id).value.number());
+        post.mean = stats.mean();
+        // Standard error of the mean as posterior spread; falls back to the
+        // sample spread itself for a single answer.
+        double var = stats.sample_variance();
+        post.variance = ids.size() > 1
+                            ? var / static_cast<double>(ids.size())
+                            : 1.0;
+        result.estimated_truth.Set(i, j, Value::Continuous(stats.mean()));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tcrowd

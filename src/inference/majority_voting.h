@@ -1,0 +1,22 @@
+#ifndef TCROWD_INFERENCE_MAJORITY_VOTING_H_
+#define TCROWD_INFERENCE_MAJORITY_VOTING_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// Majority Voting baseline: the estimated truth of a categorical cell is
+/// the most frequent answer (ties broken by smallest label id). Continuous
+/// cells are estimated by the mean of the answers. Posteriors are answer
+/// frequencies / sample moments — uncalibrated but usable by the AskIt!
+/// policy, which pairs with MV in the paper.
+class MajorityVoting : public TruthInference {
+ public:
+  std::string name() const override { return "MajorityVoting"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_MAJORITY_VOTING_H_

@@ -1,0 +1,49 @@
+#include "inference/median_inference.h"
+
+#include <algorithm>
+
+#include "math/statistics.h"
+
+namespace tcrowd {
+
+InferenceResult MedianInference::Infer(const Schema& schema,
+                                       const AnswerSet& answers) const {
+  int rows = answers.num_rows();
+  int cols = answers.num_cols();
+  InferenceResult result;
+  result.estimated_truth = Table(schema, rows);
+  result.posteriors.resize(static_cast<size_t>(rows) * cols);
+  result.iterations = 1;
+
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const ColumnSpec& col = schema.column(j);
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      CellPosterior& post = result.posteriors[static_cast<size_t>(i) * cols + j];
+      post.type = col.type;
+      if (ids.empty()) continue;
+      if (col.type == ColumnType::kContinuous) {
+        std::vector<double> vals;
+        vals.reserve(ids.size());
+        for (int id : ids) vals.push_back(answers.answer(id).value.number());
+        double med = math::Median(vals);
+        post.mean = med;
+        post.variance = std::max(math::Variance(vals), 1e-12);
+        result.estimated_truth.Set(i, j, Value::Continuous(med));
+      } else {
+        std::vector<double> counts(col.num_labels(), 0.0);
+        for (int id : ids) counts[answers.answer(id).value.label()] += 1.0;
+        post.probs.resize(counts.size());
+        for (size_t z = 0; z < counts.size(); ++z) {
+          post.probs[z] = counts[z] / static_cast<double>(ids.size());
+        }
+        int best = static_cast<int>(
+            std::max_element(counts.begin(), counts.end()) - counts.begin());
+        result.estimated_truth.Set(i, j, Value::Categorical(best));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,21 @@
+#ifndef TCROWD_INFERENCE_MEDIAN_INFERENCE_H_
+#define TCROWD_INFERENCE_MEDIAN_INFERENCE_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// Median baseline for continuous columns: the estimated truth is the
+/// median of the workers' answers. Categorical cells fall back to majority
+/// voting so the method is total over a mixed table (the paper only reports
+/// its MNAD).
+class MedianInference : public TruthInference {
+ public:
+  std::string name() const override { return "Median"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_MEDIAN_INFERENCE_H_

@@ -1,0 +1,559 @@
+#include "inference/tcrowd_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "math/entropy.h"
+#include "math/gradient_ascent.h"
+#include "math/normal.h"
+#include "math/special_functions.h"
+#include "math/statistics.h"
+
+namespace tcrowd {
+
+using math::ClampProb;
+using math::Erf;
+using math::SafeLog;
+
+namespace {
+
+constexpr double kMinScale = 1e-9;
+
+/// Dense indexing of the sparse worker-id space.
+struct WorkerIndex {
+  std::vector<WorkerId> ids;                    // dense -> sparse
+  std::unordered_map<WorkerId, int> to_dense;   // sparse -> dense
+
+  explicit WorkerIndex(const AnswerSet& answers) {
+    ids = answers.Workers();
+    for (size_t k = 0; k < ids.size(); ++k) {
+      to_dense[ids[k]] = static_cast<int>(k);
+    }
+  }
+  int size() const { return static_cast<int>(ids.size()); }
+};
+
+/// Layout of the flat log-parameter vector handed to the optimizer:
+/// [ln alpha_0..N) [ln beta_0..M) [ln phi_0..W) — alpha/beta blocks are
+/// omitted when the corresponding difficulty is not estimated.
+struct ParamLayout {
+  int num_rows = 0;
+  int num_cols = 0;
+  int num_workers = 0;
+  bool with_alpha = true;
+  bool with_beta = true;
+
+  int alpha_offset() const { return 0; }
+  int beta_offset() const { return with_alpha ? num_rows : 0; }
+  int phi_offset() const {
+    return beta_offset() + (with_beta ? num_cols : 0);
+  }
+  int size() const { return phi_offset() + num_workers; }
+
+  double Alpha(const std::vector<double>& p, int i) const {
+    return with_alpha ? std::exp(p[alpha_offset() + i]) : 1.0;
+  }
+  double Beta(const std::vector<double>& p, int j) const {
+    return with_beta ? std::exp(p[beta_offset() + j]) : 1.0;
+  }
+  double Phi(const std::vector<double>& p, int w) const {
+    return std::exp(p[phi_offset() + w]);
+  }
+};
+
+}  // namespace
+
+const CellPosterior& TCrowdState::posterior(int row, int col) const {
+  size_t idx = static_cast<size_t>(row) * num_cols + col;
+  TCROWD_CHECK(idx < posteriors.size());
+  return posteriors[idx];
+}
+
+double TCrowdState::WorkerPhi(WorkerId u) const {
+  auto it = worker_phi.find(u);
+  return it != worker_phi.end() ? it->second : default_phi;
+}
+
+double TCrowdState::WorkerQuality(WorkerId u) const {
+  return Erf(options.epsilon / std::sqrt(2.0 * WorkerPhi(u)));
+}
+
+double TCrowdState::AnswerVarianceStd(WorkerId u, int row, int col) const {
+  return row_difficulty[row] * col_difficulty[col] * WorkerPhi(u);
+}
+
+double TCrowdState::CategoricalQuality(WorkerId u, int row, int col) const {
+  double s = AnswerVarianceStd(u, row, col);
+  return ClampProb(Erf(options.epsilon / std::sqrt(2.0 * s)));
+}
+
+double TCrowdState::Standardize(int col, double x) const {
+  return (x - col_center[col]) / col_scale[col];
+}
+
+double TCrowdState::Unstandardize(int col, double z) const {
+  return col_center[col] + z * col_scale[col];
+}
+
+double TCrowdState::StdPosteriorVariance(int row, int col) const {
+  const CellPosterior& post = posterior(row, col);
+  double scale = col_scale[col];
+  return post.variance / (scale * scale);
+}
+
+TCrowdModel::TCrowdModel(TCrowdOptions options)
+    : options_(std::move(options)) {}
+
+TCrowdModel::TCrowdModel(TCrowdOptions options, std::string name)
+    : options_(std::move(options)), name_(std::move(name)) {}
+
+TCrowdModel TCrowdModel::OnlyCategorical(const Schema& schema,
+                                         TCrowdOptions options) {
+  options.column_mask = schema.CategoricalColumns();
+  return TCrowdModel(std::move(options), "TC-onlyCate");
+}
+
+TCrowdModel TCrowdModel::OnlyContinuous(const Schema& schema,
+                                        TCrowdOptions options) {
+  options.column_mask = schema.ContinuousColumns();
+  return TCrowdModel(std::move(options), "TC-onlyCont");
+}
+
+namespace {
+
+/// E-step (paper Eq. 4): recomputes every active cell's posterior from the
+/// current parameters. Continuous posteriors are stored in original units.
+/// Rows are independent, so the loop parallelizes across `pool` when given.
+void RunEStep(const Schema& schema, const AnswerSet& answers,
+              const WorkerIndex& widx, const ParamLayout& layout,
+              const std::vector<double>& params, ThreadPool* pool,
+              TCrowdState* state) {
+  const double eps = state->options.epsilon;
+  const double prior_var = state->options.prior_variance;
+  int rows = state->num_rows;
+  int cols = state->num_cols;
+  auto process_row = [&](int i) {
+    for (int j = 0; j < cols; ++j) {
+      CellPosterior& post = state->posteriors[static_cast<size_t>(i) * cols + j];
+      const ColumnSpec& col = schema.column(j);
+      post.type = col.type;
+      if (!state->column_active[j]) continue;
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      if (col.type == ColumnType::kContinuous) {
+        // Gaussian posterior: precision-weighted answers plus the prior
+        // N(0, prior_var) in standardized coordinates.
+        double precision = 1.0 / prior_var;
+        double weighted = 0.0;
+        for (int id : ids) {
+          const Answer& a = answers.answer(id);
+          int w = widx.to_dense.at(a.worker);
+          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
+                     layout.Phi(params, w);
+          s = std::max(s, math::Normal::kVarianceFloor);
+          double z = state->Standardize(j, a.value.number());
+          precision += 1.0 / s;
+          weighted += z / s;
+        }
+        double t_var = 1.0 / precision;
+        double t_mu = weighted * t_var;
+        double scale = state->col_scale[j];
+        post.mean = state->Unstandardize(j, t_mu);
+        post.variance = t_var * scale * scale;
+        post.probs.clear();
+      } else {
+        int L = col.num_labels();
+        std::vector<double> log_p(L, 0.0);  // uniform prior cancels
+        for (int id : ids) {
+          const Answer& a = answers.answer(id);
+          int w = widx.to_dense.at(a.worker);
+          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
+                     layout.Phi(params, w);
+          double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
+          double log_q = std::log(q);
+          double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
+          for (int z = 0; z < L; ++z) {
+            log_p[z] += (z == a.value.label()) ? log_q : log_wrong;
+          }
+        }
+        math::SoftmaxInPlace(&log_p);
+        post.probs = std::move(log_p);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(rows),
+                      [&](size_t i) { process_row(static_cast<int>(i)); });
+  } else {
+    for (int i = 0; i < rows; ++i) process_row(i);
+  }
+}
+
+/// Observed-data objective for the convergence trace (Fig. 12a):
+/// ln P(A | alpha, beta, phi) + ln Prior(alpha, beta, phi). Exact for both
+/// datatypes — the categorical latent label and the continuous latent truth
+/// are marginalized out. Including the MAP prior terms makes the trace the
+/// quantity EM provably never decreases.
+double ObservedLogLikelihood(const Schema& schema, const AnswerSet& answers,
+                             const WorkerIndex& widx,
+                             const ParamLayout& layout,
+                             const std::vector<double>& params,
+                             const TCrowdState& state) {
+  const double eps = state.options.epsilon;
+  const double prior_var = state.options.prior_variance;
+  double ll = 0.0;
+  int rows = state.num_rows;
+  int cols = state.num_cols;
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (!state.column_active[j]) continue;
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      if (ids.empty()) continue;
+      const ColumnSpec& col = schema.column(j);
+      if (col.type == ColumnType::kContinuous) {
+        // Sequential predictive decomposition of the Gaussian marginal.
+        math::Normal belief(0.0, prior_var);
+        for (int id : ids) {
+          const Answer& a = answers.answer(id);
+          int w = widx.to_dense.at(a.worker);
+          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
+                     layout.Phi(params, w);
+          double z = state.Standardize(j, a.value.number());
+          math::Normal predictive(belief.mean(), belief.variance() + s);
+          ll += predictive.LogPdf(z);
+          belief = belief.PosteriorGivenObservation(z, s);
+        }
+      } else {
+        int L = col.num_labels();
+        std::vector<double> log_p(L, -std::log(static_cast<double>(L)));
+        for (int id : ids) {
+          const Answer& a = answers.answer(id);
+          int w = widx.to_dense.at(a.worker);
+          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
+                     layout.Phi(params, w);
+          double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
+          double log_q = std::log(q);
+          double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
+          for (int z = 0; z < L; ++z) {
+            log_p[z] += (z == a.value.label()) ? log_q : log_wrong;
+          }
+        }
+        ll += math::LogSumExp(log_p);
+      }
+    }
+  }
+  // MAP prior terms (without normalizing constants).
+  const TCrowdOptions& opt = state.options;
+  const double inv_dv = 1.0 / (opt.log_difficulty_prior_stddev *
+                               opt.log_difficulty_prior_stddev);
+  const double inv_pv =
+      1.0 / (opt.log_phi_prior_stddev * opt.log_phi_prior_stddev);
+  const double log_phi0 = std::log(opt.initial_phi);
+  if (layout.with_alpha) {
+    for (int i = 0; i < layout.num_rows; ++i) {
+      double v = params[layout.alpha_offset() + i];
+      ll -= 0.5 * inv_dv * v * v;
+    }
+  }
+  if (layout.with_beta) {
+    for (int j = 0; j < layout.num_cols; ++j) {
+      double v = params[layout.beta_offset() + j];
+      ll -= 0.5 * inv_dv * v * v;
+    }
+  }
+  for (int w = 0; w < layout.num_workers; ++w) {
+    double v = params[layout.phi_offset() + w] - log_phi0;
+    ll -= 0.5 * inv_pv * v * v;
+  }
+  return ll;
+}
+
+}  // namespace
+
+TCrowdState TCrowdModel::Fit(const Schema& schema,
+                             const AnswerSet& answers) const {
+  TCROWD_CHECK(schema.num_columns() == answers.num_cols())
+      << "schema/answers column mismatch";
+  TCrowdState state;
+  state.schema = schema;
+  state.num_rows = answers.num_rows();
+  state.num_cols = answers.num_cols();
+  state.options = options_;
+  state.row_difficulty.assign(state.num_rows, 1.0);
+  state.col_difficulty.assign(state.num_cols, 1.0);
+  state.col_center.assign(state.num_cols, 0.0);
+  state.col_scale.assign(state.num_cols, 1.0);
+  state.posteriors.assign(
+      static_cast<size_t>(state.num_rows) * state.num_cols, CellPosterior{});
+  state.default_phi = options_.initial_phi;
+
+  // Column mask.
+  state.column_active.assign(state.num_cols, options_.column_mask.empty());
+  for (int j : options_.column_mask) {
+    TCROWD_CHECK(j >= 0 && j < state.num_cols) << "bad column mask entry";
+    state.column_active[j] = true;
+  }
+
+  // Standardization of continuous columns from the answer distribution.
+  for (int j = 0; j < state.num_cols; ++j) {
+    if (schema.column(j).type != ColumnType::kContinuous) continue;
+    std::vector<double> vals;
+    for (const Answer& a : answers.answers()) {
+      if (a.cell.col == j) vals.push_back(a.value.number());
+    }
+    if (vals.empty()) {
+      // No answers yet: fall back to the schema's nominal domain.
+      const ColumnSpec& col = schema.column(j);
+      state.col_center[j] = 0.5 * (col.min_value + col.max_value);
+      state.col_scale[j] =
+          std::max((col.max_value - col.min_value) / 4.0, kMinScale);
+      continue;
+    }
+    state.col_center[j] = math::Median(vals);
+    double scale = math::RobustScale(vals);
+    if (scale < kMinScale) scale = math::StdDev(vals);
+    if (scale < kMinScale) scale = 1.0;
+    state.col_scale[j] = scale;
+  }
+
+  WorkerIndex widx(answers);
+  ParamLayout layout;
+  layout.num_rows = state.num_rows;
+  layout.num_cols = state.num_cols;
+  layout.num_workers = widx.size();
+  layout.with_alpha = options_.estimate_row_difficulty;
+  layout.with_beta = options_.estimate_col_difficulty;
+
+  std::vector<double> params(layout.size(), 0.0);
+  for (int w = 0; w < layout.num_workers; ++w) {
+    params[layout.phi_offset() + w] = std::log(options_.initial_phi);
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+
+  // Initial E-step with neutral difficulties and uniform worker quality
+  // (equivalent to frequency/mean-based initialization).
+  RunEStep(schema, answers, widx, layout, params, pool.get(), &state);
+
+  const double inv_diff_var =
+      1.0 / (options_.log_difficulty_prior_stddev *
+             options_.log_difficulty_prior_stddev);
+  const double inv_phi_var =
+      1.0 /
+      (options_.log_phi_prior_stddev * options_.log_phi_prior_stddev);
+  const double log_phi0 = std::log(options_.initial_phi);
+  const double eps = options_.epsilon;
+
+  // Expected complete-data log-likelihood Q (paper Eq. 5) plus the MAP
+  // regularizers, with its gradient; posteriors are held fixed inside.
+  auto q_objective = [&](const std::vector<double>& p,
+                         std::vector<double>* grad) -> double {
+    std::fill(grad->begin(), grad->end(), 0.0);
+    const std::vector<Answer>& all = answers.answers();
+
+    // Per-answer accumulation, shared by the serial and parallel paths.
+    auto accumulate = [&](size_t lo, size_t hi, std::vector<double>* g_out,
+                          double* val_out) {
+      for (size_t idx = lo; idx < hi; ++idx) {
+        const Answer& a = all[idx];
+        int i = a.cell.row;
+        int j = a.cell.col;
+        if (!state.column_active[j]) continue;
+        int w = widx.to_dense.at(a.worker);
+        double s = layout.Alpha(p, i) * layout.Beta(p, j) * layout.Phi(p, w);
+        s = std::max(s, math::Normal::kVarianceFloor);
+        const CellPosterior& post =
+            state.posteriors[static_cast<size_t>(i) * state.num_cols + j];
+        double g;  // d(term)/d(ln s)
+        if (schema.column(j).type == ColumnType::kContinuous) {
+          double z = state.Standardize(j, a.value.number());
+          double t_mu = state.Standardize(j, post.mean);
+          double t_var = post.variance /
+                         (state.col_scale[j] * state.col_scale[j]);
+          double resid = (z - t_mu) * (z - t_mu) + t_var;
+          *val_out += -0.5 * std::log(2.0 * M_PI * s) - resid / (2.0 * s);
+          g = -0.5 + resid / (2.0 * s);
+        } else {
+          int L = schema.column(j).num_labels();
+          double x = eps / std::sqrt(2.0 * s);
+          double q = ClampProb(Erf(x));
+          double p_match = post.probs.empty()
+                               ? 1.0 / L
+                               : post.probs[a.value.label()];
+          *val_out += p_match * std::log(q) +
+                      (1.0 - p_match) *
+                          std::log((1.0 - q) / std::max(1, L - 1));
+          // dq/d(ln s) = -(x / sqrt(pi)) * exp(-x^2).
+          double dq_dlns = -(x / std::sqrt(M_PI)) * std::exp(-x * x);
+          g = (p_match / q - (1.0 - p_match) / (1.0 - q)) * dq_dlns;
+        }
+        if (layout.with_alpha) (*g_out)[layout.alpha_offset() + i] += g;
+        if (layout.with_beta) (*g_out)[layout.beta_offset() + j] += g;
+        (*g_out)[layout.phi_offset() + w] += g;
+      }
+    };
+
+    double q_val = 0.0;
+    if (pool != nullptr && all.size() >= 2048) {
+      // Slice the answers across the pool with per-slice buffers, then
+      // reduce in slice order (deterministic for a fixed thread count).
+      size_t slices = pool->num_threads();
+      std::vector<std::vector<double>> grad_buf(
+          slices, std::vector<double>(grad->size(), 0.0));
+      std::vector<double> val_buf(slices, 0.0);
+      size_t per_slice = (all.size() + slices - 1) / slices;
+      pool->ParallelFor(slices, [&](size_t t) {
+        size_t lo = t * per_slice;
+        size_t hi = std::min(all.size(), lo + per_slice);
+        if (lo < hi) accumulate(lo, hi, &grad_buf[t], &val_buf[t]);
+      });
+      for (size_t t = 0; t < slices; ++t) {
+        q_val += val_buf[t];
+        for (size_t k = 0; k < grad->size(); ++k) {
+          (*grad)[k] += grad_buf[t][k];
+        }
+      }
+    } else {
+      accumulate(0, all.size(), grad, &q_val);
+    }
+    // MAP regularizers keep rarely-observed parameters near neutral.
+    if (layout.with_alpha) {
+      for (int i = 0; i < layout.num_rows; ++i) {
+        double v = p[layout.alpha_offset() + i];
+        q_val -= 0.5 * inv_diff_var * v * v;
+        (*grad)[layout.alpha_offset() + i] -= inv_diff_var * v;
+      }
+    }
+    if (layout.with_beta) {
+      for (int j = 0; j < layout.num_cols; ++j) {
+        double v = p[layout.beta_offset() + j];
+        q_val -= 0.5 * inv_diff_var * v * v;
+        (*grad)[layout.beta_offset() + j] -= inv_diff_var * v;
+      }
+    }
+    for (int w = 0; w < layout.num_workers; ++w) {
+      double v = p[layout.phi_offset() + w] - log_phi0;
+      q_val -= 0.5 * inv_phi_var * v * v;
+      (*grad)[layout.phi_offset() + w] -= inv_phi_var * v;
+    }
+    return q_val;
+  };
+
+  math::GradientAscentOptions ga;
+  ga.max_iterations = options_.mstep_iterations;
+  ga.initial_step = 0.1;
+
+  std::vector<double> prev = params;
+  for (int iter = 0; iter < options_.max_em_iterations; ++iter) {
+    state.em_iterations = iter + 1;
+
+    // M-step: maximize Q over the log-parameters.
+    auto opt = math::MaximizeByGradientAscent(q_objective, params, ga);
+    params = std::move(opt.params);
+
+    // Clamp and fix the alpha*beta*phi scale degeneracy: mean-center the
+    // log-difficulty blocks, pushing the removed scale into phi.
+    double bound = options_.log_param_bound;
+    for (double& v : params) v = std::clamp(v, -bound, bound);
+    if (layout.with_alpha && layout.num_rows > 0) {
+      double mean_a = 0.0;
+      for (int i = 0; i < layout.num_rows; ++i) {
+        mean_a += params[layout.alpha_offset() + i];
+      }
+      mean_a /= layout.num_rows;
+      for (int i = 0; i < layout.num_rows; ++i) {
+        params[layout.alpha_offset() + i] -= mean_a;
+      }
+      for (int w = 0; w < layout.num_workers; ++w) {
+        params[layout.phi_offset() + w] += mean_a;
+      }
+    }
+    if (layout.with_beta && layout.num_cols > 0) {
+      double mean_b = 0.0;
+      for (int j = 0; j < layout.num_cols; ++j) {
+        mean_b += params[layout.beta_offset() + j];
+      }
+      mean_b /= layout.num_cols;
+      for (int j = 0; j < layout.num_cols; ++j) {
+        params[layout.beta_offset() + j] -= mean_b;
+      }
+      for (int w = 0; w < layout.num_workers; ++w) {
+        params[layout.phi_offset() + w] += mean_b;
+      }
+    }
+    for (double& v : params) v = std::clamp(v, -bound, bound);
+
+    // E-step with the fresh parameters.
+    RunEStep(schema, answers, widx, layout, params, pool.get(), &state);
+
+    state.objective_trace.push_back(ObservedLogLikelihood(
+        schema, answers, widx, layout, params, state));
+    size_t n_trace = state.objective_trace.size();
+    if (options_.objective_tolerance > 0.0 && n_trace >= 2 &&
+        std::fabs(state.objective_trace[n_trace - 1] -
+                  state.objective_trace[n_trace - 2]) <
+            options_.objective_tolerance) {
+      break;
+    }
+
+    // Convergence on parameter movement (paper: threshold 1e-5).
+    double max_delta = 0.0;
+    for (size_t k = 0; k < params.size(); ++k) {
+      max_delta = std::max(max_delta, std::fabs(params[k] - prev[k]));
+    }
+    prev = params;
+    if (max_delta < options_.param_tolerance) break;
+  }
+
+  // Export parameters.
+  for (int i = 0; i < state.num_rows; ++i) {
+    state.row_difficulty[i] = layout.Alpha(params, i);
+  }
+  for (int j = 0; j < state.num_cols; ++j) {
+    state.col_difficulty[j] = layout.Beta(params, j);
+  }
+  std::vector<double> phis;
+  for (int w = 0; w < layout.num_workers; ++w) {
+    double phi = layout.Phi(params, w);
+    state.worker_phi[widx.ids[w]] = phi;
+    phis.push_back(phi);
+  }
+  if (!phis.empty()) state.default_phi = math::Median(phis);
+  return state;
+}
+
+InferenceResult TCrowdModel::StateToResult(const TCrowdState& state) {
+  InferenceResult result;
+  result.estimated_truth = Table(state.schema, state.num_rows);
+  result.posteriors = state.posteriors;
+  result.iterations = state.em_iterations;
+  result.objective_trace = state.objective_trace;
+  for (const auto& [worker, phi] : state.worker_phi) {
+    result.worker_quality[worker] =
+        Erf(state.options.epsilon / std::sqrt(2.0 * phi));
+  }
+  for (int i = 0; i < state.num_rows; ++i) {
+    for (int j = 0; j < state.num_cols; ++j) {
+      if (!state.column_active[j]) continue;
+      const CellPosterior& post = state.posterior(i, j);
+      if (post.type == ColumnType::kCategorical && post.probs.empty()) {
+        continue;  // no answers, nothing to estimate
+      }
+      result.estimated_truth.Set(i, j, post.PointEstimate());
+    }
+  }
+  return result;
+}
+
+InferenceResult TCrowdModel::Infer(const Schema& schema,
+                                   const AnswerSet& answers) const {
+  return StateToResult(Fit(schema, answers));
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,107 @@
+#include "inference/zencrowd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "math/special_functions.h"
+
+namespace tcrowd {
+
+InferenceResult ZenCrowd::Infer(const Schema& schema,
+                                const AnswerSet& answers) const {
+  int rows = answers.num_rows();
+  int cols = answers.num_cols();
+  InferenceResult result;
+  result.estimated_truth = Table(schema, rows);
+  result.posteriors.resize(static_cast<size_t>(rows) * cols);
+  for (int j = 0; j < cols; ++j) {
+    for (int i = 0; i < rows; ++i) {
+      result.posteriors[static_cast<size_t>(i) * cols + j].type =
+          schema.column(j).type;
+    }
+  }
+
+  std::unordered_map<WorkerId, double> reliability;
+  for (WorkerId w : answers.Workers()) {
+    reliability[w] = options_.initial_reliability;
+  }
+
+  // Posteriors only for categorical cells; initialized to answer shares.
+  auto posterior_at = [&](int i, int j) -> CellPosterior& {
+    return result.posteriors[static_cast<size_t>(i) * cols + j];
+  };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (schema.column(j).type != ColumnType::kCategorical) continue;
+      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      int L = schema.column(j).num_labels();
+      CellPosterior& post = posterior_at(i, j);
+      post.probs.assign(L, 1.0 / L);
+      if (ids.empty()) continue;
+      std::fill(post.probs.begin(), post.probs.end(), 0.0);
+      for (int id : ids) post.probs[answers.answer(id).value.label()] += 1.0;
+      for (double& p : post.probs) p /= static_cast<double>(ids.size());
+    }
+  }
+
+  int iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    // M-step: expected fraction of correct answers per worker.
+    std::unordered_map<WorkerId, double> correct, total;
+    for (const Answer& a : answers.answers()) {
+      if (schema.column(a.cell.col).type != ColumnType::kCategorical) {
+        continue;
+      }
+      const CellPosterior& post = posterior_at(a.cell.row, a.cell.col);
+      correct[a.worker] += post.probs[a.value.label()];
+      total[a.worker] += 1.0;
+    }
+    double max_delta = 0.0;
+    for (auto& [w, p] : reliability) {
+      double c = correct.count(w) ? correct[w] : 0.0;
+      double n = total.count(w) ? total[w] : 0.0;
+      double updated = (c + options_.prior_correct) /
+                       (n + options_.prior_correct + options_.prior_wrong);
+      updated = math::ClampProb(updated);
+      max_delta = std::max(max_delta, std::fabs(updated - p));
+      p = updated;
+    }
+
+    // E-step.
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        if (schema.column(j).type != ColumnType::kCategorical) continue;
+        const std::vector<int>& ids = answers.AnswersForCell(i, j);
+        if (ids.empty()) continue;
+        int L = schema.column(j).num_labels();
+        std::vector<double> log_p(L, 0.0);
+        for (int id : ids) {
+          const Answer& a = answers.answer(id);
+          double q = reliability.at(a.worker);
+          double log_q = std::log(q);
+          double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
+          for (int z = 0; z < L; ++z) {
+            log_p[z] += (z == a.value.label()) ? log_q : log_wrong;
+          }
+        }
+        math::SoftmaxInPlace(&log_p);
+        posterior_at(i, j).probs = std::move(log_p);
+      }
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+  result.iterations = std::min(iter + 1, options_.max_iterations);
+
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (schema.column(j).type != ColumnType::kCategorical) continue;
+      if (answers.AnswersForCell(i, j).empty()) continue;
+      result.estimated_truth.Set(i, j, posterior_at(i, j).PointEstimate());
+    }
+  }
+  for (const auto& [w, p] : reliability) result.worker_quality[w] = p;
+  return result;
+}
+
+}  // namespace tcrowd

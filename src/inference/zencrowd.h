@@ -1,0 +1,37 @@
+#ifndef TCROWD_INFERENCE_ZENCROWD_H_
+#define TCROWD_INFERENCE_ZENCROWD_H_
+
+#include "inference/inference_result.h"
+
+namespace tcrowd {
+
+/// ZenCrowd [10]: each worker has a single reliability p_u; an answer is
+/// correct with probability p_u, otherwise uniform over the remaining
+/// labels. EM over all categorical columns jointly (the single-parameter
+/// model pools across columns with different label sets). Continuous cells
+/// are left missing.
+class ZenCrowd : public TruthInference {
+ public:
+  struct Options {
+    int max_iterations = 100;
+    double tolerance = 1e-6;
+    double initial_reliability = 0.7;
+    /// Beta(a,b)-style pseudo-counts smoothing the reliability update.
+    double prior_correct = 2.0;
+    double prior_wrong = 1.0;
+  };
+
+  ZenCrowd() = default;
+  explicit ZenCrowd(Options options) : options_(options) {}
+
+  std::string name() const override { return "ZenCrowd"; }
+  InferenceResult Infer(const Schema& schema,
+                        const AnswerSet& answers) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_ZENCROWD_H_

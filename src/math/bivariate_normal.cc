@@ -1,0 +1,47 @@
+#include "math/bivariate_normal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/statistics.h"
+
+namespace tcrowd::math {
+
+BivariateNormal::BivariateNormal(double mean_x, double mean_y, double var_x,
+                                 double var_y, double rho)
+    : mean_x_(mean_x),
+      mean_y_(mean_y),
+      var_x_(std::max(var_x, Normal::kVarianceFloor)),
+      var_y_(std::max(var_y, Normal::kVarianceFloor)),
+      // |rho| is bounded away from 1 so conditional variances stay positive.
+      rho_(std::clamp(rho, -0.999, 0.999)) {}
+
+BivariateNormal BivariateNormal::Fit(const std::vector<double>& xs,
+                                     const std::vector<double>& ys) {
+  TCROWD_CHECK(xs.size() == ys.size())
+      << "BivariateNormal::Fit length mismatch";
+  if (xs.size() < 2) {
+    return BivariateNormal(0.0, 0.0, 1.0, 1.0, 0.0);
+  }
+  double mx = Mean(xs), my = Mean(ys);
+  double vx = Variance(xs), vy = Variance(ys);
+  double rho = PearsonCorrelation(xs, ys);
+  return BivariateNormal(mx, my, vx, vy, rho);
+}
+
+Normal BivariateNormal::ConditionalXGivenY(double y) const {
+  double sx = std::sqrt(var_x_), sy = std::sqrt(var_y_);
+  double mean = mean_x_ + rho_ * (sx / sy) * (y - mean_y_);
+  double var = (1.0 - rho_ * rho_) * var_x_;
+  return Normal(mean, var);
+}
+
+Normal BivariateNormal::ConditionalYGivenX(double x) const {
+  double sx = std::sqrt(var_x_), sy = std::sqrt(var_y_);
+  double mean = mean_y_ + rho_ * (sy / sx) * (x - mean_x_);
+  double var = (1.0 - rho_ * rho_) * var_y_;
+  return Normal(mean, var);
+}
+
+}  // namespace tcrowd::math

@@ -1,0 +1,48 @@
+#ifndef TCROWD_MATH_BIVARIATE_NORMAL_H_
+#define TCROWD_MATH_BIVARIATE_NORMAL_H_
+
+#include <vector>
+
+#include "math/normal.h"
+
+namespace tcrowd::math {
+
+/// Bivariate normal over (x, y) with correlation rho, fitted by maximum
+/// likelihood from paired samples. Used by the structure-aware assignment
+/// model for the continuous-continuous case of P(e_j | e_k) (paper Table 5,
+/// case b).
+class BivariateNormal {
+ public:
+  BivariateNormal(double mean_x, double mean_y, double var_x, double var_y,
+                  double rho);
+
+  /// MLE fit from paired samples. With fewer than 2 pairs, falls back to a
+  /// standard uncorrelated unit normal. Precondition: equal lengths.
+  static BivariateNormal Fit(const std::vector<double>& xs,
+                             const std::vector<double>& ys);
+
+  double mean_x() const { return mean_x_; }
+  double mean_y() const { return mean_y_; }
+  double var_x() const { return var_x_; }
+  double var_y() const { return var_y_; }
+  double rho() const { return rho_; }
+
+  /// Conditional distribution of X given Y = y:
+  /// N(mu_x + rho * sx/sy * (y - mu_y), (1 - rho^2) * var_x).
+  Normal ConditionalXGivenY(double y) const;
+  /// Conditional distribution of Y given X = x.
+  Normal ConditionalYGivenX(double x) const;
+
+  /// Marginals.
+  Normal MarginalX() const { return Normal(mean_x_, var_x_); }
+  Normal MarginalY() const { return Normal(mean_y_, var_y_); }
+
+ private:
+  double mean_x_, mean_y_;
+  double var_x_, var_y_;
+  double rho_;
+};
+
+}  // namespace tcrowd::math
+
+#endif  // TCROWD_MATH_BIVARIATE_NORMAL_H_

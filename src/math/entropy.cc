@@ -1,0 +1,28 @@
+#include "math/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/normal.h"
+
+namespace tcrowd::math {
+
+double ShannonEntropy(const std::vector<double>& probs) {
+  double total = 0.0;
+  for (double p : probs) total += std::max(p, 0.0);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    double q = p / total;
+    h -= q * std::log(q);
+  }
+  return h;
+}
+
+double GaussianDifferentialEntropy(double variance) {
+  variance = std::max(variance, Normal::kVarianceFloor);
+  return 0.5 * std::log(2.0 * M_PI * M_E * variance);
+}
+
+}  // namespace tcrowd::math

@@ -1,0 +1,20 @@
+#ifndef TCROWD_MATH_ENTROPY_H_
+#define TCROWD_MATH_ENTROPY_H_
+
+#include <vector>
+
+namespace tcrowd::math {
+
+/// Shannon entropy (nats) of a discrete distribution. Zero-probability
+/// entries contribute zero. The vector need not be exactly normalized; it is
+/// renormalized internally.
+double ShannonEntropy(const std::vector<double>& probs);
+
+/// Differential entropy (nats) of N(mu, variance): 0.5 * ln(2*pi*e*var).
+/// Can be negative for small variances — the paper's motivation for using
+/// *delta* entropy rather than raw entropy when comparing task types.
+double GaussianDifferentialEntropy(double variance);
+
+}  // namespace tcrowd::math
+
+#endif  // TCROWD_MATH_ENTROPY_H_

@@ -1,0 +1,77 @@
+#include "math/gradient_ascent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcrowd::math {
+
+namespace {
+
+double MaxAbs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+GradientAscentResult MaximizeByGradientAscent(
+    const ObjectiveFn& fn, std::vector<double> init,
+    const GradientAscentOptions& options) {
+  GradientAscentResult result;
+  result.params = std::move(init);
+
+  std::vector<double> grad(result.params.size(), 0.0);
+  double current = fn(result.params, &grad);
+  double step = options.initial_step;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (MaxAbs(grad) < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Backtracking line search along the gradient direction.
+    std::vector<double> trial(result.params.size());
+    std::vector<double> trial_grad(result.params.size());
+    bool improved = false;
+    double trial_value = current;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      for (size_t i = 0; i < trial.size(); ++i) {
+        trial[i] = result.params[i] + step * grad[i];
+      }
+      trial_value = fn(trial, &trial_grad);
+      if (std::isfinite(trial_value) && trial_value > current) {
+        improved = true;
+        break;
+      }
+      step *= options.backtrack_factor;
+    }
+    if (!improved) {
+      // No ascent direction found at any step size: local optimum reached
+      // to within line-search resolution.
+      result.converged = true;
+      break;
+    }
+
+    double gain = trial_value - current;
+    result.params.swap(trial);
+    grad.swap(trial_grad);
+    current = trial_value;
+    // Allow the step to grow back; keeps progress fast after cautious phases.
+    step = std::min(step * 2.0, options.initial_step * 4.0);
+
+    if (gain < options.objective_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.objective = current;
+  return result;
+}
+
+}  // namespace tcrowd::math

@@ -1,0 +1,45 @@
+#ifndef TCROWD_MATH_GRADIENT_ASCENT_H_
+#define TCROWD_MATH_GRADIENT_ASCENT_H_
+
+#include <functional>
+#include <vector>
+
+namespace tcrowd::math {
+
+/// Configuration for the backtracking gradient-ascent optimizer.
+struct GradientAscentOptions {
+  int max_iterations = 50;
+  double initial_step = 0.5;
+  /// Step shrink factor when a trial step fails to improve the objective.
+  double backtrack_factor = 0.5;
+  /// Maximum number of backtracking halvings per iteration.
+  int max_backtracks = 20;
+  /// Stop when |objective improvement| falls below this.
+  double objective_tolerance = 1e-7;
+  /// Stop when the max-norm of the gradient falls below this.
+  double gradient_tolerance = 1e-7;
+};
+
+/// Result of one optimization run.
+struct GradientAscentResult {
+  std::vector<double> params;
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Objective callback: given parameters, returns the objective value and
+/// fills `grad` (same size as params) with the gradient.
+using ObjectiveFn =
+    std::function<double(const std::vector<double>&, std::vector<double>*)>;
+
+/// Maximizes `fn` starting from `init` using gradient ascent with
+/// backtracking line search. Parameters are unconstrained; callers who need
+/// positivity should optimize in log-space (the T-Crowd M-step does).
+GradientAscentResult MaximizeByGradientAscent(
+    const ObjectiveFn& fn, std::vector<double> init,
+    const GradientAscentOptions& options = {});
+
+}  // namespace tcrowd::math
+
+#endif  // TCROWD_MATH_GRADIENT_ASCENT_H_

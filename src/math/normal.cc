@@ -1,0 +1,53 @@
+#include "math/normal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/special_functions.h"
+
+namespace tcrowd::math {
+
+Normal::Normal(double mean, double variance)
+    : mean_(mean), variance_(std::max(variance, kVarianceFloor)) {}
+
+double Normal::stddev() const { return std::sqrt(variance_); }
+
+double Normal::Pdf(double x) const {
+  double z = (x - mean_);
+  return std::exp(-z * z / (2.0 * variance_)) /
+         std::sqrt(2.0 * M_PI * variance_);
+}
+
+double Normal::LogPdf(double x) const {
+  double z = (x - mean_);
+  return -0.5 * std::log(2.0 * M_PI * variance_) -
+         z * z / (2.0 * variance_);
+}
+
+double Normal::Cdf(double x) const {
+  return 0.5 * (1.0 + Erf((x - mean_) / (stddev() * std::sqrt(2.0))));
+}
+
+double Normal::CenteredIntervalProb(double eps) const {
+  return Erf(eps / (std::sqrt(2.0) * stddev()));
+}
+
+Normal Normal::PosteriorGivenObservation(double obs,
+                                         double obs_variance) const {
+  obs_variance = std::max(obs_variance, kVarianceFloor);
+  double prior_precision = 1.0 / variance_;
+  double obs_precision = 1.0 / obs_variance;
+  double post_var = 1.0 / (prior_precision + obs_precision);
+  double post_mean = post_var * (mean_ * prior_precision + obs * obs_precision);
+  return Normal(post_mean, post_var);
+}
+
+Normal Normal::PrecisionWeightedCombine(const Normal& a, const Normal& b) {
+  double pa = 1.0 / a.variance();
+  double pb = 1.0 / b.variance();
+  double var = 1.0 / (pa + pb);
+  double mean = var * (a.mean() * pa + b.mean() * pb);
+  return Normal(mean, var);
+}
+
+}  // namespace tcrowd::math

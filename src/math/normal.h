@@ -1,0 +1,42 @@
+#ifndef TCROWD_MATH_NORMAL_H_
+#define TCROWD_MATH_NORMAL_H_
+
+namespace tcrowd::math {
+
+/// Univariate normal distribution N(mean, variance). Variance is clamped to
+/// a small positive floor so the distribution is always proper.
+class Normal {
+ public:
+  static constexpr double kVarianceFloor = 1e-12;
+
+  Normal(double mean, double variance);
+
+  double mean() const { return mean_; }
+  double variance() const { return variance_; }
+  double stddev() const;
+
+  double Pdf(double x) const;
+  double LogPdf(double x) const;
+  /// P(X <= x).
+  double Cdf(double x) const;
+  /// P(mean - eps <= X <= mean + eps) — the paper's Eq. 2 quality integral.
+  double CenteredIntervalProb(double eps) const;
+
+  /// Bayes update of a Gaussian prior over the mean with one observation of
+  /// known noise variance: returns the posterior N over the latent mean.
+  /// This is the E-step update of the paper's Eq. 4 (continuous branch)
+  /// applied incrementally.
+  Normal PosteriorGivenObservation(double obs, double obs_variance) const;
+
+  /// Precision-weighted product of two Gaussians over the same variable
+  /// (unnormalized product renormalized back into a Gaussian).
+  static Normal PrecisionWeightedCombine(const Normal& a, const Normal& b);
+
+ private:
+  double mean_;
+  double variance_;
+};
+
+}  // namespace tcrowd::math
+
+#endif  // TCROWD_MATH_NORMAL_H_

@@ -1,0 +1,111 @@
+#include "math/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcrowd::math {
+
+void OnlineStats::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  count_ = total;
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + mid - 1, v.begin() + mid);
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  TCROWD_CHECK(x.size() == y.size())
+      << "Pearson inputs differ in length: " << x.size() << " vs " << y.size();
+  if (x.size() < 2) return 0.0;
+  double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  TCROWD_CHECK(a.size() == b.size())
+      << "RMSE inputs differ in length: " << a.size() << " vs " << b.size();
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double RobustScale(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double med = Median(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::fabs(x - med));
+  return 1.4826 * Median(std::move(dev));
+}
+
+}  // namespace tcrowd::math

@@ -1,0 +1,53 @@
+#ifndef TCROWD_MATH_STATISTICS_H_
+#define TCROWD_MATH_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tcrowd::math {
+
+/// Welford online accumulator for mean/variance; numerically stable and
+/// single-pass, suitable for streaming answer errors.
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n). Zero for fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (divide by n-1). Zero for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+double Mean(const std::vector<double>& v);
+/// Population variance; 0 for fewer than two elements.
+double Variance(const std::vector<double>& v);
+double StdDev(const std::vector<double>& v);
+
+/// Median via nth_element (copies the input). Returns 0 for empty input.
+double Median(std::vector<double> v);
+
+/// Pearson correlation coefficient; 0 if either side is constant or the
+/// vectors are shorter than 2. Precondition: equal lengths.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Root mean squared error between two equal-length vectors.
+double Rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Median absolute deviation scaled to be consistent with the normal
+/// distribution's standard deviation (x1.4826). Robust scale estimate used
+/// to standardize continuous columns before inference.
+double RobustScale(const std::vector<double>& v);
+
+}  // namespace tcrowd::math
+
+#endif  // TCROWD_MATH_STATISTICS_H_

@@ -1,0 +1,84 @@
+#include "platform/experiment.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "platform/metrics.h"
+
+namespace tcrowd {
+
+EndToEndResult RunEndToEnd(const Schema& schema, const Table& truth,
+                           sim::CrowdSimulator* crowd,
+                           AssignmentPolicy* policy,
+                           const TruthInference& final_inference,
+                           const EndToEndConfig& config) {
+  TCROWD_CHECK(config.initial_answers_per_task >= 1);
+  TCROWD_CHECK(config.max_answers_per_task >
+               static_cast<double>(config.initial_answers_per_task));
+  TCROWD_CHECK(config.tasks_per_worker >= 1);
+
+  EndToEndResult result;
+  result.policy_name = policy->name();
+
+  AnswerSet answers(truth.num_rows(), schema.num_columns());
+  crowd->SeedAnswers(config.initial_answers_per_task, &answers);
+  policy->Refresh(schema, answers);
+
+  int num_cells = truth.num_rows() * schema.num_columns();
+  double next_record =
+      static_cast<double>(config.initial_answers_per_task);
+  int answers_since_refresh = 0;
+
+  auto record = [&] {
+    InferenceResult inferred = final_inference.Infer(schema, answers);
+    SeriesPoint point;
+    point.answers_per_task = answers.MeanAnswersPerCell();
+    point.error_rate = Metrics::ErrorRate(truth, inferred.estimated_truth);
+    point.mnad = Metrics::Mnad(truth, inferred.estimated_truth);
+    result.points.push_back(point);
+  };
+
+  record();  // baseline at the seed budget
+  next_record += config.record_every;
+
+  int max_total_answers = static_cast<int>(
+      std::llround(config.max_answers_per_task * num_cells));
+  int stall_guard = 0;
+  while (static_cast<int>(answers.size()) < max_total_answers) {
+    WorkerId worker = crowd->NextWorker();
+    std::vector<CellRef> tasks =
+        policy->SelectTasks(schema, answers, worker, config.tasks_per_worker);
+    if (tasks.empty()) {
+      // This worker has answered everything; try others, but avoid spinning
+      // forever if the whole crowd is exhausted.
+      if (++stall_guard > 10 * crowd->num_workers()) break;
+      continue;
+    }
+    stall_guard = 0;
+    for (const CellRef& cell : tasks) {
+      Answer answer{worker, cell, crowd->Answer(worker, cell)};
+      answers.Add(answer);
+      policy->Observe(schema, answers, answer);
+      ++answers_since_refresh;
+    }
+    if (answers_since_refresh >= config.refresh_every_answers) {
+      policy->Refresh(schema, answers);
+      answers_since_refresh = 0;
+    }
+    if (answers.MeanAnswersPerCell() >= next_record) {
+      record();
+      next_record += config.record_every;
+    }
+  }
+  // Final point at budget exhaustion (unless it coincides with the last
+  // recorded point).
+  if (result.points.empty() ||
+      answers.MeanAnswersPerCell() >
+          result.points.back().answers_per_task + 1e-9) {
+    record();
+  }
+  result.total_answers = static_cast<int>(answers.size());
+  return result;
+}
+
+}  // namespace tcrowd

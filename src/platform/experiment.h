@@ -1,0 +1,59 @@
+#ifndef TCROWD_PLATFORM_EXPERIMENT_H_
+#define TCROWD_PLATFORM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "assignment/policy.h"
+#include "data/dataset.h"
+#include "inference/inference_result.h"
+#include "simulation/crowd_simulator.h"
+
+namespace tcrowd {
+
+/// Configuration of one end-to-end assignment experiment (paper Fig. 2 / 5
+/// setup): seed answers, then repeatedly (worker arrives -> policy assigns
+/// -> worker answers), recording Error Rate and MNAD as the average number
+/// of answers per task grows.
+struct EndToEndConfig {
+  /// Initial answers per task (Algorithm 2 line 1).
+  int initial_answers_per_task = 2;
+  /// Stop when the average answers-per-task reaches this budget.
+  double max_answers_per_task = 5.0;
+  /// Record a measurement every this many answers-per-task.
+  double record_every = 0.5;
+  /// Re-run the policy's internal inference every this many collected
+  /// answers (1 = paper's every-step refresh; larger trades fidelity for
+  /// speed, the policy's posterior simply gets slightly stale).
+  int refresh_every_answers = 25;
+  /// Tasks handed to each arriving worker (paper Section 5.3 batches).
+  int tasks_per_worker = 1;
+};
+
+/// One recorded point of the assignment experiment.
+struct SeriesPoint {
+  double answers_per_task = 0.0;
+  double error_rate = 0.0;
+  double mnad = 0.0;
+};
+
+struct EndToEndResult {
+  std::string policy_name;
+  std::vector<SeriesPoint> points;
+  int total_answers = 0;
+};
+
+/// Runs the budgeted loop of Algorithm 2 against a simulated crowd. The
+/// final metrics at each record point are computed with `final_inference`
+/// (each policy is paired with its own inference method, as in the paper's
+/// end-to-end comparison). `truth` supplies ground truth for metrics only —
+/// neither the policy nor the inference ever sees it.
+EndToEndResult RunEndToEnd(const Schema& schema, const Table& truth,
+                           sim::CrowdSimulator* crowd,
+                           AssignmentPolicy* policy,
+                           const TruthInference& final_inference,
+                           const EndToEndConfig& config);
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_PLATFORM_EXPERIMENT_H_

@@ -1,0 +1,76 @@
+#include "platform/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/statistics.h"
+
+namespace tcrowd {
+
+namespace {
+
+std::vector<int> AllColumns(const Table& t) {
+  std::vector<int> cols(t.num_columns());
+  for (int j = 0; j < t.num_columns(); ++j) cols[j] = j;
+  return cols;
+}
+
+}  // namespace
+
+double Metrics::ErrorRate(const Table& truth, const Table& estimate) {
+  return ErrorRate(truth, estimate, AllColumns(truth));
+}
+
+double Metrics::ErrorRate(const Table& truth, const Table& estimate,
+                          const std::vector<int>& columns) {
+  TCROWD_CHECK(truth.num_rows() == estimate.num_rows());
+  TCROWD_CHECK(truth.num_columns() == estimate.num_columns());
+  int mismatches = 0;
+  int total = 0;
+  for (int j : columns) {
+    if (truth.schema().column(j).type != ColumnType::kCategorical) continue;
+    for (int i = 0; i < truth.num_rows(); ++i) {
+      const Value& t = truth.at(i, j);
+      if (!t.valid()) continue;
+      ++total;
+      const Value& e = estimate.at(i, j);
+      if (!e.valid() || e.label() != t.label()) ++mismatches;
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(mismatches) / static_cast<double>(total);
+}
+
+double Metrics::Mnad(const Table& truth, const Table& estimate) {
+  return Mnad(truth, estimate, AllColumns(truth));
+}
+
+double Metrics::Mnad(const Table& truth, const Table& estimate,
+                     const std::vector<int>& columns) {
+  TCROWD_CHECK(truth.num_rows() == estimate.num_rows());
+  TCROWD_CHECK(truth.num_columns() == estimate.num_columns());
+  double sum = 0.0;
+  int used_columns = 0;
+  for (int j : columns) {
+    if (truth.schema().column(j).type != ColumnType::kContinuous) continue;
+    std::vector<double> t_vals, e_vals, t_all;
+    for (int i = 0; i < truth.num_rows(); ++i) {
+      const Value& t = truth.at(i, j);
+      if (!t.valid()) continue;
+      t_all.push_back(t.number());
+      const Value& e = estimate.at(i, j);
+      if (!e.valid()) continue;
+      t_vals.push_back(t.number());
+      e_vals.push_back(e.number());
+    }
+    if (t_vals.empty()) continue;
+    double sd = math::StdDev(t_all);
+    if (sd < 1e-12) sd = 1.0;
+    sum += math::Rmse(t_vals, e_vals) / sd;
+    ++used_columns;
+  }
+  if (used_columns == 0) return 0.0;
+  return sum / static_cast<double>(used_columns);
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,33 @@
+#ifndef TCROWD_PLATFORM_METRICS_H_
+#define TCROWD_PLATFORM_METRICS_H_
+
+#include <vector>
+
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace tcrowd {
+
+/// The paper's two effectiveness measures (Section 6.2, from CRH [18]).
+struct Metrics {
+  /// Fraction of categorical cells whose estimate mismatches the ground
+  /// truth. Cells with a missing estimate count as errors (the method
+  /// failed to produce a value); cells with missing ground truth are
+  /// skipped. NaN-free: returns 0 when no categorical cells are evaluable.
+  static double ErrorRate(const Table& truth, const Table& estimate);
+  /// Same, restricted to the given columns.
+  static double ErrorRate(const Table& truth, const Table& estimate,
+                          const std::vector<int>& columns);
+
+  /// Mean Normalized Absolute Distance: per continuous column, the RMSE
+  /// between estimate and ground truth divided by the column's ground-truth
+  /// standard deviation; averaged over continuous columns. Cells with a
+  /// missing estimate or truth are skipped.
+  static double Mnad(const Table& truth, const Table& estimate);
+  static double Mnad(const Table& truth, const Table& estimate,
+                     const std::vector<int>& columns);
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_PLATFORM_METRICS_H_

@@ -1,0 +1,76 @@
+#include "platform/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+
+namespace tcrowd {
+
+Report::Report(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void Report::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Report::AddRow(const std::string& label,
+                    const std::vector<double>& values) {
+  std::vector<std::string> row;
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(v < -0.5 ? "/" : StrFormat("%.4f", v));
+  }
+  AddRow(std::move(row));
+}
+
+std::string Report::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < widths.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+void Report::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void Report::WriteCsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> all;
+  all.push_back(header_);
+  for (const auto& row : rows_) all.push_back(row);
+  Status st = csv::WriteFile(path, all);
+  if (!st.ok()) {
+    TCROWD_LOG(Warning) << "could not write " << path << ": "
+                        << st.ToString();
+  }
+}
+
+}  // namespace tcrowd

@@ -1,0 +1,34 @@
+#ifndef TCROWD_PLATFORM_REPORT_H_
+#define TCROWD_PLATFORM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace tcrowd {
+
+/// Plain-text table printer used by the bench binaries to emit the same
+/// rows the paper's tables/figures report.
+class Report {
+ public:
+  explicit Report(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats doubles with 4 decimal places; negative sentinel
+  /// values (< -0.5) print as "/" like the paper's empty cells.
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Renders an aligned table.
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+  /// Writes rows as CSV to `path` (best effort; logs on failure).
+  void WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_PLATFORM_REPORT_H_

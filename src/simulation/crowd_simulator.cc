@@ -1,0 +1,142 @@
+#include "simulation/crowd_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcrowd::sim {
+
+CrowdSimulator::CrowdSimulator(const CrowdOptions& options,
+                               const Schema& schema, const Table& truth,
+                               std::vector<double> row_difficulty,
+                               std::vector<double> col_difficulty,
+                               std::vector<double> col_scale, Rng rng)
+    : options_(options),
+      schema_(&schema),
+      truth_(&truth),
+      row_difficulty_(std::move(row_difficulty)),
+      col_difficulty_(std::move(col_difficulty)),
+      col_scale_(std::move(col_scale)),
+      rng_(rng) {
+  TCROWD_CHECK(static_cast<int>(row_difficulty_.size()) == truth.num_rows());
+  TCROWD_CHECK(static_cast<int>(col_difficulty_.size()) ==
+               schema.num_columns());
+  TCROWD_CHECK(static_cast<int>(col_scale_.size()) == schema.num_columns());
+  TCROWD_CHECK(options.num_workers > 0);
+
+  workers_.resize(options.num_workers);
+  arrival_weights_.resize(options.num_workers);
+  for (int w = 0; w < options.num_workers; ++w) {
+    workers_[w].id = w;
+    workers_[w].phi =
+        rng_.LogNormal(std::log(options.phi_median), options.phi_log_sigma);
+    arrival_weights_[w] =
+        std::pow(rng_.Uniform(1e-3, 1.0), options.participation_skew);
+  }
+}
+
+CrowdSimulator::CrowdSimulator(const CrowdOptions& options,
+                               const Schema& schema, const Table& truth,
+                               Rng rng)
+    : CrowdSimulator(options, schema, truth,
+                     std::vector<double>(truth.num_rows(), 1.0),
+                     std::vector<double>(schema.num_columns(), 1.0),
+                     DefaultColumnScales(schema), rng) {}
+
+std::vector<double> CrowdSimulator::DefaultColumnScales(const Schema& schema) {
+  std::vector<double> scales(schema.num_columns(), 1.0);
+  for (int j = 0; j < schema.num_columns(); ++j) {
+    const ColumnSpec& col = schema.column(j);
+    if (col.type == ColumnType::kContinuous) {
+      scales[j] = (col.max_value - col.min_value) / 6.0;
+    }
+  }
+  return scales;
+}
+
+const WorkerProfile& CrowdSimulator::worker(WorkerId id) const {
+  TCROWD_CHECK(id >= 0 && id < num_workers()) << "worker " << id;
+  return workers_[id];
+}
+
+double CrowdSimulator::TrueQuality(WorkerId id) const {
+  return TrueWorkerQuality(worker(id), options_.epsilon);
+}
+
+WorkerId CrowdSimulator::NextWorker() {
+  return static_cast<WorkerId>(rng_.Categorical(arrival_weights_));
+}
+
+double CrowdSimulator::RowUnfamiliarProb(int row) {
+  auto it = row_unfamiliar_prob_.find(row);
+  if (it != row_unfamiliar_prob_.end()) return it->second;
+  double p = options_.unfamiliar_prob;
+  if (options_.unfamiliar_row_log_sigma > 0.0) {
+    p = std::min(0.9, p * rng_.LogNormal(0.0,
+                                         options_.unfamiliar_row_log_sigma));
+  }
+  row_unfamiliar_prob_.emplace(row, p);
+  return p;
+}
+
+double CrowdSimulator::RowFactor(WorkerId u, int row) {
+  if (options_.unfamiliar_prob <= 0.0) return 1.0;
+  int64_t key = static_cast<int64_t>(u) * truth_->num_rows() + row;
+  auto it = row_factors_.find(key);
+  if (it != row_factors_.end()) return it->second;
+  double factor = rng_.Bernoulli(RowUnfamiliarProb(row))
+                      ? options_.unfamiliar_boost *
+                            rng_.LogNormal(0.0, 0.25)
+                      : 1.0;
+  row_factors_.emplace(key, factor);
+  return factor;
+}
+
+double CrowdSimulator::RowBias(WorkerId u, int row) {
+  int64_t key = static_cast<int64_t>(u) * truth_->num_rows() + row;
+  auto it = row_bias_.find(key);
+  if (it != row_bias_.end()) return it->second;
+  double bias = rng_.Gaussian(0.0, 1.0);
+  row_bias_.emplace(key, bias);
+  return bias;
+}
+
+Value CrowdSimulator::Answer(WorkerId u, CellRef cell) {
+  const ColumnSpec& col = schema_->column(cell.col);
+  AnswerDraw draw;
+  draw.row_difficulty = row_difficulty_[cell.row];
+  draw.col_difficulty = col_difficulty_[cell.col];
+  draw.row_factor = RowFactor(u, cell.row);
+  draw.col_scale = col_scale_[cell.col];
+  draw.epsilon = options_.epsilon;
+  if (options_.row_bias_rho > 0.0 && col.type == ColumnType::kContinuous) {
+    draw.bias_rho = options_.row_bias_rho;
+    draw.shared_bias = RowBias(u, cell.row);
+  }
+  return GenerateAnswer(worker(u), col, truth_->at(cell), draw, &rng_);
+}
+
+void CrowdSimulator::SeedAnswers(int k, AnswerSet* answers) {
+  TCROWD_CHECK(k <= num_workers())
+      << "cannot seed " << k << " distinct answers with " << num_workers()
+      << " workers";
+  for (int i = 0; i < truth_->num_rows(); ++i) {
+    // k distinct workers per row, sampled by participation weight.
+    std::vector<WorkerId> chosen;
+    while (static_cast<int>(chosen.size()) < k) {
+      WorkerId w = NextWorker();
+      if (std::find(chosen.begin(), chosen.end(), w) == chosen.end()) {
+        chosen.push_back(w);
+      }
+    }
+    for (WorkerId w : chosen) {
+      for (int j = 0; j < schema_->num_columns(); ++j) {
+        CellRef cell{i, j};
+        answers->Add(w, cell, Answer(w, cell));
+      }
+    }
+  }
+}
+
+}  // namespace tcrowd::sim

@@ -1,0 +1,61 @@
+#ifndef TCROWD_SIMULATION_DATASET_SYNTHESIZER_H_
+#define TCROWD_SIMULATION_DATASET_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "simulation/crowd_simulator.h"
+#include "simulation/table_generator.h"
+
+namespace tcrowd::sim {
+
+/// Which of the paper's three real-world AMT datasets to imitate. The real
+/// answer logs are not redistributable, so we synthesize datasets with the
+/// same shapes (rows, columns, types, answers-per-task; paper Table 6) and
+/// the same causal structure (long-tail worker quality, row/column
+/// difficulties, row-recognition error correlation). See DESIGN.md §2.
+enum class PaperDataset {
+  kCelebrity,   ///< 174 rows x 7 cols (3 cat + 4 cont), 5 answers/task
+  kRestaurant,  ///< 203 rows x 5 cols (3 cat + 2 cont), 4 answers/task
+  kEmotion,     ///< 100 rows x 7 cols (all cont),       10 answers/task
+};
+
+const char* PaperDatasetName(PaperDataset which);
+/// Paper Table 6: answers collected per task.
+int PaperAnswersPerTask(PaperDataset which);
+
+/// A synthesized world: the dataset (schema + truth + seeded answers), plus
+/// the live simulator so assignment experiments can keep collecting answers
+/// from the same hidden worker pool.
+struct SynthesizedWorld {
+  Dataset dataset;
+  std::unique_ptr<CrowdSimulator> crowd;
+  std::vector<double> row_difficulty;
+  std::vector<double> col_difficulty;
+};
+
+struct SynthesizerOptions {
+  uint64_t seed = 42;
+  /// If >= 0, overrides the dataset's default answers-per-task seeding.
+  /// Use 0 to get an empty answer set (assignment experiments seed later).
+  int answers_per_task = -1;
+  /// Override of the crowd configuration; nullptr = dataset default.
+  const CrowdOptions* crowd_override = nullptr;
+};
+
+/// Builds a statistically matched stand-in for one of the paper's datasets.
+SynthesizedWorld SynthesizeDataset(PaperDataset which,
+                                   const SynthesizerOptions& options);
+
+/// Builds a world around an arbitrary generated table (Section 6.5.1
+/// experiments): worker pool + seeded answers.
+SynthesizedWorld SynthesizeFromTable(GeneratedTable table,
+                                     const CrowdOptions& crowd_options,
+                                     int answers_per_task, uint64_t seed,
+                                     std::string name = "synthetic");
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_DATASET_SYNTHESIZER_H_

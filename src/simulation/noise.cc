@@ -1,0 +1,48 @@
+#include "simulation/noise.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "math/statistics.h"
+
+namespace tcrowd::sim {
+
+int InjectNoise(double gamma, Rng* rng, Dataset* dataset) {
+  TCROWD_CHECK(gamma >= 0.0 && gamma <= 1.0) << "gamma " << gamma;
+  AnswerSet& answers = dataset->answers;
+  if (answers.empty() || gamma == 0.0) return 0;
+
+  // Per-column mean/std of the current answers, for the z-score transform.
+  int cols = dataset->schema.num_columns();
+  std::vector<math::OnlineStats> col_stats(cols);
+  for (const Answer& a : answers.answers()) {
+    if (a.value.is_continuous()) col_stats[a.cell.col].Add(a.value.number());
+  }
+
+  int num_draws = static_cast<int>(
+      std::floor(gamma * static_cast<double>(answers.size())));
+  std::unordered_set<int> touched;
+  for (int d = 0; d < num_draws; ++d) {
+    // With replacement: the same answer may be drawn (and re-noised) twice.
+    int id = rng->UniformInt(0, static_cast<int>(answers.size()) - 1);
+    const Answer& a = answers.answer(id);
+    const ColumnSpec& col = dataset->schema.column(a.cell.col);
+    if (col.type == ColumnType::kCategorical) {
+      answers.ReplaceValue(
+          id, Value::Categorical(rng->UniformInt(0, col.num_labels() - 1)));
+    } else {
+      double mean = col_stats[a.cell.col].mean();
+      double sd = col_stats[a.cell.col].stddev();
+      if (sd < 1e-12) sd = 1.0;
+      double z = (a.value.number() - mean) / sd;
+      z += rng->Gaussian(0.0, 1.0);
+      answers.ReplaceValue(id, Value::Continuous(mean + z * sd));
+    }
+    touched.insert(id);
+  }
+  return static_cast<int>(touched.size());
+}
+
+}  // namespace tcrowd::sim

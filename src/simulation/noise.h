@@ -1,0 +1,19 @@
+#ifndef TCROWD_SIMULATION_NOISE_H_
+#define TCROWD_SIMULATION_NOISE_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace tcrowd::sim {
+
+/// The paper's Section 6.5.2 noise procedure: a fraction gamma of the
+/// collected answers (chosen uniformly WITH replacement, as in the paper) is
+/// perturbed. Categorical answers are replaced by a uniformly random label
+/// from the column's domain; continuous answers are z-scored within their
+/// column, shifted by N(0,1), and mapped back to the original scale.
+/// Returns the number of distinct answers that were modified.
+int InjectNoise(double gamma, Rng* rng, Dataset* dataset);
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_NOISE_H_

@@ -1,0 +1,83 @@
+#include "simulation/table_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tcrowd::sim {
+
+GeneratedTable GenerateTable(const TableGeneratorOptions& options, Rng* rng) {
+  TCROWD_CHECK(options.num_rows > 0 && options.num_cols > 0);
+  TCROWD_CHECK(options.categorical_ratio >= 0.0 &&
+               options.categorical_ratio <= 1.0);
+  TCROWD_CHECK(options.mean_difficulty > 0.0);
+
+  GeneratedTable out;
+
+  // Column specs: the first round(R*M) columns categorical, the rest
+  // continuous, then shuffled so types interleave.
+  int num_cat = static_cast<int>(
+      std::lround(options.categorical_ratio * options.num_cols));
+  std::vector<bool> is_cat(options.num_cols, false);
+  std::fill(is_cat.begin(), is_cat.begin() + num_cat, true);
+  rng->Shuffle(&is_cat);
+
+  std::vector<ColumnSpec> columns;
+  for (int j = 0; j < options.num_cols; ++j) {
+    if (is_cat[j]) {
+      int L = rng->UniformInt(options.min_labels, options.max_labels);
+      std::vector<std::string> labels;
+      labels.reserve(L);
+      for (int l = 0; l < L; ++l) {
+        labels.push_back(StrFormat("c%d_l%d", j, l));
+      }
+      columns.push_back(
+          Schema::MakeCategorical(StrFormat("cat_%d", j), std::move(labels)));
+    } else {
+      columns.push_back(Schema::MakeContinuous(
+          StrFormat("num_%d", j), options.domain_min, options.domain_max));
+    }
+  }
+  out.schema = Schema(std::move(columns));
+
+  // Ground truth uniform over each column's domain.
+  out.truth = Table(out.schema, options.num_rows);
+  for (int i = 0; i < options.num_rows; ++i) {
+    for (int j = 0; j < options.num_cols; ++j) {
+      const ColumnSpec& col = out.schema.column(j);
+      if (col.type == ColumnType::kCategorical) {
+        out.truth.Set(i, j,
+                      Value::Categorical(
+                          rng->UniformInt(0, col.num_labels() - 1)));
+      } else {
+        out.truth.Set(i, j, Value::Continuous(rng->Uniform(
+                                col.min_value, col.max_value)));
+      }
+    }
+  }
+
+  // Difficulties: log-normal draws rescaled so mean(alpha_i * beta_j)
+  // matches the requested average difficulty.
+  out.row_difficulty.resize(options.num_rows);
+  out.col_difficulty.resize(options.num_cols);
+  for (double& a : out.row_difficulty) {
+    a = rng->LogNormal(0.0, options.difficulty_log_sigma);
+  }
+  for (double& b : out.col_difficulty) {
+    b = rng->LogNormal(0.0, options.difficulty_log_sigma);
+  }
+  double mean_product = 0.0;
+  for (double a : out.row_difficulty) {
+    for (double b : out.col_difficulty) mean_product += a * b;
+  }
+  mean_product /= static_cast<double>(options.num_rows * options.num_cols);
+  double correction = std::sqrt(options.mean_difficulty / mean_product);
+  for (double& a : out.row_difficulty) a *= correction;
+  for (double& b : out.col_difficulty) b *= correction;
+
+  return out;
+}
+
+}  // namespace tcrowd::sim

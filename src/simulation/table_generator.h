@@ -1,0 +1,44 @@
+#ifndef TCROWD_SIMULATION_TABLE_GENERATOR_H_
+#define TCROWD_SIMULATION_TABLE_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace tcrowd::sim {
+
+/// The paper's Section 6.5.1 synthetic-table generator: M columns, a given
+/// ratio of categorical columns, label counts drawn from U(2,10), continuous
+/// domain [0,1000], ground truth uniform over the domain, and row/column
+/// difficulties scaled so that the mean of alpha_i * beta_j matches
+/// `mean_difficulty`.
+struct TableGeneratorOptions {
+  int num_rows = 100;
+  int num_cols = 10;
+  /// Fraction of columns that are categorical (paper's R knob).
+  double categorical_ratio = 0.5;
+  int min_labels = 2;
+  int max_labels = 10;
+  double domain_min = 0.0;
+  double domain_max = 1000.0;
+  /// Target mean of alpha_i * beta_j (paper's mu_{alpha_i beta_j} knob).
+  double mean_difficulty = 1.0;
+  /// Log-space spread of the difficulty draws.
+  double difficulty_log_sigma = 0.3;
+};
+
+/// A generated world: schema, ground truth, and the hidden difficulties.
+struct GeneratedTable {
+  Schema schema;
+  Table truth;
+  std::vector<double> row_difficulty;  ///< alpha_i
+  std::vector<double> col_difficulty;  ///< beta_j
+};
+
+GeneratedTable GenerateTable(const TableGeneratorOptions& options, Rng* rng);
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_TABLE_GENERATOR_H_

@@ -1,0 +1,36 @@
+#include "simulation/worker_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/special_functions.h"
+
+namespace tcrowd::sim {
+
+double TrueWorkerQuality(const WorkerProfile& worker, double epsilon) {
+  return math::Erf(epsilon / std::sqrt(2.0 * worker.phi));
+}
+
+Value GenerateAnswer(const WorkerProfile& worker, const ColumnSpec& column,
+                     const Value& truth, const AnswerDraw& draw, Rng* rng) {
+  TCROWD_CHECK(truth.valid()) << "cannot answer a cell without ground truth";
+  double variance = draw.row_difficulty * draw.col_difficulty * worker.phi *
+                    draw.row_factor;
+  TCROWD_CHECK(variance > 0.0) << "non-positive answer variance";
+  if (column.type == ColumnType::kContinuous) {
+    double rho = draw.bias_rho;
+    double z = rho * draw.shared_bias +
+               std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                   rng->Gaussian(0.0, 1.0);
+    double noise = z * std::sqrt(variance) * draw.col_scale;
+    return Value::Continuous(truth.number() + noise);
+  }
+  double q = math::Erf(draw.epsilon / std::sqrt(2.0 * variance));
+  if (rng->Bernoulli(q)) return truth;
+  // Uniform over the remaining labels.
+  int L = column.num_labels();
+  int offset = rng->UniformInt(1, L - 1);
+  return Value::Categorical((truth.label() + offset) % L);
+}
+
+}  // namespace tcrowd::sim

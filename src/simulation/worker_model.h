@@ -1,0 +1,54 @@
+#ifndef TCROWD_SIMULATION_WORKER_MODEL_H_
+#define TCROWD_SIMULATION_WORKER_MODEL_H_
+
+#include "common/rng.h"
+#include "data/answer.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace tcrowd::sim {
+
+/// Ground-truth parameters of one simulated worker. Answers are generated
+/// from exactly the paper's model (Eq. 1 and Eq. 3): the effective variance
+/// of an answer to cell (i,j) is alpha_i * beta_j * phi * row_factor, where
+/// `row_factor` is an optional per-(worker,row) recognition multiplier that
+/// induces the row-wise error correlation the paper observes in real data.
+struct WorkerProfile {
+  WorkerId id = 0;
+  /// Inherent answer variance phi_u in standardized units (lower = better).
+  double phi = 0.5;
+};
+
+/// Parameters of one answer draw.
+struct AnswerDraw {
+  double row_difficulty = 1.0;   ///< alpha_i
+  double col_difficulty = 1.0;   ///< beta_j
+  double row_factor = 1.0;       ///< recognition multiplier (>= 1)
+  /// Scale of the column used to map standardized noise into value units
+  /// (continuous columns only).
+  double col_scale = 1.0;
+  /// epsilon of the quality mapping q = erf(eps / sqrt(2 var)).
+  double epsilon = 0.5;
+  /// Shared-bias model for continuous answers: the standardized error is
+  /// bias_rho * shared_bias + sqrt(1 - bias_rho^2) * fresh_noise, so two
+  /// continuous answers by the same worker in the same row (same
+  /// shared_bias draw) have signed-error correlation bias_rho^2 while the
+  /// marginal variance stays exactly the paper's alpha*beta*phi. Models a
+  /// worker misreading the entity and shifting every estimate the same way.
+  double shared_bias = 0.0;  ///< a N(0,1) draw shared across the row
+  double bias_rho = 0.0;     ///< in [0,1); 0 disables the shared component
+};
+
+/// The worker's ground-truth quality q_u = erf(eps / sqrt(2 phi)) (Eq. 2).
+double TrueWorkerQuality(const WorkerProfile& worker, double epsilon);
+
+/// Generates a worker's answer for a cell with the given ground truth.
+/// Continuous: truth + col_scale * N(0, effective variance).
+/// Categorical: correct with probability erf(eps/sqrt(2 * effective var)),
+/// otherwise uniform over the remaining labels.
+Value GenerateAnswer(const WorkerProfile& worker, const ColumnSpec& column,
+                     const Value& truth, const AnswerDraw& draw, Rng* rng);
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_WORKER_MODEL_H_

@@ -1,0 +1,118 @@
+#include "data/answer.h"
+
+#include <gtest/gtest.h>
+
+namespace tcrowd {
+namespace {
+
+TEST(AnswerSet, StartsEmpty) {
+  AnswerSet a(3, 2);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.num_rows(), 3);
+  EXPECT_EQ(a.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(a.MeanAnswersPerCell(), 0.0);
+}
+
+TEST(AnswerSet, AddReturnsSequentialIds) {
+  AnswerSet a(2, 2);
+  EXPECT_EQ(a.Add(0, CellRef{0, 0}, Value::Categorical(1)), 0);
+  EXPECT_EQ(a.Add(1, CellRef{0, 1}, Value::Continuous(2.0)), 1);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(AnswerSet, PerCellIndex) {
+  AnswerSet a(2, 2);
+  a.Add(0, CellRef{0, 0}, Value::Categorical(1));
+  a.Add(1, CellRef{0, 0}, Value::Categorical(2));
+  a.Add(0, CellRef{1, 1}, Value::Categorical(0));
+  EXPECT_EQ(a.AnswersForCell(0, 0).size(), 2u);
+  EXPECT_EQ(a.AnswersForCell(1, 1).size(), 1u);
+  EXPECT_TRUE(a.AnswersForCell(0, 1).empty());
+  EXPECT_EQ(a.CellAnswerCount(0, 0), 2);
+}
+
+TEST(AnswerSet, PerWorkerIndex) {
+  AnswerSet a(2, 2);
+  a.Add(5, CellRef{0, 0}, Value::Categorical(0));
+  a.Add(5, CellRef{1, 0}, Value::Categorical(1));
+  a.Add(2, CellRef{0, 1}, Value::Categorical(0));
+  EXPECT_EQ(a.AnswersForWorker(5).size(), 2u);
+  EXPECT_EQ(a.AnswersForWorker(2).size(), 1u);
+  EXPECT_TRUE(a.AnswersForWorker(3).empty());
+  EXPECT_TRUE(a.AnswersForWorker(999).empty());
+  EXPECT_TRUE(a.AnswersForWorker(-1).empty());
+}
+
+TEST(AnswerSet, WorkersListsDistinctAscending) {
+  AnswerSet a(1, 1);
+  a.Add(7, CellRef{0, 0}, Value::Categorical(0));
+  a.Add(3, CellRef{0, 0}, Value::Categorical(0));
+  a.Add(7, CellRef{0, 0}, Value::Categorical(1));
+  EXPECT_EQ(a.Workers(), (std::vector<WorkerId>{3, 7}));
+}
+
+TEST(AnswerSet, HasAnswered) {
+  AnswerSet a(2, 2);
+  a.Add(1, CellRef{0, 1}, Value::Categorical(0));
+  EXPECT_TRUE(a.HasAnswered(1, CellRef{0, 1}));
+  EXPECT_FALSE(a.HasAnswered(1, CellRef{1, 1}));
+  EXPECT_FALSE(a.HasAnswered(2, CellRef{0, 1}));
+}
+
+TEST(AnswerSet, AnswersForWorkerInRow) {
+  AnswerSet a(3, 2);
+  a.Add(0, CellRef{1, 0}, Value::Categorical(0));
+  a.Add(0, CellRef{1, 1}, Value::Categorical(1));
+  a.Add(0, CellRef{2, 0}, Value::Categorical(0));
+  a.Add(1, CellRef{1, 0}, Value::Categorical(1));
+  auto ids = a.AnswersForWorkerInRow(0, 1);
+  EXPECT_EQ(ids.size(), 2u);
+  for (int id : ids) {
+    EXPECT_EQ(a.answer(id).cell.row, 1);
+    EXPECT_EQ(a.answer(id).worker, 0);
+  }
+}
+
+TEST(AnswerSet, MeanAnswersPerCell) {
+  AnswerSet a(2, 2);  // 4 cells
+  for (int k = 0; k < 6; ++k) {
+    a.Add(k, CellRef{k % 2, (k / 2) % 2}, Value::Categorical(0));
+  }
+  EXPECT_DOUBLE_EQ(a.MeanAnswersPerCell(), 1.5);
+}
+
+TEST(AnswerSet, ReplaceValuePreservesIndexes) {
+  AnswerSet a(1, 2);
+  int id = a.Add(0, CellRef{0, 1}, Value::Continuous(5.0));
+  a.ReplaceValue(id, Value::Continuous(9.0));
+  EXPECT_DOUBLE_EQ(a.answer(id).value.number(), 9.0);
+  EXPECT_EQ(a.AnswersForCell(0, 1).size(), 1u);
+  EXPECT_EQ(a.AnswersForWorker(0).size(), 1u);
+}
+
+TEST(AnswerSetDeathTest, ReplaceValueTypeChangeChecks) {
+  AnswerSet a(1, 1);
+  int id = a.Add(0, CellRef{0, 0}, Value::Categorical(1));
+  EXPECT_DEATH(a.ReplaceValue(id, Value::Continuous(1.0)), "preserve");
+}
+
+TEST(AnswerSetDeathTest, AddRejectsInvalidValue) {
+  AnswerSet a(1, 1);
+  EXPECT_DEATH(a.Add(0, CellRef{0, 0}, Value()), "missing");
+}
+
+TEST(AnswerSetDeathTest, AddRejectsNegativeWorker) {
+  AnswerSet a(1, 1);
+  EXPECT_DEATH(a.Add(-2, CellRef{0, 0}, Value::Categorical(0)), "worker");
+}
+
+TEST(AnswerSet, SparseWorkerIds) {
+  AnswerSet a(1, 1);
+  a.Add(1000000, CellRef{0, 0}, Value::Categorical(0));
+  EXPECT_EQ(a.AnswersForWorker(1000000).size(), 1u);
+  EXPECT_EQ(a.Workers(), (std::vector<WorkerId>{1000000}));
+}
+
+}  // namespace
+}  // namespace tcrowd

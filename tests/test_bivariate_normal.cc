@@ -1,0 +1,82 @@
+#include "math/bivariate_normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace tcrowd::math {
+namespace {
+
+TEST(BivariateNormal, FitRecoversParameters) {
+  Rng rng(17);
+  std::vector<double> xs, ys;
+  // y = 0.8 x + noise: corr = 0.8 / sqrt(0.8^2 + 0.36) with var(x)=1.
+  for (int i = 0; i < 50000; ++i) {
+    double x = rng.Gaussian(2.0, 1.0);
+    double y = -1.0 + 0.8 * (x - 2.0) + rng.Gaussian(0.0, 0.6);
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  BivariateNormal fit = BivariateNormal::Fit(xs, ys);
+  EXPECT_NEAR(fit.mean_x(), 2.0, 0.05);
+  EXPECT_NEAR(fit.mean_y(), -1.0, 0.05);
+  EXPECT_NEAR(fit.var_x(), 1.0, 0.05);
+  EXPECT_NEAR(fit.var_y(), 0.64 + 0.36, 0.05);
+  EXPECT_NEAR(fit.rho(), 0.8, 0.02);
+}
+
+TEST(BivariateNormal, ConditionalMeanIsRegressionLine) {
+  BivariateNormal bn(0.0, 0.0, 1.0, 4.0, 0.5);
+  // E[Y | X=x] = mu_y + rho * sy/sx * (x - mu_x) = 0.5 * 2 * x.
+  Normal cond = bn.ConditionalYGivenX(3.0);
+  EXPECT_NEAR(cond.mean(), 3.0, 1e-12);
+  // Var[Y|X] = (1 - rho^2) var_y = 0.75 * 4.
+  EXPECT_NEAR(cond.variance(), 3.0, 1e-12);
+}
+
+TEST(BivariateNormal, ConditionalXGivenYSymmetricFormula) {
+  BivariateNormal bn(1.0, 2.0, 9.0, 1.0, -0.6);
+  Normal cond = bn.ConditionalXGivenY(4.0);
+  // mu_x + rho * sx/sy * (y - mu_y) = 1 + (-0.6)(3)(2) = -2.6.
+  EXPECT_NEAR(cond.mean(), -2.6, 1e-12);
+  EXPECT_NEAR(cond.variance(), (1.0 - 0.36) * 9.0, 1e-12);
+}
+
+TEST(BivariateNormal, ZeroCorrelationConditionalEqualsMarginal) {
+  BivariateNormal bn(5.0, -3.0, 2.0, 7.0, 0.0);
+  Normal cond = bn.ConditionalXGivenY(100.0);
+  EXPECT_NEAR(cond.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(cond.variance(), 2.0, 1e-12);
+}
+
+TEST(BivariateNormal, ConditionalVarianceShrinksWithCorrelation) {
+  BivariateNormal weak(0, 0, 1, 1, 0.2);
+  BivariateNormal strong(0, 0, 1, 1, 0.9);
+  EXPECT_GT(weak.ConditionalXGivenY(1.0).variance(),
+            strong.ConditionalXGivenY(1.0).variance());
+}
+
+TEST(BivariateNormal, RhoClampedAwayFromUnity) {
+  BivariateNormal bn(0, 0, 1, 1, 1.0);
+  EXPECT_LT(bn.rho(), 1.0);
+  EXPECT_GT(bn.ConditionalXGivenY(0.0).variance(), 0.0);
+}
+
+TEST(BivariateNormal, FitDegenerateFallsBackToStandard) {
+  BivariateNormal bn = BivariateNormal::Fit({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(bn.rho(), 0.0);
+  EXPECT_DOUBLE_EQ(bn.var_x(), 1.0);
+}
+
+TEST(BivariateNormal, MarginalsMatchConstruction) {
+  BivariateNormal bn(3.0, -1.0, 2.5, 0.5, 0.4);
+  EXPECT_DOUBLE_EQ(bn.MarginalX().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(bn.MarginalX().variance(), 2.5);
+  EXPECT_DOUBLE_EQ(bn.MarginalY().mean(), -1.0);
+  EXPECT_DOUBLE_EQ(bn.MarginalY().variance(), 0.5);
+}
+
+}  // namespace
+}  // namespace tcrowd::math

@@ -1,0 +1,170 @@
+// Tests for the categorical-only baselines: Dawid & Skene, ZenCrowd, GLAD.
+#include <gtest/gtest.h>
+
+#include "inference/dawid_skene.h"
+#include "math/statistics.h"
+#include "inference/glad.h"
+#include "inference/majority_voting.h"
+#include "inference/zencrowd.h"
+#include "platform/metrics.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+std::vector<int> CategoricalCols(const Schema& s) {
+  return s.CategoricalColumns();
+}
+
+TEST(DawidSkene, AgreesWithMajorityOnCleanData) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"})});
+  AnswerSet answers(3, 1);
+  for (int i = 0; i < 3; ++i) {
+    for (WorkerId w = 0; w < 3; ++w) {
+      answers.Add(w, CellRef{i, 0}, Value::Categorical(i % 2));
+    }
+  }
+  InferenceResult r = DawidSkene().Infer(schema, answers);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.estimated_truth.at(i, 0).label(), i % 2);
+  }
+}
+
+TEST(DawidSkene, DownweightsConsistentlyWrongWorkers) {
+  testing::MajorityWrongScenario s;
+  // Give the good workers more evidence of being good: extra rows where the
+  // spammers disagree with each other but the good workers agree.
+  InferenceResult r = DawidSkene().Infer(s.schema, s.answers);
+  // D&S should at least estimate higher quality for the reliable workers.
+  EXPECT_GT(r.worker_quality[0], r.worker_quality[2]);
+}
+
+TEST(DawidSkene, LeavesContinuousCellsMissing) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"}),
+                 Schema::MakeContinuous("x", 0.0, 1.0)});
+  AnswerSet answers(1, 2);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(0));
+  answers.Add(0, CellRef{0, 1}, Value::Continuous(0.5));
+  InferenceResult r = DawidSkene().Infer(schema, answers);
+  EXPECT_TRUE(r.estimated_truth.at(0, 0).valid());
+  EXPECT_FALSE(r.estimated_truth.at(0, 1).valid());
+}
+
+TEST(DawidSkene, BeatsChanceOnSimulatedWorld) {
+  testing::SimWorld w(202, 5);
+  InferenceResult r = DawidSkene().Infer(w.world.schema, w.answers);
+  double er = Metrics::ErrorRate(w.world.truth, r.estimated_truth,
+                                 CategoricalCols(w.world.schema));
+  EXPECT_LT(er, 0.35);
+}
+
+TEST(ZenCrowd, SingleReliabilityRecoversTruth) {
+  testing::SimWorld w(303, 5);
+  InferenceResult zc = ZenCrowd().Infer(w.world.schema, w.answers);
+  InferenceResult mv = MajorityVoting().Infer(w.world.schema, w.answers);
+  auto cols = CategoricalCols(w.world.schema);
+  double er_zc = Metrics::ErrorRate(w.world.truth, zc.estimated_truth, cols);
+  double er_mv = Metrics::ErrorRate(w.world.truth, mv.estimated_truth, cols);
+  EXPECT_LE(er_zc, er_mv + 0.02);  // at least roughly as good as MV
+}
+
+TEST(ZenCrowd, ReliabilityInUnitInterval) {
+  testing::SimWorld w(304, 3);
+  InferenceResult r = ZenCrowd().Infer(w.world.schema, w.answers);
+  for (const auto& [worker, q] : r.worker_quality) {
+    EXPECT_GT(q, 0.0) << worker;
+    EXPECT_LT(q, 1.0) << worker;
+  }
+}
+
+TEST(ZenCrowd, EstimatedReliabilityTracksTrueQuality) {
+  testing::SimWorld w(305, 6);
+  InferenceResult r = ZenCrowd().Infer(w.world.schema, w.answers);
+  // Workers with clearly lower phi (better) should score higher.
+  std::vector<double> est, truth;
+  for (const auto& [worker, q] : r.worker_quality) {
+    est.push_back(q);
+    truth.push_back(w.crowd.TrueQuality(worker));
+  }
+  EXPECT_GT(math::PearsonCorrelation(est, truth), 0.4);
+}
+
+TEST(ZenCrowd, OvercomesWrongMajorityWithEnoughEvidence) {
+  // Build a scenario with many rows where two careful workers always agree
+  // with each other and three sloppy workers are frequently wrong; on one
+  // target cell the sloppy ones coordinate. ZenCrowd should trust the
+  // careful pair.
+  Schema schema({Schema::MakeCategorical("c", {"a", "b", "c"})});
+  const int kRows = 30;
+  AnswerSet answers(kRows, 1);
+  Rng rng(7);
+  std::vector<int> truth_labels(kRows);
+  for (int i = 0; i < kRows; ++i) truth_labels[i] = rng.UniformInt(0, 2);
+  for (int i = 0; i < kRows; ++i) {
+    for (WorkerId w = 0; w < 2; ++w) {
+      answers.Add(w, CellRef{i, 0}, Value::Categorical(truth_labels[i]));
+    }
+    for (WorkerId w = 2; w < 5; ++w) {
+      int label;
+      if (i == 0) {
+        label = (truth_labels[i] + 1) % 3;  // coordinated wrong answer
+      } else {
+        label = rng.Bernoulli(0.45) ? truth_labels[i]
+                                    : rng.UniformInt(0, 2);
+      }
+      answers.Add(w, CellRef{i, 0}, Value::Categorical(label));
+    }
+  }
+  InferenceResult r = ZenCrowd().Infer(schema, answers);
+  EXPECT_EQ(r.estimated_truth.at(0, 0).label(), truth_labels[0]);
+}
+
+TEST(Glad, ProducesValidEstimatesOnSimulatedWorld) {
+  testing::SimWorld w(404, 5);
+  InferenceResult r = Glad().Infer(w.world.schema, w.answers);
+  auto cols = CategoricalCols(w.world.schema);
+  for (int j : cols) {
+    for (int i = 0; i < w.world.truth.num_rows(); ++i) {
+      ASSERT_TRUE(r.estimated_truth.at(i, j).valid());
+    }
+  }
+  double er = Metrics::ErrorRate(w.world.truth, r.estimated_truth, cols);
+  EXPECT_LT(er, 0.35);
+}
+
+TEST(Glad, AbilityMappedToUnitInterval) {
+  testing::SimWorld w(405, 4);
+  InferenceResult r = Glad().Infer(w.world.schema, w.answers);
+  for (const auto& [worker, q] : r.worker_quality) {
+    EXPECT_GE(q, 0.0) << worker;
+    EXPECT_LE(q, 1.0) << worker;
+  }
+}
+
+TEST(Glad, LeavesContinuousCellsMissing) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 1.0)});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Continuous(0.5));
+  InferenceResult r = Glad().Infer(schema, answers);
+  EXPECT_FALSE(r.estimated_truth.at(0, 0).valid());
+}
+
+TEST(CategoricalBaselines, AllHandleEmptyAnswerSet) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"})});
+  AnswerSet answers(2, 1);
+  EXPECT_NO_FATAL_FAILURE(DawidSkene().Infer(schema, answers));
+  EXPECT_NO_FATAL_FAILURE(ZenCrowd().Infer(schema, answers));
+  EXPECT_NO_FATAL_FAILURE(Glad().Infer(schema, answers));
+}
+
+TEST(CategoricalBaselines, SingleAnswerCell) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b", "c"})});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(2));
+  EXPECT_EQ(DawidSkene().Infer(schema, answers).estimated_truth.at(0, 0).label(), 2);
+  EXPECT_EQ(ZenCrowd().Infer(schema, answers).estimated_truth.at(0, 0).label(), 2);
+  EXPECT_EQ(Glad().Infer(schema, answers).estimated_truth.at(0, 0).label(), 2);
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,159 @@
+// Tests for the continuous-only baseline GTM.
+#include <gtest/gtest.h>
+
+#include "inference/gtm.h"
+#include "inference/median_inference.h"
+#include "platform/metrics.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+sim::TableGeneratorOptions AllContinuousTable() {
+  sim::TableGeneratorOptions opt = testing::SimWorld::DefaultTable();
+  opt.categorical_ratio = 0.0;
+  return opt;
+}
+
+TEST(Gtm, RecoversTruthOnCleanData) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 100.0)});
+  AnswerSet answers(2, 1);
+  // Perfectly consistent workers.
+  for (WorkerId w = 0; w < 3; ++w) {
+    answers.Add(w, CellRef{0, 0}, Value::Continuous(40.0));
+    answers.Add(w, CellRef{1, 0}, Value::Continuous(60.0));
+  }
+  InferenceResult r = Gtm().Infer(schema, answers);
+  EXPECT_NEAR(r.estimated_truth.at(0, 0).number(), 40.0, 0.5);
+  EXPECT_NEAR(r.estimated_truth.at(1, 0).number(), 60.0, 0.5);
+}
+
+TEST(Gtm, DownweightsNoisyWorker) {
+  // Worker 2 is wildly noisy; GTM should pull estimates toward the two
+  // precise workers rather than the 3-way mean.
+  Schema schema({Schema::MakeContinuous("x", 0.0, 100.0)});
+  const int kRows = 25;
+  AnswerSet answers(kRows, 1);
+  Rng rng(5);
+  std::vector<double> truths(kRows);
+  for (int i = 0; i < kRows; ++i) truths[i] = rng.Uniform(20.0, 80.0);
+  for (int i = 0; i < kRows; ++i) {
+    answers.Add(0, CellRef{i, 0},
+                Value::Continuous(truths[i] + rng.Gaussian(0.0, 0.5)));
+    answers.Add(1, CellRef{i, 0},
+                Value::Continuous(truths[i] + rng.Gaussian(0.0, 0.5)));
+    answers.Add(2, CellRef{i, 0},
+                Value::Continuous(truths[i] + rng.Gaussian(0.0, 15.0)));
+  }
+  InferenceResult r = Gtm().Infer(schema, answers);
+  Table naive(schema, kRows);
+  for (int i = 0; i < kRows; ++i) {
+    double mean = 0.0;
+    for (int id : answers.AnswersForCell(i, 0)) {
+      mean += answers.answer(id).value.number();
+    }
+    naive.Set(i, 0, Value::Continuous(mean / 3.0));
+  }
+  Table truth_table(schema, kRows);
+  for (int i = 0; i < kRows; ++i) {
+    truth_table.Set(i, 0, Value::Continuous(truths[i]));
+  }
+  EXPECT_LT(Metrics::Mnad(truth_table, r.estimated_truth),
+            Metrics::Mnad(truth_table, naive));
+}
+
+TEST(Gtm, WorkerQualityOrderedByNoise) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 100.0)});
+  AnswerSet answers(20, 1);
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    double t = rng.Uniform(0.0, 100.0);
+    answers.Add(0, CellRef{i, 0},
+                Value::Continuous(t + rng.Gaussian(0.0, 1.0)));
+    answers.Add(1, CellRef{i, 0},
+                Value::Continuous(t + rng.Gaussian(0.0, 20.0)));
+    answers.Add(2, CellRef{i, 0},
+                Value::Continuous(t + rng.Gaussian(0.0, 1.0)));
+  }
+  InferenceResult r = Gtm().Infer(schema, answers);
+  EXPECT_GT(r.worker_quality[0], r.worker_quality[1]);
+  EXPECT_GT(r.worker_quality[2], r.worker_quality[1]);
+}
+
+TEST(Gtm, LeavesCategoricalCellsMissing) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"}),
+                 Schema::MakeContinuous("x", 0.0, 1.0)});
+  AnswerSet answers(1, 2);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(0));
+  answers.Add(0, CellRef{0, 1}, Value::Continuous(0.3));
+  InferenceResult r = Gtm().Infer(schema, answers);
+  EXPECT_FALSE(r.estimated_truth.at(0, 0).valid());
+  EXPECT_TRUE(r.estimated_truth.at(0, 1).valid());
+}
+
+TEST(Gtm, PosteriorVarianceShrinksWithMoreAnswers) {
+  // 11 backdrop rows pin the column standardization and worker variances;
+  // only the target row 0 differs in answer count between the datasets.
+  Schema schema({Schema::MakeContinuous("x", 0.0, 100.0)});
+  Rng rng(7);
+  auto build = [&](int target_answers) {
+    Rng local(7);
+    AnswerSet answers(12, 1);
+    for (int i = 1; i < 12; ++i) {
+      double t = 10.0 * i;
+      for (WorkerId w = 0; w < 10; ++w) {
+        answers.Add(w, CellRef{i, 0},
+                    Value::Continuous(t + local.Gaussian(0, 2)));
+      }
+    }
+    for (WorkerId w = 0; w < target_answers; ++w) {
+      answers.Add(w, CellRef{0, 0},
+                  Value::Continuous(50.0 + local.Gaussian(0, 2)));
+    }
+    return answers;
+  };
+  double var_few = Gtm().Infer(schema, build(2)).posterior(0, 0).variance;
+  double var_many = Gtm().Infer(schema, build(10)).posterior(0, 0).variance;
+  EXPECT_LT(var_many, var_few);
+}
+
+TEST(Gtm, HandlesMultiColumnScalesViaStandardization) {
+  // One column in [0,1], one in [0,10000]; a worker good on both should not
+  // be judged by raw magnitudes.
+  Schema schema({Schema::MakeContinuous("small", 0.0, 1.0),
+                 Schema::MakeContinuous("big", 0.0, 10000.0)});
+  AnswerSet answers(15, 2);
+  Rng rng(8);
+  for (int i = 0; i < 15; ++i) {
+    double t0 = rng.Uniform(0.0, 1.0), t1 = rng.Uniform(0.0, 10000.0);
+    for (WorkerId w = 0; w < 4; ++w) {
+      answers.Add(w, CellRef{i, 0},
+                  Value::Continuous(t0 + rng.Gaussian(0.0, 0.05)));
+      answers.Add(w, CellRef{i, 1},
+                  Value::Continuous(t1 + rng.Gaussian(0.0, 500.0)));
+    }
+  }
+  InferenceResult r = Gtm().Infer(schema, answers);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_TRUE(r.estimated_truth.at(i, 0).valid());
+    EXPECT_TRUE(r.estimated_truth.at(i, 1).valid());
+  }
+}
+
+TEST(Gtm, ComparableToMedianOnSimulatedWorld) {
+  testing::SimWorld w(505, 5, AllContinuousTable());
+  InferenceResult gtm = Gtm().Infer(w.world.schema, w.answers);
+  InferenceResult med = MedianInference().Infer(w.world.schema, w.answers);
+  double m_gtm = Metrics::Mnad(w.world.truth, gtm.estimated_truth);
+  double m_med = Metrics::Mnad(w.world.truth, med.estimated_truth);
+  EXPECT_LT(m_gtm, m_med + 0.05);
+}
+
+TEST(Gtm, EmptyAnswersNoCrash) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 1.0)});
+  AnswerSet answers(3, 1);
+  EXPECT_NO_FATAL_FAILURE(Gtm().Infer(schema, answers));
+}
+
+}  // namespace
+}  // namespace tcrowd

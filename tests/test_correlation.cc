@@ -1,0 +1,193 @@
+#include "assignment/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/tcrowd_model.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+/// A constructed world with two categorical and two continuous columns and
+/// a strong per-(worker,row) recognition effect, so the correlation model
+/// has real structure to learn.
+struct CorrelatedWorld {
+  Schema schema{{
+      Schema::MakeCategorical("c0", {"a", "b", "c"}),
+      Schema::MakeCategorical("c1", {"x", "y", "z"}),
+      Schema::MakeContinuous("n0", 0.0, 100.0),
+      Schema::MakeContinuous("n1", 0.0, 100.0),
+  }};
+  Table truth;
+  AnswerSet answers;
+  TCrowdState state;
+
+  explicit CorrelatedWorld(uint64_t seed, double unfamiliar_prob = 0.35)
+      : truth(schema, 80), answers(80, 4) {
+    Rng rng(seed);
+    for (int i = 0; i < 80; ++i) {
+      truth.Set(i, 0, Value::Categorical(rng.UniformInt(0, 2)));
+      truth.Set(i, 1, Value::Categorical(rng.UniformInt(0, 2)));
+      truth.Set(i, 2, Value::Continuous(rng.Uniform(0.0, 100.0)));
+      truth.Set(i, 3, Value::Continuous(rng.Uniform(0.0, 100.0)));
+    }
+    // 12 workers; each answers every cell of ~40 random rows.
+    for (WorkerId w = 0; w < 12; ++w) {
+      double phi = rng.LogNormal(std::log(0.25), 0.4);
+      for (int i = 0; i < 80; ++i) {
+        if (!rng.Bernoulli(0.5)) continue;
+        double factor = rng.Bernoulli(unfamiliar_prob) ? 20.0 : 1.0;
+        double sd = std::sqrt(phi * factor);
+        for (int j = 0; j < 4; ++j) {
+          if (j < 2) {
+            double q = std::erf(0.5 / (std::sqrt(2.0) * sd));
+            int label = rng.Bernoulli(q)
+                            ? truth.at(i, j).label()
+                            : (truth.at(i, j).label() + rng.UniformInt(1, 2)) % 3;
+            answers.Add(w, CellRef{i, j}, Value::Categorical(label));
+          } else {
+            answers.Add(w, CellRef{i, j},
+                        Value::Continuous(truth.at(i, j).number() +
+                                          rng.Gaussian(0.0, sd * 15.0)));
+          }
+        }
+      }
+    }
+    state = TCrowdModel(TCrowdOptions::Fast()).Fit(schema, answers);
+  }
+};
+
+TEST(Correlation, FitsAllPairsGivenDenseData) {
+  CorrelatedWorld w(31);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  for (int j = 0; j < 4; ++j) {
+    for (int k = 0; k < 4; ++k) {
+      if (j == k) continue;
+      EXPECT_TRUE(model.PairAvailable(j, k)) << j << "," << k;
+    }
+  }
+}
+
+TEST(Correlation, WeightsDetectRecognitionCorrelation) {
+  CorrelatedWorld w(32);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  // The recognition factor correlates errors across ALL columns of a row;
+  // cat-cat error indicators should be positively correlated.
+  EXPECT_GT(model.Weight(0, 1), 0.05);
+  // cont-cont signed errors have correlated magnitude but random signs; the
+  // weight exists (pair available) even if smaller.
+  EXPECT_TRUE(model.PairAvailable(2, 3));
+}
+
+TEST(Correlation, CatGivenCatConditionalOrdered) {
+  CorrelatedWorld w(33);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  // P(e_0 = 1 | e_1 = wrong) > P(e_0 = 1 | e_1 = correct): the paper's
+  // Fig. 6 contingency argument.
+  ObservedError k_correct{1, 0.0}, k_wrong{1, 1.0};
+  EXPECT_GT(model.CondCategoricalError(0, k_wrong),
+            model.CondCategoricalError(0, k_correct));
+}
+
+TEST(Correlation, ContGivenCatVarianceOrdered) {
+  CorrelatedWorld w(34);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  // Continuous error spread must be larger when the categorical answer in
+  // the same row was wrong.
+  ObservedError k_correct{0, 0.0}, k_wrong{0, 1.0};
+  math::Normal given_correct = model.CondContinuousError(2, k_correct);
+  math::Normal given_wrong = model.CondContinuousError(2, k_wrong);
+  EXPECT_GT(given_wrong.variance(), given_correct.variance());
+}
+
+TEST(Correlation, CatGivenContBayesInversionOrdered) {
+  CorrelatedWorld w(35);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  // A huge continuous error is evidence of non-recognition => higher
+  // probability of a categorical error in the same row.
+  ObservedError small_err{2, 0.0}, big_err{2, 4.0};
+  EXPECT_GT(model.CondCategoricalError(1, big_err),
+            model.CondCategoricalError(1, small_err));
+}
+
+TEST(Correlation, PredictCorrectProbCombinesEvidence) {
+  CorrelatedWorld w(36);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  std::vector<ObservedError> all_wrong = {{1, 1.0}, {2, 4.0}};
+  std::vector<ObservedError> all_right = {{1, 0.0}, {2, 0.0}};
+  double q_bad = model.PredictCorrectProb(0, all_wrong);
+  double q_good = model.PredictCorrectProb(0, all_right);
+  ASSERT_GE(q_bad, 0.0);
+  ASSERT_GE(q_good, 0.0);
+  EXPECT_GT(q_good, q_bad);
+}
+
+TEST(Correlation, PredictContinuousErrorReflectsEvidence) {
+  CorrelatedWorld w(37);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  bool ok_bad = false, ok_good = false;
+  math::Normal bad = model.PredictErrorDist(3, {{0, 1.0}, {1, 1.0}}, &ok_bad);
+  math::Normal good = model.PredictErrorDist(3, {{0, 0.0}, {1, 0.0}}, &ok_good);
+  ASSERT_TRUE(ok_bad);
+  ASSERT_TRUE(ok_good);
+  EXPECT_GT(bad.variance(), good.variance());
+}
+
+TEST(Correlation, NoEvidenceReturnsUnavailable) {
+  CorrelatedWorld w(38);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  EXPECT_LT(model.PredictCorrectProb(0, {}), 0.0);
+  bool ok = true;
+  model.PredictErrorDist(2, {}, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Correlation, EvidenceOnTargetColumnItselfIgnored) {
+  CorrelatedWorld w(39);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  EXPECT_LT(model.PredictCorrectProb(0, {{0, 1.0}}), 0.0);
+}
+
+TEST(Correlation, SparseDataLeavesPairsUnavailable) {
+  // Only 3 answers total: nothing to fit.
+  Schema schema({Schema::MakeCategorical("a", {"x", "y"}),
+                 Schema::MakeCategorical("b", {"x", "y"})});
+  AnswerSet answers(5, 2);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(0));
+  answers.Add(0, CellRef{0, 1}, Value::Categorical(1));
+  answers.Add(1, CellRef{1, 0}, Value::Categorical(0));
+  TCrowdState state = TCrowdModel(TCrowdOptions::Fast()).Fit(schema, answers);
+  auto model = ErrorCorrelationModel::Fit(state, answers);
+  EXPECT_FALSE(model.PairAvailable(0, 1));
+  EXPECT_LT(model.PredictCorrectProb(0, {{1, 1.0}}), 0.0);
+}
+
+TEST(Correlation, ObservedErrorsInRowExtractsWorkerHistory) {
+  CorrelatedWorld w(40);
+  // Find a worker with at least 2 answers in some row.
+  for (WorkerId u : w.answers.Workers()) {
+    for (int i = 0; i < 80; ++i) {
+      auto ids = w.answers.AnswersForWorkerInRow(u, i);
+      if (ids.size() < 2) continue;
+      auto evidence = ErrorCorrelationModel::ObservedErrorsInRow(
+          w.state, w.answers, u, i, /*exclude_col=*/0);
+      for (const ObservedError& e : evidence) {
+        EXPECT_NE(e.col, 0);
+        EXPECT_TRUE(std::isfinite(e.value));
+      }
+      return;  // one verified case suffices
+    }
+  }
+  FAIL() << "fixture produced no multi-answer rows";
+}
+
+TEST(Correlation, MarginalsAreSane) {
+  CorrelatedWorld w(41);
+  auto model = ErrorCorrelationModel::Fit(w.state, w.answers);
+  EXPECT_GT(model.MarginalErrorProb(0), 0.0);
+  EXPECT_LT(model.MarginalErrorProb(0), 1.0);
+  EXPECT_GT(model.MarginalErrorDist(2).variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,211 @@
+#include "simulation/crowd_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "math/statistics.h"
+#include "simulation/table_generator.h"
+
+namespace tcrowd::sim {
+namespace {
+
+GeneratedTable SmallWorld(uint64_t seed = 1) {
+  TableGeneratorOptions opt;
+  opt.num_rows = 12;
+  opt.num_cols = 4;
+  Rng rng(seed);
+  return GenerateTable(opt, &rng);
+}
+
+TEST(CrowdSimulator, SeedAnswersGivesKPerCell) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions copt;
+  copt.num_workers = 10;
+  CrowdSimulator crowd(copt, world.schema, world.truth, Rng(2));
+  AnswerSet answers(12, 4);
+  crowd.SeedAnswers(3, &answers);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(answers.CellAnswerCount(i, j), 3);
+    }
+  }
+  EXPECT_DOUBLE_EQ(answers.MeanAnswersPerCell(), 3.0);
+}
+
+TEST(CrowdSimulator, SeedUsesDistinctWorkersPerRow) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions copt;
+  copt.num_workers = 8;
+  CrowdSimulator crowd(copt, world.schema, world.truth, Rng(3));
+  AnswerSet answers(12, 4);
+  crowd.SeedAnswers(4, &answers);
+  for (int i = 0; i < 12; ++i) {
+    std::set<WorkerId> row_workers;
+    for (int j = 0; j < 4; ++j) {
+      for (int id : answers.AnswersForCell(i, j)) {
+        row_workers.insert(answers.answer(id).worker);
+      }
+    }
+    EXPECT_EQ(row_workers.size(), 4u) << "row " << i;
+  }
+}
+
+TEST(CrowdSimulator, AnswersMatchColumnTypes) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions copt;
+  copt.num_workers = 5;
+  CrowdSimulator crowd(copt, world.schema, world.truth, Rng(4));
+  for (int j = 0; j < 4; ++j) {
+    Value v = crowd.Answer(0, CellRef{0, j});
+    EXPECT_EQ(v.type(), world.schema.column(j).type);
+    if (v.is_categorical()) {
+      EXPECT_GE(v.label(), 0);
+      EXPECT_LT(v.label(), world.schema.column(j).num_labels());
+    }
+  }
+}
+
+TEST(CrowdSimulator, NextWorkerInRange) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions copt;
+  copt.num_workers = 6;
+  CrowdSimulator crowd(copt, world.schema, world.truth, Rng(5));
+  for (int i = 0; i < 200; ++i) {
+    WorkerId w = crowd.NextWorker();
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 6);
+  }
+}
+
+TEST(CrowdSimulator, ParticipationSkewConcentratesArrivals) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions skewed;
+  skewed.num_workers = 20;
+  skewed.participation_skew = 3.0;
+  CrowdSimulator crowd(skewed, world.schema, world.truth, Rng(6));
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 5000; ++i) counts[crowd.NextWorker()]++;
+  std::sort(counts.begin(), counts.end());
+  // Top worker should dominate the bottom half under heavy skew.
+  int bottom_half = 0;
+  for (int k = 0; k < 10; ++k) bottom_half += counts[k];
+  EXPECT_GT(counts[19], bottom_half / 4);
+}
+
+TEST(CrowdSimulator, RowFactorIsMemoized) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions copt;
+  copt.num_workers = 3;
+  copt.unfamiliar_prob = 0.5;
+  // Deterministic per (worker,row): repeated categorical answers from an
+  // unfamiliar pairing stay bad; here we just verify determinism by
+  // regenerating the simulator with the same seed.
+  CrowdSimulator a(copt, world.schema, world.truth, Rng(7));
+  CrowdSimulator b(copt, world.schema, world.truth, Rng(7));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Answer(1, CellRef{3, 0}), b.Answer(1, CellRef{3, 0}));
+  }
+}
+
+TEST(CrowdSimulator, TrueQualityOrderedByPhi) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions copt;
+  copt.num_workers = 10;
+  CrowdSimulator crowd(copt, world.schema, world.truth, Rng(8));
+  for (int w = 0; w < 10; ++w) {
+    double q = crowd.TrueQuality(w);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, 1.0);
+  }
+  // Lower phi implies higher quality.
+  for (int w = 1; w < 10; ++w) {
+    if (crowd.worker(w).phi < crowd.worker(0).phi) {
+      EXPECT_GT(crowd.TrueQuality(w), crowd.TrueQuality(0));
+    }
+  }
+}
+
+TEST(CrowdSimulator, UnfamiliarRowsProduceCorrelatedErrors) {
+  // With a strong recognition effect, a worker's error on one cell of a row
+  // predicts errors on other cells of the same row.
+  TableGeneratorOptions topt;
+  topt.num_rows = 150;
+  topt.num_cols = 2;
+  topt.categorical_ratio = 1.0;
+  topt.min_labels = 4;
+  topt.max_labels = 4;
+  Rng trng(9);
+  GeneratedTable world = GenerateTable(topt, &trng);
+  // Neutralize difficulty variation to isolate the row-factor effect.
+  std::fill(world.row_difficulty.begin(), world.row_difficulty.end(), 1.0);
+  std::fill(world.col_difficulty.begin(), world.col_difficulty.end(), 1.0);
+
+  CrowdOptions copt;
+  copt.num_workers = 10;
+  copt.phi_median = 0.2;
+  copt.phi_log_sigma = 0.1;
+  copt.unfamiliar_prob = 0.4;
+  copt.unfamiliar_boost = 30.0;
+  CrowdSimulator crowd(copt, world.schema, world.truth,
+                       world.row_difficulty, world.col_difficulty,
+                       CrowdSimulator::DefaultColumnScales(world.schema),
+                       Rng(10));
+
+  std::vector<double> e0, e1;
+  for (int w = 0; w < 10; ++w) {
+    for (int i = 0; i < 150; ++i) {
+      Value a0 = crowd.Answer(w, CellRef{i, 0});
+      Value a1 = crowd.Answer(w, CellRef{i, 1});
+      e0.push_back(a0.label() == world.truth.at(i, 0).label() ? 0.0 : 1.0);
+      e1.push_back(a1.label() == world.truth.at(i, 1).label() ? 0.0 : 1.0);
+    }
+  }
+  EXPECT_GT(math::PearsonCorrelation(e0, e1), 0.15);
+}
+
+TEST(CrowdSimulator, NoCorrelationWhenRecognitionDisabled) {
+  TableGeneratorOptions topt;
+  topt.num_rows = 150;
+  topt.num_cols = 2;
+  topt.categorical_ratio = 1.0;
+  topt.min_labels = 4;
+  topt.max_labels = 4;
+  Rng trng(11);
+  GeneratedTable world = GenerateTable(topt, &trng);
+  std::fill(world.row_difficulty.begin(), world.row_difficulty.end(), 1.0);
+  std::fill(world.col_difficulty.begin(), world.col_difficulty.end(), 1.0);
+
+  CrowdOptions copt;
+  copt.num_workers = 10;
+  copt.phi_median = 0.4;
+  copt.phi_log_sigma = 0.1;  // near-identical workers
+  copt.unfamiliar_prob = 0.0;
+  CrowdSimulator crowd(copt, world.schema, world.truth,
+                       world.row_difficulty, world.col_difficulty,
+                       CrowdSimulator::DefaultColumnScales(world.schema),
+                       Rng(12));
+
+  std::vector<double> e0, e1;
+  for (int w = 0; w < 10; ++w) {
+    for (int i = 0; i < 150; ++i) {
+      Value a0 = crowd.Answer(w, CellRef{i, 0});
+      Value a1 = crowd.Answer(w, CellRef{i, 1});
+      e0.push_back(a0.label() == world.truth.at(i, 0).label() ? 0.0 : 1.0);
+      e1.push_back(a1.label() == world.truth.at(i, 1).label() ? 0.0 : 1.0);
+    }
+  }
+  EXPECT_LT(std::fabs(math::PearsonCorrelation(e0, e1)), 0.08);
+}
+
+TEST(CrowdSimulatorDeathTest, SeedMoreThanWorkersChecks) {
+  GeneratedTable world = SmallWorld();
+  CrowdOptions copt;
+  copt.num_workers = 2;
+  CrowdSimulator crowd(copt, world.schema, world.truth, Rng(13));
+  AnswerSet answers(12, 4);
+  EXPECT_DEATH(crowd.SeedAnswers(5, &answers), "distinct");
+}
+
+}  // namespace
+}  // namespace tcrowd::sim

@@ -1,0 +1,111 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace tcrowd::csv {
+namespace {
+
+TEST(CsvParse, SimpleRows) {
+  auto rows = Parse("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParse, MissingFinalNewline) {
+  auto rows = Parse("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  auto rows = Parse("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "b");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  auto rows = Parse("\"x,y\",z\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "x,y");
+  EXPECT_EQ((*rows)[0][1], "z");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  auto rows = Parse("\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewline) {
+  auto rows = Parse("\"line1\nline2\",b\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, EmptyFields) {
+  auto rows = Parse(",,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0].size(), 3u);
+  for (const auto& f : (*rows)[0]) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvParse, EmptyDocument) {
+  auto rows = Parse("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(Parse("\"abc\n").ok());
+}
+
+TEST(CsvParse, RejectsMidFieldQuote) {
+  EXPECT_FALSE(Parse("ab\"c\",d\n").ok());
+}
+
+TEST(CsvSerialize, QuotesOnlyWhenNeeded) {
+  std::string out = Serialize({{"plain", "with,comma", "with\"quote"}});
+  EXPECT_EQ(out, "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvSerialize, RoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b,c", "d\"e", "f\ng"},
+      {"", "x", "", ""},
+  };
+  auto parsed = Parse(Serialize(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvFile, WriteReadRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "tcrowd_csv_test.csv")
+          .string();
+  std::vector<std::vector<std::string>> rows = {{"h1", "h2"}, {"1", "two"}};
+  ASSERT_TRUE(WriteFile(path, rows).ok());
+  auto back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, ReadMissingFileFails) {
+  auto r = ReadFile("/nonexistent/path/zzz.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvFile, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteFile("/nonexistent/dir/file.csv", {{"a"}}).ok());
+}
+
+}  // namespace
+}  // namespace tcrowd::csv

@@ -1,0 +1,132 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/csv.h"
+
+namespace tcrowd {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset d;
+  d.name = "unit";
+  d.schema = Schema({
+      Schema::MakeCategorical("color", {"red", "green", "blue"}),
+      Schema::MakeContinuous("weight", 0.0, 50.0),
+  });
+  d.truth = Table(d.schema, 2);
+  d.truth.Set(0, 0, Value::Categorical(1));
+  d.truth.Set(0, 1, Value::Continuous(12.5));
+  d.truth.Set(1, 0, Value::Categorical(2));
+  // (1,1) left missing on purpose.
+  d.answers = AnswerSet(2, 2);
+  d.answers.Add(0, CellRef{0, 0}, Value::Categorical(1));
+  d.answers.Add(1, CellRef{0, 0}, Value::Categorical(0));
+  d.answers.Add(0, CellRef{0, 1}, Value::Continuous(13.25));
+  d.answers.Add(1, CellRef{1, 0}, Value::Categorical(2));
+  return d;
+}
+
+std::string TempDir(const char* name) {
+  auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  Dataset d = MakeDataset();
+  std::string dir = TempDir("tcrowd_ds_roundtrip");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->schema.num_columns(), 2);
+  EXPECT_EQ(loaded->schema.column(0).labels,
+            (std::vector<std::string>{"red", "green", "blue"}));
+  EXPECT_EQ(loaded->schema.column(1).type, ColumnType::kContinuous);
+  EXPECT_DOUBLE_EQ(loaded->schema.column(1).max_value, 50.0);
+
+  EXPECT_EQ(loaded->truth.num_rows(), 2);
+  EXPECT_EQ(loaded->truth.at(0, 0).label(), 1);
+  EXPECT_DOUBLE_EQ(loaded->truth.at(0, 1).number(), 12.5);
+  EXPECT_FALSE(loaded->truth.at(1, 1).valid());
+
+  ASSERT_EQ(loaded->answers.size(), 4u);
+  EXPECT_EQ(loaded->answers.answer(1).worker, 1);
+  EXPECT_EQ(loaded->answers.answer(1).value.label(), 0);
+  EXPECT_DOUBLE_EQ(loaded->answers.answer(2).value.number(), 13.25);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, RoundTripPreservesExactDoubles) {
+  Dataset d = MakeDataset();
+  double tricky = 0.1 + 0.2;  // not exactly representable as "0.3"
+  d.answers.ReplaceValue(2, Value::Continuous(tricky));
+  std::string dir = TempDir("tcrowd_ds_doubles");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->answers.answer(2).value.number(), tricky);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, LoadMissingDirectoryFails) {
+  auto r = LoadDataset("/nonexistent/tcrowd");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Dataset, LoadRejectsUnknownLabel) {
+  Dataset d = MakeDataset();
+  std::string dir = TempDir("tcrowd_ds_badlabel");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  // Corrupt the answers file with a label outside the domain.
+  auto rows = csv::ReadFile(dir + "/answers.csv");
+  ASSERT_TRUE(rows.ok());
+  (*rows)[1][3] = "magenta";
+  ASSERT_TRUE(csv::WriteFile(dir + "/answers.csv", *rows).ok());
+  auto r = LoadDataset(dir);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, LoadRejectsOutOfRangeRow) {
+  Dataset d = MakeDataset();
+  std::string dir = TempDir("tcrowd_ds_badrow");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  auto rows = csv::ReadFile(dir + "/answers.csv");
+  ASSERT_TRUE(rows.ok());
+  (*rows)[1][1] = "99";
+  ASSERT_TRUE(csv::WriteFile(dir + "/answers.csv", *rows).ok());
+  EXPECT_FALSE(LoadDataset(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, LoadRejectsUnknownColumn) {
+  Dataset d = MakeDataset();
+  std::string dir = TempDir("tcrowd_ds_badcol");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  auto rows = csv::ReadFile(dir + "/answers.csv");
+  ASSERT_TRUE(rows.ok());
+  (*rows)[1][2] = "nope";
+  ASSERT_TRUE(csv::WriteFile(dir + "/answers.csv", *rows).ok());
+  EXPECT_FALSE(LoadDataset(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, EmptyAnswerSetRoundTrips) {
+  Dataset d = MakeDataset();
+  d.answers = AnswerSet(2, 2);
+  std::string dir = TempDir("tcrowd_ds_noanswers");
+  ASSERT_TRUE(SaveDataset(d, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->answers.empty());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tcrowd

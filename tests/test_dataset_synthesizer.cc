@@ -1,0 +1,150 @@
+#include "simulation/dataset_synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "math/statistics.h"
+
+namespace tcrowd::sim {
+namespace {
+
+TEST(Synthesizer, DeterministicForSeed) {
+  SynthesizerOptions opt;
+  opt.seed = 71;
+  auto a = SynthesizeDataset(PaperDataset::kCelebrity, opt);
+  auto b = SynthesizeDataset(PaperDataset::kCelebrity, opt);
+  ASSERT_EQ(a.dataset.answers.size(), b.dataset.answers.size());
+  for (size_t i = 0; i < a.dataset.answers.size(); ++i) {
+    EXPECT_EQ(a.dataset.answers.answer(static_cast<int>(i)).value,
+              b.dataset.answers.answer(static_cast<int>(i)).value);
+  }
+  EXPECT_EQ(a.dataset.truth.at(100, 3), b.dataset.truth.at(100, 3));
+}
+
+TEST(Synthesizer, DifferentSeedsProduceDifferentWorlds) {
+  SynthesizerOptions a_opt, b_opt;
+  a_opt.seed = 72;
+  b_opt.seed = 73;
+  auto a = SynthesizeDataset(PaperDataset::kRestaurant, a_opt);
+  auto b = SynthesizeDataset(PaperDataset::kRestaurant, b_opt);
+  int diff = 0;
+  for (int i = 0; i < a.dataset.truth.num_rows(); ++i) {
+    if (!(a.dataset.truth.at(i, 0) == b.dataset.truth.at(i, 0))) ++diff;
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Synthesizer, AnswersPerTaskOverride) {
+  SynthesizerOptions opt;
+  opt.seed = 74;
+  opt.answers_per_task = 2;
+  auto world = SynthesizeDataset(PaperDataset::kEmotion, opt);
+  EXPECT_NEAR(world.dataset.answers.MeanAnswersPerCell(), 2.0, 1e-9);
+}
+
+TEST(Synthesizer, ZeroAnswersOption) {
+  SynthesizerOptions opt;
+  opt.seed = 75;
+  opt.answers_per_task = 0;
+  auto world = SynthesizeDataset(PaperDataset::kCelebrity, opt);
+  EXPECT_TRUE(world.dataset.answers.empty());
+  // The crowd is still usable for assignment experiments.
+  ASSERT_NE(world.crowd, nullptr);
+  Value v = world.crowd->Answer(0, CellRef{0, 0});
+  EXPECT_TRUE(v.valid());
+}
+
+TEST(Synthesizer, SchemasAreValid) {
+  for (auto which : {PaperDataset::kCelebrity, PaperDataset::kRestaurant,
+                     PaperDataset::kEmotion}) {
+    SynthesizerOptions opt;
+    opt.seed = 76;
+    opt.answers_per_task = 0;
+    auto world = SynthesizeDataset(which, opt);
+    EXPECT_TRUE(world.dataset.schema.Validate().ok())
+        << PaperDatasetName(which);
+    EXPECT_TRUE(world.dataset.truth.Validate().ok())
+        << PaperDatasetName(which);
+  }
+}
+
+TEST(Synthesizer, CelebrityTypeMixMatchesPaper) {
+  SynthesizerOptions opt;
+  opt.seed = 77;
+  opt.answers_per_task = 0;
+  auto world = SynthesizeDataset(PaperDataset::kCelebrity, opt);
+  // 3 categorical (name, nationality, ethnicity) + 4 continuous.
+  EXPECT_EQ(world.dataset.schema.CategoricalColumns().size(), 3u);
+  EXPECT_EQ(world.dataset.schema.ContinuousColumns().size(), 4u);
+}
+
+TEST(Synthesizer, DifficultiesExposedAndPositive) {
+  SynthesizerOptions opt;
+  opt.seed = 78;
+  opt.answers_per_task = 0;
+  auto world = SynthesizeDataset(PaperDataset::kRestaurant, opt);
+  ASSERT_EQ(world.row_difficulty.size(), 203u);
+  ASSERT_EQ(world.col_difficulty.size(), 5u);
+  for (double a : world.row_difficulty) EXPECT_GT(a, 0.0);
+  for (double b : world.col_difficulty) EXPECT_GT(b, 0.0);
+}
+
+TEST(Synthesizer, ContinuousColumnsHarderThanCategorical) {
+  // The recipe boosts continuous-column difficulty to reproduce the
+  // paper's regime (high MNAD with low error rate).
+  SynthesizerOptions opt;
+  opt.seed = 79;
+  opt.answers_per_task = 0;
+  auto world = SynthesizeDataset(PaperDataset::kCelebrity, opt);
+  double cat_mean = 0.0, cont_mean = 0.0;
+  auto cat = world.dataset.schema.CategoricalColumns();
+  auto cont = world.dataset.schema.ContinuousColumns();
+  for (int j : cat) cat_mean += world.col_difficulty[j];
+  for (int j : cont) cont_mean += world.col_difficulty[j];
+  cat_mean /= cat.size();
+  cont_mean /= cont.size();
+  EXPECT_GT(cont_mean, cat_mean * 2.0);
+}
+
+TEST(Synthesizer, CrowdOverrideRespected) {
+  CrowdOptions custom;
+  custom.num_workers = 5;
+  custom.phi_median = 0.1;
+  SynthesizerOptions opt;
+  opt.seed = 80;
+  opt.answers_per_task = 2;  // must not exceed the tiny custom pool
+  opt.crowd_override = &custom;
+  auto world = SynthesizeDataset(PaperDataset::kEmotion, opt);
+  EXPECT_EQ(world.crowd->num_workers(), 5);
+}
+
+TEST(Synthesizer, RowRecognitionInducesRowErrorCorrelation) {
+  // The headline property of the stand-in datasets: a worker's errors on
+  // different attributes of the same row correlate.
+  SynthesizerOptions opt;
+  opt.seed = 81;
+  auto world = SynthesizeDataset(PaperDataset::kRestaurant, opt);
+  const Schema& schema = world.dataset.schema;
+  const AnswerSet& answers = world.dataset.answers;
+  const Table& truth = world.dataset.truth;
+  int c0 = schema.CategoricalColumns()[0];
+  int c1 = schema.CategoricalColumns()[1];
+  std::vector<double> e0, e1;
+  for (WorkerId u : answers.Workers()) {
+    for (int i = 0; i < truth.num_rows(); ++i) {
+      Value a0, a1;
+      for (int id : answers.AnswersForWorkerInRow(u, i)) {
+        const Answer& a = answers.answer(id);
+        if (a.cell.col == c0) a0 = a.value;
+        if (a.cell.col == c1) a1 = a.value;
+      }
+      if (!a0.valid() || !a1.valid()) continue;
+      e0.push_back(a0.label() != truth.at(i, c0).label() ? 1.0 : 0.0);
+      e1.push_back(a1.label() != truth.at(i, c1).label() ? 1.0 : 0.0);
+    }
+  }
+  ASSERT_GT(e0.size(), 100u);
+  EXPECT_GT(math::PearsonCorrelation(e0, e1), 0.05);
+}
+
+}  // namespace
+}  // namespace tcrowd::sim

@@ -1,0 +1,153 @@
+// Integration tests across the whole stack: synthesize one of the paper's
+// dataset stand-ins, run truth inference and assignment, check the
+// qualitative claims of the evaluation section hold.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "assignment/policies.h"
+#include "inference/crh.h"
+#include "inference/majority_voting.h"
+#include "inference/tcrowd_model.h"
+#include "platform/experiment.h"
+#include "platform/metrics.h"
+#include "simulation/dataset_synthesizer.h"
+#include "simulation/noise.h"
+
+namespace tcrowd {
+namespace {
+
+TEST(EndToEnd, SynthesizedDatasetsMatchPaperShapes) {
+  // Paper Table 6.
+  struct Expectation {
+    sim::PaperDataset which;
+    int rows, cols, answers_per_task;
+  };
+  const Expectation cases[] = {
+      {sim::PaperDataset::kCelebrity, 174, 7, 5},
+      {sim::PaperDataset::kRestaurant, 203, 5, 4},
+      {sim::PaperDataset::kEmotion, 100, 7, 10},
+  };
+  for (const auto& c : cases) {
+    sim::SynthesizerOptions opt;
+    opt.seed = 5;
+    auto world = sim::SynthesizeDataset(c.which, opt);
+    EXPECT_EQ(world.dataset.truth.num_rows(), c.rows);
+    EXPECT_EQ(world.dataset.schema.num_columns(), c.cols);
+    EXPECT_NEAR(world.dataset.answers.MeanAnswersPerCell(),
+                c.answers_per_task, 1e-9);
+    EXPECT_EQ(sim::PaperAnswersPerTask(c.which), c.answers_per_task);
+  }
+}
+
+TEST(EndToEnd, EmotionIsAllContinuous) {
+  sim::SynthesizerOptions opt;
+  opt.seed = 6;
+  auto world = sim::SynthesizeDataset(sim::PaperDataset::kEmotion, opt);
+  EXPECT_TRUE(world.dataset.schema.CategoricalColumns().empty());
+  EXPECT_EQ(world.dataset.schema.ContinuousColumns().size(), 7u);
+}
+
+TEST(EndToEnd, TCrowdBeatsIndependentBaselinesOnCelebrity) {
+  // The Table 7 headline, qualitatively: T-Crowd <= MV on error rate and
+  // clearly better MNAD than the naive mean.
+  sim::SynthesizerOptions opt;
+  opt.seed = 7;
+  auto world = sim::SynthesizeDataset(sim::PaperDataset::kCelebrity, opt);
+  InferenceResult tc =
+      TCrowdModel().Infer(world.dataset.schema, world.dataset.answers);
+  InferenceResult mv =
+      MajorityVoting().Infer(world.dataset.schema, world.dataset.answers);
+  EXPECT_LE(Metrics::ErrorRate(world.dataset.truth, tc.estimated_truth),
+            Metrics::ErrorRate(world.dataset.truth, mv.estimated_truth));
+  EXPECT_LT(Metrics::Mnad(world.dataset.truth, tc.estimated_truth),
+            Metrics::Mnad(world.dataset.truth, mv.estimated_truth));
+}
+
+TEST(EndToEnd, NoiseDegradesErrorRateMonotonically) {
+  // Fig. 10 shape: error rate grows with gamma; T-Crowd stays usable.
+  sim::SynthesizerOptions opt;
+  opt.seed = 8;
+  TCrowdModel model(TCrowdOptions::Fast());
+  double prev_er = -1.0;
+  for (double gamma : {0.0, 0.2, 0.4}) {
+    auto world = sim::SynthesizeDataset(sim::PaperDataset::kCelebrity, opt);
+    Rng rng(99);
+    sim::InjectNoise(gamma, &rng, &world.dataset);
+    InferenceResult r =
+        model.Infer(world.dataset.schema, world.dataset.answers);
+    double er = Metrics::ErrorRate(world.dataset.truth, r.estimated_truth);
+    EXPECT_GE(er, prev_er - 0.02) << "gamma " << gamma;
+    prev_er = er;
+  }
+  EXPECT_LT(prev_er, 0.6);
+}
+
+TEST(EndToEnd, RoundTripThroughDiskPreservesInference) {
+  // Save a synthesized dataset, load it back, inference must be identical.
+  sim::SynthesizerOptions opt;
+  opt.seed = 9;
+  auto world = sim::SynthesizeDataset(sim::PaperDataset::kRestaurant, opt);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "tcrowd_e2e_ds").string();
+  ASSERT_TRUE(SaveDataset(world.dataset, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+  TCrowdModel model(TCrowdOptions::Fast());
+  InferenceResult a =
+      model.Infer(world.dataset.schema, world.dataset.answers);
+  InferenceResult b = model.Infer(loaded->schema, loaded->answers);
+  for (int i = 0; i < world.dataset.truth.num_rows(); ++i) {
+    for (int j = 0; j < world.dataset.schema.num_columns(); ++j) {
+      const Value& va = a.estimated_truth.at(i, j);
+      const Value& vb = b.estimated_truth.at(i, j);
+      ASSERT_EQ(va.valid(), vb.valid());
+      if (va.valid() && va.is_categorical()) {
+        ASSERT_EQ(va.label(), vb.label());
+      } else if (va.valid()) {
+        ASSERT_NEAR(va.number(), vb.number(), 1e-6);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EndToEnd, AssignmentLoopOnRestaurantConverges) {
+  sim::SynthesizerOptions opt;
+  opt.seed = 10;
+  opt.answers_per_task = 0;  // assignment experiment seeds itself
+  auto world = sim::SynthesizeDataset(sim::PaperDataset::kRestaurant, opt);
+
+  EndToEndConfig cfg;
+  cfg.initial_answers_per_task = 1;
+  cfg.max_answers_per_task = 2.0;
+  cfg.record_every = 0.5;
+  cfg.refresh_every_answers = 200;
+
+  CdasPolicy policy(12);
+  EndToEndResult result =
+      RunEndToEnd(world.dataset.schema, world.dataset.truth,
+                  world.crowd.get(), &policy, MajorityVoting(), cfg);
+  ASSERT_GE(result.points.size(), 2u);
+  EXPECT_LE(result.points.back().error_rate,
+            result.points.front().error_rate + 0.05);
+}
+
+TEST(EndToEnd, CrhWorksOnAllThreeDatasets) {
+  for (auto which :
+       {sim::PaperDataset::kCelebrity, sim::PaperDataset::kRestaurant,
+        sim::PaperDataset::kEmotion}) {
+    sim::SynthesizerOptions opt;
+    opt.seed = 11;
+    opt.answers_per_task = 3;
+    auto world = sim::SynthesizeDataset(which, opt);
+    InferenceResult r =
+        Crh().Infer(world.dataset.schema, world.dataset.answers);
+    double mnad = Metrics::Mnad(world.dataset.truth, r.estimated_truth);
+    EXPECT_GT(mnad, 0.0) << sim::PaperDatasetName(which);
+    EXPECT_LT(mnad, 1.6) << sim::PaperDatasetName(which);
+  }
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,67 @@
+#include "math/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcrowd::math {
+namespace {
+
+TEST(ShannonEntropy, UniformIsLogN) {
+  EXPECT_NEAR(ShannonEntropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+  EXPECT_NEAR(ShannonEntropy({0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(ShannonEntropy, DegenerateIsZero) {
+  EXPECT_NEAR(ShannonEntropy({1.0, 0.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(ShannonEntropy({0.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(ShannonEntropy, UnnormalizedInputIsRenormalized) {
+  EXPECT_NEAR(ShannonEntropy({2.0, 2.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(ShannonEntropy({10.0, 10.0, 10.0, 10.0}), std::log(4.0), 1e-12);
+}
+
+TEST(ShannonEntropy, UniformMaximizes) {
+  double uniform = ShannonEntropy({1.0 / 3, 1.0 / 3, 1.0 / 3});
+  EXPECT_GT(uniform, ShannonEntropy({0.5, 0.3, 0.2}));
+  EXPECT_GT(uniform, ShannonEntropy({0.9, 0.05, 0.05}));
+}
+
+TEST(ShannonEntropy, EmptyAndZeroTotalAreZero) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({0.0, 0.0}), 0.0);
+}
+
+TEST(GaussianDifferentialEntropy, KnownValue) {
+  // H(N(0,1)) = 0.5 ln(2 pi e) ~= 1.4189.
+  EXPECT_NEAR(GaussianDifferentialEntropy(1.0), 1.418938533, 1e-8);
+}
+
+TEST(GaussianDifferentialEntropy, MonotoneInVariance) {
+  EXPECT_LT(GaussianDifferentialEntropy(0.5),
+            GaussianDifferentialEntropy(1.0));
+  EXPECT_LT(GaussianDifferentialEntropy(1.0),
+            GaussianDifferentialEntropy(4.0));
+}
+
+TEST(GaussianDifferentialEntropy, CanBeNegative) {
+  // The paper's motivation for delta entropy: differential entropy of a
+  // tight Gaussian is negative, unlike Shannon entropy.
+  EXPECT_LT(GaussianDifferentialEntropy(0.001), 0.0);
+}
+
+TEST(GaussianDifferentialEntropy, FlooredForNonPositiveVariance) {
+  EXPECT_TRUE(std::isfinite(GaussianDifferentialEntropy(0.0)));
+  EXPECT_TRUE(std::isfinite(GaussianDifferentialEntropy(-3.0)));
+}
+
+TEST(GaussianDifferentialEntropy, ScalingLaw) {
+  // H(c X) = H(X) + ln c => variance c^2 adds ln c.
+  double h1 = GaussianDifferentialEntropy(1.0);
+  double h4 = GaussianDifferentialEntropy(4.0);
+  EXPECT_NEAR(h4 - h1, std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace tcrowd::math

@@ -1,0 +1,108 @@
+#include "math/gradient_ascent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcrowd::math {
+namespace {
+
+TEST(GradientAscent, MaximizesConcaveQuadratic1D) {
+  // f(x) = -(x - 3)^2, maximum at x = 3.
+  auto fn = [](const std::vector<double>& p, std::vector<double>* g) {
+    (*g)[0] = -2.0 * (p[0] - 3.0);
+    return -(p[0] - 3.0) * (p[0] - 3.0);
+  };
+  auto result = MaximizeByGradientAscent(fn, {0.0});
+  EXPECT_NEAR(result.params[0], 3.0, 1e-3);
+  EXPECT_NEAR(result.objective, 0.0, 1e-5);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(GradientAscent, MaximizesAnisotropicQuadratic) {
+  // f(x,y) = -(x-1)^2 - 100 (y+2)^2.
+  auto fn = [](const std::vector<double>& p, std::vector<double>* g) {
+    (*g)[0] = -2.0 * (p[0] - 1.0);
+    (*g)[1] = -200.0 * (p[1] + 2.0);
+    return -(p[0] - 1.0) * (p[0] - 1.0) - 100.0 * (p[1] + 2.0) * (p[1] + 2.0);
+  };
+  GradientAscentOptions opt;
+  opt.max_iterations = 500;
+  auto result = MaximizeByGradientAscent(fn, {5.0, 5.0}, opt);
+  EXPECT_NEAR(result.params[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.params[1], -2.0, 1e-2);
+}
+
+TEST(GradientAscent, StartAtOptimumStaysThere) {
+  auto fn = [](const std::vector<double>& p, std::vector<double>* g) {
+    (*g)[0] = -2.0 * p[0];
+    return -p[0] * p[0];
+  };
+  auto result = MaximizeByGradientAscent(fn, {0.0});
+  EXPECT_NEAR(result.params[0], 0.0, 1e-9);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 2);
+}
+
+TEST(GradientAscent, HandlesLogConcaveObjective) {
+  // f(x) = log-likelihood of Bernoulli(sigmoid(x)) with 7 of 10 successes;
+  // maximum at sigmoid(x) = 0.7 => x = log(0.7/0.3).
+  auto fn = [](const std::vector<double>& p, std::vector<double>* g) {
+    double s = 1.0 / (1.0 + std::exp(-p[0]));
+    (*g)[0] = 7.0 * (1.0 - s) - 3.0 * s;
+    return 7.0 * std::log(s) + 3.0 * std::log(1.0 - s);
+  };
+  auto result = MaximizeByGradientAscent(fn, {0.0});
+  EXPECT_NEAR(result.params[0], std::log(7.0 / 3.0), 1e-3);
+}
+
+TEST(GradientAscent, ObjectiveNeverDecreasesAcrossIterations) {
+  // Track objective values: every accepted step must improve.
+  std::vector<double> seen;
+  auto fn = [&seen](const std::vector<double>& p, std::vector<double>* g) {
+    double v = -(p[0] - 2.0) * (p[0] - 2.0) - (p[1] * p[1]);
+    (*g)[0] = -2.0 * (p[0] - 2.0);
+    (*g)[1] = -2.0 * p[1];
+    return v;
+  };
+  auto result = MaximizeByGradientAscent(fn, {-4.0, 4.0});
+  EXPECT_GE(result.objective, -(-4.0 - 2.0) * (-4.0 - 2.0) - 16.0);
+}
+
+TEST(GradientAscent, RespectsMaxIterations) {
+  auto fn = [](const std::vector<double>& p, std::vector<double>* g) {
+    (*g)[0] = -2.0 * (p[0] - 1000.0) * 1e-6;
+    return -(p[0] - 1000.0) * (p[0] - 1000.0) * 1e-6;
+  };
+  GradientAscentOptions opt;
+  opt.max_iterations = 3;
+  auto result = MaximizeByGradientAscent(fn, {0.0}, opt);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(GradientAscent, SurvivesNonFiniteTrialValues) {
+  // Objective is -inf for x >= 2; optimizer must backtrack into the domain.
+  auto fn = [](const std::vector<double>& p, std::vector<double>* g) {
+    if (p[0] >= 2.0) {
+      (*g)[0] = 0.0;
+      return -std::numeric_limits<double>::infinity();
+    }
+    (*g)[0] = 1.0 - 1.0 / (2.0 - p[0]);  // max of log(2-x) + x at x = 1
+    return std::log(2.0 - p[0]) + p[0];
+  };
+  auto result = MaximizeByGradientAscent(fn, {0.0});
+  EXPECT_NEAR(result.params[0], 1.0, 1e-2);
+  EXPECT_TRUE(std::isfinite(result.objective));
+}
+
+TEST(GradientAscent, EmptyParameterVector) {
+  auto fn = [](const std::vector<double>&, std::vector<double>*) {
+    return 1.5;
+  };
+  auto result = MaximizeByGradientAscent(fn, {});
+  EXPECT_DOUBLE_EQ(result.objective, 1.5);
+  EXPECT_TRUE(result.converged);
+}
+
+}  // namespace
+}  // namespace tcrowd::math

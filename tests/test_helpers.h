@@ -1,0 +1,106 @@
+#ifndef TCROWD_TESTS_TEST_HELPERS_H_
+#define TCROWD_TESTS_TEST_HELPERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/answer.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "simulation/crowd_simulator.h"
+#include "simulation/table_generator.h"
+
+namespace tcrowd::testing {
+
+/// A hand-built 5-worker scenario over one categorical column where the
+/// majority is WRONG on the contested cell (row 0) but the reliable workers
+/// are right: the classic case separating worker-quality methods from
+/// majority voting.
+///
+/// Column: 3 labels, 12 rows. Workers 0 and 1 always answer the truth. The
+/// three sloppy workers 2,3,4 coordinate on a wrong label on row 0 (tipping
+/// the vote) and are individually noisy on the other rows — each answers
+/// correctly with probability ~0.5 and their mistakes DISAGREE, so a
+/// quality-aware method has the evidence to identify them.
+struct MajorityWrongScenario {
+  Schema schema{{Schema::MakeCategorical("c", {"a", "b", "c"})}};
+  Table truth;
+  AnswerSet answers;
+
+  MajorityWrongScenario() : truth(schema, 12), answers(12, 1) {
+    Rng rng(12345);
+    std::vector<int> labels(12);
+    for (int i = 0; i < 12; ++i) {
+      labels[i] = rng.UniformInt(0, 2);
+      truth.Set(i, 0, Value::Categorical(labels[i]));
+    }
+    for (int i = 0; i < 12; ++i) {
+      for (WorkerId w = 0; w < 2; ++w) {
+        answers.Add(w, CellRef{i, 0}, Value::Categorical(labels[i]));
+      }
+      for (WorkerId w = 2; w < 5; ++w) {
+        int label;
+        if (i == 0) {
+          label = (labels[i] + 1) % 3;  // coordinated wrong vote
+        } else if (rng.Bernoulli(0.5)) {
+          label = labels[i];
+        } else {
+          // Mistakes spread across the two wrong labels, per worker.
+          label = (labels[i] + 1 + (w % 2)) % 3;
+        }
+        answers.Add(w, CellRef{i, 0}, Value::Categorical(label));
+      }
+    }
+  }
+};
+
+/// A simulated mixed-type world with a long-tail worker pool; the workhorse
+/// fixture for inference-quality tests. All parameters are deterministic in
+/// `seed`.
+struct SimWorld {
+  sim::GeneratedTable world;
+  sim::CrowdSimulator crowd;
+  AnswerSet answers;
+
+  static sim::TableGeneratorOptions DefaultTable() {
+    sim::TableGeneratorOptions opt;
+    opt.num_rows = 40;
+    opt.num_cols = 6;
+    opt.categorical_ratio = 0.5;
+    return opt;
+  }
+
+  static sim::CrowdOptions DefaultCrowd() {
+    sim::CrowdOptions opt;
+    opt.num_workers = 15;
+    opt.phi_median = 0.3;
+    opt.phi_log_sigma = 0.8;
+    opt.unfamiliar_prob = 0.2;
+    return opt;
+  }
+
+  explicit SimWorld(uint64_t seed, int answers_per_task = 4,
+                    sim::TableGeneratorOptions topt = DefaultTable(),
+                    sim::CrowdOptions copt = DefaultCrowd())
+      : world(MakeWorld(topt, seed)),
+        crowd(copt, world.schema, world.truth, world.row_difficulty,
+              world.col_difficulty,
+              sim::CrowdSimulator::DefaultColumnScales(world.schema),
+              Rng(seed + 1)),
+        answers(world.truth.num_rows(), world.schema.num_columns()) {
+    if (answers_per_task > 0) {
+      crowd.SeedAnswers(answers_per_task, &answers);
+    }
+  }
+
+ private:
+  static sim::GeneratedTable MakeWorld(const sim::TableGeneratorOptions& opt,
+                                       uint64_t seed) {
+    Rng rng(seed);
+    return sim::GenerateTable(opt, &rng);
+  }
+};
+
+}  // namespace tcrowd::testing
+
+#endif  // TCROWD_TESTS_TEST_HELPERS_H_

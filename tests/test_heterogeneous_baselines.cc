@@ -1,0 +1,158 @@
+// Tests for the heterogeneous-data baselines CRH and CATD.
+#include <gtest/gtest.h>
+
+#include "inference/catd.h"
+#include "inference/crh.h"
+#include "inference/majority_voting.h"
+#include "platform/metrics.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+TEST(Crh, HandlesBothDatatypes) {
+  testing::SimWorld w(606, 5);
+  InferenceResult r = Crh().Infer(w.world.schema, w.answers);
+  for (int i = 0; i < w.world.truth.num_rows(); ++i) {
+    for (int j = 0; j < w.world.schema.num_columns(); ++j) {
+      EXPECT_TRUE(r.estimated_truth.at(i, j).valid());
+      EXPECT_EQ(r.estimated_truth.at(i, j).type(),
+                w.world.schema.column(j).type);
+    }
+  }
+}
+
+TEST(Crh, WeightsAreNonNegative) {
+  testing::SimWorld w(607, 4);
+  InferenceResult r = Crh().Infer(w.world.schema, w.answers);
+  for (const auto& [worker, q] : r.worker_quality) {
+    EXPECT_GE(q, 0.0) << worker;
+    EXPECT_LE(q, 1.0) << worker;
+  }
+}
+
+TEST(Crh, AtLeastAsGoodAsMajorityOnSimWorld) {
+  testing::SimWorld w(608, 5);
+  InferenceResult crh = Crh().Infer(w.world.schema, w.answers);
+  InferenceResult mv = MajorityVoting().Infer(w.world.schema, w.answers);
+  EXPECT_LE(Metrics::ErrorRate(w.world.truth, crh.estimated_truth),
+            Metrics::ErrorRate(w.world.truth, mv.estimated_truth) + 0.03);
+  EXPECT_LE(Metrics::Mnad(w.world.truth, crh.estimated_truth),
+            Metrics::Mnad(w.world.truth, mv.estimated_truth) + 0.03);
+}
+
+TEST(Crh, CrossTypeKnowledgeTransfer) {
+  // A worker precise on the continuous column earns a high weight that then
+  // boosts them on the categorical column too.
+  Schema schema({Schema::MakeContinuous("x", 0.0, 100.0),
+                 Schema::MakeCategorical("c", {"a", "b", "c"})});
+  const int kRows = 30;
+  AnswerSet answers(kRows, 2);
+  Rng rng(9);
+  std::vector<double> tx(kRows);
+  std::vector<int> tc(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    tx[i] = rng.Uniform(0.0, 100.0);
+    tc[i] = rng.UniformInt(0, 2);
+  }
+  for (int i = 0; i < kRows; ++i) {
+    // Worker 0: very precise continuous answers, always-true categorical.
+    answers.Add(0, CellRef{i, 0},
+                Value::Continuous(tx[i] + rng.Gaussian(0.0, 0.5)));
+    // Workers 1,2: noisy on continuous, wrong on the target cell.
+    for (WorkerId w = 1; w <= 2; ++w) {
+      answers.Add(w, CellRef{i, 0},
+                  Value::Continuous(tx[i] + rng.Gaussian(0.0, 25.0)));
+    }
+    answers.Add(0, CellRef{i, 1}, Value::Categorical(tc[i]));
+    for (WorkerId w = 1; w <= 2; ++w) {
+      int label = (i == 0) ? (tc[i] + 1) % 3
+                           : (rng.Bernoulli(0.6) ? tc[i]
+                                                 : rng.UniformInt(0, 2));
+      answers.Add(w, CellRef{i, 1}, Value::Categorical(label));
+    }
+  }
+  InferenceResult r = Crh().Infer(schema, answers);
+  // The precise worker's vote should win the contested cell (i=0).
+  EXPECT_EQ(r.estimated_truth.at(0, 1).label(), tc[0]);
+}
+
+TEST(Crh, IterationsBounded) {
+  testing::SimWorld w(609, 3);
+  Crh::Options opt;
+  opt.max_iterations = 5;
+  InferenceResult r = Crh(opt).Infer(w.world.schema, w.answers);
+  EXPECT_LE(r.iterations, 5);
+}
+
+TEST(Catd, HandlesBothDatatypes) {
+  testing::SimWorld w(707, 5);
+  InferenceResult r = Catd().Infer(w.world.schema, w.answers);
+  for (int i = 0; i < w.world.truth.num_rows(); ++i) {
+    for (int j = 0; j < w.world.schema.num_columns(); ++j) {
+      EXPECT_TRUE(r.estimated_truth.at(i, j).valid());
+    }
+  }
+}
+
+TEST(Catd, ConfidenceScalingFavorsProlificAccurateWorkers) {
+  // Two workers with identical (zero) loss; the one with far more answers
+  // gets the larger chi-square numerator but divided by the same loss —
+  // CATD's confidence interval treats the sparse worker more cautiously
+  // relative to its evidence.
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"})});
+  const int kRows = 20;
+  AnswerSet answers(kRows, 1);
+  for (int i = 0; i < kRows; ++i) {
+    answers.Add(0, CellRef{i, 0}, Value::Categorical(0));  // prolific
+    answers.Add(2, CellRef{i, 0}, Value::Categorical(0));  // second voice
+  }
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(0));  // sparse
+  InferenceResult r = Catd().Infer(schema, answers);
+  EXPECT_GT(r.worker_quality[0], r.worker_quality[1]);
+}
+
+TEST(Catd, RobustToLongTailSpam) {
+  // Many one-answer spammers vs a few prolific good workers: CATD's design
+  // target. The spam must not flip confident cells.
+  Schema schema({Schema::MakeCategorical("c", {"a", "b", "c"})});
+  const int kRows = 10;
+  AnswerSet answers(kRows, 1);
+  Rng rng(11);
+  for (int i = 0; i < kRows; ++i) {
+    for (WorkerId w = 0; w < 3; ++w) {
+      answers.Add(w, CellRef{i, 0}, Value::Categorical(1));
+    }
+  }
+  // 2 one-shot spammers per row answering a wrong label.
+  WorkerId spam = 100;
+  for (int i = 0; i < kRows; ++i) {
+    for (int s = 0; s < 2; ++s) {
+      answers.Add(spam++, CellRef{i, 0}, Value::Categorical(2));
+    }
+  }
+  InferenceResult r = Catd().Infer(schema, answers);
+  for (int i = 0; i < kRows; ++i) {
+    EXPECT_EQ(r.estimated_truth.at(i, 0).label(), 1) << "row " << i;
+  }
+}
+
+TEST(Catd, ComparableToCrhOnSimWorld) {
+  testing::SimWorld w(708, 5);
+  InferenceResult catd = Catd().Infer(w.world.schema, w.answers);
+  InferenceResult crh = Crh().Infer(w.world.schema, w.answers);
+  EXPECT_LT(Metrics::ErrorRate(w.world.truth, catd.estimated_truth), 0.4);
+  EXPECT_LT(Metrics::Mnad(w.world.truth, catd.estimated_truth),
+            Metrics::Mnad(w.world.truth, crh.estimated_truth) + 0.25);
+}
+
+TEST(HeterogeneousBaselines, EmptyAnswersNoCrash) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"}),
+                 Schema::MakeContinuous("x", 0.0, 1.0)});
+  AnswerSet answers(2, 2);
+  EXPECT_NO_FATAL_FAILURE(Crh().Infer(schema, answers));
+  EXPECT_NO_FATAL_FAILURE(Catd().Infer(schema, answers));
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,240 @@
+// Parameterized property suites over ALL truth-inference methods: shared
+// invariants every implementation must satisfy, swept across datasets and
+// answer budgets (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "inference/catd.h"
+#include "inference/crh.h"
+#include "inference/dawid_skene.h"
+#include "inference/glad.h"
+#include "inference/gtm.h"
+#include "inference/majority_voting.h"
+#include "inference/median_inference.h"
+#include "inference/tcrowd_model.h"
+#include "inference/zencrowd.h"
+#include "platform/metrics.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+using MethodFactory = std::function<std::unique_ptr<TruthInference>()>;
+
+struct MethodSpec {
+  const char* label;
+  MethodFactory make;
+  bool handles_categorical;
+  bool handles_continuous;
+};
+
+const MethodSpec kMethods[] = {
+    {"TCrowd", [] { return std::unique_ptr<TruthInference>(new TCrowdModel()); },
+     true, true},
+    {"MV", [] { return std::unique_ptr<TruthInference>(new MajorityVoting()); },
+     true, true},
+    {"Median",
+     [] { return std::unique_ptr<TruthInference>(new MedianInference()); },
+     true, true},
+    {"DS", [] { return std::unique_ptr<TruthInference>(new DawidSkene()); },
+     true, false},
+    {"ZenCrowd", [] { return std::unique_ptr<TruthInference>(new ZenCrowd()); },
+     true, false},
+    {"GLAD", [] { return std::unique_ptr<TruthInference>(new Glad()); }, true,
+     false},
+    {"GTM", [] { return std::unique_ptr<TruthInference>(new Gtm()); }, false,
+     true},
+    {"CRH", [] { return std::unique_ptr<TruthInference>(new Crh()); }, true,
+     true},
+    {"CATD", [] { return std::unique_ptr<TruthInference>(new Catd()); }, true,
+     true},
+};
+
+class InferenceMethodProperty
+    : public ::testing::TestWithParam<MethodSpec> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, InferenceMethodProperty, ::testing::ValuesIn(kMethods),
+    [](const ::testing::TestParamInfo<MethodSpec>& info) {
+      return info.param.label;
+    });
+
+TEST_P(InferenceMethodProperty, EstimatesStayInDomain) {
+  testing::SimWorld w(11, 4);
+  auto method = GetParam().make();
+  InferenceResult r = method->Infer(w.world.schema, w.answers);
+  for (int i = 0; i < w.world.truth.num_rows(); ++i) {
+    for (int j = 0; j < w.world.schema.num_columns(); ++j) {
+      const Value& e = r.estimated_truth.at(i, j);
+      if (!e.valid()) continue;
+      const ColumnSpec& col = w.world.schema.column(j);
+      ASSERT_EQ(e.type(), col.type) << GetParam().label;
+      if (e.is_categorical()) {
+        ASSERT_GE(e.label(), 0);
+        ASSERT_LT(e.label(), col.num_labels());
+      }
+    }
+  }
+}
+
+TEST_P(InferenceMethodProperty, BetterThanChanceOnCoveredTypes) {
+  testing::SimWorld w(12, 5);
+  auto method = GetParam().make();
+  InferenceResult r = method->Infer(w.world.schema, w.answers);
+  if (GetParam().handles_categorical) {
+    double er = Metrics::ErrorRate(w.world.truth, r.estimated_truth,
+                                   w.world.schema.CategoricalColumns());
+    // Uniform guessing over U(2,10) labels would exceed 0.5 easily.
+    EXPECT_LT(er, 0.45) << GetParam().label;
+  }
+  if (GetParam().handles_continuous) {
+    double mnad = Metrics::Mnad(w.world.truth, r.estimated_truth,
+                                w.world.schema.ContinuousColumns());
+    // MNAD 1.0 = as bad as predicting the column mean everywhere.
+    EXPECT_LT(mnad, 0.9) << GetParam().label;
+  }
+}
+
+TEST_P(InferenceMethodProperty, MoreAnswersDoNotHurt) {
+  // Accuracy with 7 answers/task must not be (much) worse than with 2.
+  testing::SimWorld few(13, 2);
+  testing::SimWorld many(13, 7);
+  auto method = GetParam().make();
+  InferenceResult r_few = method->Infer(few.world.schema, few.answers);
+  InferenceResult r_many = method->Infer(many.world.schema, many.answers);
+  if (GetParam().handles_categorical) {
+    auto cols = few.world.schema.CategoricalColumns();
+    EXPECT_LE(Metrics::ErrorRate(many.world.truth, r_many.estimated_truth,
+                                 cols),
+              Metrics::ErrorRate(few.world.truth, r_few.estimated_truth,
+                                 cols) +
+                  0.05)
+        << GetParam().label;
+  }
+  if (GetParam().handles_continuous) {
+    auto cols = few.world.schema.ContinuousColumns();
+    EXPECT_LE(Metrics::Mnad(many.world.truth, r_many.estimated_truth, cols),
+              Metrics::Mnad(few.world.truth, r_few.estimated_truth, cols) +
+                  0.05)
+        << GetParam().label;
+  }
+}
+
+TEST_P(InferenceMethodProperty, DeterministicGivenSameInput) {
+  testing::SimWorld w(14, 3);
+  auto method = GetParam().make();
+  InferenceResult r1 = method->Infer(w.world.schema, w.answers);
+  InferenceResult r2 = GetParam().make()->Infer(w.world.schema, w.answers);
+  for (int i = 0; i < w.world.truth.num_rows(); ++i) {
+    for (int j = 0; j < w.world.schema.num_columns(); ++j) {
+      ASSERT_EQ(r1.estimated_truth.at(i, j).valid(),
+                r2.estimated_truth.at(i, j).valid());
+      if (r1.estimated_truth.at(i, j).valid()) {
+        if (r1.estimated_truth.at(i, j).is_categorical()) {
+          ASSERT_EQ(r1.estimated_truth.at(i, j).label(),
+                    r2.estimated_truth.at(i, j).label());
+        } else {
+          ASSERT_NEAR(r1.estimated_truth.at(i, j).number(),
+                      r2.estimated_truth.at(i, j).number(), 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(InferenceMethodProperty, WorkerQualitiesWithinUnitInterval) {
+  testing::SimWorld w(15, 4);
+  auto method = GetParam().make();
+  InferenceResult r = method->Infer(w.world.schema, w.answers);
+  for (const auto& [worker, q] : r.worker_quality) {
+    EXPECT_GE(q, 0.0) << GetParam().label << " worker " << worker;
+    EXPECT_LE(q, 1.0) << GetParam().label << " worker " << worker;
+  }
+}
+
+TEST_P(InferenceMethodProperty, NoCrashOnDegenerateInputs) {
+  auto method = GetParam().make();
+  // One row, one answer.
+  {
+    Schema schema({Schema::MakeCategorical("c", {"a", "b"}),
+                   Schema::MakeContinuous("x", 0.0, 1.0)});
+    AnswerSet answers(1, 2);
+    answers.Add(0, CellRef{0, 0}, Value::Categorical(1));
+    answers.Add(0, CellRef{0, 1}, Value::Continuous(0.5));
+    EXPECT_NO_FATAL_FAILURE(method->Infer(schema, answers));
+  }
+  // All workers give the identical answer (zero variance).
+  {
+    Schema schema({Schema::MakeContinuous("x", 0.0, 1.0)});
+    AnswerSet answers(2, 1);
+    for (WorkerId w = 0; w < 5; ++w) {
+      answers.Add(w, CellRef{0, 0}, Value::Continuous(0.25));
+      answers.Add(w, CellRef{1, 0}, Value::Continuous(0.25));
+    }
+    EXPECT_NO_FATAL_FAILURE(method->Infer(schema, answers));
+  }
+}
+
+// -------- Budget sweep: quality improves monotonically (within noise) ----
+
+struct BudgetCase {
+  int answers_per_task;
+};
+
+class TCrowdBudgetSweep : public ::testing::TestWithParam<BudgetCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Budgets, TCrowdBudgetSweep,
+                         ::testing::Values(BudgetCase{2}, BudgetCase{3},
+                                           BudgetCase{5}, BudgetCase{8}),
+                         [](const ::testing::TestParamInfo<BudgetCase>& info) {
+                           return "apt" +
+                                  std::to_string(info.param.answers_per_task);
+                         });
+
+TEST_P(TCrowdBudgetSweep, AccuracyScalesWithBudget) {
+  testing::SimWorld w(16, GetParam().answers_per_task);
+  InferenceResult r = TCrowdModel().Infer(w.world.schema, w.answers);
+  double er = Metrics::ErrorRate(w.world.truth, r.estimated_truth);
+  double mnad = Metrics::Mnad(w.world.truth, r.estimated_truth);
+  // Loose budget-indexed ceilings; they fail if scaling breaks.
+  double er_ceiling = GetParam().answers_per_task >= 5 ? 0.25 : 0.45;
+  double mnad_ceiling = GetParam().answers_per_task >= 5 ? 0.5 : 0.9;
+  EXPECT_LT(er, er_ceiling);
+  EXPECT_LT(mnad, mnad_ceiling);
+}
+
+// -------- Epsilon sweep: the quality mapping stays monotone --------------
+
+class TCrowdEpsilonSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, TCrowdEpsilonSweep,
+                         ::testing::Values(0.25, 0.5, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "eps" + std::to_string(static_cast<int>(
+                                              info.param * 100));
+                         });
+
+TEST_P(TCrowdEpsilonSweep, QualityMonotoneInPhi) {
+  testing::SimWorld w(17, 4);
+  TCrowdOptions opt;
+  opt.epsilon = GetParam();
+  TCrowdState state = TCrowdModel(opt).Fit(w.world.schema, w.answers);
+  // For any two workers, lower phi must imply higher quality.
+  auto workers = w.answers.Workers();
+  for (size_t a = 0; a + 1 < workers.size(); ++a) {
+    double pa = state.WorkerPhi(workers[a]);
+    double pb = state.WorkerPhi(workers[a + 1]);
+    double qa = state.WorkerQuality(workers[a]);
+    double qb = state.WorkerQuality(workers[a + 1]);
+    if (pa < pb) {
+      EXPECT_GE(qa, qb);
+    } else if (pb < pa) {
+      EXPECT_GE(qb, qa);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcrowd

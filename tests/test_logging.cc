@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tcrowd {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(Logging, BelowThresholdDoesNotCrash) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TCROWD_LOG(Info) << "suppressed message " << 42;
+  TCROWD_LOG(Debug) << "also suppressed";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(Logging, StreamAcceptsMixedTypes) {
+  TCROWD_LOG(Debug) << "int=" << 3 << " double=" << 1.5 << " str="
+                    << std::string("x");
+  SUCCEED();
+}
+
+TEST(Logging, CheckPassesSilently) {
+  TCROWD_CHECK(1 + 1 == 2) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TCROWD_CHECK(false) << "boom"; }, "Check failed: false");
+}
+
+TEST(LoggingDeathTest, CheckMessageIncludesContext) {
+  EXPECT_DEATH({ TCROWD_CHECK(2 < 1) << "context 123"; }, "context 123");
+}
+
+}  // namespace
+}  // namespace tcrowd

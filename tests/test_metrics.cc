@@ -1,0 +1,140 @@
+#include "platform/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "math/statistics.h"
+
+namespace tcrowd {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({Schema::MakeCategorical("c", {"a", "b", "c"}),
+                 Schema::MakeContinuous("x", 0.0, 10.0)});
+}
+
+TEST(Metrics, PerfectEstimateScoresZero) {
+  Schema s = MixedSchema();
+  Table truth(s, 2), est(s, 2);
+  for (int i = 0; i < 2; ++i) {
+    truth.Set(i, 0, Value::Categorical(i));
+    est.Set(i, 0, Value::Categorical(i));
+    truth.Set(i, 1, Value::Continuous(3.0 * i + 1));
+    est.Set(i, 1, Value::Continuous(3.0 * i + 1));
+  }
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est), 0.0);
+  EXPECT_DOUBLE_EQ(Metrics::Mnad(truth, est), 0.0);
+}
+
+TEST(Metrics, ErrorRateCountsMismatches) {
+  Schema s = MixedSchema();
+  Table truth(s, 4), est(s, 4);
+  for (int i = 0; i < 4; ++i) {
+    truth.Set(i, 0, Value::Categorical(0));
+    est.Set(i, 0, Value::Categorical(i < 1 ? 1 : 0));  // 1 of 4 wrong
+  }
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est), 0.25);
+}
+
+TEST(Metrics, ErrorRateIgnoresContinuousColumns) {
+  Schema s = MixedSchema();
+  Table truth(s, 1), est(s, 1);
+  truth.Set(0, 0, Value::Categorical(1));
+  est.Set(0, 0, Value::Categorical(1));
+  truth.Set(0, 1, Value::Continuous(5.0));
+  est.Set(0, 1, Value::Continuous(-100.0));  // must not affect error rate
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est), 0.0);
+}
+
+TEST(Metrics, MissingEstimateCountsAsError) {
+  Schema s = MixedSchema();
+  Table truth(s, 2), est(s, 2);
+  truth.Set(0, 0, Value::Categorical(0));
+  truth.Set(1, 0, Value::Categorical(1));
+  est.Set(0, 0, Value::Categorical(0));
+  // est(1,0) missing.
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est), 0.5);
+}
+
+TEST(Metrics, MissingTruthIsSkipped) {
+  Schema s = MixedSchema();
+  Table truth(s, 2), est(s, 2);
+  truth.Set(0, 0, Value::Categorical(0));
+  est.Set(0, 0, Value::Categorical(1));
+  // truth(1,0) missing: only one evaluable cell -> error rate 1.
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est), 1.0);
+}
+
+TEST(Metrics, MnadNormalizesByTruthStdDev) {
+  Schema s({Schema::MakeContinuous("x", 0.0, 100.0)});
+  Table truth(s, 3), est(s, 3);
+  // truth: 0, 10, 20 (stddev = sqrt(200/3)); estimate off by +5 each.
+  for (int i = 0; i < 3; ++i) {
+    truth.Set(i, 0, Value::Continuous(10.0 * i));
+    est.Set(i, 0, Value::Continuous(10.0 * i + 5.0));
+  }
+  double sd = math::StdDev({0.0, 10.0, 20.0});
+  EXPECT_NEAR(Metrics::Mnad(truth, est), 5.0 / sd, 1e-12);
+}
+
+TEST(Metrics, MnadAveragesOverColumns) {
+  Schema s({Schema::MakeContinuous("x", 0.0, 10.0),
+            Schema::MakeContinuous("y", 0.0, 10.0)});
+  Table truth(s, 2), est(s, 2);
+  truth.Set(0, 0, Value::Continuous(0.0));
+  truth.Set(1, 0, Value::Continuous(2.0));
+  est.Set(0, 0, Value::Continuous(0.0));
+  est.Set(1, 0, Value::Continuous(2.0));  // column x perfect
+  truth.Set(0, 1, Value::Continuous(0.0));
+  truth.Set(1, 1, Value::Continuous(2.0));
+  est.Set(0, 1, Value::Continuous(1.0));
+  est.Set(1, 1, Value::Continuous(3.0));  // column y off by 1 (sd = 1)
+  EXPECT_NEAR(Metrics::Mnad(truth, est), 0.5 * (0.0 + 1.0), 1e-12);
+}
+
+TEST(Metrics, ScaleInvarianceOfMnad) {
+  Schema small({Schema::MakeContinuous("x", 0.0, 1.0)});
+  Schema big({Schema::MakeContinuous("x", 0.0, 1000.0)});
+  Table t1(small, 3), e1(small, 3), t2(big, 3), e2(big, 3);
+  for (int i = 0; i < 3; ++i) {
+    double t = 0.1 * (i + 1);
+    t1.Set(i, 0, Value::Continuous(t));
+    e1.Set(i, 0, Value::Continuous(t + 0.05));
+    t2.Set(i, 0, Value::Continuous(t * 1000));
+    e2.Set(i, 0, Value::Continuous((t + 0.05) * 1000));
+  }
+  EXPECT_NEAR(Metrics::Mnad(t1, e1), Metrics::Mnad(t2, e2), 1e-9);
+}
+
+TEST(Metrics, ColumnSubsetRestriction) {
+  Schema s({Schema::MakeCategorical("c1", {"a", "b"}),
+            Schema::MakeCategorical("c2", {"a", "b"})});
+  Table truth(s, 1), est(s, 1);
+  truth.Set(0, 0, Value::Categorical(0));
+  est.Set(0, 0, Value::Categorical(0));  // c1 correct
+  truth.Set(0, 1, Value::Categorical(0));
+  est.Set(0, 1, Value::Categorical(1));  // c2 wrong
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est), 0.5);
+}
+
+TEST(Metrics, EmptyEvaluationReturnsZero) {
+  Schema s({Schema::MakeContinuous("x", 0.0, 1.0)});
+  Table truth(s, 1), est(s, 1);
+  EXPECT_DOUBLE_EQ(Metrics::ErrorRate(truth, est), 0.0);  // no cat columns
+  EXPECT_DOUBLE_EQ(Metrics::Mnad(truth, est), 0.0);       // no valid cells
+}
+
+TEST(Metrics, ConstantTruthColumnUsesUnitScale) {
+  Schema s({Schema::MakeContinuous("x", 0.0, 10.0)});
+  Table truth(s, 2), est(s, 2);
+  truth.Set(0, 0, Value::Continuous(5.0));
+  truth.Set(1, 0, Value::Continuous(5.0));  // zero stddev
+  est.Set(0, 0, Value::Continuous(6.0));
+  est.Set(1, 0, Value::Continuous(6.0));
+  // Falls back to sd=1: MNAD = RMSE = 1.
+  EXPECT_NEAR(Metrics::Mnad(truth, est), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,111 @@
+#include "simulation/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "math/statistics.h"
+#include "simulation/dataset_synthesizer.h"
+
+namespace tcrowd::sim {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 21) {
+  SynthesizerOptions opt;
+  opt.seed = seed;
+  opt.answers_per_task = 3;
+  return SynthesizeDataset(PaperDataset::kRestaurant, opt).dataset;
+}
+
+TEST(Noise, ZeroGammaChangesNothing) {
+  Dataset d = SmallDataset();
+  std::vector<Value> before;
+  for (const Answer& a : d.answers.answers()) before.push_back(a.value);
+  Rng rng(1);
+  EXPECT_EQ(InjectNoise(0.0, &rng, &d), 0);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(d.answers.answer(static_cast<int>(i)).value, before[i]);
+  }
+}
+
+TEST(Noise, TouchesApproximatelyGammaFraction) {
+  Dataset d = SmallDataset();
+  Rng rng(2);
+  int touched = InjectNoise(0.3, &rng, &d);
+  double frac = static_cast<double>(touched) /
+                static_cast<double>(d.answers.size());
+  // Draws are with replacement, so distinct touched <= 0.3 and close to
+  // 0.3 * (1 - small collision correction).
+  EXPECT_LE(frac, 0.3 + 1e-9);
+  EXPECT_GT(frac, 0.22);
+}
+
+TEST(Noise, PreservesAnswerTypes) {
+  Dataset d = SmallDataset();
+  std::vector<ColumnType> types;
+  for (const Answer& a : d.answers.answers()) types.push_back(a.value.type());
+  Rng rng(3);
+  InjectNoise(0.5, &rng, &d);
+  for (size_t i = 0; i < types.size(); ++i) {
+    EXPECT_EQ(d.answers.answer(static_cast<int>(i)).value.type(), types[i]);
+  }
+}
+
+TEST(Noise, CategoricalStaysInDomain) {
+  Dataset d = SmallDataset();
+  Rng rng(4);
+  InjectNoise(0.8, &rng, &d);
+  for (const Answer& a : d.answers.answers()) {
+    if (!a.value.is_categorical()) continue;
+    const ColumnSpec& col = d.schema.column(a.cell.col);
+    EXPECT_GE(a.value.label(), 0);
+    EXPECT_LT(a.value.label(), col.num_labels());
+  }
+}
+
+TEST(Noise, ContinuousSpreadIncreases) {
+  Dataset d = SmallDataset();
+  auto column_var = [&](const Dataset& ds, int j) {
+    math::OnlineStats s;
+    for (const Answer& a : ds.answers.answers()) {
+      if (a.cell.col == j && a.value.is_continuous()) s.Add(a.value.number());
+    }
+    return s.variance();
+  };
+  int j = d.schema.ContinuousColumns().front();
+  double before = column_var(d, j);
+  Rng rng(5);
+  InjectNoise(0.4, &rng, &d);
+  double after = column_var(d, j);
+  EXPECT_GT(after, before);
+}
+
+TEST(Noise, FullGammaTouchesMostAnswers) {
+  Dataset d = SmallDataset();
+  Rng rng(6);
+  int touched = InjectNoise(1.0, &rng, &d);
+  // With-replacement coupon collecting: ~63% distinct after n draws.
+  double frac = static_cast<double>(touched) /
+                static_cast<double>(d.answers.size());
+  EXPECT_GT(frac, 0.55);
+  EXPECT_LT(frac, 0.72);
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  Dataset d1 = SmallDataset(33);
+  Dataset d2 = SmallDataset(33);
+  Rng r1(7), r2(7);
+  InjectNoise(0.2, &r1, &d1);
+  InjectNoise(0.2, &r2, &d2);
+  for (size_t i = 0; i < d1.answers.size(); ++i) {
+    EXPECT_EQ(d1.answers.answer(static_cast<int>(i)).value,
+              d2.answers.answer(static_cast<int>(i)).value);
+  }
+}
+
+TEST(NoiseDeathTest, RejectsOutOfRangeGamma) {
+  Dataset d = SmallDataset();
+  Rng rng(8);
+  EXPECT_DEATH(InjectNoise(1.5, &rng, &d), "gamma");
+}
+
+}  // namespace
+}  // namespace tcrowd::sim

@@ -1,0 +1,98 @@
+#include "math/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcrowd::math {
+namespace {
+
+TEST(Normal, PdfIntegratesToOneNumerically) {
+  Normal n(1.0, 4.0);
+  double sum = 0.0;
+  for (double x = -20.0; x <= 22.0; x += 0.01) sum += n.Pdf(x) * 0.01;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(Normal, PdfPeaksAtMean) {
+  Normal n(2.0, 1.0);
+  EXPECT_GT(n.Pdf(2.0), n.Pdf(1.5));
+  EXPECT_GT(n.Pdf(2.0), n.Pdf(2.5));
+  EXPECT_NEAR(n.Pdf(2.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+}
+
+TEST(Normal, LogPdfConsistentWithPdf) {
+  Normal n(-1.0, 2.5);
+  for (double x : {-3.0, -1.0, 0.0, 4.0}) {
+    EXPECT_NEAR(std::exp(n.LogPdf(x)), n.Pdf(x), 1e-12);
+  }
+}
+
+TEST(Normal, CdfKnownValues) {
+  Normal n(0.0, 1.0);
+  EXPECT_NEAR(n.Cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(n.Cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(n.Cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Normal, CdfShiftAndScale) {
+  Normal n(10.0, 4.0);  // sd = 2
+  EXPECT_NEAR(n.Cdf(10.0), 0.5, 1e-12);
+  EXPECT_NEAR(n.Cdf(12.0), 0.8413, 1e-3);
+}
+
+TEST(Normal, CenteredIntervalProbMatchesErfFormula) {
+  Normal n(5.0, 2.0);
+  double eps = 0.7;
+  EXPECT_NEAR(n.CenteredIntervalProb(eps),
+              std::erf(eps / std::sqrt(2.0 * 2.0)), 1e-12);
+  // Also equals CDF difference.
+  EXPECT_NEAR(n.CenteredIntervalProb(eps),
+              n.Cdf(5.0 + eps) - n.Cdf(5.0 - eps), 1e-9);
+}
+
+TEST(Normal, VarianceFloorEnforced) {
+  Normal n(0.0, 0.0);
+  EXPECT_GT(n.variance(), 0.0);
+  Normal m(0.0, -1.0);
+  EXPECT_GT(m.variance(), 0.0);
+}
+
+TEST(Normal, PosteriorShrinksVariance) {
+  Normal prior(0.0, 1.0);
+  Normal post = prior.PosteriorGivenObservation(2.0, 1.0);
+  EXPECT_NEAR(post.variance(), 0.5, 1e-12);
+  EXPECT_NEAR(post.mean(), 1.0, 1e-12);  // equal precisions -> midpoint
+}
+
+TEST(Normal, PosteriorWeightsByPrecision) {
+  Normal prior(0.0, 0.01);  // very confident prior
+  Normal post = prior.PosteriorGivenObservation(10.0, 100.0);  // noisy obs
+  EXPECT_LT(post.mean(), 0.1);  // barely moves
+  Normal prior2(0.0, 100.0);
+  Normal post2 = prior2.PosteriorGivenObservation(10.0, 0.01);
+  EXPECT_NEAR(post2.mean(), 10.0, 0.1);  // jumps to the observation
+}
+
+TEST(Normal, SequentialPosteriorMatchesBatchCombination) {
+  Normal prior(0.0, 4.0);
+  Normal seq = prior.PosteriorGivenObservation(1.0, 2.0)
+                   .PosteriorGivenObservation(3.0, 2.0);
+  // Batch: precision 1/4 + 1/2 + 1/2 = 1.25, mean = (0*0.25+0.5+1.5)/1.25.
+  EXPECT_NEAR(seq.variance(), 1.0 / 1.25, 1e-12);
+  EXPECT_NEAR(seq.mean(), 2.0 / 1.25, 1e-12);
+}
+
+TEST(Normal, PrecisionWeightedCombineIsSymmetric) {
+  Normal a(1.0, 2.0), b(5.0, 0.5);
+  Normal ab = Normal::PrecisionWeightedCombine(a, b);
+  Normal ba = Normal::PrecisionWeightedCombine(b, a);
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-12);
+  // Combination is tighter than either input.
+  EXPECT_LT(ab.variance(), a.variance());
+  EXPECT_LT(ab.variance(), b.variance());
+}
+
+}  // namespace
+}  // namespace tcrowd::math

@@ -1,0 +1,164 @@
+// Regression tests for the AssignmentPolicy::Observe incremental-update
+// protocol. Without it, argmax policies would re-assign the same stale
+// best cell to every arriving worker between full Refresh() calls — the
+// exact failure mode these tests pin down.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "assignment/policies.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+/// Feeds `n` answers through a policy without calling Refresh, cycling
+/// through the crowd's workers, and returns the maximum number of times any
+/// single cell was assigned.
+template <typename Policy>
+int MaxRepeatedAssignments(Policy* policy, testing::SimWorld* w, int n) {
+  policy->Refresh(w->world.schema, w->answers);
+  std::map<std::pair<int, int>, int> assignment_counts;
+  for (int t = 0; t < n; ++t) {
+    WorkerId worker = t % w->crowd.num_workers();
+    CellRef cell;
+    if (!policy->SelectTask(w->world.schema, w->answers, worker, &cell)) {
+      break;
+    }
+    assignment_counts[{cell.row, cell.col}]++;
+    Answer answer{worker, cell, w->crowd.Answer(worker, cell)};
+    w->answers.Add(answer);
+    policy->Observe(w->world.schema, w->answers, answer);
+  }
+  int max_count = 0;
+  for (const auto& [cell, count] : assignment_counts) {
+    max_count = std::max(max_count, count);
+  }
+  return max_count;
+}
+
+TEST(ObserveHooks, EntropyPolicyDoesNotChaseStaleArgmax) {
+  testing::SimWorld w(881, 2);
+  EntropyPolicy policy(TCrowdOptions::Fast());
+  // 30 assignments across fresh workers: without Observe, all 30 would hit
+  // the same max-entropy cell; with it, the posterior sharpens and the
+  // argmax moves on.
+  EXPECT_LE(MaxRepeatedAssignments(&policy, &w, 30), 10);
+}
+
+TEST(ObserveHooks, InherentGainPolicyDoesNotChaseStaleArgmax) {
+  testing::SimWorld w(882, 2);
+  InherentGainPolicy policy(TCrowdOptions::Fast());
+  EXPECT_LE(MaxRepeatedAssignments(&policy, &w, 30), 10);
+}
+
+TEST(ObserveHooks, StructureAwarePolicyDoesNotChaseStaleArgmax) {
+  testing::SimWorld w(883, 2);
+  StructureAwarePolicy policy(TCrowdOptions::Fast());
+  EXPECT_LE(MaxRepeatedAssignments(&policy, &w, 30), 10);
+}
+
+TEST(ObserveHooks, AskItPolicyDoesNotChaseStaleArgmax) {
+  testing::SimWorld w(884, 2);
+  AskItPolicy policy;
+  EXPECT_LE(MaxRepeatedAssignments(&policy, &w, 30), 12);
+}
+
+TEST(ObserveHooks, ObserveBeforeRefreshIsSafe) {
+  // Calling Observe on a policy that was never Refreshed must lazily
+  // initialize rather than crash.
+  testing::SimWorld w(885, 2);
+  WorkerId worker = 3;
+  CellRef cell{0, 0};
+  Answer answer{worker, cell, w.crowd.Answer(worker, cell)};
+  w.answers.Add(answer);
+
+  EntropyPolicy entropy(TCrowdOptions::Fast());
+  EXPECT_NO_FATAL_FAILURE(
+      entropy.Observe(w.world.schema, w.answers, answer));
+  InherentGainPolicy gain(TCrowdOptions::Fast());
+  EXPECT_NO_FATAL_FAILURE(gain.Observe(w.world.schema, w.answers, answer));
+  CdasPolicy cdas(1);
+  EXPECT_NO_FATAL_FAILURE(cdas.Observe(w.world.schema, w.answers, answer));
+  AskItPolicy askit;
+  EXPECT_NO_FATAL_FAILURE(askit.Observe(w.world.schema, w.answers, answer));
+}
+
+TEST(ObserveHooks, IncrementalCategoricalMatchesBayesStep) {
+  // ApplyIncrementalAnswer must perform exactly one Bayes update of the
+  // stored posterior under the model's answer likelihood.
+  testing::SimWorld w(886, 3);
+  TCrowdModel model(TCrowdOptions::Fast());
+  TCrowdState state = model.Fit(w.world.schema, w.answers);
+  int j = w.world.schema.CategoricalColumns().front();
+  CellRef cell{2, j};
+  WorkerId u = w.answers.Workers().front();
+
+  std::vector<double> before = state.posterior(cell.row, cell.col).probs;
+  double q = state.CategoricalQuality(u, cell.row, cell.col);
+  int L = static_cast<int>(before.size());
+  int answered_label = 1 % L;
+
+  Answer answer{u, cell, Value::Categorical(answered_label)};
+  ApplyIncrementalAnswer(answer, &state);
+  const std::vector<double>& after = state.posterior(cell.row, cell.col).probs;
+
+  // Manual Bayes step.
+  std::vector<double> expected = before;
+  double wrong = (1.0 - q) / std::max(1, L - 1);
+  double total = 0.0;
+  for (int z = 0; z < L; ++z) {
+    expected[z] *= (z == answered_label) ? q : wrong;
+    total += expected[z];
+  }
+  for (double& p : expected) p /= total;
+  for (int z = 0; z < L; ++z) {
+    EXPECT_NEAR(after[z], expected[z], 1e-12) << "label " << z;
+  }
+}
+
+TEST(ObserveHooks, IncrementalContinuousShrinksVariance) {
+  testing::SimWorld w(887, 3);
+  TCrowdModel model(TCrowdOptions::Fast());
+  TCrowdState state = model.Fit(w.world.schema, w.answers);
+  int j = w.world.schema.ContinuousColumns().front();
+  CellRef cell{1, j};
+  WorkerId u = w.answers.Workers().front();
+
+  double var_before = state.posterior(cell.row, cell.col).variance;
+  Answer answer{u, cell,
+                Value::Continuous(state.posterior(cell.row, cell.col).mean)};
+  ApplyIncrementalAnswer(answer, &state);
+  double var_after = state.posterior(cell.row, cell.col).variance;
+  EXPECT_LT(var_after, var_before);
+
+  // Exact precision arithmetic (in standardized units).
+  double scale = state.col_scale[j];
+  double s = state.AnswerVarianceStd(u, cell.row, cell.col);
+  double expected =
+      1.0 / (1.0 / (var_before / (scale * scale)) + 1.0 / s) * scale * scale;
+  EXPECT_NEAR(var_after, expected, 1e-9);
+}
+
+TEST(ObserveHooks, CdasObserveUpdatesTermination) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b", "c", "d"})});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(2));
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(2));
+  CdasPolicy::Options opt;
+  opt.confidence_threshold = 0.6;
+  opt.min_answers = 3;
+  CdasPolicy policy(1, opt);
+  policy.Refresh(schema, answers);
+  EXPECT_FALSE(policy.IsTerminated(CellRef{0, 0}));
+  // Six more unanimous answers, observed incrementally.
+  for (WorkerId w = 2; w < 8; ++w) {
+    Answer a{w, CellRef{0, 0}, Value::Categorical(2)};
+    answers.Add(a);
+    policy.Observe(schema, answers, a);
+  }
+  EXPECT_TRUE(policy.IsTerminated(CellRef{0, 0}));
+}
+
+}  // namespace
+}  // namespace tcrowd

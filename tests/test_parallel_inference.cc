@@ -1,0 +1,102 @@
+// Tests for the multi-threaded EM (TCrowdOptions::num_threads), the
+// parallel/distributed inference the paper lists as future work.
+#include <gtest/gtest.h>
+
+#include "inference/tcrowd_model.h"
+#include "platform/metrics.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+sim::TableGeneratorOptions BigTable() {
+  sim::TableGeneratorOptions opt;
+  opt.num_rows = 80;
+  opt.num_cols = 8;
+  return opt;
+}
+
+TEST(ParallelInference, MatchesSerialEstimates) {
+  testing::SimWorld w(991, 5, BigTable());
+  TCrowdOptions serial_opt, parallel_opt;
+  parallel_opt.num_threads = 4;
+  InferenceResult serial = TCrowdModel(serial_opt)
+                               .Infer(w.world.schema, w.answers);
+  InferenceResult parallel = TCrowdModel(parallel_opt)
+                                 .Infer(w.world.schema, w.answers);
+  int label_mismatches = 0;
+  for (int i = 0; i < w.world.truth.num_rows(); ++i) {
+    for (int j = 0; j < w.world.schema.num_columns(); ++j) {
+      const Value& a = serial.estimated_truth.at(i, j);
+      const Value& b = parallel.estimated_truth.at(i, j);
+      ASSERT_EQ(a.valid(), b.valid());
+      if (!a.valid()) continue;
+      if (a.is_categorical()) {
+        // Floating-point reduction order may flip near-exact ties; require
+        // near-total agreement rather than bitwise identity.
+        label_mismatches += a.label() != b.label();
+      } else {
+        EXPECT_NEAR(a.number(), b.number(),
+                    1e-4 * (1.0 + std::fabs(a.number())));
+      }
+    }
+  }
+  EXPECT_LE(label_mismatches, 2);
+}
+
+TEST(ParallelInference, MatchesSerialWorkerQuality) {
+  testing::SimWorld w(992, 4, BigTable());
+  TCrowdOptions parallel_opt;
+  parallel_opt.num_threads = 4;
+  TCrowdState serial = TCrowdModel().Fit(w.world.schema, w.answers);
+  TCrowdState parallel =
+      TCrowdModel(parallel_opt).Fit(w.world.schema, w.answers);
+  for (const auto& [worker, phi] : serial.worker_phi) {
+    ASSERT_TRUE(parallel.worker_phi.count(worker));
+    EXPECT_NEAR(parallel.worker_phi.at(worker), phi, 1e-3 * (1.0 + phi))
+        << "worker " << worker;
+  }
+}
+
+TEST(ParallelInference, DeterministicForFixedThreadCount) {
+  testing::SimWorld w(993, 4, BigTable());
+  TCrowdOptions opt;
+  opt.num_threads = 3;
+  TCrowdState a = TCrowdModel(opt).Fit(w.world.schema, w.answers);
+  TCrowdState b = TCrowdModel(opt).Fit(w.world.schema, w.answers);
+  ASSERT_EQ(a.posteriors.size(), b.posteriors.size());
+  for (size_t k = 0; k < a.posteriors.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.posteriors[k].mean, b.posteriors[k].mean);
+    EXPECT_DOUBLE_EQ(a.posteriors[k].variance, b.posteriors[k].variance);
+  }
+  for (const auto& [worker, phi] : a.worker_phi) {
+    EXPECT_DOUBLE_EQ(b.worker_phi.at(worker), phi);
+  }
+}
+
+TEST(ParallelInference, QualityUnaffected) {
+  testing::SimWorld w(994, 5, BigTable());
+  TCrowdOptions opt;
+  opt.num_threads = 4;
+  InferenceResult r = TCrowdModel(opt).Infer(w.world.schema, w.answers);
+  EXPECT_LT(Metrics::ErrorRate(w.world.truth, r.estimated_truth), 0.4);
+  EXPECT_LT(Metrics::Mnad(w.world.truth, r.estimated_truth), 0.8);
+}
+
+TEST(ParallelInference, SmallInputsStaySerialAndCorrect) {
+  // Below the parallel-dispatch threshold the pool path is bypassed; the
+  // option must still be harmless.
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"})});
+  AnswerSet answers(2, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(1));
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(1));
+  answers.Add(0, CellRef{1, 0}, Value::Categorical(0));
+  TCrowdOptions opt;
+  opt.num_threads = 8;
+  InferenceResult r = TCrowdModel(opt).Infer(schema, answers);
+  EXPECT_EQ(r.estimated_truth.at(0, 0).label(), 1);
+  EXPECT_EQ(r.estimated_truth.at(1, 0).label(), 0);
+}
+
+}  // namespace
+}  // namespace tcrowd

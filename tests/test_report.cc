@@ -1,0 +1,71 @@
+#include "platform/report.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/csv.h"
+
+namespace tcrowd {
+namespace {
+
+TEST(Report, RendersAlignedColumns) {
+  Report r({"method", "score"});
+  r.AddRow({"short", "1"});
+  r.AddRow({"a-much-longer-name", "2"});
+  std::string out = r.ToString();
+  // Each rendered line (minus trailing trim) should align: find the column
+  // of "score" and "1"/"2".
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Separator rule exists.
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Report, NumericRowFormatting) {
+  Report r({"method", "er", "mnad"});
+  r.AddRow("T-Crowd", {0.0441, 0.6339});
+  std::string out = r.ToString();
+  EXPECT_NE(out.find("0.0441"), std::string::npos);
+  EXPECT_NE(out.find("0.6339"), std::string::npos);
+}
+
+TEST(Report, NegativeSentinelPrintsSlash) {
+  Report r({"method", "er", "mnad"});
+  r.AddRow("MV", {0.05, -1.0});
+  std::string out = r.ToString();
+  EXPECT_NE(out.find("/"), std::string::npos);
+  EXPECT_EQ(out.find("-1.0"), std::string::npos);
+}
+
+TEST(Report, HandlesRaggedRows) {
+  Report r({"a", "b"});
+  r.AddRow({"only-one"});
+  r.AddRow({"x", "y", "z-extra"});
+  EXPECT_NO_FATAL_FAILURE(r.ToString());
+  EXPECT_NE(r.ToString().find("z-extra"), std::string::npos);
+}
+
+TEST(Report, WriteCsvRoundTrips) {
+  Report r({"h1", "h2"});
+  r.AddRow({"v1", "v,2"});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "tcrowd_report.csv").string();
+  r.WriteCsv(path);
+  auto rows = csv::ReadFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "h1");
+  EXPECT_EQ((*rows)[1][1], "v,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Report, EmptyReportStillRendersHeader) {
+  Report r({"alpha", "beta"});
+  std::string out = r.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcrowd

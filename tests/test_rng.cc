@@ -1,0 +1,140 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tcrowd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int x = rng.UniformInt(1, 4);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 4);
+    saw_lo |= (x == 1);
+    saw_hi |= (x == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(2);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(3);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(4);
+  std::vector<double> w = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) counts[rng.Categorical(w)]++;
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(10);
+  Rng child = a.Fork();
+  // The child must not replay the parent's stream.
+  Rng b(10);
+  b.Fork();
+  EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());  // parents stay in sync
+  double c1 = child.Uniform();
+  double p1 = a.Uniform();
+  EXPECT_NE(c1, p1);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, LogNormalMedianApproximatelyExpMu) {
+  Rng rng(12);
+  std::vector<double> v;
+  for (int i = 0; i < 10001; ++i) v.push_back(rng.LogNormal(1.0, 0.5));
+  std::nth_element(v.begin(), v.begin() + 5000, v.end());
+  EXPECT_NEAR(v[5000], std::exp(1.0), 0.15);
+}
+
+}  // namespace
+}  // namespace tcrowd

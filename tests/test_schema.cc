@@ -1,0 +1,78 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace tcrowd {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({
+      Schema::MakeCategorical("color", {"red", "green", "blue"}),
+      Schema::MakeContinuous("weight", 0.0, 100.0),
+      Schema::MakeCategorical("size", {"S", "M"}),
+  });
+}
+
+TEST(Schema, BasicAccessors) {
+  Schema s = MixedSchema();
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.column(0).name, "color");
+  EXPECT_EQ(s.column(0).num_labels(), 3);
+  EXPECT_EQ(s.column(1).type, ColumnType::kContinuous);
+  EXPECT_DOUBLE_EQ(s.column(1).max_value, 100.0);
+}
+
+TEST(Schema, ValidatePassesForWellFormed) {
+  EXPECT_TRUE(MixedSchema().Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsEmptyName) {
+  Schema s({Schema::MakeCategorical("", {"a", "b"})});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsDuplicateNames) {
+  Schema s({Schema::MakeCategorical("x", {"a", "b"}),
+            Schema::MakeContinuous("x", 0, 1)});
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Schema, ValidateRejectsSingleLabelColumn) {
+  Schema s({Schema::MakeCategorical("x", {"only"})});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsDuplicateLabels) {
+  Schema s({Schema::MakeCategorical("x", {"a", "a"})});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsInvertedRange) {
+  Schema s({Schema::MakeContinuous("x", 5.0, 5.0)});
+  EXPECT_FALSE(s.Validate().ok());
+  Schema s2({Schema::MakeContinuous("x", 5.0, 1.0)});
+  EXPECT_FALSE(s2.Validate().ok());
+}
+
+TEST(Schema, ColumnIndexLookup) {
+  Schema s = MixedSchema();
+  EXPECT_EQ(s.ColumnIndex("weight"), 1);
+  EXPECT_EQ(s.ColumnIndex("size"), 2);
+  EXPECT_EQ(s.ColumnIndex("nope"), -1);
+}
+
+TEST(Schema, TypePartition) {
+  Schema s = MixedSchema();
+  EXPECT_EQ(s.CategoricalColumns(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(s.ContinuousColumns(), (std::vector<int>{1}));
+}
+
+TEST(Schema, EmptySchemaIsValid) {
+  Schema s;
+  EXPECT_EQ(s.num_columns(), 0);
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_TRUE(s.CategoricalColumns().empty());
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,124 @@
+// Tests for MajorityVoting and MedianInference.
+#include <gtest/gtest.h>
+
+#include "inference/majority_voting.h"
+#include "inference/median_inference.h"
+#include "platform/metrics.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+TEST(MajorityVoting, PicksMostFrequentLabel) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b", "c"})});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(1));
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(1));
+  answers.Add(2, CellRef{0, 0}, Value::Categorical(2));
+  InferenceResult r = MajorityVoting().Infer(schema, answers);
+  EXPECT_EQ(r.estimated_truth.at(0, 0).label(), 1);
+}
+
+TEST(MajorityVoting, TieBreaksToSmallestLabel) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b", "c"})});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(2));
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(0));
+  InferenceResult r = MajorityVoting().Infer(schema, answers);
+  EXPECT_EQ(r.estimated_truth.at(0, 0).label(), 0);
+}
+
+TEST(MajorityVoting, ContinuousUsesMean) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 10.0)});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Continuous(1.0));
+  answers.Add(1, CellRef{0, 0}, Value::Continuous(2.0));
+  answers.Add(2, CellRef{0, 0}, Value::Continuous(6.0));
+  InferenceResult r = MajorityVoting().Infer(schema, answers);
+  EXPECT_DOUBLE_EQ(r.estimated_truth.at(0, 0).number(), 3.0);
+}
+
+TEST(MajorityVoting, UnansweredCellStaysMissing) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"})});
+  AnswerSet answers(2, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(0));
+  InferenceResult r = MajorityVoting().Infer(schema, answers);
+  EXPECT_TRUE(r.estimated_truth.at(0, 0).valid());
+  EXPECT_FALSE(r.estimated_truth.at(1, 0).valid());
+}
+
+TEST(MajorityVoting, PosteriorsAreAnswerFrequencies) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"})});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(0));
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(0));
+  answers.Add(2, CellRef{0, 0}, Value::Categorical(1));
+  InferenceResult r = MajorityVoting().Infer(schema, answers);
+  EXPECT_NEAR(r.posterior(0, 0).probs[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.posterior(0, 0).probs[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(MajorityVoting, IsFooledByCoordinatedMajority) {
+  // Documents the baseline's known failure mode (which T-Crowd fixes).
+  testing::MajorityWrongScenario s;
+  InferenceResult r = MajorityVoting().Infer(s.schema, s.answers);
+  EXPECT_NE(r.estimated_truth.at(0, 0).label(), s.truth.at(0, 0).label());
+}
+
+TEST(Median, PicksMedianForContinuous) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 10.0)});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Continuous(1.0));
+  answers.Add(1, CellRef{0, 0}, Value::Continuous(2.0));
+  answers.Add(2, CellRef{0, 0}, Value::Continuous(9.0));
+  InferenceResult r = MedianInference().Infer(schema, answers);
+  EXPECT_DOUBLE_EQ(r.estimated_truth.at(0, 0).number(), 2.0);
+}
+
+TEST(Median, RobustToOutlierUnlikeMean) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 1000.0)});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Continuous(10.0));
+  answers.Add(1, CellRef{0, 0}, Value::Continuous(11.0));
+  answers.Add(2, CellRef{0, 0}, Value::Continuous(999.0));
+  double med =
+      MedianInference().Infer(schema, answers).estimated_truth.at(0, 0).number();
+  double mean = MajorityVoting()
+                    .Infer(schema, answers)
+                    .estimated_truth.at(0, 0)
+                    .number();
+  EXPECT_DOUBLE_EQ(med, 11.0);
+  EXPECT_GT(mean, 300.0);
+}
+
+TEST(Median, EvenCountAveragesMiddlePair) {
+  Schema schema({Schema::MakeContinuous("x", 0.0, 10.0)});
+  AnswerSet answers(1, 1);
+  for (int k = 0; k < 4; ++k) {
+    answers.Add(k, CellRef{0, 0}, Value::Continuous(k + 1.0));
+  }
+  InferenceResult r = MedianInference().Infer(schema, answers);
+  EXPECT_DOUBLE_EQ(r.estimated_truth.at(0, 0).number(), 2.5);
+}
+
+TEST(Median, FallsBackToMajorityVoteOnCategorical) {
+  Schema schema({Schema::MakeCategorical("c", {"a", "b"})});
+  AnswerSet answers(1, 1);
+  answers.Add(0, CellRef{0, 0}, Value::Categorical(1));
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(1));
+  answers.Add(2, CellRef{0, 0}, Value::Categorical(0));
+  InferenceResult r = MedianInference().Infer(schema, answers);
+  EXPECT_EQ(r.estimated_truth.at(0, 0).label(), 1);
+}
+
+TEST(SimpleBaselines, ReasonableOnSimulatedWorld) {
+  testing::SimWorld w(101, 5);
+  InferenceResult mv = MajorityVoting().Infer(w.world.schema, w.answers);
+  InferenceResult med = MedianInference().Infer(w.world.schema, w.answers);
+  // Sanity: clearly better than chance on both metrics.
+  EXPECT_LT(Metrics::ErrorRate(w.world.truth, mv.estimated_truth), 0.5);
+  EXPECT_LT(Metrics::Mnad(w.world.truth, med.estimated_truth), 1.0);
+}
+
+}  // namespace
+}  // namespace tcrowd

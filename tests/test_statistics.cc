@@ -1,0 +1,142 @@
+#include "math/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcrowd::math {
+namespace {
+
+TEST(OnlineStats, MatchesBatchMoments) {
+  OnlineStats s;
+  std::vector<double> v = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : v) s.Add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_NEAR(s.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(s.variance(), Variance(v), 1e-12);
+}
+
+TEST(OnlineStats, EmptyAndSingle) {
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(OnlineStats, SampleVarianceUsesNMinusOne) {
+  OnlineStats s;
+  s.Add(0.0);
+  s.Add(2.0);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-12);         // /n
+  EXPECT_NEAR(s.sample_variance(), 2.0, 1e-12);  // /(n-1)
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  OnlineStats a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i) * 10.0;
+    (i < 20 ? a : b).Add(x);
+    whole.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Median, OddAndEvenLengths) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Median, RobustToOutlier) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 1e9}), 2.5);
+}
+
+TEST(PearsonCorrelation, PerfectAndAnti) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantInputGivesZero) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(c, x), 0.0);
+}
+
+TEST(PearsonCorrelation, InvariantToAffineTransform) {
+  std::vector<double> x = {1, 4, 2, 8, 5};
+  std::vector<double> y = {2, 3, 1, 9, 4};
+  double r = PearsonCorrelation(x, y);
+  std::vector<double> x2;
+  for (double v : x) x2.push_back(3.0 * v - 7.0);
+  EXPECT_NEAR(PearsonCorrelation(x2, y), r, 1e-12);
+}
+
+TEST(Rmse, KnownValues) {
+  EXPECT_DOUBLE_EQ(Rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_NEAR(Rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(Rmse({}, {}), 0.0);
+}
+
+TEST(RobustScale, MatchesStdDevForNormalData) {
+  // For a large normal sample, 1.4826 * MAD ~ sigma.
+  std::vector<double> v;
+  unsigned long long state = 88172645463325252ull;
+  auto next_unif = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state % 1000000) / 1000000.0;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    // Box-Muller.
+    double u1 = std::max(next_unif(), 1e-9), u2 = next_unif();
+    v.push_back(std::sqrt(-2.0 * std::log(u1)) *
+                std::cos(2.0 * M_PI * u2) * 3.0);
+  }
+  EXPECT_NEAR(RobustScale(v), 3.0, 0.15);
+}
+
+TEST(RobustScale, IgnoresOutliers) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 1e9};
+  EXPECT_LT(RobustScale(v), 10.0);
+  EXPECT_GT(StdDev(v), 1e6);  // classic stddev explodes
+}
+
+TEST(RobustScale, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(RobustScale({}), 0.0);
+  EXPECT_DOUBLE_EQ(RobustScale({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(RobustScale({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(MeanVarianceStdDev, Basics) {
+  std::vector<double> v = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 4.0);
+  EXPECT_NEAR(Variance(v), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace tcrowd::math

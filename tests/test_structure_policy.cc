@@ -1,0 +1,125 @@
+// Behavioural tests of the structure-aware policy on a world with a strong
+// row-recognition effect: the policy must usefully condition on the
+// incoming worker's answer history within the row.
+#include <gtest/gtest.h>
+
+#include "assignment/policies.h"
+#include "test_helpers.h"
+
+namespace tcrowd {
+namespace {
+
+/// World with a heavy recognition effect so correlations are learnable.
+testing::SimWorld CorrelatedWorld(uint64_t seed) {
+  sim::TableGeneratorOptions topt = testing::SimWorld::DefaultTable();
+  topt.num_rows = 60;
+  topt.num_cols = 6;
+  sim::CrowdOptions copt = testing::SimWorld::DefaultCrowd();
+  copt.unfamiliar_prob = 0.35;
+  copt.unfamiliar_boost = 15.0;
+  copt.row_bias_rho = 0.6;
+  return testing::SimWorld(seed, 4, topt, copt);
+}
+
+TEST(StructurePolicy, GainReactsToRowEvidence) {
+  testing::SimWorld w = CorrelatedWorld(661);
+  // HIT-style seeding gives every worker FULL rows, so create partial row
+  // history explicitly: several workers each answer only column 0 of a row
+  // they have not touched.
+  std::vector<std::pair<WorkerId, int>> partial;
+  for (WorkerId u : w.answers.Workers()) {
+    for (int i = 0; i < w.answers.num_rows(); ++i) {
+      if (!w.answers.AnswersForWorkerInRow(u, i).empty()) continue;
+      CellRef first{i, 0};
+      w.answers.Add(u, first, w.crowd.Answer(u, first));
+      partial.emplace_back(u, i);
+      break;
+    }
+    if (partial.size() >= 6) break;
+  }
+  ASSERT_GE(partial.size(), 3u);
+
+  StructureAwarePolicy policy(TCrowdOptions::Fast());
+  policy.Refresh(w.world.schema, w.answers);
+  InherentGainPolicy inherent(TCrowdOptions::Fast());
+  inherent.Refresh(w.world.schema, w.answers);
+
+  int differing = 0, with_history = 0;
+  for (const auto& [u, i] : partial) {
+    for (int j = 1; j < w.answers.num_cols(); ++j) {
+      CellRef cell{i, j};
+      ++with_history;
+      double sg = policy.StructureGain(w.answers, u, cell);
+      double ig = inherent.Gain(w.answers, u, cell);
+      if (std::fabs(sg - ig) > 1e-9) ++differing;
+    }
+  }
+  ASSERT_GT(with_history, 0);
+  EXPECT_GT(differing, 0)
+      << "structure-aware gain never used the row evidence";
+}
+
+TEST(StructurePolicy, SelectTasksAreTopKByGain) {
+  testing::SimWorld w = CorrelatedWorld(662);
+  StructureAwarePolicy policy(TCrowdOptions::Fast());
+  policy.Refresh(w.world.schema, w.answers);
+  WorkerId u = w.answers.Workers().front();
+  std::vector<CellRef> batch =
+      policy.SelectTasks(w.world.schema, w.answers, u, 4);
+  ASSERT_EQ(batch.size(), 4u);
+  // Greedy exclusion implies non-increasing gains along the batch.
+  double prev = policy.StructureGain(w.answers, u, batch[0]);
+  for (size_t k = 1; k < batch.size(); ++k) {
+    double g = policy.StructureGain(w.answers, u, batch[k]);
+    EXPECT_LE(g, prev + 1e-9) << "batch position " << k;
+    prev = g;
+  }
+}
+
+TEST(StructurePolicy, CorrelationModelAvailableAfterRefresh) {
+  testing::SimWorld w = CorrelatedWorld(663);
+  StructureAwarePolicy policy(TCrowdOptions::Fast());
+  policy.Refresh(w.world.schema, w.answers);
+  // Dense world: at least some pairs must be fitted.
+  int available = 0;
+  for (int j = 0; j < w.answers.num_cols(); ++j) {
+    for (int k = 0; k < w.answers.num_cols(); ++k) {
+      if (j != k && policy.correlation().PairAvailable(j, k)) ++available;
+    }
+  }
+  EXPECT_GT(available, 0);
+}
+
+TEST(StructurePolicy, WorksOnAllCategoricalTable) {
+  sim::TableGeneratorOptions topt = testing::SimWorld::DefaultTable();
+  topt.categorical_ratio = 1.0;
+  testing::SimWorld w(664, 3, topt);
+  StructureAwarePolicy policy(TCrowdOptions::Fast());
+  policy.Refresh(w.world.schema, w.answers);
+  CellRef cell;
+  EXPECT_TRUE(policy.SelectTask(w.world.schema, w.answers,
+                                w.answers.Workers().front(), &cell));
+}
+
+TEST(StructurePolicy, WorksOnAllContinuousTable) {
+  sim::TableGeneratorOptions topt = testing::SimWorld::DefaultTable();
+  topt.categorical_ratio = 0.0;
+  testing::SimWorld w(665, 3, topt);
+  StructureAwarePolicy policy(TCrowdOptions::Fast());
+  policy.Refresh(w.world.schema, w.answers);
+  CellRef cell;
+  EXPECT_TRUE(policy.SelectTask(w.world.schema, w.answers,
+                                w.answers.Workers().front(), &cell));
+}
+
+TEST(StructurePolicy, EmptyAnswerSetIsAssignable) {
+  // Cold start: no answers at all; the policy must still pick a cell.
+  testing::SimWorld w(666, 0);
+  StructureAwarePolicy policy(TCrowdOptions::Fast());
+  policy.Refresh(w.world.schema, w.answers);
+  CellRef cell;
+  EXPECT_TRUE(policy.SelectTask(w.world.schema, w.answers, 0, &cell));
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,83 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tcrowd {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Schema::MakeCategorical("cat", {"a", "b", "c"}),
+                 Schema::MakeContinuous("num", 0.0, 10.0)});
+}
+
+TEST(Table, StartsAllMissing) {
+  Table t(TwoColSchema(), 3);
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.num_cells(), 6);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_FALSE(t.at(i, j).valid());
+    }
+  }
+}
+
+TEST(Table, SetAndGet) {
+  Table t(TwoColSchema(), 2);
+  t.Set(0, 0, Value::Categorical(1));
+  t.Set(1, 1, Value::Continuous(4.5));
+  EXPECT_EQ(t.at(0, 0).label(), 1);
+  EXPECT_DOUBLE_EQ(t.at(1, 1).number(), 4.5);
+  EXPECT_FALSE(t.at(0, 1).valid());
+}
+
+TEST(Table, CellRefAccessors) {
+  Table t(TwoColSchema(), 2);
+  CellRef c{1, 0};
+  t.Set(c, Value::Categorical(2));
+  EXPECT_EQ(t.at(c).label(), 2);
+}
+
+TEST(Table, AllCellsRowMajor) {
+  Table t(TwoColSchema(), 2);
+  auto cells = t.AllCells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], (CellRef{0, 0}));
+  EXPECT_EQ(cells[1], (CellRef{0, 1}));
+  EXPECT_EQ(cells[3], (CellRef{1, 1}));
+}
+
+TEST(Table, ValidateAcceptsWellTyped) {
+  Table t(TwoColSchema(), 1);
+  t.Set(0, 0, Value::Categorical(2));
+  t.Set(0, 1, Value::Continuous(3.0));
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(Table, ValidateRejectsOutOfDomainLabel) {
+  Table t(TwoColSchema(), 1);
+  // Bypass Set's check via a raw categorical: Set checks type, not range,
+  // so an out-of-range label is caught at Validate.
+  t.Set(0, 0, Value::Categorical(7));
+  EXPECT_EQ(t.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Table, ValidateAllowsMissingCells) {
+  Table t(TwoColSchema(), 2);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(Table, ZeroRowTable) {
+  Table t(TwoColSchema(), 0);
+  EXPECT_EQ(t.num_cells(), 0);
+  EXPECT_TRUE(t.AllCells().empty());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TableDeathTest, SetTypeMismatchChecks) {
+  Table t(TwoColSchema(), 1);
+  EXPECT_DEATH(t.Set(0, 0, Value::Continuous(1.0)), "type mismatch");
+}
+
+}  // namespace
+}  // namespace tcrowd

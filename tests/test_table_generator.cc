@@ -1,0 +1,113 @@
+#include "simulation/table_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcrowd::sim {
+namespace {
+
+TEST(TableGenerator, ProducesRequestedShape) {
+  TableGeneratorOptions opt;
+  opt.num_rows = 17;
+  opt.num_cols = 9;
+  Rng rng(1);
+  GeneratedTable t = GenerateTable(opt, &rng);
+  EXPECT_EQ(t.truth.num_rows(), 17);
+  EXPECT_EQ(t.schema.num_columns(), 9);
+  EXPECT_EQ(t.row_difficulty.size(), 17u);
+  EXPECT_EQ(t.col_difficulty.size(), 9u);
+  EXPECT_TRUE(t.schema.Validate().ok());
+  EXPECT_TRUE(t.truth.Validate().ok());
+}
+
+TEST(TableGenerator, CategoricalRatioRespected) {
+  TableGeneratorOptions opt;
+  opt.num_cols = 10;
+  for (double ratio : {0.0, 0.3, 0.5, 1.0}) {
+    opt.categorical_ratio = ratio;
+    Rng rng(2);
+    GeneratedTable t = GenerateTable(opt, &rng);
+    int expected = static_cast<int>(std::lround(ratio * 10));
+    EXPECT_EQ(static_cast<int>(t.schema.CategoricalColumns().size()),
+              expected)
+        << "ratio " << ratio;
+  }
+}
+
+TEST(TableGenerator, LabelCountsWithinU2To10) {
+  TableGeneratorOptions opt;
+  opt.num_cols = 40;
+  opt.categorical_ratio = 1.0;
+  Rng rng(3);
+  GeneratedTable t = GenerateTable(opt, &rng);
+  for (int j = 0; j < t.schema.num_columns(); ++j) {
+    int L = t.schema.column(j).num_labels();
+    EXPECT_GE(L, 2);
+    EXPECT_LE(L, 10);
+  }
+}
+
+TEST(TableGenerator, ContinuousDomainRespected) {
+  TableGeneratorOptions opt;
+  opt.num_rows = 50;
+  opt.categorical_ratio = 0.0;
+  opt.domain_min = 100.0;
+  opt.domain_max = 200.0;
+  Rng rng(4);
+  GeneratedTable t = GenerateTable(opt, &rng);
+  for (int i = 0; i < t.truth.num_rows(); ++i) {
+    for (int j = 0; j < t.schema.num_columns(); ++j) {
+      double v = t.truth.at(i, j).number();
+      EXPECT_GE(v, 100.0);
+      EXPECT_LE(v, 200.0);
+    }
+  }
+}
+
+TEST(TableGenerator, MeanDifficultyCalibrated) {
+  for (double target : {0.5, 1.0, 2.5}) {
+    TableGeneratorOptions opt;
+    opt.num_rows = 60;
+    opt.num_cols = 12;
+    opt.mean_difficulty = target;
+    Rng rng(5);
+    GeneratedTable t = GenerateTable(opt, &rng);
+    double mean = 0.0;
+    for (double a : t.row_difficulty) {
+      for (double b : t.col_difficulty) mean += a * b;
+    }
+    mean /= 60.0 * 12.0;
+    EXPECT_NEAR(mean, target, target * 1e-9) << "target " << target;
+  }
+}
+
+TEST(TableGenerator, DifficultiesArePositive) {
+  TableGeneratorOptions opt;
+  Rng rng(6);
+  GeneratedTable t = GenerateTable(opt, &rng);
+  for (double a : t.row_difficulty) EXPECT_GT(a, 0.0);
+  for (double b : t.col_difficulty) EXPECT_GT(b, 0.0);
+}
+
+TEST(TableGenerator, DeterministicForSameSeed) {
+  TableGeneratorOptions opt;
+  Rng r1(7), r2(7);
+  GeneratedTable a = GenerateTable(opt, &r1);
+  GeneratedTable b = GenerateTable(opt, &r2);
+  EXPECT_EQ(a.truth.at(3, 4), b.truth.at(3, 4));
+  EXPECT_DOUBLE_EQ(a.row_difficulty[5], b.row_difficulty[5]);
+}
+
+TEST(TableGenerator, AllCellsHaveGroundTruth) {
+  TableGeneratorOptions opt;
+  opt.num_rows = 20;
+  Rng rng(8);
+  GeneratedTable t = GenerateTable(opt, &rng);
+  for (const CellRef& c : t.truth.AllCells()) {
+    EXPECT_TRUE(t.truth.at(c).valid());
+  }
+}
+
+}  // namespace
+}  // namespace tcrowd::sim

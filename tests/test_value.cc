@@ -1,0 +1,60 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace tcrowd {
+namespace {
+
+TEST(Value, DefaultIsMissing) {
+  Value v;
+  EXPECT_FALSE(v.valid());
+  EXPECT_FALSE(v.is_categorical());
+  EXPECT_FALSE(v.is_continuous());
+  EXPECT_EQ(v.ToString(), "missing");
+}
+
+TEST(Value, CategoricalRoundTrip) {
+  Value v = Value::Categorical(3);
+  EXPECT_TRUE(v.valid());
+  EXPECT_TRUE(v.is_categorical());
+  EXPECT_FALSE(v.is_continuous());
+  EXPECT_EQ(v.label(), 3);
+  EXPECT_EQ(v.ToString(), "cat:3");
+}
+
+TEST(Value, ContinuousRoundTrip) {
+  Value v = Value::Continuous(1.75);
+  EXPECT_TRUE(v.valid());
+  EXPECT_TRUE(v.is_continuous());
+  EXPECT_DOUBLE_EQ(v.number(), 1.75);
+  EXPECT_EQ(v.ToString(), "num:1.75");
+}
+
+TEST(Value, EqualityWithinType) {
+  EXPECT_EQ(Value::Categorical(2), Value::Categorical(2));
+  EXPECT_NE(Value::Categorical(2), Value::Categorical(3));
+  EXPECT_EQ(Value::Continuous(0.5), Value::Continuous(0.5));
+  EXPECT_NE(Value::Continuous(0.5), Value::Continuous(0.6));
+}
+
+TEST(Value, EqualityAcrossTypesIsFalse) {
+  EXPECT_NE(Value::Categorical(1), Value::Continuous(1.0));
+}
+
+TEST(Value, MissingEqualsMissing) {
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value::Categorical(0));
+}
+
+TEST(ColumnType, Names) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kCategorical), "categorical");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kContinuous), "continuous");
+}
+
+TEST(Value, NegativeAndZeroNumbers) {
+  EXPECT_DOUBLE_EQ(Value::Continuous(-42.5).number(), -42.5);
+  EXPECT_DOUBLE_EQ(Value::Continuous(0.0).number(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,141 @@
+#include "simulation/worker_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/special_functions.h"
+#include "math/statistics.h"
+
+namespace tcrowd::sim {
+namespace {
+
+ColumnSpec CatColumn(int labels) {
+  std::vector<std::string> names;
+  for (int l = 0; l < labels; ++l) names.push_back("l" + std::to_string(l));
+  return Schema::MakeCategorical("c", names);
+}
+
+TEST(WorkerModel, TrueQualityMatchesErfFormula) {
+  WorkerProfile w{0, 0.5};
+  EXPECT_NEAR(TrueWorkerQuality(w, 0.5),
+              math::Erf(0.5 / std::sqrt(1.0)), 1e-12);
+}
+
+TEST(WorkerModel, BetterWorkerHasHigherQuality) {
+  EXPECT_GT(TrueWorkerQuality({0, 0.1}, 0.5),
+            TrueWorkerQuality({1, 1.0}, 0.5));
+}
+
+TEST(WorkerModel, ContinuousAnswerVarianceMatchesModel) {
+  // Empirical variance of generated answers must equal
+  // alpha*beta*phi*row_factor*scale^2.
+  WorkerProfile w{0, 0.4};
+  ColumnSpec col = Schema::MakeContinuous("x", 0.0, 100.0);
+  AnswerDraw draw;
+  draw.row_difficulty = 2.0;
+  draw.col_difficulty = 0.5;
+  draw.row_factor = 1.0;
+  draw.col_scale = 3.0;
+  Rng rng(3);
+  Value truth = Value::Continuous(50.0);
+  math::OnlineStats stats;
+  for (int i = 0; i < 40000; ++i) {
+    stats.Add(GenerateAnswer(w, col, truth, draw, &rng).number());
+  }
+  double expected_var = 2.0 * 0.5 * 0.4 * 9.0;  // = 3.6
+  EXPECT_NEAR(stats.mean(), 50.0, 0.05);
+  EXPECT_NEAR(stats.variance(), expected_var, 0.1);
+}
+
+TEST(WorkerModel, CategoricalCorrectRateMatchesErfQuality) {
+  WorkerProfile w{0, 0.3};
+  ColumnSpec col = CatColumn(4);
+  AnswerDraw draw;  // all difficulties 1
+  draw.epsilon = 0.5;
+  Rng rng(4);
+  Value truth = Value::Categorical(2);
+  int correct = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    correct += GenerateAnswer(w, col, truth, draw, &rng).label() == 2;
+  }
+  double expected = math::Erf(0.5 / std::sqrt(2.0 * 0.3));
+  EXPECT_NEAR(static_cast<double>(correct) / n, expected, 0.01);
+}
+
+TEST(WorkerModel, WrongAnswersUniformOverOtherLabels) {
+  WorkerProfile w{0, 5.0};  // poor worker: mostly wrong
+  ColumnSpec col = CatColumn(5);
+  AnswerDraw draw;
+  Rng rng(5);
+  Value truth = Value::Categorical(0);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    counts[GenerateAnswer(w, col, truth, draw, &rng).label()]++;
+  }
+  // Labels 1..4 should be hit about equally.
+  double wrong_total = n - counts[0];
+  for (int l = 1; l < 5; ++l) {
+    EXPECT_NEAR(counts[l] / wrong_total, 0.25, 0.02) << "label " << l;
+  }
+}
+
+TEST(WorkerModel, RowFactorDegradesCategoricalAccuracy) {
+  WorkerProfile w{0, 0.3};
+  ColumnSpec col = CatColumn(3);
+  Value truth = Value::Categorical(1);
+  Rng rng(6);
+  auto accuracy = [&](double factor) {
+    AnswerDraw draw;
+    draw.row_factor = factor;
+    int correct = 0;
+    for (int i = 0; i < 20000; ++i) {
+      correct += GenerateAnswer(w, col, truth, draw, &rng).label() == 1;
+    }
+    return correct / 20000.0;
+  };
+  EXPECT_GT(accuracy(1.0), accuracy(8.0) + 0.1);
+}
+
+TEST(WorkerModel, DifficultyDegradesContinuousPrecision) {
+  WorkerProfile w{0, 0.3};
+  ColumnSpec col = Schema::MakeContinuous("x", 0.0, 10.0);
+  Value truth = Value::Continuous(5.0);
+  Rng rng(7);
+  auto spread = [&](double alpha) {
+    AnswerDraw draw;
+    draw.row_difficulty = alpha;
+    math::OnlineStats s;
+    for (int i = 0; i < 20000; ++i) {
+      s.Add(GenerateAnswer(w, col, truth, draw, &rng).number());
+    }
+    return s.variance();
+  };
+  double easy = spread(0.5), hard = spread(3.0);
+  EXPECT_NEAR(hard / easy, 6.0, 0.5);
+}
+
+TEST(WorkerModel, AnswerTypeMatchesColumnType) {
+  WorkerProfile w{0, 0.5};
+  AnswerDraw draw;
+  Rng rng(8);
+  Value cat = GenerateAnswer(w, CatColumn(3), Value::Categorical(0), draw,
+                             &rng);
+  EXPECT_TRUE(cat.is_categorical());
+  Value num = GenerateAnswer(w, Schema::MakeContinuous("x", 0, 1),
+                             Value::Continuous(0.5), draw, &rng);
+  EXPECT_TRUE(num.is_continuous());
+}
+
+TEST(WorkerModelDeathTest, RejectsMissingTruth) {
+  WorkerProfile w{0, 0.5};
+  AnswerDraw draw;
+  Rng rng(9);
+  EXPECT_DEATH(GenerateAnswer(w, CatColumn(3), Value(), draw, &rng),
+               "ground truth");
+}
+
+}  // namespace
+}  // namespace tcrowd::sim

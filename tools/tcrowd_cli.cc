@@ -1,0 +1,350 @@
+// tcrowd — command-line front end of the T-Crowd library.
+//
+// Subcommands:
+//   simulate  Synthesize a crowdsourced dataset (one of the paper's dataset
+//             stand-ins, or a custom table) and write it to a directory as
+//             schema.csv / truth.csv / answers.csv.
+//   infer     Load a dataset directory, run one truth-inference method, and
+//             write the estimated table (plus metrics when ground truth is
+//             present).
+//   eval      Run ALL truth-inference methods on a dataset directory and
+//             print a Table-7-style comparison.
+//   assign    Simulate the online assignment loop (paper Algorithm 2) on a
+//             synthesized world with a chosen policy, and print the
+//             error-rate/MNAD series as the budget is spent.
+//
+// Examples:
+//   tcrowd simulate --dataset=restaurant --seed=7 --out=/tmp/restaurant
+//   tcrowd simulate --rows=100 --cols=8 --ratio=0.5 --out=/tmp/custom
+//   tcrowd infer --data=/tmp/restaurant --method=tcrowd --out=/tmp/est.csv
+//   tcrowd eval --data=/tmp/restaurant
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "assignment/policies.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "inference/catd.h"
+#include "inference/crh.h"
+#include "inference/dawid_skene.h"
+#include "inference/glad.h"
+#include "inference/gtm.h"
+#include "inference/majority_voting.h"
+#include "inference/median_inference.h"
+#include "inference/tcrowd_model.h"
+#include "inference/zencrowd.h"
+#include "platform/experiment.h"
+#include "platform/metrics.h"
+#include "platform/report.h"
+#include "simulation/dataset_synthesizer.h"
+#include "simulation/table_generator.h"
+
+namespace tcrowd {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: tcrowd <command> [flags]
+
+commands:
+  simulate   --out=DIR [--dataset=celebrity|restaurant|emotion]
+             [--rows=N --cols=M --ratio=R --difficulty=D --workers=W]
+             [--answers-per-task=K] [--seed=S]
+  infer      --data=DIR --method=NAME [--out=FILE.csv]
+  eval       --data=DIR
+  assign     --dataset=celebrity|restaurant|emotion
+             [--policy=structure|inherent|entropy|random|looping|cdas|askit]
+             [--budget=B] [--seed=S] [--tasks-per-worker=K]
+
+methods: tcrowd, tc-onlycate, tc-onlycont, mv, median, ds, zencrowd, glad,
+         gtm, crh, catd
+)");
+  return 2;
+}
+
+std::unique_ptr<TruthInference> MakeMethod(const std::string& name,
+                                           const Schema& schema) {
+  if (name == "tcrowd") return std::make_unique<TCrowdModel>();
+  if (name == "tc-onlycate") {
+    return std::make_unique<TCrowdModel>(TCrowdModel::OnlyCategorical(schema));
+  }
+  if (name == "tc-onlycont") {
+    return std::make_unique<TCrowdModel>(TCrowdModel::OnlyContinuous(schema));
+  }
+  if (name == "mv") return std::make_unique<MajorityVoting>();
+  if (name == "median") return std::make_unique<MedianInference>();
+  if (name == "ds") return std::make_unique<DawidSkene>();
+  if (name == "zencrowd") return std::make_unique<ZenCrowd>();
+  if (name == "glad") return std::make_unique<Glad>();
+  if (name == "gtm") return std::make_unique<Gtm>();
+  if (name == "crh") return std::make_unique<Crh>();
+  if (name == "catd") return std::make_unique<Catd>();
+  return nullptr;
+}
+
+/// Writes an estimated table as CSV: header of column names, then one row
+/// per entity; missing estimates are empty fields.
+Status WriteEstimates(const Schema& schema, const Table& estimate,
+                      const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  for (const ColumnSpec& col : schema.columns()) header.push_back(col.name);
+  rows.push_back(std::move(header));
+  for (int i = 0; i < estimate.num_rows(); ++i) {
+    std::vector<std::string> row;
+    for (int j = 0; j < schema.num_columns(); ++j) {
+      const Value& v = estimate.at(i, j);
+      if (!v.valid()) {
+        row.push_back("");
+      } else if (v.is_categorical()) {
+        row.push_back(schema.column(j).labels[v.label()]);
+      } else {
+        row.push_back(StrFormat("%.6g", v.number()));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return csv::WriteFile(path, rows);
+}
+
+bool TruthIsKnown(const Table& truth) {
+  for (int i = 0; i < truth.num_rows(); ++i) {
+    for (int j = 0; j < truth.num_columns(); ++j) {
+      if (truth.at(i, j).valid()) return true;
+    }
+  }
+  return false;
+}
+
+int CmdSimulate(const FlagParser& flags) {
+  std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "simulate: --out=DIR is required\n");
+    return 2;
+  }
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  int apt = static_cast<int>(flags.GetInt("answers-per-task", -1));
+
+  Dataset dataset;
+  if (flags.Has("dataset")) {
+    std::string which = flags.GetString("dataset");
+    sim::PaperDataset pd;
+    if (which == "celebrity") {
+      pd = sim::PaperDataset::kCelebrity;
+    } else if (which == "restaurant") {
+      pd = sim::PaperDataset::kRestaurant;
+    } else if (which == "emotion") {
+      pd = sim::PaperDataset::kEmotion;
+    } else {
+      std::fprintf(stderr, "simulate: unknown --dataset=%s\n", which.c_str());
+      return 2;
+    }
+    sim::SynthesizerOptions opt;
+    opt.seed = seed;
+    opt.answers_per_task = apt;
+    dataset = std::move(sim::SynthesizeDataset(pd, opt).dataset);
+  } else {
+    sim::TableGeneratorOptions topt;
+    topt.num_rows = static_cast<int>(flags.GetInt("rows", 100));
+    topt.num_cols = static_cast<int>(flags.GetInt("cols", 8));
+    topt.categorical_ratio = flags.GetDouble("ratio", 0.5);
+    topt.mean_difficulty = flags.GetDouble("difficulty", 1.0);
+    sim::CrowdOptions copt;
+    copt.num_workers = static_cast<int>(flags.GetInt("workers", 50));
+    Rng rng(seed);
+    sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
+    dataset = std::move(
+        sim::SynthesizeFromTable(std::move(table), copt,
+                                 apt > 0 ? apt : 5, seed + 1, "custom")
+            .dataset);
+  }
+
+  Status st = SaveDataset(dataset, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "simulate: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d rows x %d columns, %zu answers from %zu "
+              "workers\n",
+              out.c_str(), dataset.num_rows(), dataset.num_cols(),
+              dataset.answers.size(), dataset.answers.Workers().size());
+  return 0;
+}
+
+int CmdInfer(const FlagParser& flags) {
+  std::string dir = flags.GetString("data");
+  std::string method_name = flags.GetString("method", "tcrowd");
+  if (dir.empty()) {
+    std::fprintf(stderr, "infer: --data=DIR is required\n");
+    return 2;
+  }
+  auto dataset = LoadDataset(dir);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "infer: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto method = MakeMethod(method_name, dataset->schema);
+  if (method == nullptr) {
+    std::fprintf(stderr, "infer: unknown --method=%s\n", method_name.c_str());
+    return 2;
+  }
+  InferenceResult result = method->Infer(dataset->schema, dataset->answers);
+  std::printf("%s on %s: %zu answers, %d iterations\n",
+              method->name().c_str(), dir.c_str(), dataset->answers.size(),
+              result.iterations);
+  if (TruthIsKnown(dataset->truth)) {
+    std::printf("error rate = %.4f   MNAD = %.4f\n",
+                Metrics::ErrorRate(dataset->truth, result.estimated_truth),
+                Metrics::Mnad(dataset->truth, result.estimated_truth));
+  }
+  std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    Status st = WriteEstimates(dataset->schema, result.estimated_truth, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "infer: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("estimates written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdEval(const FlagParser& flags) {
+  std::string dir = flags.GetString("data");
+  if (dir.empty()) {
+    std::fprintf(stderr, "eval: --data=DIR is required\n");
+    return 2;
+  }
+  auto dataset = LoadDataset(dir);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "eval: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  if (!TruthIsKnown(dataset->truth)) {
+    std::fprintf(stderr, "eval: dataset has no ground truth to score "
+                         "against\n");
+    return 1;
+  }
+  Report report({"method", "error_rate", "mnad"});
+  for (const char* name :
+       {"tcrowd", "crh", "catd", "mv", "ds", "glad", "zencrowd",
+        "tc-onlycate", "median", "gtm", "tc-onlycont"}) {
+    auto method = MakeMethod(name, dataset->schema);
+    InferenceResult result =
+        method->Infer(dataset->schema, dataset->answers);
+    bool has_cat_estimates = false, has_cont_estimates = false;
+    for (int i = 0; i < dataset->truth.num_rows(); ++i) {
+      for (int j = 0; j < dataset->schema.num_columns(); ++j) {
+        const Value& v = result.estimated_truth.at(i, j);
+        if (!v.valid()) continue;
+        (v.is_categorical() ? has_cat_estimates : has_cont_estimates) = true;
+      }
+    }
+    report.AddRow(
+        method->name(),
+        {has_cat_estimates
+             ? Metrics::ErrorRate(dataset->truth, result.estimated_truth)
+             : -1.0,
+         has_cont_estimates
+             ? Metrics::Mnad(dataset->truth, result.estimated_truth)
+             : -1.0});
+  }
+  report.Print();
+  return 0;
+}
+
+std::unique_ptr<AssignmentPolicy> MakePolicy(const std::string& name,
+                                             uint64_t seed) {
+  if (name == "structure") {
+    return std::make_unique<StructureAwarePolicy>(TCrowdOptions::Fast());
+  }
+  if (name == "inherent") {
+    return std::make_unique<InherentGainPolicy>(TCrowdOptions::Fast());
+  }
+  if (name == "entropy") {
+    return std::make_unique<EntropyPolicy>(TCrowdOptions::Fast());
+  }
+  if (name == "random") return std::make_unique<RandomPolicy>(seed);
+  if (name == "looping") return std::make_unique<LoopingPolicy>();
+  if (name == "cdas") return std::make_unique<CdasPolicy>(seed);
+  if (name == "askit") return std::make_unique<AskItPolicy>();
+  return nullptr;
+}
+
+int CmdAssign(const FlagParser& flags) {
+  std::string which = flags.GetString("dataset", "restaurant");
+  sim::PaperDataset pd;
+  if (which == "celebrity") {
+    pd = sim::PaperDataset::kCelebrity;
+  } else if (which == "restaurant") {
+    pd = sim::PaperDataset::kRestaurant;
+  } else if (which == "emotion") {
+    pd = sim::PaperDataset::kEmotion;
+  } else {
+    std::fprintf(stderr, "assign: unknown --dataset=%s\n", which.c_str());
+    return 2;
+  }
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string policy_name = flags.GetString("policy", "structure");
+  auto policy = MakePolicy(policy_name, seed);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "assign: unknown --policy=%s\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  sim::SynthesizerOptions opt;
+  opt.seed = seed;
+  opt.answers_per_task = 0;
+  auto world = sim::SynthesizeDataset(pd, opt);
+
+  EndToEndConfig cfg;
+  cfg.initial_answers_per_task = 2;
+  cfg.max_answers_per_task =
+      flags.GetDouble("budget", sim::PaperAnswersPerTask(pd));
+  cfg.record_every = 0.5;
+  cfg.refresh_every_answers = 60;
+  cfg.tasks_per_worker =
+      static_cast<int>(flags.GetInt("tasks-per-worker", 1));
+
+  TCrowdModel inference(TCrowdOptions::Fast());
+  EndToEndResult result =
+      RunEndToEnd(world.dataset.schema, world.dataset.truth,
+                  world.crowd.get(), policy.get(), inference, cfg);
+
+  std::printf("%s on %s (budget %.1f answers/task, %d answers total)\n",
+              policy->name().c_str(), sim::PaperDatasetName(pd),
+              cfg.max_answers_per_task, result.total_answers);
+  Report report({"answers_per_task", "error_rate", "mnad"});
+  for (const SeriesPoint& p : result.points) {
+    report.AddRow({StrFormat("%.2f", p.answers_per_task),
+                   StrFormat("%.4f", p.error_rate),
+                   StrFormat("%.4f", p.mnad)});
+  }
+  report.Print();
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  FlagParser flags;
+  Status st = flags.Parse(argc - 2, argv + 2);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (command == "simulate") return CmdSimulate(flags);
+  if (command == "infer") return CmdInfer(flags);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "assign") return CmdAssign(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tcrowd
+
+int main(int argc, char** argv) { return tcrowd::Main(argc, argv); }

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Convenience wrapper for the tier-1 verify loop:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+# Run from anywhere; extra arguments are forwarded to ctest
+# (e.g. tools/run_tests.sh -L unit, or tools/run_tests.sh -R test_csv).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+# Default to parallel tests, but let an explicit -j/--parallel from the
+# caller win (a trailing bare -j would override theirs).
+case " $* " in
+  *" -j"*|*" --parallel"*) exec ctest --output-on-failure "$@" ;;
+  *) exec ctest --output-on-failure "$@" -j ;;
+esac

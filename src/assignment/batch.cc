@@ -17,16 +17,26 @@ std::vector<CellRef> AssignmentPolicy::SelectTasks(const Schema& schema,
   return picked;
 }
 
+std::vector<char> ExclusionBitmap(const AnswerSet& answers,
+                                  const std::vector<CellRef>& exclude) {
+  std::vector<char> excluded(
+      static_cast<size_t>(answers.num_rows()) * answers.num_cols(), 0);
+  for (const CellRef& cell : exclude) {
+    excluded[static_cast<size_t>(cell.row) * answers.num_cols() + cell.col] =
+        1;
+  }
+  return excluded;
+}
+
 std::vector<CellRef> CandidateCells(const AnswerSet& answers, WorkerId worker,
                                     const std::vector<CellRef>& exclude) {
+  std::vector<char> excluded = ExclusionBitmap(answers, exclude);
   std::vector<CellRef> out;
   for (int i = 0; i < answers.num_rows(); ++i) {
     for (int j = 0; j < answers.num_cols(); ++j) {
       CellRef cell{i, j};
+      if (excluded[static_cast<size_t>(i) * answers.num_cols() + j]) continue;
       if (answers.HasAnswered(worker, cell)) continue;
-      if (std::find(exclude.begin(), exclude.end(), cell) != exclude.end()) {
-        continue;
-      }
       out.push_back(cell);
     }
   }

@@ -35,13 +35,12 @@ bool LoopingPolicy::SelectTaskExcluding(const Schema& schema,
   (void)schema;
   int total = answers.num_rows() * answers.num_cols();
   if (total == 0) return false;
+  std::vector<char> excluded = ExclusionBitmap(answers, exclude);
   for (int step = 0; step < total; ++step) {
     int idx = (cursor_ + step) % total;
     CellRef cell{idx / answers.num_cols(), idx % answers.num_cols()};
+    if (excluded[idx]) continue;
     if (answers.HasAnswered(worker, cell)) continue;
-    if (std::find(exclude.begin(), exclude.end(), cell) != exclude.end()) {
-      continue;
-    }
     cursor_ = (idx + 1) % total;
     *out = cell;
     return true;

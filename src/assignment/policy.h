@@ -63,6 +63,12 @@ class AssignmentPolicy {
 std::vector<CellRef> CandidateCells(const AnswerSet& answers, WorkerId worker,
                                     const std::vector<CellRef>& exclude);
 
+/// Row-major membership bitmap of `exclude` (size rows*cols). The service
+/// layer passes O(cells)-long exclusion lists, so policies test against this
+/// instead of a per-cell std::find.
+std::vector<char> ExclusionBitmap(const AnswerSet& answers,
+                                  const std::vector<CellRef>& exclude);
+
 }  // namespace tcrowd
 
 #endif  // TCROWD_ASSIGNMENT_POLICY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace tcrowd {
 
@@ -22,18 +23,25 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> job) {
+bool ThreadPool::Submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
     jobs_.push(std::move(job));
     ++in_flight_;
   }
   job_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -46,9 +54,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     size_t lo = c * per_chunk;
     size_t hi = std::min(n, lo + per_chunk);
     if (lo >= hi) break;
-    Submit([lo, hi, &fn] {
+    bool submitted = Submit([lo, hi, &fn] {
       for (size_t i = lo; i < hi; ++i) fn(i);
     });
+    if (!submitted) {
+      // Pool is shutting down: still honor the contract that fn ran for
+      // every index by executing the chunk on the caller's thread.
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }
   }
   Wait();
 }
@@ -66,9 +79,15 @@ void ThreadPool::WorkerLoop() {
       job = std::move(jobs_.front());
       jobs_.pop();
     }
-    job();
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -13,20 +14,26 @@ namespace tcrowd {
 
 /// Fixed-size worker pool used to parallelize per-task information-gain
 /// scoring during assignment (the parallelization the paper sketches at the
-/// end of its Section 5.1).
+/// end of its Section 5.1) and to run the service layer's background EM
+/// refreshes.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
+  /// Drains every job already queued, then joins the workers. Exceptions
+  /// still pending at destruction are swallowed (a destructor cannot throw).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job; jobs may run in any order.
-  void Submit(std::function<void()> job);
+  /// Enqueues a job; jobs may run in any order. Returns false (and drops the
+  /// job) when the pool is already shutting down, so racing producers cannot
+  /// enqueue work nobody will run.
+  bool Submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished. If any job threw, the
+  /// FIRST captured exception is rethrown here (the others are dropped).
   void Wait();
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
@@ -44,6 +51,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace tcrowd

@@ -1,6 +1,9 @@
 #include "platform/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/string_util.h"
 
 #include "common/logging.h"
 #include "math/statistics.h"
@@ -71,6 +74,96 @@ double Metrics::Mnad(const Table& truth, const Table& estimate,
   }
   if (used_columns == 0) return 0.0;
   return sum / static_cast<double>(used_columns);
+}
+
+// ------------------------------------------------------- service metrics --
+
+void LatencyStats::Record(double micros) {
+  if (micros < 0.0 || !std::isfinite(micros)) micros = 0.0;
+  int bucket = 0;
+  while (bucket < kNumBuckets - 1 &&
+         micros >= static_cast<double>(1ll << (bucket + 1))) {
+    ++bucket;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  sum_ += micros;
+  max_ = std::max(max_, micros);
+  ++buckets_[bucket];
+}
+
+int64_t LatencyStats::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double LatencyStats::mean_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyStats::max_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double LatencyStats::PercentileMicros(double p) const {
+  p = std::min(1.0, std::max(0.0, p));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  int64_t rank = static_cast<int64_t>(std::ceil(p * static_cast<double>(count_)));
+  rank = std::max<int64_t>(1, rank);
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      double upper = static_cast<double>(1ll << (b + 1));
+      return std::min(upper, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyStats& MetricsRegistry::latency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyStats>& slot = latencies_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyStats>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("%-28s = %lld\n", name.c_str(),
+                     static_cast<long long>(counter->value()));
+  }
+  for (const auto& [name, lat] : latencies_) {
+    out += StrFormat(
+        "%-28s : n=%lld mean=%.1fus p50=%.0fus p95=%.0fus max=%.0fus\n",
+        name.c_str(), static_cast<long long>(lat->count()),
+        lat->mean_micros(), lat->PercentileMicros(0.5),
+        lat->PercentileMicros(0.95), lat->max_micros());
+  }
+  return out;
 }
 
 }  // namespace tcrowd

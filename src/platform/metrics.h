@@ -1,6 +1,14 @@
 #ifndef TCROWD_PLATFORM_METRICS_H_
 #define TCROWD_PLATFORM_METRICS_H_
 
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "data/schema.h"
@@ -26,6 +34,84 @@ struct Metrics {
   static double Mnad(const Table& truth, const Table& estimate);
   static double Mnad(const Table& truth, const Table& estimate,
                      const std::vector<int>& columns);
+};
+
+/// Monotonic event counter. Thread-safe and lock-free; the service layer
+/// bumps these on every request, answer, and refresh.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Streaming latency summary in microseconds: count / mean / max plus
+/// power-of-two buckets for approximate percentiles. Thread-safe.
+class LatencyStats {
+ public:
+  /// Buckets cover [2^k, 2^(k+1)) microseconds for k in [0, kNumBuckets-2];
+  /// sub-microsecond samples land in bucket 0, the last bucket is open.
+  static constexpr int kNumBuckets = 24;
+
+  void Record(double micros);
+
+  int64_t count() const;
+  double mean_micros() const;
+  double max_micros() const;
+  /// Approximate percentile (p in [0,1]) read off the bucket histogram:
+  /// upper edge of the bucket holding the p-quantile sample. 0 when empty.
+  double PercentileMicros(double p) const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::array<int64_t, kNumBuckets> buckets_{};
+};
+
+/// Named counters + latency summaries the service exports. Metric objects
+/// are created on first use and live as long as the registry; references
+/// handed out stay valid, so hot paths look the handle up once.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  LatencyStats& latency(const std::string& name);
+
+  /// Snapshot of every counter value, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+
+  /// Human-readable dump: one `name = value` line per counter, then one
+  /// `name: count/mean/p50/p95/max` line per latency series.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyStats>> latencies_;
+};
+
+/// RAII timer recording the scope's wall time into a LatencyStats.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(LatencyStats* stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyTimer() {
+    std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    stats_->Record(elapsed.count());
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  LatencyStats* stats_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace tcrowd

@@ -1,0 +1,259 @@
+#include "service/crowd_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tcrowd::service {
+
+const char* TaskStateName(TaskState state) {
+  switch (state) {
+    case TaskState::kOpen:
+      return "open";
+    case TaskState::kAssigned:
+      return "assigned";
+    case TaskState::kAnswered:
+      return "answered";
+    case TaskState::kFinalized:
+      return "finalized";
+  }
+  return "?";
+}
+
+CrowdService::CrowdService(const Schema& schema, int num_rows,
+                           std::unique_ptr<AssignmentPolicy> policy,
+                           ServiceConfig config)
+    : schema_(schema),
+      num_rows_(num_rows),
+      config_(std::move(config)),
+      sessions_started_(&metrics_.counter("service.sessions_started")),
+      sessions_ended_(&metrics_.counter("service.sessions_ended")),
+      tasks_assigned_(&metrics_.counter("service.tasks_assigned")),
+      answers_accepted_(&metrics_.counter("service.answers_accepted")),
+      answers_rejected_(&metrics_.counter("service.answers_rejected")),
+      tasks_finalized_(&metrics_.counter("service.tasks_finalized")),
+      request_latency_(&metrics_.latency("service.request_tasks")),
+      submit_latency_(&metrics_.latency("service.submit_answer")),
+      pool_(static_cast<size_t>(std::max(1, config_.num_threads))),
+      engine_(std::make_unique<IncrementalInferenceEngine>(
+          schema, num_rows, config_.inference, &pool_)),
+      router_(std::move(policy), config_.router),
+      answers_(num_rows, schema.num_columns()),
+      tasks_(static_cast<size_t>(num_rows) * schema.num_columns()) {
+  TCROWD_CHECK(num_rows_ > 0);
+  TCROWD_CHECK(schema_.num_columns() > 0);
+  config_.target_answers_per_task =
+      std::max(1, config_.target_answers_per_task);
+  if (config_.max_total_answers < 0) {
+    config_.max_total_answers =
+        static_cast<int64_t>(config_.target_answers_per_task) * tasks_.size();
+  }
+}
+
+CrowdService::~CrowdService() = default;
+
+TaskState CrowdService::StateOf(const TaskEntry& task) const {
+  if (task.finalized) return TaskState::kFinalized;
+  if (task.leases > 0) return TaskState::kAssigned;
+  if (task.answers > 0) return TaskState::kAnswered;
+  return TaskState::kOpen;
+}
+
+bool CrowdService::Assignable(const TaskEntry& task) const {
+  return !task.finalized &&
+         task.answers + task.leases < config_.target_answers_per_task;
+}
+
+CrowdService::TaskEntry& CrowdService::TaskAt(CellRef cell) {
+  return tasks_[static_cast<size_t>(cell.row) * schema_.num_columns() +
+                cell.col];
+}
+
+const CrowdService::TaskEntry& CrowdService::TaskAt(CellRef cell) const {
+  return tasks_[static_cast<size_t>(cell.row) * schema_.num_columns() +
+                cell.col];
+}
+
+bool CrowdService::DrainedLocked() const {
+  return budget_committed_ >= config_.max_total_answers ||
+         finalized_count_ == static_cast<int>(tasks_.size());
+}
+
+CrowdService::SessionId CrowdService::StartSession(WorkerId worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionId id = next_session_++;
+  sessions_[id].worker = worker;
+  ++sessions_started_total_;
+  sessions_started_->Increment();
+  return id;
+}
+
+std::vector<CellRef> CrowdService::RequestTasks(SessionId session, int k) {
+  ScopedLatencyTimer timer(request_latency_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || k <= 0 || DrainedLocked()) return {};
+  Session& sess = it->second;
+
+  // Remaining global budget caps the lease batch.
+  int64_t headroom = config_.max_total_answers - budget_committed_;
+  k = static_cast<int>(std::min<int64_t>(k, headroom));
+  if (k <= 0) return {};
+
+  // Cells the router must not hand out: finalized or fully committed tasks,
+  // plus everything ANY session of this worker already holds — the policies
+  // only know which cells the worker has *answered*, so in-flight leases of
+  // a worker running concurrent sessions must be excluded here or the same
+  // worker could answer one cell twice.
+  std::vector<CellRef> unavailable;
+  for (int i = 0; i < num_rows_; ++i) {
+    for (int j = 0; j < schema_.num_columns(); ++j) {
+      CellRef cell{i, j};
+      if (!Assignable(TaskAt(cell))) unavailable.push_back(cell);
+    }
+  }
+  for (const auto& entry : sessions_) {
+    const Session& other = entry.second;
+    if (other.worker == sess.worker) {
+      unavailable.insert(unavailable.end(), other.leases.begin(),
+                         other.leases.end());
+    }
+  }
+
+  std::vector<CellRef> picked =
+      router_.Route(schema_, answers_, sess.worker, k, unavailable);
+  for (const CellRef& cell : picked) {
+    ++TaskAt(cell).leases;
+    sess.leases.push_back(cell);
+    ++budget_committed_;
+    tasks_assigned_->Increment();
+  }
+  return picked;
+}
+
+Status CrowdService::SubmitAnswer(SessionId session, CellRef cell,
+                                  const Value& value) {
+  ScopedLatencyTimer timer(submit_latency_);
+  Answer answer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      ++rejected_;
+      answers_rejected_->Increment();
+      return Status::NotFound(
+          StrFormat("unknown session %lld", static_cast<long long>(session)));
+    }
+    Session& sess = it->second;
+    auto lease = std::find(sess.leases.begin(), sess.leases.end(), cell);
+    if (lease == sess.leases.end()) {
+      ++rejected_;
+      answers_rejected_->Increment();
+      return Status::FailedPrecondition(
+          StrFormat("session holds no lease on cell (%d,%d)", cell.row,
+                    cell.col));
+    }
+    const ColumnSpec& col = schema_.column(cell.col);
+    bool type_ok =
+        value.valid() && ((col.type == ColumnType::kCategorical &&
+                           value.is_categorical() && value.label() >= 0 &&
+                           value.label() < static_cast<int>(col.labels.size())) ||
+                          (col.type == ColumnType::kContinuous &&
+                           value.is_continuous()));
+    if (!type_ok) {
+      ++rejected_;
+      answers_rejected_->Increment();
+      return Status::InvalidArgument(
+          StrFormat("value %s does not fit column '%s'",
+                    value.ToString().c_str(), col.name.c_str()));
+    }
+
+    sess.leases.erase(lease);
+    answer = Answer{sess.worker, cell, value};
+    answers_.Add(answer);
+    TaskEntry& task = TaskAt(cell);
+    --task.leases;
+    ++task.answers;
+    ++budget_spent_;
+    answers_accepted_->Increment();
+    if (task.answers >= config_.target_answers_per_task && !task.finalized) {
+      task.finalized = true;
+      ++finalized_count_;
+      tasks_finalized_->Increment();
+    }
+    // Keep the policy's model warm; the router refits on its own cadence.
+    router_.OnAnswer(schema_, answers_, answer);
+  }
+  // The engine syncs its cached matrix under its own lock and may kick off
+  // an async EM refresh; no service state is touched past this point.
+  engine_->SubmitAnswer(answer);
+  return Status::Ok();
+}
+
+Status CrowdService::EndSession(SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound(
+        StrFormat("unknown session %lld", static_cast<long long>(session)));
+  }
+  for (const CellRef& cell : it->second.leases) {
+    --TaskAt(cell).leases;
+    --budget_committed_;  // refund the unanswered commitment
+  }
+  sessions_.erase(it);
+  sessions_ended_->Increment();
+  return Status::Ok();
+}
+
+TaskState CrowdService::task_state(CellRef cell) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StateOf(TaskAt(cell));
+}
+
+int CrowdService::AnswerCount(CellRef cell) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TaskAt(cell).answers;
+}
+
+bool CrowdService::Drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DrainedLocked();
+}
+
+ServiceStats CrowdService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats stats;
+  for (const TaskEntry& task : tasks_) {
+    switch (StateOf(task)) {
+      case TaskState::kOpen:
+        ++stats.tasks_open;
+        break;
+      case TaskState::kAssigned:
+        ++stats.tasks_assigned;
+        break;
+      case TaskState::kAnswered:
+        ++stats.tasks_answered;
+        break;
+      case TaskState::kFinalized:
+        ++stats.tasks_finalized;
+        break;
+    }
+  }
+  stats.sessions_started = sessions_started_total_;
+  stats.sessions_active = static_cast<int64_t>(sessions_.size());
+  stats.answers_accepted = budget_spent_;
+  stats.answers_rejected = rejected_;
+  stats.assignments = tasks_assigned_->value();
+  stats.backfilled = router_.backfilled();
+  stats.budget_spent = budget_spent_;
+  stats.budget_remaining = config_.max_total_answers - budget_committed_;
+  stats.engine_refreshes = engine_->refresh_count();
+  return stats;
+}
+
+InferenceResult CrowdService::Finalize() { return engine_->Finalize(); }
+
+}  // namespace tcrowd::service

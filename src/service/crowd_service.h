@@ -1,0 +1,167 @@
+#ifndef TCROWD_SERVICE_CROWD_SERVICE_H_
+#define TCROWD_SERVICE_CROWD_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/answer.h"
+#include "platform/metrics.h"
+#include "service/incremental_engine.h"
+#include "service/task_router.h"
+
+namespace tcrowd::service {
+
+/// Lifecycle of one task (cell) inside the service.
+enum class TaskState {
+  kOpen,       ///< No answers, no outstanding leases.
+  kAssigned,   ///< At least one lease is out with a worker session.
+  kAnswered,   ///< Has answers, none in flight, below its target count.
+  kFinalized,  ///< Reached its per-task answer target; no longer assignable.
+};
+
+const char* TaskStateName(TaskState state);
+
+struct ServiceConfig {
+  /// A task is finalized once this many answers were accepted for it.
+  int target_answers_per_task = 5;
+  /// Global answer budget; -1 derives target_answers_per_task * num_cells.
+  /// Outstanding leases count against the budget (committed accounting), so
+  /// the service never hands out work it cannot pay for.
+  int64_t max_total_answers = -1;
+  /// Threads of the service-owned pool running background EM refreshes.
+  int num_threads = 2;
+  InferenceArgs inference;
+  RouterOptions router;
+};
+
+/// Aggregate state snapshot, exported next to the metrics registry.
+struct ServiceStats {
+  int tasks_open = 0;
+  int tasks_assigned = 0;
+  int tasks_answered = 0;
+  int tasks_finalized = 0;
+  int64_t sessions_started = 0;
+  int64_t sessions_active = 0;
+  int64_t answers_accepted = 0;
+  int64_t answers_rejected = 0;
+  int64_t assignments = 0;
+  int64_t backfilled = 0;
+  int64_t budget_spent = 0;
+  int64_t budget_remaining = 0;
+  int engine_refreshes = 0;
+};
+
+/// The online crowdsourcing façade over the batch pipeline: workers open
+/// sessions, lease the most informative tasks from the TaskRouter, submit
+/// answers that feed the IncrementalInferenceEngine, and tasks progress
+/// open → assigned → answered → finalized under per-task and global budget
+/// accounting.
+///
+/// Thread-safety: all public methods may be called from concurrent driver
+/// threads. Request handling is serialized on one service mutex (policies
+/// are stateful); truth-inference refreshes run asynchronously on the
+/// service's own common::ThreadPool and never block the request path.
+class CrowdService {
+ public:
+  using SessionId = int64_t;
+
+  CrowdService(const Schema& schema, int num_rows,
+               std::unique_ptr<AssignmentPolicy> policy,
+               ServiceConfig config);
+  ~CrowdService();
+
+  CrowdService(const CrowdService&) = delete;
+  CrowdService& operator=(const CrowdService&) = delete;
+
+  /// Opens a worker session. Ids are unique for the service's lifetime.
+  SessionId StartSession(WorkerId worker);
+
+  /// Leases up to `k` tasks to the session. Empty when the session is
+  /// unknown/closed, the budget is exhausted, or nothing is assignable.
+  std::vector<CellRef> RequestTasks(SessionId session, int k);
+
+  /// Accepts one answer for a cell the session holds a lease on. Rejects
+  /// answers without a lease, with a mismatched value type, or an
+  /// out-of-range label.
+  Status SubmitAnswer(SessionId session, CellRef cell, const Value& value);
+
+  /// Closes the session; unanswered leases return to the open pool (and
+  /// their budget commitment is refunded) so backfill can re-route them.
+  Status EndSession(SessionId session);
+
+  TaskState task_state(CellRef cell) const;
+  int AnswerCount(CellRef cell) const;
+  /// True when no further assignment can ever happen (budget exhausted or
+  /// every task finalized).
+  bool Drained() const;
+
+  ServiceStats Stats() const;
+  MetricsRegistry& metrics() { return metrics_; }
+  IncrementalInferenceEngine& engine() { return *engine_; }
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return num_rows_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Waits out pending refreshes and returns the final batch-converged
+  /// truth inference over everything collected.
+  InferenceResult Finalize();
+
+ private:
+  struct TaskEntry {
+    int answers = 0;
+    int leases = 0;
+    bool finalized = false;
+  };
+  struct Session {
+    WorkerId worker = -1;
+    std::vector<CellRef> leases;
+  };
+
+  TaskState StateOf(const TaskEntry& task) const;
+  bool Assignable(const TaskEntry& task) const;
+  TaskEntry& TaskAt(CellRef cell);
+  const TaskEntry& TaskAt(CellRef cell) const;
+  bool DrainedLocked() const;
+
+  const Schema schema_;
+  const int num_rows_;
+  ServiceConfig config_;
+
+  MetricsRegistry metrics_;
+  // Cached hot-path metric handles (stable for the registry's lifetime).
+  Counter* sessions_started_;
+  Counter* sessions_ended_;
+  Counter* tasks_assigned_;
+  Counter* answers_accepted_;
+  Counter* answers_rejected_;
+  Counter* tasks_finalized_;
+  LatencyStats* request_latency_;
+  LatencyStats* submit_latency_;
+
+  // Order matters: engine_ schedules jobs on pool_ and is declared after it,
+  // so it is destroyed first and can drain its in-flight refresh.
+  ThreadPool pool_;
+  std::unique_ptr<IncrementalInferenceEngine> engine_;
+  TaskRouter router_;
+
+  mutable std::mutex mu_;
+  AnswerSet answers_;                ///< canonical log; engine keeps a copy
+  std::vector<TaskEntry> tasks_;     ///< row-major
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+  int64_t sessions_started_total_ = 0;
+  int64_t budget_spent_ = 0;      ///< accepted answers
+  int64_t budget_committed_ = 0;  ///< accepted + outstanding leases
+  int64_t rejected_ = 0;
+  int finalized_count_ = 0;
+};
+
+}  // namespace tcrowd::service
+
+#endif  // TCROWD_SERVICE_CROWD_SERVICE_H_

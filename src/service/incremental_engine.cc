@@ -1,0 +1,229 @@
+#include "service/incremental_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "assignment/policies.h"
+#include "common/logging.h"
+#include "inference/catd.h"
+#include "inference/crh.h"
+#include "inference/dawid_skene.h"
+#include "inference/glad.h"
+#include "inference/gtm.h"
+#include "inference/majority_voting.h"
+#include "inference/median_inference.h"
+#include "inference/zencrowd.h"
+
+namespace tcrowd::service {
+
+namespace {
+
+InferenceArgs Normalize(InferenceArgs args) {
+  args.staleness_threshold = std::max(1, args.staleness_threshold);
+  args.num_shards = std::max(1, args.num_shards);
+  args.min_answers_for_fit = std::max(1, args.min_answers_for_fit);
+  // The refresh EM shards its E/M steps with the model's own thread knob.
+  args.tcrowd_options.num_threads =
+      std::max(args.tcrowd_options.num_threads, args.num_shards);
+  return args;
+}
+
+}  // namespace
+
+IncrementalInferenceEngine::IncrementalInferenceEngine(const Schema& schema,
+                                                       int num_rows,
+                                                       InferenceArgs args,
+                                                       ThreadPool* pool)
+    : schema_(schema),
+      num_rows_(num_rows),
+      args_(Normalize(std::move(args))),
+      pool_(pool),
+      answers_(num_rows, schema.num_columns()),
+      tcrowd_path_(IsTCrowdMethod(args_.method)) {
+  TCROWD_CHECK(num_rows_ > 0);
+  TCROWD_CHECK(schema_.num_columns() > 0);
+}
+
+IncrementalInferenceEngine::~IncrementalInferenceEngine() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  refresh_done_.wait(lock, [this] { return !refresh_in_flight_; });
+}
+
+bool IncrementalInferenceEngine::IsTCrowdMethod(const std::string& method) {
+  return method == "tcrowd" || method == "tc-onlycate" ||
+         method == "tc-onlycont";
+}
+
+TCrowdModel IncrementalInferenceEngine::MakeTCrowdModel() const {
+  if (args_.method == "tc-onlycate") {
+    return TCrowdModel::OnlyCategorical(schema_, args_.tcrowd_options);
+  }
+  if (args_.method == "tc-onlycont") {
+    return TCrowdModel::OnlyContinuous(schema_, args_.tcrowd_options);
+  }
+  return TCrowdModel(args_.tcrowd_options);
+}
+
+std::unique_ptr<TruthInference> IncrementalInferenceEngine::MakeBatchMethod()
+    const {
+  const std::string& m = args_.method;
+  if (m == "mv") return std::make_unique<MajorityVoting>();
+  if (m == "median") return std::make_unique<MedianInference>();
+  if (m == "ds") return std::make_unique<DawidSkene>();
+  if (m == "zencrowd") return std::make_unique<ZenCrowd>();
+  if (m == "glad") return std::make_unique<Glad>();
+  if (m == "gtm") return std::make_unique<Gtm>();
+  if (m == "crh") return std::make_unique<Crh>();
+  if (m == "catd") return std::make_unique<Catd>();
+  return std::make_unique<TCrowdModel>(MakeTCrowdModel());
+}
+
+void IncrementalInferenceEngine::SubmitAnswer(const Answer& answer) {
+  bool run_inline = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TCROWD_CHECK(answer.cell.row >= 0 && answer.cell.row < num_rows_);
+    TCROWD_CHECK(answer.cell.col >= 0 &&
+                 answer.cell.col < schema_.num_columns());
+    answers_.Add(answer);
+    ++answers_since_refresh_;
+    if (fitted_ && tcrowd_path_) {
+      ApplyIncrementalAnswer(answer, &state_);
+    }
+    bool stale = answers_since_refresh_ >= args_.staleness_threshold ||
+                 (!fitted_ && static_cast<int>(answers_.size()) >=
+                                  args_.min_answers_for_fit);
+    if (stale && !refresh_in_flight_ && !shutdown_ &&
+        static_cast<int>(answers_.size()) >= args_.min_answers_for_fit) {
+      refresh_in_flight_ = true;
+      answers_since_refresh_ = 0;
+      if (pool_ != nullptr && args_.async_refresh) {
+        if (!pool_->Submit([this] { RunRefresh(); })) run_inline = true;
+      } else {
+        run_inline = true;
+      }
+    }
+  }
+  if (run_inline) RunRefresh();
+}
+
+void IncrementalInferenceEngine::RunRefresh() {
+  AnswerSet snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      refresh_in_flight_ = false;
+      refresh_done_.notify_all();
+      return;
+    }
+    snapshot = answers_;
+    snapshot_size_ = answers_.size();
+  }
+
+  // The expensive part runs without the lock: submits keep flowing while the
+  // EM re-converges on the snapshot.
+  TCrowdState fresh_state;
+  InferenceResult fresh_result;
+  bool fit_ok = true;
+  try {
+    if (tcrowd_path_) {
+      TCrowdModel model = MakeTCrowdModel();
+      fresh_state = model.Fit(schema_, snapshot);
+    } else {
+      fresh_result = MakeBatchMethod()->Infer(schema_, snapshot);
+    }
+  } catch (const std::exception& e) {
+    // A failed refresh must never wedge the engine: keep serving the last
+    // installed state and let a later submit schedule the next attempt.
+    TCROWD_LOG(Warning) << "inference refresh failed: " << e.what();
+    fit_ok = false;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fit_ok) {
+      if (tcrowd_path_) {
+        state_ = std::move(fresh_state);
+        // Answers that arrived during the fit are replayed incrementally so
+        // the installed state reflects every submitted answer.
+        for (size_t id = snapshot_size_; id < answers_.size(); ++id) {
+          ApplyIncrementalAnswer(answers_.answer(static_cast<int>(id)),
+                                 &state_);
+        }
+      } else {
+        baseline_result_ = std::move(fresh_result);
+      }
+      fitted_ = true;
+      ++refresh_count_;
+    }
+    refresh_in_flight_ = false;
+    // Notify under the lock: a waiter (incl. the destructor) may otherwise
+    // finish and destroy the condition variable before the notify lands.
+    refresh_done_.notify_all();
+  }
+}
+
+AnswerSet IncrementalInferenceEngine::SnapshotAnswers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return answers_;
+}
+
+size_t IncrementalInferenceEngine::num_answers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return answers_.size();
+}
+
+Value IncrementalInferenceEngine::Estimate(CellRef cell) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fitted_) return Value();
+  if (answers_.CellAnswerCount(cell.row, cell.col) == 0) return Value();
+  if (tcrowd_path_) {
+    if (!state_.column_active[cell.col]) return Value();
+    return state_.posterior(cell.row, cell.col).PointEstimate();
+  }
+  return baseline_result_.estimated_truth.at(cell);
+}
+
+double IncrementalInferenceEngine::CellEntropy(CellRef cell) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fitted_ || !tcrowd_path_) return 0.0;
+  if (!state_.column_active[cell.col]) return 0.0;
+  return state_.posterior(cell.row, cell.col).Entropy();
+}
+
+Table IncrementalInferenceEngine::EstimatedTruth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fitted_) return Table(schema_, num_rows_);
+  if (tcrowd_path_) return TCrowdModel::StateToResult(state_).estimated_truth;
+  return baseline_result_.estimated_truth;
+}
+
+void IncrementalInferenceEngine::WaitForRefresh() {
+  std::unique_lock<std::mutex> lock(mu_);
+  refresh_done_.wait(lock, [this] { return !refresh_in_flight_; });
+}
+
+InferenceResult IncrementalInferenceEngine::Finalize() {
+  WaitForRefresh();
+  AnswerSet snapshot = SnapshotAnswers();
+  return MakeBatchMethod()->Infer(schema_, snapshot);
+}
+
+int IncrementalInferenceEngine::refresh_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return refresh_count_;
+}
+
+int IncrementalInferenceEngine::answers_since_refresh() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return answers_since_refresh_;
+}
+
+bool IncrementalInferenceEngine::fitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fitted_;
+}
+
+}  // namespace tcrowd::service

@@ -1,0 +1,143 @@
+#ifndef TCROWD_SERVICE_INCREMENTAL_ENGINE_H_
+#define TCROWD_SERVICE_INCREMENTAL_ENGINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/answer.h"
+#include "inference/inference_result.h"
+#include "inference/tcrowd_model.h"
+
+namespace tcrowd::service {
+
+/// MAGPIE-style argument block configuring the online inference engine: one
+/// plain struct carries the method choice, the model knobs, and the thread
+/// control in a single hand-off.
+struct InferenceArgs {
+  /// Truth-inference method serving the estimates. "tcrowd" (default) and
+  /// its restricted variants "tc-onlycate"/"tc-onlycont" get the full
+  /// incremental path; "mv", "median", "crh", "catd", "ds", "zencrowd",
+  /// "glad", "gtm" fall back to periodic batch refits.
+  std::string method = "tcrowd";
+
+  /// Model knobs for the T-Crowd EM (ignored by baseline methods).
+  TCrowdOptions tcrowd_options = TCrowdOptions::Fast();
+
+  /// A full EM refresh is scheduled once this many answers have been
+  /// absorbed since the last (started) refresh.
+  int staleness_threshold = 64;
+
+  /// Shards the refresh EM fans its E/M steps across (TCrowdOptions'
+  /// num_threads; the model block-partitions cells over a thread pool).
+  int num_shards = 1;
+
+  /// When set, refreshes run as background jobs on the caller-supplied
+  /// common::ThreadPool and SubmitAnswer never blocks on a refit; when
+  /// clear (or no pool is given), refreshes run inline.
+  bool async_refresh = true;
+
+  /// Answers required before the first fit is attempted (EM on a nearly
+  /// empty matrix is noise).
+  int min_answers_for_fit = 8;
+};
+
+/// Online truth inference around the batch models: owns the growing answer
+/// matrix (the service's single cached copy — every consumer reads it from
+/// here instead of re-indexing answer logs), absorbs each answer with a
+/// cheap per-cell Bayes step, and re-converges with a sharded EM refresh
+/// whenever the incremental state has gone stale.
+///
+/// Thread-safety: every public method may be called concurrently; internal
+/// state is guarded by one mutex, and refresh fits run on a snapshot so the
+/// submit path never waits on EM.
+class IncrementalInferenceEngine {
+ public:
+  /// `pool` (optional, unowned) runs async refreshes; it must outlive the
+  /// engine. Pass nullptr to force inline refreshes.
+  IncrementalInferenceEngine(const Schema& schema, int num_rows,
+                             InferenceArgs args, ThreadPool* pool);
+  ~IncrementalInferenceEngine();
+
+  IncrementalInferenceEngine(const IncrementalInferenceEngine&) = delete;
+  IncrementalInferenceEngine& operator=(const IncrementalInferenceEngine&) =
+      delete;
+
+  /// Appends the answer to the cached matrix, applies the incremental
+  /// posterior update, and schedules a refresh when staleness crosses the
+  /// threshold.
+  void SubmitAnswer(const Answer& answer);
+
+  /// Copy of the current answer matrix (safe against concurrent submits).
+  AnswerSet SnapshotAnswers() const;
+  /// Number of answers absorbed so far.
+  size_t num_answers() const;
+
+  /// Current point estimate for one cell (incrementally updated between
+  /// refreshes). Missing value before the first fit / without answers.
+  Value Estimate(CellRef cell) const;
+  /// Current posterior entropy of one cell; 0 before the first fit.
+  double CellEntropy(CellRef cell) const;
+  /// Current full estimated table (missing cells where nothing is known).
+  Table EstimatedTruth() const;
+
+  /// Blocks until no refresh is running or queued behind a submit.
+  void WaitForRefresh();
+
+  /// Drains pending refreshes, then runs one final full batch fit over the
+  /// complete answer matrix and returns it. The finalized truths therefore
+  /// match the batch model run on the same answer set exactly.
+  InferenceResult Finalize();
+
+  /// Diagnostics.
+  int refresh_count() const;
+  int answers_since_refresh() const;
+  bool fitted() const;
+  const InferenceArgs& args() const { return args_; }
+
+  /// True for "tcrowd" and its restricted tc-onlycate/tc-onlycont variants,
+  /// which all run the incremental path.
+  static bool IsTCrowdMethod(const std::string& method);
+
+ private:
+  /// The T-Crowd model (full or restricted variant) for `args_.method`.
+  TCrowdModel MakeTCrowdModel() const;
+  /// Builds the batch model for `args_.method` (never null; unknown names
+  /// fall back to T-Crowd).
+  std::unique_ptr<TruthInference> MakeBatchMethod() const;
+
+  /// Schedules (or runs inline) a refresh; `mu_` must be held.
+  void ScheduleRefreshLocked();
+  /// The refresh body: snapshot, fit, install, replay the tail.
+  void RunRefresh();
+
+  const Schema schema_;
+  const int num_rows_;
+  const InferenceArgs args_;
+  ThreadPool* const pool_;  // unowned; nullptr = inline refresh
+
+  mutable std::mutex mu_;
+  std::condition_variable refresh_done_;
+  AnswerSet answers_;
+  /// Incremental T-Crowd state (valid when fitted_ && tcrowd_path_).
+  TCrowdState state_;
+  /// Batch estimates for the baseline path (valid when fitted_ &&
+  /// !tcrowd_path_).
+  InferenceResult baseline_result_;
+  bool tcrowd_path_ = true;
+  bool fitted_ = false;
+  bool refresh_in_flight_ = false;
+  bool shutdown_ = false;
+  int answers_since_refresh_ = 0;
+  int refresh_count_ = 0;
+  /// Index into answers_ of the first answer the running refresh did NOT
+  /// snapshot; on install the tail [snapshot_size_, size) is replayed.
+  size_t snapshot_size_ = 0;
+};
+
+}  // namespace tcrowd::service
+
+#endif  // TCROWD_SERVICE_INCREMENTAL_ENGINE_H_

@@ -29,6 +29,11 @@ int PaperAnswersPerTask(PaperDataset which);
 /// A synthesized world: the dataset (schema + truth + seeded answers), plus
 /// the live simulator so assignment experiments can keep collecting answers
 /// from the same hidden worker pool.
+///
+/// CAUTION: `crowd` points back into `dataset` (schema and truth), so a
+/// SynthesizedWorld must be constructed in place (copy elision) and never
+/// moved afterwards — `auto world = SynthesizeDataset(...)` is safe,
+/// `world = SynthesizeDataset(...)` onto an existing variable is not.
 struct SynthesizedWorld {
   Dataset dataset;
   std::unique_ptr<CrowdSimulator> crowd;

@@ -1,0 +1,102 @@
+#include "simulation/load_generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tcrowd::sim {
+
+LoadGenerator::LoadGenerator(CrowdSimulator* crowd,
+                             service::CrowdService* svc,
+                             LoadGeneratorOptions options)
+    : crowd_(crowd), service_(svc), options_(options) {
+  TCROWD_CHECK(crowd_ != nullptr);
+  TCROWD_CHECK(service_ != nullptr);
+  options_.max_arrivals = std::max(1, options_.max_arrivals);
+  options_.tasks_per_request = std::max(1, options_.tasks_per_request);
+  options_.num_driver_threads = std::max(1, options_.num_driver_threads);
+}
+
+void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
+  Rng rng(seed);
+  while (true) {
+    WorkerId worker;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (arrivals_issued_ >= options_.max_arrivals) return;
+      if (service_->Drained()) return;
+      ++arrivals_issued_;
+      worker = crowd_->NextWorker();
+    }
+    ++report->arrivals;
+
+    service::CrowdService::SessionId session = service_->StartSession(worker);
+    std::vector<CellRef> tasks =
+        service_->RequestTasks(session, options_.tasks_per_request);
+    report->assignments += static_cast<int64_t>(tasks.size());
+
+    bool abandons = !tasks.empty() && rng.Bernoulli(options_.abandon_prob);
+    if (abandons) {
+      ++report->abandoned_sessions;
+    } else {
+      for (const CellRef& cell : tasks) {
+        Value value;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          value = crowd_->Answer(worker, cell);
+        }
+        Status st = service_->SubmitAnswer(session, cell, value);
+        if (st.ok()) {
+          ++report->answers;
+        } else {
+          ++report->rejected;
+        }
+      }
+    }
+    service_->EndSession(session);
+  }
+}
+
+LoadReport LoadGenerator::Run() {
+  LoadReport report;
+  auto start = std::chrono::steady_clock::now();
+
+  int n = options_.num_driver_threads;
+  std::vector<LoadReport> partials(n);
+  if (n == 1) {
+    DriveLoop(options_.seed, &partials[0]);
+  } else {
+    std::vector<std::thread> drivers;
+    drivers.reserve(n);
+    for (int t = 0; t < n; ++t) {
+      drivers.emplace_back([this, t, &partials] {
+        DriveLoop(options_.seed + 0x9e3779b97f4a7c15ull * (t + 1),
+                  &partials[t]);
+      });
+    }
+    for (std::thread& d : drivers) d.join();
+  }
+
+  for (const LoadReport& p : partials) {
+    report.arrivals += p.arrivals;
+    report.assignments += p.assignments;
+    report.answers += p.answers;
+    report.rejected += p.rejected;
+    report.abandoned_sessions += p.abandoned_sessions;
+  }
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  report.wall_seconds = elapsed.count();
+  report.answers_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.answers) / report.wall_seconds
+          : 0.0;
+  report.final_stats = service_->Stats();
+  return report;
+}
+
+}  // namespace tcrowd::sim

@@ -1,0 +1,69 @@
+#ifndef TCROWD_SIMULATION_LOAD_GENERATOR_H_
+#define TCROWD_SIMULATION_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "service/crowd_service.h"
+#include "simulation/crowd_simulator.h"
+
+namespace tcrowd::sim {
+
+/// Knobs of the replay driver.
+struct LoadGeneratorOptions {
+  /// Upper bound on worker-arrival events (sessions opened). The run also
+  /// stops as soon as the service reports itself drained.
+  int max_arrivals = 1000000;
+  /// Tasks requested per arriving worker (paper Section 5.3 batches).
+  int tasks_per_request = 1;
+  /// Probability a session walks away without answering its leases — the
+  /// abandonment that exercises lease release + backfill.
+  double abandon_prob = 0.0;
+  /// Concurrent driver threads replaying arrivals against the service.
+  int num_driver_threads = 1;
+  uint64_t seed = 7;
+};
+
+/// What a replay run produced, next to the service's own metrics registry.
+struct LoadReport {
+  int64_t arrivals = 0;
+  int64_t assignments = 0;
+  int64_t answers = 0;
+  int64_t rejected = 0;
+  int64_t abandoned_sessions = 0;
+  double wall_seconds = 0.0;
+  /// Answer-event throughput of the whole run.
+  double answers_per_second = 0.0;
+  service::ServiceStats final_stats;
+};
+
+/// Replays a CrowdSimulator worker-arrival stream against a CrowdService:
+/// every arrival opens a session, leases tasks, answers them from the
+/// simulator's generative model (or abandons), and closes the session. This
+/// is the harness that pushes hundreds of thousands of answer events
+/// through the online stack.
+class LoadGenerator {
+ public:
+  /// Both pointers are unowned and must outlive Run().
+  LoadGenerator(CrowdSimulator* crowd, service::CrowdService* svc,
+                LoadGeneratorOptions options);
+
+  /// Drives the service until it drains or max_arrivals is hit. May be
+  /// called once per generator.
+  LoadReport Run();
+
+ private:
+  /// One driver thread's loop; shares the arrival budget with its peers.
+  void DriveLoop(uint64_t seed, LoadReport* report);
+
+  CrowdSimulator* const crowd_;
+  service::CrowdService* const service_;
+  LoadGeneratorOptions options_;
+
+  std::mutex mu_;  ///< guards crowd_ (the simulator is single-threaded)
+  int64_t arrivals_issued_ = 0;
+};
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_LOAD_GENERATOR_H_

@@ -1,0 +1,229 @@
+#include "service/crowd_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "assignment/policies.h"
+#include "data/schema.h"
+
+namespace tcrowd::service {
+namespace {
+
+Schema SmallSchema() {
+  return Schema{{Schema::MakeCategorical("cat", {"x", "y", "z"}),
+                 Schema::MakeContinuous("num", 0.0, 10.0)}};
+}
+
+ServiceConfig CheapConfig(int target = 2) {
+  ServiceConfig config;
+  config.target_answers_per_task = target;
+  config.num_threads = 1;
+  // Majority voting keeps unit tests free of EM fits.
+  config.inference.method = "mv";
+  config.inference.staleness_threshold = 1000000;
+  config.router.backfill = BackfillStrategy::kLeastAnswered;
+  config.router.refresh_every_answers = 1000000;
+  return config;
+}
+
+std::unique_ptr<CrowdService> MakeService(int num_rows = 4, int target = 2) {
+  return std::make_unique<CrowdService>(SmallSchema(), num_rows,
+                                        std::make_unique<LoopingPolicy>(),
+                                        CheapConfig(target));
+}
+
+Value ValueFor(const Schema& schema, CellRef cell) {
+  return schema.column(cell.col).type == ColumnType::kCategorical
+             ? Value::Categorical(1)
+             : Value::Continuous(3.5);
+}
+
+TEST(CrowdService, SessionLifecycle) {
+  auto svc = MakeService();
+  CrowdService::SessionId session = svc->StartSession(11);
+
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 2);
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(svc->task_state(tasks[0]), TaskState::kAssigned);
+
+  EXPECT_TRUE(svc->SubmitAnswer(session, tasks[0],
+                                ValueFor(svc->schema(), tasks[0]))
+                  .ok());
+  EXPECT_EQ(svc->task_state(tasks[0]), TaskState::kAnswered);
+  EXPECT_EQ(svc->AnswerCount(tasks[0]), 1);
+
+  // Ending the session releases the second, unanswered lease.
+  EXPECT_TRUE(svc->EndSession(session).ok());
+  EXPECT_EQ(svc->task_state(tasks[1]), TaskState::kOpen);
+
+  ServiceStats stats = svc->Stats();
+  EXPECT_EQ(stats.sessions_started, 1);
+  EXPECT_EQ(stats.sessions_active, 0);
+  EXPECT_EQ(stats.answers_accepted, 1);
+}
+
+TEST(CrowdService, RejectsAnswersWithoutLease) {
+  auto svc = MakeService();
+  CrowdService::SessionId session = svc->StartSession(1);
+  Status st = svc->SubmitAnswer(session, CellRef{0, 0}, Value::Categorical(0));
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(svc->Stats().answers_rejected, 1);
+}
+
+TEST(CrowdService, RejectsUnknownSessionAndDoubleEnd) {
+  auto svc = MakeService();
+  EXPECT_EQ(svc->SubmitAnswer(999, CellRef{0, 0}, Value::Categorical(0)).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(svc->RequestTasks(999, 1).empty());
+  CrowdService::SessionId session = svc->StartSession(1);
+  EXPECT_TRUE(svc->EndSession(session).ok());
+  EXPECT_EQ(svc->EndSession(session).code(), StatusCode::kNotFound);
+}
+
+TEST(CrowdService, RejectsMistypedValues) {
+  auto svc = MakeService();
+  CrowdService::SessionId session = svc->StartSession(1);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 8);
+  auto cat = std::find_if(tasks.begin(), tasks.end(),
+                          [](CellRef c) { return c.col == 0; });
+  ASSERT_NE(cat, tasks.end());
+
+  // Continuous value into a categorical column.
+  EXPECT_EQ(svc->SubmitAnswer(session, *cat, Value::Continuous(1.0)).code(),
+            StatusCode::kInvalidArgument);
+  // Out-of-range label.
+  EXPECT_EQ(svc->SubmitAnswer(session, *cat, Value::Categorical(7)).code(),
+            StatusCode::kInvalidArgument);
+  // Missing value.
+  EXPECT_EQ(svc->SubmitAnswer(session, *cat, Value()).code(),
+            StatusCode::kInvalidArgument);
+  // The lease survives rejections and a correct value still lands.
+  EXPECT_TRUE(svc->SubmitAnswer(session, *cat, Value::Categorical(2)).ok());
+}
+
+TEST(CrowdService, FinalizesTasksAtTargetAndStopsAssigningThem) {
+  auto svc = MakeService(/*num_rows=*/2, /*target=*/2);
+  CellRef cell{0, 0};
+  for (WorkerId w = 0; w < 2; ++w) {
+    CrowdService::SessionId session = svc->StartSession(w);
+    // Lease everything assignable so we certainly hold `cell`.
+    std::vector<CellRef> tasks = svc->RequestTasks(session, 4);
+    ASSERT_TRUE(std::find(tasks.begin(), tasks.end(), cell) != tasks.end());
+    EXPECT_TRUE(
+        svc->SubmitAnswer(session, cell, Value::Categorical(0)).ok());
+    EXPECT_TRUE(svc->EndSession(session).ok());
+  }
+  EXPECT_EQ(svc->task_state(cell), TaskState::kFinalized);
+  EXPECT_EQ(svc->Stats().tasks_finalized, 1);
+
+  // A fresh worker can never lease the finalized cell again.
+  CrowdService::SessionId session = svc->StartSession(50);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 100);
+  EXPECT_TRUE(std::find(tasks.begin(), tasks.end(), cell) == tasks.end());
+}
+
+TEST(CrowdService, PerTaskCommitmentCapsConcurrentLeases) {
+  // target=2: two sessions may hold the same cell, a third may not.
+  auto svc = MakeService(/*num_rows=*/1, /*target=*/2);
+  CrowdService::SessionId s1 = svc->StartSession(1);
+  CrowdService::SessionId s2 = svc->StartSession(2);
+  CrowdService::SessionId s3 = svc->StartSession(3);
+  EXPECT_EQ(svc->RequestTasks(s1, 2).size(), 2u);
+  EXPECT_EQ(svc->RequestTasks(s2, 2).size(), 2u);
+  // Both cells now carry 2 outstanding leases — fully committed.
+  EXPECT_TRUE(svc->RequestTasks(s3, 2).empty());
+
+  // An abandoned session refunds its commitment.
+  EXPECT_TRUE(svc->EndSession(s1).ok());
+  EXPECT_EQ(svc->RequestTasks(s3, 2).size(), 2u);
+}
+
+TEST(CrowdService, SameWorkerConcurrentSessionsNeverShareACell) {
+  // One worker, two live sessions (e.g. two browser tabs): target=3 leaves
+  // per-task headroom, but the worker's own in-flight leases must still be
+  // off limits — otherwise one worker could answer a cell twice.
+  auto svc = MakeService(/*num_rows=*/1, /*target=*/3);
+  CrowdService::SessionId s1 = svc->StartSession(42);
+  CrowdService::SessionId s2 = svc->StartSession(42);
+  std::vector<CellRef> first = svc->RequestTasks(s1, 2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_TRUE(svc->RequestTasks(s2, 2).empty());
+
+  // A different worker still gets the remaining headroom.
+  CrowdService::SessionId s3 = svc->StartSession(43);
+  EXPECT_EQ(svc->RequestTasks(s3, 2).size(), 2u);
+}
+
+TEST(CrowdService, SessionNeverLeasesSameCellTwice) {
+  auto svc = MakeService(/*num_rows=*/1, /*target=*/3);
+  CrowdService::SessionId session = svc->StartSession(1);
+  std::vector<CellRef> first = svc->RequestTasks(session, 2);
+  ASSERT_EQ(first.size(), 2u);
+  // Both cells are leased to this session; target 3 leaves headroom for
+  // OTHER workers, but this session must not double-lease.
+  EXPECT_TRUE(svc->RequestTasks(session, 2).empty());
+}
+
+TEST(CrowdService, GlobalBudgetExhaustionDrainsService) {
+  ServiceConfig config = CheapConfig(/*target=*/5);
+  config.max_total_answers = 3;
+  auto svc = std::make_unique<CrowdService>(
+      SmallSchema(), 4, std::make_unique<LoopingPolicy>(), config);
+
+  CrowdService::SessionId session = svc->StartSession(1);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 10);
+  EXPECT_EQ(tasks.size(), 3u);  // capped by the global budget
+  EXPECT_TRUE(svc->Drained());
+  EXPECT_TRUE(svc->RequestTasks(svc->StartSession(2), 1).empty());
+
+  for (const CellRef& cell : tasks) {
+    EXPECT_TRUE(
+        svc->SubmitAnswer(session, cell, ValueFor(svc->schema(), cell)).ok());
+  }
+  ServiceStats stats = svc->Stats();
+  EXPECT_EQ(stats.budget_spent, 3);
+  EXPECT_EQ(stats.budget_remaining, 0);
+}
+
+TEST(CrowdService, DrainedWhenEveryTaskFinalized) {
+  auto svc = MakeService(/*num_rows=*/1, /*target=*/1);
+  CrowdService::SessionId session = svc->StartSession(1);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 2);
+  ASSERT_EQ(tasks.size(), 2u);
+  for (const CellRef& cell : tasks) {
+    EXPECT_TRUE(
+        svc->SubmitAnswer(session, cell, ValueFor(svc->schema(), cell)).ok());
+  }
+  EXPECT_TRUE(svc->Drained());
+  EXPECT_EQ(svc->Stats().tasks_finalized, 2);
+  EXPECT_EQ(svc->Stats().budget_remaining, 0);
+}
+
+TEST(CrowdService, MetricsCountersTrackTraffic) {
+  auto svc = MakeService();
+  CrowdService::SessionId session = svc->StartSession(3);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 3);
+  for (const CellRef& cell : tasks) {
+    svc->SubmitAnswer(session, cell, ValueFor(svc->schema(), cell));
+  }
+  svc->EndSession(session);
+
+  auto counters = svc->metrics().CounterValues();
+  auto value = [&](const std::string& name) -> int64_t {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    return -1;
+  };
+  EXPECT_EQ(value("service.sessions_started"), 1);
+  EXPECT_EQ(value("service.sessions_ended"), 1);
+  EXPECT_EQ(value("service.tasks_assigned"), 3);
+  EXPECT_EQ(value("service.answers_accepted"), 3);
+  EXPECT_EQ(svc->metrics().latency("service.request_tasks").count(), 1);
+  EXPECT_EQ(svc->metrics().latency("service.submit_answer").count(), 3);
+}
+
+}  // namespace
+}  // namespace tcrowd::service

@@ -1,0 +1,216 @@
+#include "service/incremental_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/majority_voting.h"
+#include "inference/tcrowd_model.h"
+#include "test_helpers.h"
+
+namespace tcrowd::service {
+namespace {
+
+using tcrowd::testing::SimWorld;
+
+InferenceArgs SyncArgs(int staleness) {
+  InferenceArgs args;
+  args.method = "tcrowd";
+  args.tcrowd_options = TCrowdOptions::Fast();
+  args.staleness_threshold = staleness;
+  args.async_refresh = false;
+  args.min_answers_for_fit = 8;
+  return args;
+}
+
+/// Feeds every answer of `world.answers` into `engine` in log order.
+void Replay(const SimWorld& world, IncrementalInferenceEngine* engine) {
+  for (const Answer& answer : world.answers.answers()) {
+    engine->SubmitAnswer(answer);
+  }
+}
+
+void ExpectTablesMatch(const Schema& schema, const Table& a, const Table& b,
+                       double tol) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int i = 0; i < a.num_rows(); ++i) {
+    for (int j = 0; j < schema.num_columns(); ++j) {
+      const Value& va = a.at(i, j);
+      const Value& vb = b.at(i, j);
+      ASSERT_EQ(va.valid(), vb.valid()) << "cell " << i << "," << j;
+      if (!va.valid()) continue;
+      if (va.is_categorical()) {
+        EXPECT_EQ(va.label(), vb.label()) << "cell " << i << "," << j;
+      } else {
+        EXPECT_NEAR(va.number(), vb.number(), tol)
+            << "cell " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(IncrementalEngine, NoFitBeforeMinimumAnswers) {
+  SimWorld world(11, /*answers_per_task=*/0);
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(),
+                                    SyncArgs(/*staleness=*/1), nullptr);
+  EXPECT_FALSE(engine.fitted());
+  EXPECT_FALSE(engine.Estimate(CellRef{0, 0}).valid());
+  EXPECT_EQ(engine.CellEntropy(CellRef{0, 0}), 0.0);
+}
+
+TEST(IncrementalEngine, StalenessTriggersRefresh) {
+  SimWorld world(12, /*answers_per_task=*/3);
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(),
+                                    SyncArgs(/*staleness=*/100), nullptr);
+  Replay(world, &engine);
+  // 40 rows x 6 cols x 3 answers = 720 submits, staleness 100 -> >= 7.
+  EXPECT_TRUE(engine.fitted());
+  EXPECT_GE(engine.refresh_count(), 7);
+  EXPECT_EQ(engine.num_answers(), world.answers.size());
+}
+
+TEST(IncrementalEngine, FinalizeMatchesBatchModelExactly) {
+  SimWorld world(13, /*answers_per_task=*/3);
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(),
+                                    SyncArgs(/*staleness=*/64), nullptr);
+  Replay(world, &engine);
+
+  InferenceResult finalized = engine.Finalize();
+  // Same options (as normalized by the engine), same answers: the finalized
+  // truths must agree with the batch model bit-for-bit.
+  TCrowdModel batch(engine.args().tcrowd_options);
+  InferenceResult expected = batch.Infer(world.world.schema,
+                                         engine.SnapshotAnswers());
+  ExpectTablesMatch(world.world.schema, finalized.estimated_truth,
+                    expected.estimated_truth, 1e-12);
+}
+
+TEST(IncrementalEngine, IncrementalEstimatesTrackBatchEstimates) {
+  SimWorld world(14, /*answers_per_task=*/4);
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(),
+                                    SyncArgs(/*staleness=*/50), nullptr);
+  Replay(world, &engine);
+
+  Table incremental = engine.EstimatedTruth();
+  TCrowdModel batch(engine.args().tcrowd_options);
+  Table batch_truth =
+      batch.Infer(world.world.schema, engine.SnapshotAnswers())
+          .estimated_truth;
+
+  const Schema& schema = world.world.schema;
+  int cat_total = 0, cat_agree = 0;
+  double cont_err = 0.0;
+  int cont_total = 0;
+  for (int i = 0; i < incremental.num_rows(); ++i) {
+    for (int j = 0; j < schema.num_columns(); ++j) {
+      const Value& inc = incremental.at(i, j);
+      const Value& ref = batch_truth.at(i, j);
+      if (!inc.valid() || !ref.valid()) continue;
+      if (inc.is_categorical()) {
+        ++cat_total;
+        if (inc.label() == ref.label()) ++cat_agree;
+      } else {
+        const ColumnSpec& col = schema.column(j);
+        double span = col.max_value - col.min_value;
+        cont_err += std::fabs(inc.number() - ref.number()) / span;
+        ++cont_total;
+      }
+    }
+  }
+  ASSERT_GT(cat_total, 0);
+  ASSERT_GT(cont_total, 0);
+  // The incremental posterior only staled by < 50 answers relative to the
+  // last full EM; it must agree with batch on the vast majority of cells.
+  EXPECT_GE(static_cast<double>(cat_agree) / cat_total, 0.9);
+  EXPECT_LE(cont_err / cont_total, 0.05);
+}
+
+TEST(IncrementalEngine, AsyncRefreshOnPoolConverges) {
+  SimWorld world(15, /*answers_per_task=*/3);
+  ThreadPool pool(2);
+  InferenceArgs args = SyncArgs(/*staleness=*/60);
+  args.async_refresh = true;
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    &pool);
+  Replay(world, &engine);
+  engine.WaitForRefresh();
+  EXPECT_TRUE(engine.fitted());
+  EXPECT_GE(engine.refresh_count(), 1);
+
+  InferenceResult finalized = engine.Finalize();
+  TCrowdModel batch(engine.args().tcrowd_options);
+  InferenceResult expected = batch.Infer(world.world.schema,
+                                         engine.SnapshotAnswers());
+  ExpectTablesMatch(world.world.schema, finalized.estimated_truth,
+                    expected.estimated_truth, 1e-12);
+}
+
+TEST(IncrementalEngine, RestrictedVariantsRunTheRestrictedModel) {
+  // tc-onlycate must ignore continuous columns entirely (and vice versa),
+  // exactly like the batch factory variants.
+  SimWorld world(18, /*answers_per_task=*/3);
+  InferenceArgs args = SyncArgs(/*staleness=*/64);
+  args.method = "tc-onlycate";
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    nullptr);
+  Replay(world, &engine);
+  ASSERT_TRUE(engine.fitted());
+
+  const Schema& schema = world.world.schema;
+  Table estimated = engine.EstimatedTruth();
+  for (int j : schema.ContinuousColumns()) {
+    for (int i = 0; i < estimated.num_rows(); ++i) {
+      EXPECT_FALSE(estimated.at(i, j).valid());
+    }
+    EXPECT_FALSE(engine.Estimate(CellRef{0, j}).valid());
+  }
+
+  InferenceResult finalized = engine.Finalize();
+  TCrowdModel batch =
+      TCrowdModel::OnlyCategorical(schema, engine.args().tcrowd_options);
+  InferenceResult expected = batch.Infer(schema, engine.SnapshotAnswers());
+  ExpectTablesMatch(schema, finalized.estimated_truth,
+                    expected.estimated_truth, 1e-12);
+}
+
+TEST(IncrementalEngine, BaselineMethodPathMatchesBatchBaseline) {
+  SimWorld world(16, /*answers_per_task=*/3);
+  InferenceArgs args;
+  args.method = "mv";
+  args.staleness_threshold = 40;
+  args.async_refresh = false;
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    nullptr);
+  Replay(world, &engine);
+
+  InferenceResult finalized = engine.Finalize();
+  InferenceResult expected =
+      MajorityVoting().Infer(world.world.schema, engine.SnapshotAnswers());
+  ExpectTablesMatch(world.world.schema, finalized.estimated_truth,
+                    expected.estimated_truth, 1e-12);
+}
+
+TEST(IncrementalEngine, DestructorDrainsInFlightRefresh) {
+  SimWorld world(17, /*answers_per_task=*/3);
+  ThreadPool pool(2);
+  {
+    InferenceArgs args = SyncArgs(/*staleness=*/30);
+    args.async_refresh = true;
+    IncrementalInferenceEngine engine(world.world.schema,
+                                      world.world.truth.num_rows(), args,
+                                      &pool);
+    Replay(world, &engine);
+    // Engine destroyed with refreshes possibly still queued/running.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tcrowd::service

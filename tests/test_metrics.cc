@@ -136,5 +136,58 @@ TEST(Metrics, ConstantTruthColumnUsesUnitScale) {
   EXPECT_NEAR(Metrics::Mnad(truth, est), 1.0, 1e-12);
 }
 
+
+// ---------------------------------------------------- service counters --
+
+TEST(MetricsRegistry, CountersAccumulateAndSnapshotSorted) {
+  MetricsRegistry registry;
+  registry.counter("b.second").Increment();
+  registry.counter("a.first").Increment(41);
+  registry.counter("a.first").Increment();
+  EXPECT_EQ(registry.counter("a.first").value(), 42);
+
+  auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "a.first");
+  EXPECT_EQ(values[0].second, 42);
+  EXPECT_EQ(values[1].first, "b.second");
+  EXPECT_EQ(values[1].second, 1);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter* first = &registry.counter("x");
+  registry.counter("y");
+  registry.counter("z");
+  EXPECT_EQ(first, &registry.counter("x"));
+}
+
+TEST(MetricsRegistry, LatencyStatsSummarize) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.PercentileMicros(0.5), 0.0);
+
+  for (int i = 0; i < 99; ++i) stats.Record(2.0);
+  stats.Record(1000.0);
+  EXPECT_EQ(stats.count(), 100);
+  EXPECT_NEAR(stats.mean_micros(), (99 * 2.0 + 1000.0) / 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.max_micros(), 1000.0);
+  // p50 sits in the [2,4) bucket; p999+ reaches the 1000us outlier.
+  EXPECT_LE(stats.PercentileMicros(0.5), 4.0);
+  EXPECT_GE(stats.PercentileMicros(0.999), 512.0);
+  // Approximation never exceeds the observed maximum.
+  EXPECT_LE(stats.PercentileMicros(0.999), 1000.0);
+}
+
+TEST(MetricsRegistry, ToStringMentionsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("service.answers").Increment(7);
+  registry.latency("service.request").Record(12.0);
+  std::string dump = registry.ToString();
+  EXPECT_NE(dump.find("service.answers"), std::string::npos);
+  EXPECT_NE(dump.find("= 7"), std::string::npos);
+  EXPECT_NE(dump.find("service.request"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tcrowd

@@ -1,0 +1,170 @@
+#include "service/task_router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "assignment/policies.h"
+#include "data/schema.h"
+
+namespace tcrowd::service {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema{{Schema::MakeCategorical("cat", {"x", "y"}),
+                 Schema::MakeContinuous("num", 0.0, 10.0)}};
+}
+
+/// A policy that always declines — isolates the backfill path.
+class NeverPolicy : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "Never"; }
+  void Refresh(const Schema&, const AnswerSet&) override { ++refreshes; }
+  bool SelectTaskExcluding(const Schema&, const AnswerSet&, WorkerId,
+                           const std::vector<CellRef>&, CellRef*) override {
+    return false;
+  }
+  int refreshes = 0;
+};
+
+bool Contains(const std::vector<CellRef>& cells, CellRef cell) {
+  return std::find(cells.begin(), cells.end(), cell) != cells.end();
+}
+
+TEST(TaskRouter, ServesDistinctUnansweredCells) {
+  Schema schema = TwoColSchema();
+  AnswerSet answers(3, 2);
+  answers.Add(7, CellRef{0, 0}, Value::Categorical(1));
+
+  RouterOptions options;
+  options.backfill = BackfillStrategy::kNone;
+  TaskRouter router(std::make_unique<LoopingPolicy>(), options);
+
+  std::vector<CellRef> picked = router.Route(schema, answers, 7, 4, {});
+  EXPECT_EQ(picked.size(), 4u);
+  // Never the cell the worker answered, never a duplicate.
+  EXPECT_FALSE(Contains(picked, CellRef{0, 0}));
+  for (size_t a = 0; a < picked.size(); ++a) {
+    for (size_t b = a + 1; b < picked.size(); ++b) {
+      EXPECT_FALSE(picked[a] == picked[b]);
+    }
+  }
+}
+
+TEST(TaskRouter, RespectsUnavailableCells) {
+  Schema schema = TwoColSchema();
+  AnswerSet answers(2, 2);
+  RouterOptions options;
+  options.backfill = BackfillStrategy::kLeastAnswered;
+  TaskRouter router(std::make_unique<LoopingPolicy>(), options);
+
+  std::vector<CellRef> unavailable = {CellRef{0, 0}, CellRef{0, 1},
+                                      CellRef{1, 0}};
+  std::vector<CellRef> picked =
+      router.Route(schema, answers, 1, 4, unavailable);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_TRUE(picked[0] == (CellRef{1, 1}));
+}
+
+TEST(TaskRouter, BackfillTopsUpWhenPolicyDeclines) {
+  Schema schema = TwoColSchema();
+  AnswerSet answers(3, 2);
+  RouterOptions options;
+  options.backfill = BackfillStrategy::kLeastAnswered;
+  TaskRouter router(std::make_unique<NeverPolicy>(), options);
+
+  std::vector<CellRef> picked = router.Route(schema, answers, 2, 3, {});
+  EXPECT_EQ(picked.size(), 3u);
+  EXPECT_EQ(router.backfilled(), 3);
+}
+
+TEST(TaskRouter, NoBackfillReturnsShort) {
+  Schema schema = TwoColSchema();
+  AnswerSet answers(3, 2);
+  RouterOptions options;
+  options.backfill = BackfillStrategy::kNone;
+  TaskRouter router(std::make_unique<NeverPolicy>(), options);
+  EXPECT_TRUE(router.Route(schema, answers, 2, 3, {}).empty());
+}
+
+TEST(TaskRouter, LeastAnsweredBackfillPrefersColdCells) {
+  Schema schema = TwoColSchema();
+  AnswerSet answers(2, 2);
+  // Cell (0,0) has two answers, (0,1) one, (1,0)/(1,1) none.
+  answers.Add(1, CellRef{0, 0}, Value::Categorical(0));
+  answers.Add(2, CellRef{0, 0}, Value::Categorical(1));
+  answers.Add(1, CellRef{0, 1}, Value::Continuous(2.0));
+
+  RouterOptions options;
+  options.backfill = BackfillStrategy::kLeastAnswered;
+  TaskRouter router(std::make_unique<NeverPolicy>(), options);
+
+  std::vector<CellRef> picked = router.Route(schema, answers, 9, 2, {});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_TRUE(Contains(picked, CellRef{1, 0}));
+  EXPECT_TRUE(Contains(picked, CellRef{1, 1}));
+}
+
+TEST(TaskRouter, FairnessUnderRepeatedBackfillRouting) {
+  // Route-and-answer many single-task requests; least-answered backfill must
+  // keep per-cell answer counts within 1 of each other at every step.
+  Schema schema = TwoColSchema();
+  AnswerSet answers(6, 2);
+  RouterOptions options;
+  options.backfill = BackfillStrategy::kLeastAnswered;
+  options.refresh_every_answers = 1000;  // keep the stub policy quiet
+  TaskRouter router(std::make_unique<NeverPolicy>(), options);
+
+  for (int n = 0; n < 36; ++n) {
+    WorkerId worker = 100 + n;  // fresh worker each arrival
+    std::vector<CellRef> picked = router.Route(schema, answers, worker, 1, {});
+    ASSERT_EQ(picked.size(), 1u);
+    const ColumnSpec& col = schema.column(picked[0].col);
+    Value v = col.type == ColumnType::kCategorical ? Value::Categorical(0)
+                                                   : Value::Continuous(1.0);
+    answers.Add(worker, picked[0], v);
+
+    int lo = 1 << 30, hi = 0;
+    for (int i = 0; i < 6; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        lo = std::min(lo, answers.CellAnswerCount(i, j));
+        hi = std::max(hi, answers.CellAnswerCount(i, j));
+      }
+    }
+    EXPECT_LE(hi - lo, 1) << "after answer " << n;
+  }
+}
+
+TEST(TaskRouter, OnAnswerRefreshesOnCadence) {
+  Schema schema = TwoColSchema();
+  AnswerSet answers(3, 2);
+  RouterOptions options;
+  options.refresh_every_answers = 3;
+  auto policy = std::make_unique<NeverPolicy>();
+  NeverPolicy* raw = policy.get();
+  TaskRouter router(std::move(policy), options);
+
+  for (int n = 0; n < 7; ++n) {
+    Answer a{1, CellRef{n % 3, 0}, Value::Categorical(0)};
+    answers.Add(a);
+    router.OnAnswer(schema, answers, a);
+  }
+  EXPECT_EQ(router.refresh_count(), 2);
+  EXPECT_EQ(raw->refreshes, 2);
+}
+
+TEST(TaskRouter, KZeroOrExhaustedReturnsEmpty) {
+  Schema schema = TwoColSchema();
+  AnswerSet answers(1, 2);
+  answers.Add(4, CellRef{0, 0}, Value::Categorical(0));
+  answers.Add(4, CellRef{0, 1}, Value::Continuous(1.0));
+  RouterOptions options;
+  TaskRouter router(std::make_unique<LoopingPolicy>(), options);
+  EXPECT_TRUE(router.Route(schema, answers, 4, 0, {}).empty());
+  // Worker 4 answered everything — nothing left even with backfill.
+  EXPECT_TRUE(router.Route(schema, answers, 4, 2, {}).empty());
+}
+
+}  // namespace
+}  // namespace tcrowd::service

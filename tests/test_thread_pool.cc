@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace tcrowd {
@@ -62,6 +66,94 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     pool.ParallelFor(50, [&](size_t i) { total.fetch_add(i); });
   }
   EXPECT_EQ(total.load(), 5 * (49 * 50) / 2);
+}
+
+TEST(ThreadPool, ConcurrentProducersAllJobsRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 800);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    // No Wait(): destruction must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitDuringShutdownIsRejected) {
+  // A job observes the destructor's shutdown flag from inside the drain: it
+  // keeps re-submitting no-ops until Submit refuses, which can only happen
+  // once ~ThreadPool has flipped the flag.
+  auto pool = std::make_unique<ThreadPool>(2);
+  std::atomic<bool> saw_rejection{false};
+  ThreadPool* raw = pool.get();
+  pool->Submit([raw, &saw_rejection] {
+    for (int i = 0; i < 100000; ++i) {
+      if (!raw->Submit([] {})) {
+        saw_rejection.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pool.reset();  // sets shutdown_, drains, joins
+  EXPECT_TRUE(saw_rejection.load());
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("job failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 10);  // healthy jobs still ran
+  // The error is consumed: the pool stays usable afterwards.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // the remaining failures were dropped; no second throw
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t i) {
+                                  if (i == 57) {
+                                    throw std::runtime_error("item 57");
+                                  }
+                                }),
+               std::runtime_error);
 }
 
 }  // namespace

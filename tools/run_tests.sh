@@ -3,10 +3,16 @@
 #   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 # Run from anywhere; extra arguments are forwarded to ctest
 # (e.g. tools/run_tests.sh -L unit, or tools/run_tests.sh -R test_csv).
+# A leading label-group name expands to its ctest label filter:
+#   tools/run_tests.sh service   ->  ctest -L service
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
+
+case "${1-}" in
+  unit|integration|slow|smoke|service) set -- -L "$@" ;;
+esac
 
 cmake -B build -S .
 cmake --build build -j

@@ -12,6 +12,10 @@
 //   assign    Simulate the online assignment loop (paper Algorithm 2) on a
 //             synthesized world with a chosen policy, and print the
 //             error-rate/MNAD series as the budget is spent.
+//   serve-sim Stand up the online CrowdService and replay a simulated
+//             worker-arrival stream against it with the load generator;
+//             prints service throughput/latency metrics and the final
+//             inference quality.
 //
 // Examples:
 //   tcrowd simulate --dataset=restaurant --seed=7 --out=/tmp/restaurant
@@ -40,7 +44,9 @@
 #include "platform/experiment.h"
 #include "platform/metrics.h"
 #include "platform/report.h"
+#include "service/crowd_service.h"
 #include "simulation/dataset_synthesizer.h"
+#include "simulation/load_generator.h"
 #include "simulation/table_generator.h"
 
 namespace tcrowd {
@@ -58,6 +64,11 @@ commands:
   assign     --dataset=celebrity|restaurant|emotion
              [--policy=structure|inherent|entropy|random|looping|cdas|askit]
              [--budget=B] [--seed=S] [--tasks-per-worker=K]
+  serve-sim  [--dataset=celebrity|restaurant|emotion]
+             [--rows=N --cols=M --ratio=R --workers=W]
+             [--policy=NAME] [--engine=METHOD] [--target=K]
+             [--arrivals=N] [--tasks-per-worker=K] [--staleness=N]
+             [--threads=T] [--drivers=D] [--abandon=P] [--seed=S]
 
 methods: tcrowd, tc-onlycate, tc-onlycont, mv, median, ds, zencrowd, glad,
          gtm, crh, catd
@@ -328,6 +339,128 @@ int CmdAssign(const FlagParser& flags) {
   return 0;
 }
 
+int CmdServeSim(const FlagParser& flags) {
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  // World: one of the paper's dataset stand-ins, or a custom table. The
+  // answer set starts EMPTY — every answer flows through the service.
+  // Built via copy elision: a SynthesizedWorld must not be moved (its crowd
+  // points back into its own dataset).
+  bool bad_dataset = false;
+  sim::SynthesizedWorld world = [&]() -> sim::SynthesizedWorld {
+    if (flags.Has("dataset")) {
+      std::string which = flags.GetString("dataset");
+      sim::PaperDataset pd = sim::PaperDataset::kRestaurant;
+      if (which == "celebrity") {
+        pd = sim::PaperDataset::kCelebrity;
+      } else if (which == "restaurant") {
+        pd = sim::PaperDataset::kRestaurant;
+      } else if (which == "emotion") {
+        pd = sim::PaperDataset::kEmotion;
+      } else {
+        bad_dataset = true;
+      }
+      sim::SynthesizerOptions opt;
+      opt.seed = seed;
+      opt.answers_per_task = 0;
+      return sim::SynthesizeDataset(pd, opt);
+    }
+    sim::TableGeneratorOptions topt;
+    topt.num_rows = static_cast<int>(flags.GetInt("rows", 60));
+    topt.num_cols = static_cast<int>(flags.GetInt("cols", 5));
+    topt.categorical_ratio = flags.GetDouble("ratio", 0.5);
+    sim::CrowdOptions copt;
+    copt.num_workers = static_cast<int>(flags.GetInt("workers", 40));
+    Rng rng(seed);
+    sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
+    return sim::SynthesizeFromTable(std::move(table), copt, 0, seed + 1,
+                                    "custom");
+  }();
+  if (bad_dataset) {
+    std::fprintf(stderr, "serve-sim: unknown --dataset=%s\n",
+                 flags.GetString("dataset").c_str());
+    return 2;
+  }
+  const std::string& world_name = world.dataset.name;
+
+  std::string policy_name = flags.GetString("policy", "structure");
+  auto policy = MakePolicy(policy_name, seed);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "serve-sim: unknown --policy=%s\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  service::ServiceConfig config;
+  config.target_answers_per_task = static_cast<int>(flags.GetInt("target", 4));
+  config.num_threads = static_cast<int>(flags.GetInt("threads", 2));
+  config.inference.method = flags.GetString("engine", "tcrowd");
+  config.inference.staleness_threshold =
+      static_cast<int>(flags.GetInt("staleness", 64));
+  config.inference.num_shards = config.num_threads;
+  config.router.seed = seed + 2;
+  if (MakeMethod(config.inference.method, world.dataset.schema) == nullptr) {
+    std::fprintf(stderr, "serve-sim: unknown --engine=%s\n",
+                 config.inference.method.c_str());
+    return 2;
+  }
+
+  service::CrowdService svc(world.dataset.schema, world.dataset.num_rows(),
+                            std::move(policy), config);
+
+  sim::LoadGeneratorOptions load;
+  load.max_arrivals = static_cast<int>(flags.GetInt("arrivals", 1000000));
+  load.tasks_per_request =
+      static_cast<int>(flags.GetInt("tasks-per-worker", 1));
+  load.abandon_prob = flags.GetDouble("abandon", 0.0);
+  load.num_driver_threads = static_cast<int>(flags.GetInt("drivers", 1));
+  load.seed = seed + 3;
+  sim::LoadGenerator generator(world.crowd.get(), &svc, load);
+
+  std::printf("serving %s (%d rows x %d cols) with %s policy + %s engine, "
+              "target %d answers/task\n",
+              world_name.c_str(), world.dataset.num_rows(),
+              world.dataset.num_cols(), policy_name.c_str(),
+              config.inference.method.c_str(),
+              svc.config().target_answers_per_task);
+  sim::LoadReport report = generator.Run();
+
+  std::printf("\n-- load report --\n");
+  std::printf("arrivals=%lld assignments=%lld answers=%lld rejected=%lld "
+              "abandoned=%lld\n",
+              static_cast<long long>(report.arrivals),
+              static_cast<long long>(report.assignments),
+              static_cast<long long>(report.answers),
+              static_cast<long long>(report.rejected),
+              static_cast<long long>(report.abandoned_sessions));
+  std::printf("wall=%.3fs throughput=%.0f answers/s\n", report.wall_seconds,
+              report.answers_per_second);
+
+  const service::ServiceStats& stats = report.final_stats;
+  std::printf("\n-- task states --\n");
+  std::printf("open=%d assigned=%d answered=%d finalized=%d  "
+              "budget spent=%lld remaining=%lld  refreshes=%d\n",
+              stats.tasks_open, stats.tasks_assigned, stats.tasks_answered,
+              stats.tasks_finalized,
+              static_cast<long long>(stats.budget_spent),
+              static_cast<long long>(stats.budget_remaining),
+              stats.engine_refreshes);
+
+  std::printf("\n-- service metrics --\n%s", svc.metrics().ToString().c_str());
+
+  InferenceResult final_result = svc.Finalize();
+  if (TruthIsKnown(world.dataset.truth)) {
+    std::printf("\n-- final inference (%s) --\n",
+                config.inference.method.c_str());
+    std::printf("error rate = %.4f   MNAD = %.4f\n",
+                Metrics::ErrorRate(world.dataset.truth,
+                                   final_result.estimated_truth),
+                Metrics::Mnad(world.dataset.truth,
+                              final_result.estimated_truth));
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -341,6 +474,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "infer") return CmdInfer(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "assign") return CmdAssign(flags);
+  if (command == "serve-sim") return CmdServeSim(flags);
   return Usage();
 }
 

@@ -30,14 +30,20 @@ std::vector<char> ExclusionBitmap(const AnswerSet& answers,
 
 std::vector<CellRef> CandidateCells(const AnswerSet& answers, WorkerId worker,
                                     const std::vector<CellRef>& exclude) {
+  // One pass over the worker's answer log marks everything they already
+  // answered in the same bitmap, so the cell scan below is O(1) per cell
+  // instead of rescanning the log per cell.
   std::vector<char> excluded = ExclusionBitmap(answers, exclude);
+  for (int id : answers.AnswersForWorker(worker)) {
+    const CellRef& cell = answers.answer(id).cell;
+    excluded[static_cast<size_t>(cell.row) * answers.num_cols() + cell.col] =
+        1;
+  }
   std::vector<CellRef> out;
   for (int i = 0; i < answers.num_rows(); ++i) {
     for (int j = 0; j < answers.num_cols(); ++j) {
-      CellRef cell{i, j};
       if (excluded[static_cast<size_t>(i) * answers.num_cols() + j]) continue;
-      if (answers.HasAnswered(worker, cell)) continue;
-      out.push_back(cell);
+      out.push_back(CellRef{i, j});
     }
   }
   return out;

@@ -39,6 +39,18 @@ std::vector<ObservedError> ErrorCorrelationModel::ObservedErrorsInRow(
   return out;
 }
 
+std::vector<std::vector<ObservedError>> ErrorCorrelationModel::BuildRowEvidence(
+    const TCrowdState& state, const AnswerSet& answers, WorkerId worker) {
+  std::vector<std::vector<ObservedError>> by_row(state.num_rows);
+  for (int id : answers.AnswersForWorker(worker)) {
+    const Answer& a = answers.answer(id);
+    if (!state.column_active[a.cell.col]) continue;
+    by_row[a.cell.row].push_back(
+        ObservedError{a.cell.col, AnswerError(state, a)});
+  }
+  return by_row;
+}
+
 ErrorCorrelationModel ErrorCorrelationModel::Fit(const TCrowdState& state,
                                                  const AnswerSet& answers,
                                                  Options options) {

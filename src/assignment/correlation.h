@@ -76,6 +76,16 @@ class ErrorCorrelationModel {
       const TCrowdState& state, const AnswerSet& answers, WorkerId worker,
       int row, int exclude_col);
 
+  /// All of one worker's observed errors, grouped by row: entry r is the
+  /// worker's evidence set E^u_r over every active column, in answer order.
+  /// One O(worker answers) pass replaces the per-candidate rescan of the
+  /// worker's whole answer log that dominated the fig-11 assignment sweep —
+  /// build this once per incoming worker, then score every candidate cell
+  /// against its row's entry. Target-column entries need no filtering: the
+  /// Predict* combiners skip obs.col == j themselves.
+  static std::vector<std::vector<ObservedError>> BuildRowEvidence(
+      const TCrowdState& state, const AnswerSet& answers, WorkerId worker);
+
  private:
   /// Conditional model for one ordered pair (target j given evidence k).
   struct PairModel {

@@ -44,22 +44,30 @@ double InformationGain::GainWithAnswerModel(const AnswerSet& answers,
   double wrong = (1.0 - q) / std::max(1, L - 1);
 
   double h_now = math::ShannonEntropy(p);
-  double expected_h = 0.0;
-  std::vector<double> updated(L);
+  // Expected posterior entropy after one answer, in O(L) instead of the
+  // naive O(L^2): for a hypothetical answer y the unnormalized updated
+  // posterior is u_z = p_z q for z == y and p_z wrong otherwise, so
+  //   P(a = y)            = T_y = q p_y + wrong (P - p_y),  P = sum_z p_z
+  //   P(a = y) H(post | y) = T_y ln T_y - [a_y ln a_y + sum_{z != y} b_z ln b_z]
+  // with a_z = p_z q, b_z = p_z wrong; summing over y telescopes the bracket
+  // into per-label sums S_a = sum a ln a and S_b = sum b ln b:
+  //   expected_h = sum_y T_y ln T_y - S_a - (L - 1) S_b.
+  // (L = 50 for high-cardinality columns like Celebrity's name attribute,
+  // where the quadratic loop dominated the fig-11 assignment sweep.)
+  double sum_p = 0.0, s_a = 0.0, s_b = 0.0;
+  for (int z = 0; z < L; ++z) {
+    double pz = p[z];
+    if (pz <= 0.0) continue;
+    sum_p += pz;
+    double a = pz * q;
+    double b = pz * wrong;
+    if (a > 0.0) s_a += a * std::log(a);
+    if (b > 0.0) s_b += b * std::log(b);
+  }
+  double expected_h = -s_a - (L - 1) * s_b;
   for (int y = 0; y < L; ++y) {
-    // P(a = y) = sum_z p(z) * P(a = y | T = z).
-    double p_answer = 0.0;
-    double total = 0.0;
-    for (int z = 0; z < L; ++z) {
-      double like = (z == y) ? q : wrong;
-      double joint = p[z] * like;
-      p_answer += joint;
-      updated[z] = joint;
-      total += joint;
-    }
-    if (total <= 0.0 || p_answer <= 0.0) continue;
-    for (double& x : updated) x /= total;
-    expected_h += p_answer * math::ShannonEntropy(updated);
+    double t = q * p[y] + wrong * (sum_p - p[y]);
+    if (t > 0.0) expected_h += t * std::log(t);
   }
   return h_now - expected_h;
 }

@@ -179,18 +179,18 @@ void StructureAwarePolicy::Refresh(const Schema& schema,
   correlation_ = ErrorCorrelationModel::Fit(state_, answers, corr_options_);
 }
 
-double StructureAwarePolicy::StructureGain(const AnswerSet& answers,
-                                           WorkerId worker,
-                                           CellRef cell) const {
+double StructureAwarePolicy::GainWithEvidence(
+    const AnswerSet& answers, WorkerId worker, CellRef cell,
+    const std::vector<ObservedError>& evidence) const {
   TCROWD_CHECK(fitted()) << "Refresh() must run before StructureGain()";
   InformationGain ig(&state_);
-  std::vector<ObservedError> evidence =
-      ErrorCorrelationModel::ObservedErrorsInRow(state_, answers, worker,
-                                                 cell.row, cell.col);
   if (evidence.empty()) return ig.InherentGain(answers, worker, cell);
 
   const ColumnSpec& col = state_.schema.column(cell.col);
   if (col.type == ColumnType::kCategorical) {
+    // PredictCorrectProb ignores evidence on cell.col itself and reports
+    // "no usable evidence" as a negative value, which GainWithAnswerModel
+    // maps back to the inherent (model-default) gain.
     double q = correlation_.PredictCorrectProb(cell.col, evidence);
     return ig.GainWithAnswerModel(answers, worker, cell, q, -1.0);
   }
@@ -203,13 +203,29 @@ double StructureAwarePolicy::StructureGain(const AnswerSet& answers,
   return ig.GainWithAnswerModel(answers, worker, cell, -1.0, var);
 }
 
+double StructureAwarePolicy::StructureGain(const AnswerSet& answers,
+                                           WorkerId worker,
+                                           CellRef cell) const {
+  return GainWithEvidence(
+      answers, worker, cell,
+      ErrorCorrelationModel::ObservedErrorsInRow(state_, answers, worker,
+                                                 cell.row, cell.col));
+}
+
 bool StructureAwarePolicy::SelectTaskExcluding(
     const Schema& schema, const AnswerSet& answers, WorkerId worker,
     const std::vector<CellRef>& exclude, CellRef* out) {
   if (!fitted()) Refresh(schema, answers);
+  // The worker's evidence sets are a function of (worker, answers) only:
+  // build them once, score all candidates against their row's set.
+  std::vector<std::vector<ObservedError>> row_evidence =
+      ErrorCorrelationModel::BuildRowEvidence(state_, answers, worker);
   return ArgmaxCandidate(
       answers, worker, exclude,
-      [&](CellRef cell) { return StructureGain(answers, worker, cell); },
+      [&](CellRef cell) {
+        return GainWithEvidence(answers, worker, cell,
+                                row_evidence[cell.row]);
+      },
       out);
 }
 

@@ -141,6 +141,14 @@ class StructureAwarePolicy : public InherentGainPolicy {
   const ErrorCorrelationModel& correlation() const { return correlation_; }
 
  private:
+  /// StructureGain against a prebuilt evidence set for the cell's row (may
+  /// contain target-column entries; the correlation combiners skip them).
+  /// The select path builds the worker's evidence once and scores every
+  /// candidate through this.
+  double GainWithEvidence(const AnswerSet& answers, WorkerId worker,
+                          CellRef cell,
+                          const std::vector<ObservedError>& evidence) const;
+
   ErrorCorrelationModel::Options corr_options_;
   ErrorCorrelationModel correlation_;
 };

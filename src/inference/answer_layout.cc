@@ -1,0 +1,86 @@
+#include "inference/answer_layout.h"
+
+#include "common/logging.h"
+
+namespace tcrowd {
+
+AnswerMatrixLayout::AnswerMatrixLayout(const Schema& schema,
+                                       const AnswerSet& answers,
+                                       const std::vector<bool>& column_active,
+                                       const std::vector<double>& col_center,
+                                       const std::vector<double>& col_scale)
+    : num_rows_(answers.num_rows()), num_cols_(answers.num_cols()) {
+  TCROWD_CHECK(schema.num_columns() == num_cols_);
+  TCROWD_CHECK(static_cast<int>(column_active.size()) == num_cols_);
+  TCROWD_CHECK(static_cast<int>(col_center.size()) == num_cols_);
+  TCROWD_CHECK(static_cast<int>(col_scale.size()) == num_cols_);
+
+  worker_ids_ = answers.Workers();
+  worker_to_dense_.reserve(worker_ids_.size());
+  for (size_t k = 0; k < worker_ids_.size(); ++k) {
+    worker_to_dense_[worker_ids_[k]] = static_cast<int>(k);
+  }
+
+  std::vector<uint8_t> col_continuous(num_cols_, 0);
+  for (int j = 0; j < num_cols_; ++j) {
+    col_continuous[j] = schema.column(j).type == ColumnType::kContinuous;
+  }
+
+  // Answer-order view: one linear pass over the log.
+  const std::vector<Answer>& all = answers.answers();
+  size_t n = all.size();
+  ans_row_.resize(n);
+  ans_col_.resize(n);
+  ans_worker_.resize(n);
+  ans_number_.resize(n);
+  ans_label_.resize(n);
+  ans_active_.resize(n);
+  ans_continuous_.resize(n);
+  for (size_t id = 0; id < n; ++id) {
+    const Answer& a = all[id];
+    int j = a.cell.col;
+    ans_row_[id] = a.cell.row;
+    ans_col_[id] = j;
+    ans_worker_[id] = worker_to_dense_.at(a.worker);
+    ans_active_[id] = column_active[j] ? 1 : 0;
+    ans_continuous_[id] = col_continuous[j];
+    if (col_continuous[j]) {
+      ans_number_[id] = (a.value.number() - col_center[j]) / col_scale[j];
+      ans_label_[id] = -1;
+    } else {
+      ans_number_[id] = 0.0;
+      ans_label_[id] = a.value.label();
+    }
+  }
+
+  // Cell-major runs, entries in AnswerSet insertion order (the order
+  // AnswersForCell reports ids in). Inactive columns get empty runs.
+  size_t cells = static_cast<size_t>(num_rows_) * num_cols_;
+  cell_offsets_.assign(cells + 1, 0);
+  size_t total = 0;
+  for (int i = 0; i < num_rows_; ++i) {
+    for (int j = 0; j < num_cols_; ++j) {
+      cell_offsets_[static_cast<size_t>(i) * num_cols_ + j] =
+          static_cast<int32_t>(total);
+      if (column_active[j]) total += answers.AnswersForCell(i, j).size();
+    }
+  }
+  cell_offsets_[cells] = static_cast<int32_t>(total);
+  entry_worker_.resize(total);
+  entry_number_.resize(total);
+  entry_label_.resize(total);
+  for (int i = 0; i < num_rows_; ++i) {
+    for (int j = 0; j < num_cols_; ++j) {
+      if (!column_active[j]) continue;
+      size_t e = cell_offsets_[static_cast<size_t>(i) * num_cols_ + j];
+      for (int id : answers.AnswersForCell(i, j)) {
+        entry_worker_[e] = ans_worker_[id];
+        entry_number_[e] = ans_number_[id];
+        entry_label_[e] = ans_label_[id];
+        ++e;
+      }
+    }
+  }
+}
+
+}  // namespace tcrowd

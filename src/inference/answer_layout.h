@@ -1,0 +1,123 @@
+#ifndef TCROWD_INFERENCE_ANSWER_LAYOUT_H_
+#define TCROWD_INFERENCE_ANSWER_LAYOUT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/answer.h"
+#include "data/schema.h"
+
+namespace tcrowd {
+
+/// Cache-friendly, read-only view of an AnswerSet for the T-Crowd EM hot
+/// loops, shared by the batch TCrowdModel and the service's incremental
+/// engine (both fit through the same layout, so there is exactly one hot
+/// loop to optimize and test).
+///
+/// The general-purpose AnswerSet answers a cell query with a vector of
+/// answer ids, each of which chases an Answer struct and then a hash lookup
+/// from the sparse worker id to the dense parameter slot — three dependent
+/// indirections per answer, repeated every EM iteration. This layout pays
+/// those costs once at construction:
+///
+///  - **Per-tuple answer runs** (cell-major): for every cell, a contiguous
+///    run of (dense worker, standardized value / label) entries in the
+///    AnswerSet's insertion order. The E-step and the observed-data
+///    objective stream these runs linearly.
+///  - **Answer-order view** (structure-of-arrays): row / col / dense worker
+///    / value per answer id, for the M-step gradient accumulation whose
+///    reduction order is defined over answer ids.
+///  - **Per-worker index**: the dense <-> sparse worker id mapping that the
+///    flat views are expressed in.
+///
+/// Continuous values are stored already standardized (z = (x - center) /
+/// scale), which is exactly the arithmetic the EM performed per access
+/// before — precomputing it is bit-identical. Construction is O(answers)
+/// and is re-done per fit; the EM then runs dozens of passes over the flat
+/// arrays.
+///
+/// Thread-safety: immutable after construction; concurrent readers are safe.
+/// The layout does not retain a reference to the AnswerSet.
+class AnswerMatrixLayout {
+ public:
+  /// Builds the flat views. `column_active` masks columns out of the model
+  /// (their answers keep slots in the answer-order view but are flagged
+  /// inactive and get empty cell runs). `col_center` / `col_scale` define
+  /// the per-column standardization of continuous values.
+  AnswerMatrixLayout(const Schema& schema, const AnswerSet& answers,
+                     const std::vector<bool>& column_active,
+                     const std::vector<double>& col_center,
+                     const std::vector<double>& col_scale);
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+  size_t num_answers() const { return ans_row_.size(); }
+  int num_workers() const { return static_cast<int>(worker_ids_.size()); }
+
+  /// Dense -> sparse worker ids, ascending (the order AnswerSet::Workers()
+  /// reports them in).
+  const std::vector<WorkerId>& worker_ids() const { return worker_ids_; }
+
+  /// Sparse -> dense worker slot; -1 for workers with no answers.
+  int DenseWorker(WorkerId worker) const {
+    auto it = worker_to_dense_.find(worker);
+    return it == worker_to_dense_.end() ? -1 : it->second;
+  }
+
+  // ---------------------------------------------------------------------
+  // Per-tuple (cell-major) runs. Entry k of cell (i, j) lives at flat
+  // index cell_begin(i, j) + k; entries preserve AnswerSet insertion order.
+  // Inactive columns have empty runs.
+  int32_t cell_begin(int row, int col) const {
+    return cell_offsets_[static_cast<size_t>(row) * num_cols_ + col];
+  }
+  int32_t cell_end(int row, int col) const {
+    return cell_offsets_[static_cast<size_t>(row) * num_cols_ + col + 1];
+  }
+  /// Dense worker of entry `e`.
+  const int32_t* entry_worker() const { return entry_worker_.data(); }
+  /// Standardized continuous value of entry `e` (0 for categorical cells).
+  const double* entry_number() const { return entry_number_.data(); }
+  /// Label of entry `e` (-1 for continuous cells).
+  const int32_t* entry_label() const { return entry_label_.data(); }
+
+  // ---------------------------------------------------------------------
+  // Answer-order view, indexed by AnswerSet answer id.
+  const int32_t* ans_row() const { return ans_row_.data(); }
+  const int32_t* ans_col() const { return ans_col_.data(); }
+  /// Dense worker of the answer.
+  const int32_t* ans_worker() const { return ans_worker_.data(); }
+  /// Standardized continuous value (0 for categorical answers).
+  const double* ans_number() const { return ans_number_.data(); }
+  /// Label (-1 for continuous answers).
+  const int32_t* ans_label() const { return ans_label_.data(); }
+  /// 1 when the answer's column participates in the model.
+  const uint8_t* ans_active() const { return ans_active_.data(); }
+  /// 1 when the answer's column is continuous.
+  const uint8_t* ans_continuous() const { return ans_continuous_.data(); }
+
+ private:
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+
+  std::vector<WorkerId> worker_ids_;
+  std::unordered_map<WorkerId, int> worker_to_dense_;
+
+  std::vector<int32_t> cell_offsets_;  // rows*cols + 1 entries
+  std::vector<int32_t> entry_worker_;
+  std::vector<double> entry_number_;
+  std::vector<int32_t> entry_label_;
+
+  std::vector<int32_t> ans_row_;
+  std::vector<int32_t> ans_col_;
+  std::vector<int32_t> ans_worker_;
+  std::vector<double> ans_number_;
+  std::vector<int32_t> ans_label_;
+  std::vector<uint8_t> ans_active_;
+  std::vector<uint8_t> ans_continuous_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_INFERENCE_ANSWER_LAYOUT_H_

@@ -6,7 +6,8 @@
 #include <memory>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
+#include "inference/answer_layout.h"
+#include "inference/em_executor.h"
 #include "math/entropy.h"
 #include "math/gradient_ascent.h"
 #include "math/normal.h"
@@ -22,20 +23,6 @@ using math::SafeLog;
 namespace {
 
 constexpr double kMinScale = 1e-9;
-
-/// Dense indexing of the sparse worker-id space.
-struct WorkerIndex {
-  std::vector<WorkerId> ids;                    // dense -> sparse
-  std::unordered_map<WorkerId, int> to_dense;   // sparse -> dense
-
-  explicit WorkerIndex(const AnswerSet& answers) {
-    ids = answers.Workers();
-    for (size_t k = 0; k < ids.size(); ++k) {
-      to_dense[ids[k]] = static_cast<int>(k);
-    }
-  }
-  int size() const { return static_cast<int>(ids.size()); }
-};
 
 /// Layout of the flat log-parameter vector handed to the optimizer:
 /// [ln alpha_0..N) [ln beta_0..M) [ln phi_0..W) — alpha/beta blocks are
@@ -62,6 +49,34 @@ struct ParamLayout {
   }
   double Phi(const std::vector<double>& p, int w) const {
     return std::exp(p[phi_offset() + w]);
+  }
+};
+
+/// Per-parameter exp(ln x) tables, refreshed once per pass instead of
+/// re-evaluating exp() for all three factors on every answer. Table entry k
+/// is exactly ParamLayout::Alpha/Beta/Phi(params, k), so every product
+/// alpha_i * beta_j * phi_w built from the tables is bit-identical to the
+/// historical per-answer computation.
+struct ExpParams {
+  std::vector<double> alpha, beta, phi;
+
+  void Refresh(const ParamLayout& layout, const std::vector<double>& p) {
+    alpha.assign(layout.num_rows, 1.0);
+    if (layout.with_alpha) {
+      for (int i = 0; i < layout.num_rows; ++i) {
+        alpha[i] = std::exp(p[layout.alpha_offset() + i]);
+      }
+    }
+    beta.assign(layout.num_cols, 1.0);
+    if (layout.with_beta) {
+      for (int j = 0; j < layout.num_cols; ++j) {
+        beta[j] = std::exp(p[layout.beta_offset() + j]);
+      }
+    }
+    phi.resize(layout.num_workers);
+    for (int w = 0; w < layout.num_workers; ++w) {
+      phi[w] = std::exp(p[layout.phi_offset() + w]);
+    }
   }
 };
 
@@ -126,35 +141,36 @@ TCrowdModel TCrowdModel::OnlyContinuous(const Schema& schema,
 namespace {
 
 /// E-step (paper Eq. 4): recomputes every active cell's posterior from the
-/// current parameters. Continuous posteriors are stored in original units.
-/// Rows are independent, so the loop parallelizes across `pool` when given.
-void RunEStep(const Schema& schema, const AnswerSet& answers,
-              const WorkerIndex& widx, const ParamLayout& layout,
-              const std::vector<double>& params, ThreadPool* pool,
-              TCrowdState* state) {
+/// current parameters by streaming the layout's contiguous per-cell answer
+/// runs. Continuous posteriors are stored in original units. Rows are
+/// independent (disjoint writes), so the loop shards across the executor.
+void RunEStep(const Schema& schema, const AnswerMatrixLayout& lay,
+              const ExpParams& xp, EmExecutor* exec, TCrowdState* state) {
   const double eps = state->options.epsilon;
   const double prior_var = state->options.prior_variance;
   int rows = state->num_rows;
   int cols = state->num_cols;
-  auto process_row = [&](int i) {
+  const int32_t* e_worker = lay.entry_worker();
+  const double* e_number = lay.entry_number();
+  const int32_t* e_label = lay.entry_label();
+  auto process_row = [&](size_t row) {
+    int i = static_cast<int>(row);
     for (int j = 0; j < cols; ++j) {
       CellPosterior& post = state->posteriors[static_cast<size_t>(i) * cols + j];
       const ColumnSpec& col = schema.column(j);
       post.type = col.type;
       if (!state->column_active[j]) continue;
-      const std::vector<int>& ids = answers.AnswersForCell(i, j);
+      int32_t lo = lay.cell_begin(i, j);
+      int32_t hi = lay.cell_end(i, j);
       if (col.type == ColumnType::kContinuous) {
         // Gaussian posterior: precision-weighted answers plus the prior
         // N(0, prior_var) in standardized coordinates.
         double precision = 1.0 / prior_var;
         double weighted = 0.0;
-        for (int id : ids) {
-          const Answer& a = answers.answer(id);
-          int w = widx.to_dense.at(a.worker);
-          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
-                     layout.Phi(params, w);
+        for (int32_t e = lo; e < hi; ++e) {
+          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
           s = std::max(s, math::Normal::kVarianceFloor);
-          double z = state->Standardize(j, a.value.number());
+          double z = e_number[e];
           precision += 1.0 / s;
           weighted += z / s;
         }
@@ -167,16 +183,13 @@ void RunEStep(const Schema& schema, const AnswerSet& answers,
       } else {
         int L = col.num_labels();
         std::vector<double> log_p(L, 0.0);  // uniform prior cancels
-        for (int id : ids) {
-          const Answer& a = answers.answer(id);
-          int w = widx.to_dense.at(a.worker);
-          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
-                     layout.Phi(params, w);
+        for (int32_t e = lo; e < hi; ++e) {
+          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
           double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
           double log_q = std::log(q);
           double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
           for (int z = 0; z < L; ++z) {
-            log_p[z] += (z == a.value.label()) ? log_q : log_wrong;
+            log_p[z] += (z == e_label[e]) ? log_q : log_wrong;
           }
         }
         math::SoftmaxInPlace(&log_p);
@@ -184,12 +197,7 @@ void RunEStep(const Schema& schema, const AnswerSet& answers,
       }
     }
   };
-  if (pool != nullptr) {
-    pool->ParallelFor(static_cast<size_t>(rows),
-                      [&](size_t i) { process_row(static_cast<int>(i)); });
-  } else {
-    for (int i = 0; i < rows; ++i) process_row(i);
-  }
+  exec->ParallelFor(static_cast<size_t>(rows), process_row);
 }
 
 /// Observed-data objective for the convergence trace (Fig. 12a):
@@ -197,9 +205,9 @@ void RunEStep(const Schema& schema, const AnswerSet& answers,
 /// datatypes — the categorical latent label and the continuous latent truth
 /// are marginalized out. Including the MAP prior terms makes the trace the
 /// quantity EM provably never decreases.
-double ObservedLogLikelihood(const Schema& schema, const AnswerSet& answers,
-                             const WorkerIndex& widx,
-                             const ParamLayout& layout,
+double ObservedLogLikelihood(const Schema& schema,
+                             const AnswerMatrixLayout& lay,
+                             const ParamLayout& layout, const ExpParams& xp,
                              const std::vector<double>& params,
                              const TCrowdState& state) {
   const double eps = state.options.epsilon;
@@ -207,21 +215,22 @@ double ObservedLogLikelihood(const Schema& schema, const AnswerSet& answers,
   double ll = 0.0;
   int rows = state.num_rows;
   int cols = state.num_cols;
+  const int32_t* e_worker = lay.entry_worker();
+  const double* e_number = lay.entry_number();
+  const int32_t* e_label = lay.entry_label();
   for (int i = 0; i < rows; ++i) {
     for (int j = 0; j < cols; ++j) {
       if (!state.column_active[j]) continue;
-      const std::vector<int>& ids = answers.AnswersForCell(i, j);
-      if (ids.empty()) continue;
+      int32_t lo = lay.cell_begin(i, j);
+      int32_t hi = lay.cell_end(i, j);
+      if (lo == hi) continue;
       const ColumnSpec& col = schema.column(j);
       if (col.type == ColumnType::kContinuous) {
         // Sequential predictive decomposition of the Gaussian marginal.
         math::Normal belief(0.0, prior_var);
-        for (int id : ids) {
-          const Answer& a = answers.answer(id);
-          int w = widx.to_dense.at(a.worker);
-          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
-                     layout.Phi(params, w);
-          double z = state.Standardize(j, a.value.number());
+        for (int32_t e = lo; e < hi; ++e) {
+          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
+          double z = e_number[e];
           math::Normal predictive(belief.mean(), belief.variance() + s);
           ll += predictive.LogPdf(z);
           belief = belief.PosteriorGivenObservation(z, s);
@@ -229,16 +238,13 @@ double ObservedLogLikelihood(const Schema& schema, const AnswerSet& answers,
       } else {
         int L = col.num_labels();
         std::vector<double> log_p(L, -std::log(static_cast<double>(L)));
-        for (int id : ids) {
-          const Answer& a = answers.answer(id);
-          int w = widx.to_dense.at(a.worker);
-          double s = layout.Alpha(params, i) * layout.Beta(params, j) *
-                     layout.Phi(params, w);
+        for (int32_t e = lo; e < hi; ++e) {
+          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
           double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
           double log_q = std::log(q);
           double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
           for (int z = 0; z < L; ++z) {
-            log_p[z] += (z == a.value.label()) ? log_q : log_wrong;
+            log_p[z] += (z == e_label[e]) ? log_q : log_wrong;
           }
         }
         ll += math::LogSumExp(log_p);
@@ -275,6 +281,11 @@ double ObservedLogLikelihood(const Schema& schema, const AnswerSet& answers,
 
 TCrowdState TCrowdModel::Fit(const Schema& schema,
                              const AnswerSet& answers) const {
+  return Fit(schema, answers, nullptr);
+}
+
+TCrowdState TCrowdModel::Fit(const Schema& schema, const AnswerSet& answers,
+                             EmExecutor* executor) const {
   TCROWD_CHECK(schema.num_columns() == answers.num_cols())
       << "schema/answers column mismatch";
   TCrowdState state;
@@ -319,11 +330,15 @@ TCrowdState TCrowdModel::Fit(const Schema& schema,
     state.col_scale[j] = scale;
   }
 
-  WorkerIndex widx(answers);
+  // Flat answer-matrix views: the EM below never touches the AnswerSet's
+  // id-vector indexes again.
+  AnswerMatrixLayout lay(schema, answers, state.column_active,
+                         state.col_center, state.col_scale);
+
   ParamLayout layout;
   layout.num_rows = state.num_rows;
   layout.num_cols = state.num_cols;
-  layout.num_workers = widx.size();
+  layout.num_workers = lay.num_workers();
   layout.with_alpha = options_.estimate_row_difficulty;
   layout.with_beta = options_.estimate_col_difficulty;
 
@@ -332,14 +347,21 @@ TCrowdState TCrowdModel::Fit(const Schema& schema,
     params[layout.phi_offset() + w] = std::log(options_.initial_phi);
   }
 
-  std::unique_ptr<ThreadPool> pool;
-  if (options_.num_threads > 1) {
-    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  // A caller-provided executor carries the persistent pool and scratch; the
+  // batch path falls back to a transient one (serial unless num_threads
+  // asks for shards).
+  std::unique_ptr<EmExecutor> own_executor;
+  if (executor == nullptr) {
+    own_executor = std::make_unique<EmExecutor>(options_.num_threads);
+    executor = own_executor.get();
   }
+
+  ExpParams xp;
+  xp.Refresh(layout, params);
 
   // Initial E-step with neutral difficulties and uniform worker quality
   // (equivalent to frequency/mean-based initialization).
-  RunEStep(schema, answers, widx, layout, params, pool.get(), &state);
+  RunEStep(schema, lay, xp, executor, &state);
 
   const double inv_diff_var =
       1.0 / (options_.log_difficulty_prior_stddev *
@@ -350,29 +372,47 @@ TCrowdState TCrowdModel::Fit(const Schema& schema,
   const double log_phi0 = std::log(options_.initial_phi);
   const double eps = options_.epsilon;
 
+  const size_t num_answers = lay.num_answers();
+  const int32_t* a_row = lay.ans_row();
+  const int32_t* a_col = lay.ans_col();
+  const int32_t* a_worker = lay.ans_worker();
+  const double* a_number = lay.ans_number();
+  const int32_t* a_label = lay.ans_label();
+  const uint8_t* a_active = lay.ans_active();
+  const uint8_t* a_continuous = lay.ans_continuous();
+
+  // Per-column constants the M-step needs per answer.
+  std::vector<int> col_labels(state.num_cols, 0);
+  for (int j = 0; j < state.num_cols; ++j) {
+    if (schema.column(j).type == ColumnType::kCategorical) {
+      col_labels[j] = schema.column(j).num_labels();
+    }
+  }
+
   // Expected complete-data log-likelihood Q (paper Eq. 5) plus the MAP
   // regularizers, with its gradient; posteriors are held fixed inside.
+  ExpParams mxp;  // exp tables for the optimizer's trial points
   auto q_objective = [&](const std::vector<double>& p,
                          std::vector<double>* grad) -> double {
     std::fill(grad->begin(), grad->end(), 0.0);
-    const std::vector<Answer>& all = answers.answers();
+    mxp.Refresh(layout, p);
 
-    // Per-answer accumulation, shared by the serial and parallel paths.
-    auto accumulate = [&](size_t lo, size_t hi, std::vector<double>* g_out,
+    // Per-answer accumulation in answer-id order; sharded over the executor
+    // with one scratch buffer per shard and a tree reduction.
+    auto accumulate = [&](size_t lo, size_t hi, double* g_out,
                           double* val_out) {
       for (size_t idx = lo; idx < hi; ++idx) {
-        const Answer& a = all[idx];
-        int i = a.cell.row;
-        int j = a.cell.col;
-        if (!state.column_active[j]) continue;
-        int w = widx.to_dense.at(a.worker);
-        double s = layout.Alpha(p, i) * layout.Beta(p, j) * layout.Phi(p, w);
+        if (!a_active[idx]) continue;
+        int i = a_row[idx];
+        int j = a_col[idx];
+        int w = a_worker[idx];
+        double s = mxp.alpha[i] * mxp.beta[j] * mxp.phi[w];
         s = std::max(s, math::Normal::kVarianceFloor);
         const CellPosterior& post =
             state.posteriors[static_cast<size_t>(i) * state.num_cols + j];
         double g;  // d(term)/d(ln s)
-        if (schema.column(j).type == ColumnType::kContinuous) {
-          double z = state.Standardize(j, a.value.number());
+        if (a_continuous[idx]) {
+          double z = a_number[idx];
           double t_mu = state.Standardize(j, post.mean);
           double t_var = post.variance /
                          (state.col_scale[j] * state.col_scale[j]);
@@ -380,12 +420,12 @@ TCrowdState TCrowdModel::Fit(const Schema& schema,
           *val_out += -0.5 * std::log(2.0 * M_PI * s) - resid / (2.0 * s);
           g = -0.5 + resid / (2.0 * s);
         } else {
-          int L = schema.column(j).num_labels();
+          int L = col_labels[j];
           double x = eps / std::sqrt(2.0 * s);
           double q = ClampProb(Erf(x));
           double p_match = post.probs.empty()
                                ? 1.0 / L
-                               : post.probs[a.value.label()];
+                               : post.probs[a_label[idx]];
           *val_out += p_match * std::log(q) +
                       (1.0 - p_match) *
                           std::log((1.0 - q) / std::max(1, L - 1));
@@ -393,35 +433,14 @@ TCrowdState TCrowdModel::Fit(const Schema& schema,
           double dq_dlns = -(x / std::sqrt(M_PI)) * std::exp(-x * x);
           g = (p_match / q - (1.0 - p_match) / (1.0 - q)) * dq_dlns;
         }
-        if (layout.with_alpha) (*g_out)[layout.alpha_offset() + i] += g;
-        if (layout.with_beta) (*g_out)[layout.beta_offset() + j] += g;
-        (*g_out)[layout.phi_offset() + w] += g;
+        if (layout.with_alpha) g_out[layout.alpha_offset() + i] += g;
+        if (layout.with_beta) g_out[layout.beta_offset() + j] += g;
+        g_out[layout.phi_offset() + w] += g;
       }
     };
 
-    double q_val = 0.0;
-    if (pool != nullptr && all.size() >= 2048) {
-      // Slice the answers across the pool with per-slice buffers, then
-      // reduce in slice order (deterministic for a fixed thread count).
-      size_t slices = pool->num_threads();
-      std::vector<std::vector<double>> grad_buf(
-          slices, std::vector<double>(grad->size(), 0.0));
-      std::vector<double> val_buf(slices, 0.0);
-      size_t per_slice = (all.size() + slices - 1) / slices;
-      pool->ParallelFor(slices, [&](size_t t) {
-        size_t lo = t * per_slice;
-        size_t hi = std::min(all.size(), lo + per_slice);
-        if (lo < hi) accumulate(lo, hi, &grad_buf[t], &val_buf[t]);
-      });
-      for (size_t t = 0; t < slices; ++t) {
-        q_val += val_buf[t];
-        for (size_t k = 0; k < grad->size(); ++k) {
-          (*grad)[k] += grad_buf[t][k];
-        }
-      }
-    } else {
-      accumulate(0, all.size(), grad, &q_val);
-    }
+    double q_val = executor->AccumulateSharded(num_answers, grad->size(),
+                                               accumulate, grad);
     // MAP regularizers keep rarely-observed parameters near neutral.
     if (layout.with_alpha) {
       for (int i = 0; i < layout.num_rows; ++i) {
@@ -490,10 +509,11 @@ TCrowdState TCrowdModel::Fit(const Schema& schema,
     for (double& v : params) v = std::clamp(v, -bound, bound);
 
     // E-step with the fresh parameters.
-    RunEStep(schema, answers, widx, layout, params, pool.get(), &state);
+    xp.Refresh(layout, params);
+    RunEStep(schema, lay, xp, executor, &state);
 
-    state.objective_trace.push_back(ObservedLogLikelihood(
-        schema, answers, widx, layout, params, state));
+    state.objective_trace.push_back(
+        ObservedLogLikelihood(schema, lay, layout, xp, params, state));
     size_t n_trace = state.objective_trace.size();
     if (options_.objective_tolerance > 0.0 && n_trace >= 2 &&
         std::fabs(state.objective_trace[n_trace - 1] -
@@ -521,7 +541,7 @@ TCrowdState TCrowdModel::Fit(const Schema& schema,
   std::vector<double> phis;
   for (int w = 0; w < layout.num_workers; ++w) {
     double phi = layout.Phi(params, w);
-    state.worker_phi[widx.ids[w]] = phi;
+    state.worker_phi[lay.worker_ids()[w]] = phi;
     phis.push_back(phi);
   }
   if (!phis.empty()) state.default_phi = math::Median(phis);

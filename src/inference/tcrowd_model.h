@@ -9,6 +9,8 @@
 
 namespace tcrowd {
 
+class EmExecutor;
+
 /// Tuning knobs of the T-Crowd truth-inference EM (paper Section 4).
 struct TCrowdOptions {
   /// Half-width of the "good answer" interval in Eq. 2, in *standardized*
@@ -60,7 +62,8 @@ struct TCrowdOptions {
   /// parallel/distributed inference the paper lists as future work in its
   /// Section 7). 1 = serial. Results are deterministic for a fixed thread
   /// count; across thread counts they agree to floating-point reduction
-  /// order.
+  /// order. Ignored when Fit() is handed a persistent EmExecutor — the
+  /// executor's shard count governs then.
   int num_threads = 1;
 
   /// Cheaper settings for the inner loop of task-assignment experiments,
@@ -136,8 +139,18 @@ class TCrowdModel : public TruthInference {
   InferenceResult Infer(const Schema& schema,
                         const AnswerSet& answers) const override;
 
-  /// Full fit, exposing the state task assignment needs.
+  /// Full fit, exposing the state task assignment needs. Spawns a transient
+  /// EmExecutor when options().num_threads > 1 (serial otherwise).
   TCrowdState Fit(const Schema& schema, const AnswerSet& answers) const;
+
+  /// Full fit on a caller-provided persistent executor (the online serving
+  /// path: the IncrementalInferenceEngine keeps one executor across
+  /// refreshes so no fit ever spawns threads). The executor's shard count
+  /// overrides options().num_threads; pass nullptr for the transient
+  /// behavior of the two-argument overload. Blocks until converged; the
+  /// executor must not be driven by another fit concurrently.
+  TCrowdState Fit(const Schema& schema, const AnswerSet& answers,
+                  EmExecutor* executor) const;
 
   /// Converts a fitted state to the plain result interface.
   static InferenceResult StateToResult(const TCrowdState& state);

@@ -30,6 +30,7 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
       config_(std::move(config)),
       sessions_started_(&metrics_.counter("service.sessions_started")),
       sessions_ended_(&metrics_.counter("service.sessions_ended")),
+      sessions_expired_(&metrics_.counter("service.sessions_expired")),
       tasks_assigned_(&metrics_.counter("service.tasks_assigned")),
       answers_accepted_(&metrics_.counter("service.answers_accepted")),
       answers_rejected_(&metrics_.counter("service.answers_rejected")),
@@ -81,10 +82,61 @@ bool CrowdService::DrainedLocked() const {
          finalized_count_ == static_cast<int>(tasks_.size());
 }
 
+int64_t CrowdService::NowNanos() const {
+  if (config_.clock_nanos) return config_.clock_nanos();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CrowdService::ReleaseLeasesLocked(Session* session) {
+  for (const CellRef& cell : session->leases) {
+    --TaskAt(cell).leases;
+    --budget_committed_;  // refund the unanswered commitment
+  }
+  session->leases.clear();
+}
+
+int CrowdService::ExpireStaleSessionsLocked(int64_t now, bool force) {
+  if (config_.session_lease_timeout_seconds <= 0.0) return 0;
+  const int64_t deadline_nanos =
+      static_cast<int64_t>(config_.session_lease_timeout_seconds * 1e9);
+  // Sweep watermark: after a sweep at time T no surviving session can be
+  // overdue before T + deadline, so the request paths skip the
+  // O(active sessions) scan until then (expiry may lag by at most one
+  // deadline period there; the explicit ExpireStaleSessions() is exact).
+  if (!force && now - last_sweep_nanos_ < deadline_nanos) return 0;
+  last_sweep_nanos_ = now;
+  int expired = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_active_nanos > deadline_nanos) {
+      ReleaseLeasesLocked(&it->second);
+      it = sessions_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  if (expired > 0) {
+    sessions_expired_total_ += expired;
+    sessions_expired_->Increment(expired);
+  }
+  return expired;
+}
+
+int CrowdService::ExpireStaleSessions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ExpireStaleSessionsLocked(NowNanos(), /*force=*/true);
+}
+
 CrowdService::SessionId CrowdService::StartSession(WorkerId worker) {
   std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowNanos();
+  ExpireStaleSessionsLocked(now);
   SessionId id = next_session_++;
-  sessions_[id].worker = worker;
+  Session& sess = sessions_[id];
+  sess.worker = worker;
+  sess.last_active_nanos = now;
   ++sessions_started_total_;
   sessions_started_->Increment();
   return id;
@@ -93,9 +145,12 @@ CrowdService::SessionId CrowdService::StartSession(WorkerId worker) {
 std::vector<CellRef> CrowdService::RequestTasks(SessionId session, int k) {
   ScopedLatencyTimer timer(request_latency_);
   std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowNanos();
+  ExpireStaleSessionsLocked(now);
   auto it = sessions_.find(session);
   if (it == sessions_.end() || k <= 0 || DrainedLocked()) return {};
   Session& sess = it->second;
+  sess.last_active_nanos = now;
 
   // Remaining global budget caps the lease batch.
   int64_t headroom = config_.max_total_answers - budget_committed_;
@@ -139,6 +194,8 @@ Status CrowdService::SubmitAnswer(SessionId session, CellRef cell,
   Answer answer;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    int64_t now = NowNanos();
+    ExpireStaleSessionsLocked(now);
     auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       ++rejected_;
@@ -147,6 +204,7 @@ Status CrowdService::SubmitAnswer(SessionId session, CellRef cell,
           StrFormat("unknown session %lld", static_cast<long long>(session)));
     }
     Session& sess = it->second;
+    sess.last_active_nanos = now;
     auto lease = std::find(sess.leases.begin(), sess.leases.end(), cell);
     if (lease == sess.leases.end()) {
       ++rejected_;
@@ -199,10 +257,7 @@ Status CrowdService::EndSession(SessionId session) {
     return Status::NotFound(
         StrFormat("unknown session %lld", static_cast<long long>(session)));
   }
-  for (const CellRef& cell : it->second.leases) {
-    --TaskAt(cell).leases;
-    --budget_committed_;  // refund the unanswered commitment
-  }
+  ReleaseLeasesLocked(&it->second);
   sessions_.erase(it);
   sessions_ended_->Increment();
   return Status::Ok();
@@ -244,6 +299,7 @@ ServiceStats CrowdService::Stats() const {
   }
   stats.sessions_started = sessions_started_total_;
   stats.sessions_active = static_cast<int64_t>(sessions_.size());
+  stats.sessions_expired = sessions_expired_total_;
   stats.answers_accepted = budget_spent_;
   stats.answers_rejected = rejected_;
   stats.assignments = tasks_assigned_->value();

@@ -1,7 +1,9 @@
 #ifndef TCROWD_SERVICE_CROWD_SERVICE_H_
 #define TCROWD_SERVICE_CROWD_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,6 +38,18 @@ struct ServiceConfig {
   int64_t max_total_answers = -1;
   /// Threads of the service-owned pool running background EM refreshes.
   int num_threads = 2;
+  /// Lease deadline: a session with no activity (StartSession /
+  /// RequestTasks / SubmitAnswer) for longer than this is expired — its
+  /// unanswered leases return to the open pool and their budget commitment
+  /// is refunded, exactly as if the worker had called EndSession. Expiry is
+  /// enforced lazily on the request paths (a watermark caps the sweep at
+  /// once per deadline period, so reclamation there may lag by up to one
+  /// extra period) and exactly on demand via
+  /// CrowdService::ExpireStaleSessions. <= 0 disables expiry.
+  double session_lease_timeout_seconds = 0.0;
+  /// Test seam: monotonic nanosecond clock used for lease deadlines.
+  /// Defaults to std::chrono::steady_clock when unset.
+  std::function<int64_t()> clock_nanos;
   InferenceArgs inference;
   RouterOptions router;
 };
@@ -48,6 +62,7 @@ struct ServiceStats {
   int tasks_finalized = 0;
   int64_t sessions_started = 0;
   int64_t sessions_active = 0;
+  int64_t sessions_expired = 0;
   int64_t answers_accepted = 0;
   int64_t answers_rejected = 0;
   int64_t assignments = 0;
@@ -80,20 +95,35 @@ class CrowdService {
   CrowdService& operator=(const CrowdService&) = delete;
 
   /// Opens a worker session. Ids are unique for the service's lifetime.
+  /// Never blocks on inference.
   SessionId StartSession(WorkerId worker);
 
   /// Leases up to `k` tasks to the session. Empty when the session is
-  /// unknown/closed, the budget is exhausted, or nothing is assignable.
+  /// unknown/closed/expired, the budget is exhausted, or nothing is
+  /// assignable. May block on an inline policy refit the first time the
+  /// routing policy needs its model.
   std::vector<CellRef> RequestTasks(SessionId session, int k);
 
   /// Accepts one answer for a cell the session holds a lease on. Rejects
   /// answers without a lease, with a mismatched value type, or an
-  /// out-of-range label.
+  /// out-of-range label. Never blocks on an EM refresh in the default
+  /// async configuration (refreshes run on the service's own pool); with
+  /// inference.async_refresh = false the staleness-crossing call runs the
+  /// refresh inline.
   Status SubmitAnswer(SessionId session, CellRef cell, const Value& value);
 
   /// Closes the session; unanswered leases return to the open pool (and
   /// their budget commitment is refunded) so backfill can re-route them.
+  /// Never blocks on inference.
   Status EndSession(SessionId session);
+
+  /// Sweeps sessions whose lease deadline has passed (workers that never
+  /// called EndSession), releasing their leases and refunding their budget
+  /// commitments. Runs automatically on every StartSession / RequestTasks /
+  /// SubmitAnswer; exposed for drivers that want deterministic reclamation
+  /// (e.g. between replay phases). Returns the number of sessions expired
+  /// by this sweep. No-op when session_lease_timeout_seconds <= 0.
+  int ExpireStaleSessions();
 
   TaskState task_state(CellRef cell) const;
   int AnswerCount(CellRef cell) const;
@@ -101,6 +131,8 @@ class CrowdService {
   /// every task finalized).
   bool Drained() const;
 
+  /// Aggregate snapshot; takes the service mutex briefly, never blocks on
+  /// inference.
   ServiceStats Stats() const;
   MetricsRegistry& metrics() { return metrics_; }
   IncrementalInferenceEngine& engine() { return *engine_; }
@@ -109,7 +141,9 @@ class CrowdService {
   const ServiceConfig& config() const { return config_; }
 
   /// Waits out pending refreshes and returns the final batch-converged
-  /// truth inference over everything collected.
+  /// truth inference over everything collected. Blocks for a full EM fit;
+  /// concurrent submits keep being accepted but are not part of the
+  /// returned result's snapshot.
   InferenceResult Finalize();
 
  private:
@@ -121,6 +155,7 @@ class CrowdService {
   struct Session {
     WorkerId worker = -1;
     std::vector<CellRef> leases;
+    int64_t last_active_nanos = 0;  ///< lease deadline base (config clock)
   };
 
   TaskState StateOf(const TaskEntry& task) const;
@@ -128,6 +163,15 @@ class CrowdService {
   TaskEntry& TaskAt(CellRef cell);
   const TaskEntry& TaskAt(CellRef cell) const;
   bool DrainedLocked() const;
+  int64_t NowNanos() const;
+  /// Releases the session's leases and refunds their commitments; `mu_`
+  /// must be held. Does not erase the session from sessions_.
+  void ReleaseLeasesLocked(Session* session);
+  /// Expires every session idle past the lease deadline; `mu_` must be
+  /// held. Returns the number of sessions expired. Unless `force`, the
+  /// scan is skipped while the sweep watermark proves nothing can be
+  /// overdue yet (keeps the request hot paths O(1) in session count).
+  int ExpireStaleSessionsLocked(int64_t now, bool force = false);
 
   const Schema schema_;
   const int num_rows_;
@@ -137,6 +181,7 @@ class CrowdService {
   // Cached hot-path metric handles (stable for the registry's lifetime).
   Counter* sessions_started_;
   Counter* sessions_ended_;
+  Counter* sessions_expired_;
   Counter* tasks_assigned_;
   Counter* answers_accepted_;
   Counter* answers_rejected_;
@@ -156,6 +201,8 @@ class CrowdService {
   std::unordered_map<SessionId, Session> sessions_;
   SessionId next_session_ = 1;
   int64_t sessions_started_total_ = 0;
+  int64_t sessions_expired_total_ = 0;
+  int64_t last_sweep_nanos_ = 0;  ///< watermark of the last expiry scan
   int64_t budget_spent_ = 0;      ///< accepted answers
   int64_t budget_committed_ = 0;  ///< accepted + outstanding leases
   int64_t rejected_ = 0;

@@ -23,7 +23,9 @@ InferenceArgs Normalize(InferenceArgs args) {
   args.staleness_threshold = std::max(1, args.staleness_threshold);
   args.num_shards = std::max(1, args.num_shards);
   args.min_answers_for_fit = std::max(1, args.min_answers_for_fit);
-  // The refresh EM shards its E/M steps with the model's own thread knob.
+  // The refresh EM shards its E/M steps across the engine's persistent
+  // executor; num_threads records the effective shard count so a batch
+  // TCrowdModel run with these options reproduces the refresh bit-for-bit.
   args.tcrowd_options.num_threads =
       std::max(args.tcrowd_options.num_threads, args.num_shards);
   return args;
@@ -39,6 +41,8 @@ IncrementalInferenceEngine::IncrementalInferenceEngine(const Schema& schema,
       num_rows_(num_rows),
       args_(Normalize(std::move(args))),
       pool_(pool),
+      executor_(
+          std::make_unique<EmExecutor>(args_.tcrowd_options.num_threads)),
       answers_(num_rows, schema.num_columns()),
       tcrowd_path_(IsTCrowdMethod(args_.method)) {
   TCROWD_CHECK(num_rows_ > 0);
@@ -80,6 +84,25 @@ std::unique_ptr<TruthInference> IncrementalInferenceEngine::MakeBatchMethod()
   return std::make_unique<TCrowdModel>(MakeTCrowdModel());
 }
 
+void IncrementalInferenceEngine::ScheduleRefreshLocked(bool* run_inline) {
+  if (shutdown_ ||
+      static_cast<int>(answers_.size()) < args_.min_answers_for_fit) {
+    return;
+  }
+  if (refresh_in_flight_) {
+    // Coalesce: the running refresh will loop exactly once more.
+    refresh_pending_ = true;
+    return;
+  }
+  refresh_in_flight_ = true;
+  answers_since_refresh_ = 0;
+  if (pool_ != nullptr && args_.async_refresh) {
+    if (!pool_->Submit([this] { RunRefresh(); })) *run_inline = true;
+  } else {
+    *run_inline = true;
+  }
+}
+
 void IncrementalInferenceEngine::SubmitAnswer(const Answer& answer) {
   bool run_inline = false;
   {
@@ -95,73 +118,86 @@ void IncrementalInferenceEngine::SubmitAnswer(const Answer& answer) {
     bool stale = answers_since_refresh_ >= args_.staleness_threshold ||
                  (!fitted_ && static_cast<int>(answers_.size()) >=
                                   args_.min_answers_for_fit);
-    if (stale && !refresh_in_flight_ && !shutdown_ &&
-        static_cast<int>(answers_.size()) >= args_.min_answers_for_fit) {
-      refresh_in_flight_ = true;
-      answers_since_refresh_ = 0;
-      if (pool_ != nullptr && args_.async_refresh) {
-        if (!pool_->Submit([this] { RunRefresh(); })) run_inline = true;
-      } else {
-        run_inline = true;
-      }
+    if (stale && !refresh_in_flight_) {
+      ScheduleRefreshLocked(&run_inline);
     }
   }
   if (run_inline) RunRefresh();
 }
 
-void IncrementalInferenceEngine::RunRefresh() {
-  AnswerSet snapshot;
+void IncrementalInferenceEngine::RequestRefresh() {
+  bool run_inline = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
+    ScheduleRefreshLocked(&run_inline);
+  }
+  if (run_inline) RunRefresh();
+}
+
+void IncrementalInferenceEngine::RunRefresh() {
+  while (true) {
+    AnswerSet snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        refresh_in_flight_ = false;
+        refresh_done_.notify_all();
+        return;
+      }
+      snapshot = answers_;
+      snapshot_size_ = answers_.size();
+    }
+
+    // The expensive part runs without the lock: submits keep flowing while
+    // the EM re-converges on the snapshot, on the persistent executor.
+    TCrowdState fresh_state;
+    InferenceResult fresh_result;
+    bool fit_ok = true;
+    try {
+      if (tcrowd_path_) {
+        TCrowdModel model = MakeTCrowdModel();
+        fresh_state = model.Fit(schema_, snapshot, executor_.get());
+      } else {
+        fresh_result = MakeBatchMethod()->Infer(schema_, snapshot);
+      }
+    } catch (const std::exception& e) {
+      // A failed refresh must never wedge the engine: keep serving the last
+      // installed state and let a later submit schedule the next attempt.
+      TCROWD_LOG(Warning) << "inference refresh failed: " << e.what();
+      fit_ok = false;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fit_ok) {
+        if (tcrowd_path_) {
+          state_ = std::move(fresh_state);
+          // Answers that arrived during the fit are replayed incrementally
+          // so the installed state reflects every submitted answer.
+          for (size_t id = snapshot_size_; id < answers_.size(); ++id) {
+            ApplyIncrementalAnswer(answers_.answer(static_cast<int>(id)),
+                                   &state_);
+          }
+        } else {
+          baseline_result_ = std::move(fresh_result);
+        }
+        fitted_ = true;
+        ++refresh_count_;
+      }
+      if (refresh_pending_ && !shutdown_) {
+        // Coalesced requests: run one more pass with a fresh snapshot;
+        // refresh_in_flight_ stays set so waiters keep waiting.
+        refresh_pending_ = false;
+        answers_since_refresh_ = 0;
+        continue;
+      }
       refresh_in_flight_ = false;
+      // Notify under the lock: a waiter (incl. the destructor) may
+      // otherwise finish and destroy the condition variable before the
+      // notify lands.
       refresh_done_.notify_all();
       return;
     }
-    snapshot = answers_;
-    snapshot_size_ = answers_.size();
-  }
-
-  // The expensive part runs without the lock: submits keep flowing while the
-  // EM re-converges on the snapshot.
-  TCrowdState fresh_state;
-  InferenceResult fresh_result;
-  bool fit_ok = true;
-  try {
-    if (tcrowd_path_) {
-      TCrowdModel model = MakeTCrowdModel();
-      fresh_state = model.Fit(schema_, snapshot);
-    } else {
-      fresh_result = MakeBatchMethod()->Infer(schema_, snapshot);
-    }
-  } catch (const std::exception& e) {
-    // A failed refresh must never wedge the engine: keep serving the last
-    // installed state and let a later submit schedule the next attempt.
-    TCROWD_LOG(Warning) << "inference refresh failed: " << e.what();
-    fit_ok = false;
-  }
-
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (fit_ok) {
-      if (tcrowd_path_) {
-        state_ = std::move(fresh_state);
-        // Answers that arrived during the fit are replayed incrementally so
-        // the installed state reflects every submitted answer.
-        for (size_t id = snapshot_size_; id < answers_.size(); ++id) {
-          ApplyIncrementalAnswer(answers_.answer(static_cast<int>(id)),
-                                 &state_);
-        }
-      } else {
-        baseline_result_ = std::move(fresh_result);
-      }
-      fitted_ = true;
-      ++refresh_count_;
-    }
-    refresh_in_flight_ = false;
-    // Notify under the lock: a waiter (incl. the destructor) may otherwise
-    // finish and destroy the condition variable before the notify lands.
-    refresh_done_.notify_all();
   }
 }
 
@@ -206,9 +242,41 @@ void IncrementalInferenceEngine::WaitForRefresh() {
 }
 
 InferenceResult IncrementalInferenceEngine::Finalize() {
-  WaitForRefresh();
-  AnswerSet snapshot = SnapshotAnswers();
-  return MakeBatchMethod()->Infer(schema_, snapshot);
+  AnswerSet snapshot;
+  {
+    // Drain refreshes, then reserve the executor (refresh_in_flight_ keeps
+    // concurrent submits from scheduling a fit onto it mid-finalize).
+    std::unique_lock<std::mutex> lock(mu_);
+    refresh_done_.wait(lock, [this] { return !refresh_in_flight_; });
+    refresh_in_flight_ = true;
+    snapshot = answers_;
+  }
+  InferenceResult result;
+  try {
+    if (tcrowd_path_) {
+      // Same hot loop, same executor, full batch convergence: matches a
+      // batch TCrowdModel run with args().tcrowd_options bit-for-bit.
+      result = TCrowdModel::StateToResult(
+          MakeTCrowdModel().Fit(schema_, snapshot, executor_.get()));
+    } else {
+      result = MakeBatchMethod()->Infer(schema_, snapshot);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    refresh_in_flight_ = false;
+    refresh_pending_ = false;
+    refresh_done_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    refresh_in_flight_ = false;
+    // Requests coalesced behind the final fit are moot: the caller has the
+    // fully converged result already.
+    refresh_pending_ = false;
+    refresh_done_.notify_all();
+  }
+  return result;
 }
 
 int IncrementalInferenceEngine::refresh_count() const {

@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.h"
 #include "data/answer.h"
+#include "inference/em_executor.h"
 #include "inference/inference_result.h"
 #include "inference/tcrowd_model.h"
 
@@ -31,8 +32,9 @@ struct InferenceArgs {
   /// absorbed since the last (started) refresh.
   int staleness_threshold = 64;
 
-  /// Shards the refresh EM fans its E/M steps across (TCrowdOptions'
-  /// num_threads; the model block-partitions cells over a thread pool).
+  /// Shards of the engine's persistent EmExecutor, across which every
+  /// refresh fans its E/M steps. The executor (and its thread pool) lives
+  /// as long as the engine — refreshes never spawn threads.
   int num_shards = 1;
 
   /// When set, refreshes run as background jobs on the caller-supplied
@@ -51,15 +53,26 @@ struct InferenceArgs {
 /// cheap per-cell Bayes step, and re-converges with a sharded EM refresh
 /// whenever the incremental state has gone stale.
 ///
+/// Refreshes run the exact same hot loop as the batch TCrowdModel (both fit
+/// through AnswerMatrixLayout + EmExecutor), on a persistent executor owned
+/// by this engine, so no refresh ever pays thread start-up. Refresh
+/// requests arriving while a refresh is running coalesce into exactly one
+/// follow-up refresh.
+///
 /// Thread-safety: every public method may be called concurrently; internal
 /// state is guarded by one mutex, and refresh fits run on a snapshot so the
 /// submit path never waits on EM.
 class IncrementalInferenceEngine {
  public:
   /// `pool` (optional, unowned) runs async refreshes; it must outlive the
-  /// engine. Pass nullptr to force inline refreshes.
+  /// engine. Pass nullptr to force inline refreshes. The constructor also
+  /// builds the engine's own persistent EmExecutor (spawning its worker
+  /// threads once) sized to the normalized
+  /// max(tcrowd_options.num_threads, num_shards).
   IncrementalInferenceEngine(const Schema& schema, int num_rows,
                              InferenceArgs args, ThreadPool* pool);
+  /// Blocks until any in-flight or coalesced-pending refresh has drained,
+  /// then joins the executor's pool.
   ~IncrementalInferenceEngine();
 
   IncrementalInferenceEngine(const IncrementalInferenceEngine&) = delete;
@@ -68,8 +81,16 @@ class IncrementalInferenceEngine {
 
   /// Appends the answer to the cached matrix, applies the incremental
   /// posterior update, and schedules a refresh when staleness crosses the
-  /// threshold.
+  /// threshold. Never blocks on EM in async mode; in inline mode (no pool
+  /// or async_refresh=false) the triggering call runs the refresh itself.
   void SubmitAnswer(const Answer& answer);
+
+  /// Explicitly schedules a full refresh (subject to min_answers_for_fit).
+  /// If one is already running, the request coalesces: exactly one
+  /// follow-up refresh runs after the current one installs, no matter how
+  /// many requests arrived meanwhile. Non-blocking in async mode; runs the
+  /// refresh inline otherwise.
+  void RequestRefresh();
 
   /// Copy of the current answer matrix (safe against concurrent submits).
   AnswerSet SnapshotAnswers() const;
@@ -84,15 +105,17 @@ class IncrementalInferenceEngine {
   /// Current full estimated table (missing cells where nothing is known).
   Table EstimatedTruth() const;
 
-  /// Blocks until no refresh is running or queued behind a submit.
+  /// Blocks until no refresh is running, queued behind a submit, or
+  /// pending through coalescing.
   void WaitForRefresh();
 
   /// Drains pending refreshes, then runs one final full batch fit over the
-  /// complete answer matrix and returns it. The finalized truths therefore
-  /// match the batch model run on the same answer set exactly.
+  /// complete answer matrix (on the persistent executor for the T-Crowd
+  /// methods) and returns it. The finalized truths therefore match the
+  /// batch model run on the same answer set exactly. Blocks.
   InferenceResult Finalize();
 
-  /// Diagnostics.
+  /// Diagnostics. Each takes the engine mutex briefly; never blocks on EM.
   int refresh_count() const;
   int answers_since_refresh() const;
   bool fitted() const;
@@ -109,15 +132,21 @@ class IncrementalInferenceEngine {
   /// fall back to T-Crowd).
   std::unique_ptr<TruthInference> MakeBatchMethod() const;
 
-  /// Schedules (or runs inline) a refresh; `mu_` must be held.
-  void ScheduleRefreshLocked();
-  /// The refresh body: snapshot, fit, install, replay the tail.
+  /// Schedules (or runs inline) a refresh; `mu_` must be held. Sets the
+  /// coalescing flag instead when a refresh is already in flight.
+  void ScheduleRefreshLocked(bool* run_inline);
+  /// The refresh body: snapshot, fit, install, replay the tail; loops while
+  /// coalesced requests are pending.
   void RunRefresh();
 
   const Schema schema_;
   const int num_rows_;
   const InferenceArgs args_;
   ThreadPool* const pool_;  // unowned; nullptr = inline refresh
+
+  /// Persistent sharded EM substrate: one pool + scratch for the engine's
+  /// lifetime, reused by every refresh and by Finalize.
+  std::unique_ptr<EmExecutor> executor_;
 
   mutable std::mutex mu_;
   std::condition_variable refresh_done_;
@@ -130,6 +159,9 @@ class IncrementalInferenceEngine {
   bool tcrowd_path_ = true;
   bool fitted_ = false;
   bool refresh_in_flight_ = false;
+  /// A refresh was requested while one was running; the in-flight refresh
+  /// runs exactly one more pass before clearing refresh_in_flight_.
+  bool refresh_pending_ = false;
   bool shutdown_ = false;
   int answers_since_refresh_ = 0;
   int refresh_count_ = 0;

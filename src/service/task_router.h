@@ -35,20 +35,27 @@ struct RouterOptions {
 /// the currently unassignable cells (leased or finalized) excluded, and the
 /// router answers from the policy plus a pluggable backfill.
 ///
-/// Not thread-safe by itself: CrowdService serializes calls (policies keep
-/// heavyweight incremental model state).
+/// Ownership: the router owns the policy it adapts for its whole lifetime.
+///
+/// Thread-safety: not thread-safe by itself — CrowdService serializes calls
+/// behind its service mutex (policies keep heavyweight incremental model
+/// state).
 class TaskRouter {
  public:
+  /// Takes ownership of `policy` (must be non-null).
   TaskRouter(std::unique_ptr<AssignmentPolicy> policy, RouterOptions options);
 
   /// Picks up to `k` distinct cells for `worker`, never returning a cell in
-  /// `unavailable` nor one the worker already answered.
+  /// `unavailable` nor one the worker already answered. May block on an
+  /// inline policy refit (a full EM for the model-based policies) when the
+  /// policy has not been fitted yet.
   std::vector<CellRef> Route(const Schema& schema, const AnswerSet& answers,
                              WorkerId worker, int k,
                              const std::vector<CellRef>& unavailable);
 
   /// Feeds one accepted answer back into the policy (Observe), re-fitting it
-  /// on the configured cadence.
+  /// on the configured cadence — the refit runs inline on the caller's
+  /// thread, so every refresh_every_answers-th call is expensive.
   void OnAnswer(const Schema& schema, const AnswerSet& answers,
                 const Answer& answer);
 

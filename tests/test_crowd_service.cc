@@ -225,5 +225,92 @@ TEST(CrowdService, MetricsCountersTrackTraffic) {
   EXPECT_EQ(svc->metrics().latency("service.submit_answer").count(), 3);
 }
 
+TEST(CrowdService, LeaseTimeoutExpiresAbandonedSessionAndRefundsBudget) {
+  int64_t fake_now = 0;
+  ServiceConfig config = CheapConfig();
+  config.session_lease_timeout_seconds = 10.0;
+  config.clock_nanos = [&fake_now] { return fake_now; };
+  CrowdService svc(SmallSchema(), /*num_rows=*/4,
+                   std::make_unique<LoopingPolicy>(), config);
+
+  CrowdService::SessionId session = svc.StartSession(7);
+  std::vector<CellRef> tasks = svc.RequestTasks(session, 3);
+  ASSERT_EQ(tasks.size(), 3u);
+  int64_t committed_budget = svc.Stats().budget_remaining;
+  EXPECT_EQ(svc.task_state(tasks[0]), TaskState::kAssigned);
+
+  // Just inside the deadline: nothing expires.
+  fake_now += 9'000'000'000;
+  EXPECT_EQ(svc.ExpireStaleSessions(), 0);
+  EXPECT_EQ(svc.Stats().sessions_active, 1);
+
+  // Past the deadline: the worker vanished without EndSession. The sweep
+  // releases all three leases, refunds their commitments, and the tasks
+  // become assignable again.
+  fake_now += 2'000'000'000;
+  EXPECT_EQ(svc.ExpireStaleSessions(), 1);
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.sessions_active, 0);
+  EXPECT_EQ(stats.sessions_expired, 1);
+  EXPECT_EQ(stats.budget_remaining, committed_budget + 3);
+  for (const CellRef& cell : tasks) {
+    EXPECT_EQ(svc.task_state(cell), TaskState::kOpen);
+  }
+
+  // Late answers from the expired session are rejected like any unknown
+  // session's.
+  Status st = svc.SubmitAnswer(session, tasks[0],
+                               ValueFor(svc.schema(), tasks[0]));
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(CrowdService, ActivityRefreshesLeaseDeadline) {
+  int64_t fake_now = 0;
+  ServiceConfig config = CheapConfig();
+  config.session_lease_timeout_seconds = 10.0;
+  config.clock_nanos = [&fake_now] { return fake_now; };
+  CrowdService svc(SmallSchema(), /*num_rows=*/4,
+                   std::make_unique<LoopingPolicy>(), config);
+
+  CrowdService::SessionId session = svc.StartSession(7);
+  std::vector<CellRef> tasks = svc.RequestTasks(session, 1);
+  ASSERT_EQ(tasks.size(), 1u);
+
+  // Submitting an answer at t=8s renews the lease, so t=16s is still
+  // within the deadline of the renewed session.
+  fake_now += 8'000'000'000;
+  EXPECT_TRUE(
+      svc.SubmitAnswer(session, tasks[0], ValueFor(svc.schema(), tasks[0]))
+          .ok());
+  fake_now += 8'000'000'000;
+  EXPECT_EQ(svc.ExpireStaleSessions(), 0);
+  EXPECT_EQ(svc.Stats().sessions_active, 1);
+
+  // 11s of silence after the submit ends it.
+  fake_now += 3'000'000'000;
+  EXPECT_EQ(svc.ExpireStaleSessions(), 1);
+  EXPECT_EQ(svc.Stats().sessions_active, 0);
+}
+
+TEST(CrowdService, ExpiryIsLazyOnRequestPaths) {
+  int64_t fake_now = 0;
+  ServiceConfig config = CheapConfig();
+  config.session_lease_timeout_seconds = 5.0;
+  config.clock_nanos = [&fake_now] { return fake_now; };
+  CrowdService svc(SmallSchema(), /*num_rows=*/4,
+                   std::make_unique<LoopingPolicy>(), config);
+
+  CrowdService::SessionId stale = svc.StartSession(1);
+  ASSERT_EQ(svc.RequestTasks(stale, 2).size(), 2u);
+
+  // A fresh worker arriving after the deadline triggers the sweep as a
+  // side effect of StartSession; the stale worker's cells are assignable
+  // to it again.
+  fake_now += 6'000'000'000;
+  CrowdService::SessionId fresh = svc.StartSession(2);
+  EXPECT_EQ(svc.Stats().sessions_expired, 1);
+  EXPECT_EQ(svc.RequestTasks(fresh, 8).size(), 8u);
+}
+
 }  // namespace
 }  // namespace tcrowd::service

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <future>
 
 #include "inference/majority_voting.h"
 #include "inference/tcrowd_model.h"
@@ -195,6 +196,72 @@ TEST(IncrementalEngine, BaselineMethodPathMatchesBatchBaseline) {
       MajorityVoting().Infer(world.world.schema, engine.SnapshotAnswers());
   ExpectTablesMatch(world.world.schema, finalized.estimated_truth,
                     expected.estimated_truth, 1e-12);
+}
+
+TEST(IncrementalEngine, CoalescesRefreshRequestsIntoOneFollowUp) {
+  SimWorld world(19, /*answers_per_task=*/3);
+  ThreadPool pool(1);
+  InferenceArgs args = SyncArgs(/*staleness=*/1000000);
+  args.async_refresh = true;
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    &pool);
+
+  // Park the pool's only thread so the first scheduled refresh cannot start
+  // until we release it: every request below provably lands mid-"refresh".
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  pool.Submit([released] { released.wait(); });
+
+  Replay(world, &engine);  // the 8th answer schedules the first refresh
+  for (int r = 0; r < 5; ++r) engine.RequestRefresh();
+
+  release.set_value();
+  engine.WaitForRefresh();
+  // One initial refresh plus exactly one coalesced follow-up, no matter how
+  // many requests queued up behind it.
+  EXPECT_EQ(engine.refresh_count(), 2);
+  EXPECT_TRUE(engine.fitted());
+
+  InferenceResult finalized = engine.Finalize();
+  TCrowdModel batch(engine.args().tcrowd_options);
+  InferenceResult expected = batch.Infer(world.world.schema,
+                                         engine.SnapshotAnswers());
+  ExpectTablesMatch(world.world.schema, finalized.estimated_truth,
+                    expected.estimated_truth, 1e-12);
+}
+
+TEST(IncrementalEngine, RequestRefreshBelowMinimumAnswersIsIgnored) {
+  SimWorld world(20, /*answers_per_task=*/0);
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(),
+                                    SyncArgs(/*staleness=*/1), nullptr);
+  engine.RequestRefresh();
+  EXPECT_EQ(engine.refresh_count(), 0);
+  EXPECT_FALSE(engine.fitted());
+}
+
+TEST(IncrementalEngine, ShardedFinalizeMatchesShardedBatchBitForBit) {
+  // 40 rows x 6 cols x 9 answers = 2160 answers: enough to engage the
+  // sharded M-step, so this exercises the tree reduction end to end through
+  // both the engine's persistent executor and the batch model's transient
+  // one. Zero tolerance: the two paths must agree to the last bit.
+  SimWorld world(23, /*answers_per_task=*/9);
+  ThreadPool pool(2);
+  InferenceArgs args = SyncArgs(/*staleness=*/500);
+  args.async_refresh = true;
+  args.num_shards = 3;
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    &pool);
+  Replay(world, &engine);
+
+  InferenceResult finalized = engine.Finalize();
+  TCrowdModel batch(engine.args().tcrowd_options);
+  InferenceResult expected = batch.Infer(world.world.schema,
+                                         engine.SnapshotAnswers());
+  ExpectTablesMatch(world.world.schema, finalized.estimated_truth,
+                    expected.estimated_truth, 0.0);
 }
 
 TEST(IncrementalEngine, DestructorDrainsInFlightRefresh) {

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Docs-freshness check: every module directory under src/ must be mentioned
+# in docs/ARCHITECTURE.md, so the architecture doc cannot silently rot as
+# the codebase grows. Run by CI on every build; run it locally after adding
+# a module:
+#
+#   tools/check_docs.sh
+#
+# A module is "mentioned" when its directory name appears as a word
+# anywhere in docs/ARCHITECTURE.md (the table and the dependency diagram
+# both qualify).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+doc="$repo_root/docs/ARCHITECTURE.md"
+
+if [ ! -f "$doc" ]; then
+  echo "check_docs.sh: $doc is missing" >&2
+  exit 1
+fi
+
+missing=""
+for dir in "$repo_root"/src/*/; do
+  module=$(basename "$dir")
+  if ! grep -q -w "$module" "$doc"; then
+    missing="$missing $module"
+  fi
+done
+
+if [ -n "$missing" ]; then
+  echo "check_docs.sh: src/ modules not documented in docs/ARCHITECTURE.md:" >&2
+  for m in $missing; do
+    echo "  - $m" >&2
+  done
+  echo "Describe them in the module table / dependency graph." >&2
+  exit 1
+fi
+
+echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented."

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "common/logging.h"
-#include "inference/answer_layout.h"
+#include "inference/answer_segment.h"
 #include "inference/em_executor.h"
 #include "math/entropy.h"
 #include "math/gradient_ascent.h"
@@ -21,8 +21,6 @@ using math::Erf;
 using math::SafeLog;
 
 namespace {
-
-constexpr double kMinScale = 1e-9;
 
 /// Layout of the flat log-parameter vector handed to the optimizer:
 /// [ln alpha_0..N) [ln beta_0..M) [ln phi_0..W) — alpha/beta blocks are
@@ -79,6 +77,30 @@ struct ExpParams {
     }
   }
 };
+
+/// Cell-major cursor into one segment's entries for the row being
+/// processed. Draining the cursors in segment order per column visits a
+/// cell's entries in global submission order — the same sequence of
+/// additions a single flat layout performs, so segmentation never changes
+/// a bit of the result.
+struct SegRowCursor {
+  const AnswerSegment* seg = nullptr;
+  int32_t pos = 0;
+  int32_t end = 0;
+};
+
+/// Collects cursors for every segment holding active answers on `row`, in
+/// segment (= chronological) order.
+void CollectRowCursors(const AnswerMatrixSnapshot& snap, int row,
+                       std::vector<SegRowCursor>* out) {
+  out->clear();
+  for (const auto& seg : snap.segments) {
+    int32_t begin, end;
+    if (seg->FindRowRun(row, &begin, &end)) {
+      out->push_back({seg.get(), begin, end});
+    }
+  }
+}
 
 }  // namespace
 
@@ -138,41 +160,57 @@ TCrowdModel TCrowdModel::OnlyContinuous(const Schema& schema,
   return TCrowdModel(std::move(options), "TC-onlyCont");
 }
 
+std::vector<bool> TCrowdModel::ActiveColumns(int num_cols) const {
+  std::vector<bool> active(num_cols, options_.column_mask.empty());
+  for (int j : options_.column_mask) {
+    TCROWD_CHECK(j >= 0 && j < num_cols) << "bad column mask entry";
+    active[j] = true;
+  }
+  return active;
+}
+
 namespace {
 
 /// E-step (paper Eq. 4): recomputes every active cell's posterior from the
-/// current parameters by streaming the layout's contiguous per-cell answer
-/// runs. Continuous posteriors are stored in original units. Rows are
-/// independent (disjoint writes), so the loop shards across the executor.
-void RunEStep(const Schema& schema, const AnswerMatrixLayout& lay,
+/// current parameters by draining each segment's contiguous run for the
+/// cell, in segment order. Continuous posteriors are stored in original
+/// units. Rows are independent (disjoint writes), so the loop shards
+/// across the executor.
+void RunEStep(const Schema& schema, const AnswerMatrixSnapshot& snap,
               const ExpParams& xp, EmExecutor* exec, TCrowdState* state) {
   const double eps = state->options.epsilon;
   const double prior_var = state->options.prior_variance;
   int rows = state->num_rows;
   int cols = state->num_cols;
-  const int32_t* e_worker = lay.entry_worker();
-  const double* e_number = lay.entry_number();
-  const int32_t* e_label = lay.entry_label();
   auto process_row = [&](size_t row) {
     int i = static_cast<int>(row);
+    // Reused across rows per worker thread: the E-step is the hottest loop,
+    // so it must not pay a heap allocation per (row, iteration).
+    static thread_local std::vector<SegRowCursor> cur;
+    CollectRowCursors(snap, i, &cur);
     for (int j = 0; j < cols; ++j) {
-      CellPosterior& post = state->posteriors[static_cast<size_t>(i) * cols + j];
+      CellPosterior& post =
+          state->posteriors[static_cast<size_t>(i) * cols + j];
       const ColumnSpec& col = schema.column(j);
       post.type = col.type;
       if (!state->column_active[j]) continue;
-      int32_t lo = lay.cell_begin(i, j);
-      int32_t hi = lay.cell_end(i, j);
       if (col.type == ColumnType::kContinuous) {
         // Gaussian posterior: precision-weighted answers plus the prior
         // N(0, prior_var) in standardized coordinates.
         double precision = 1.0 / prior_var;
         double weighted = 0.0;
-        for (int32_t e = lo; e < hi; ++e) {
-          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
-          s = std::max(s, math::Normal::kVarianceFloor);
-          double z = e_number[e];
-          precision += 1.0 / s;
-          weighted += z / s;
+        for (SegRowCursor& c : cur) {
+          const int32_t* ccol = c.seg->cm_col();
+          const int32_t* cworker = c.seg->cm_worker();
+          const double* cnumber = c.seg->cm_number();
+          while (c.pos < c.end && ccol[c.pos] == j) {
+            double s = xp.alpha[i] * xp.beta[j] * xp.phi[cworker[c.pos]];
+            s = std::max(s, math::Normal::kVarianceFloor);
+            double z = cnumber[c.pos];
+            precision += 1.0 / s;
+            weighted += z / s;
+            ++c.pos;
+          }
         }
         double t_var = 1.0 / precision;
         double t_mu = weighted * t_var;
@@ -183,13 +221,19 @@ void RunEStep(const Schema& schema, const AnswerMatrixLayout& lay,
       } else {
         int L = col.num_labels();
         std::vector<double> log_p(L, 0.0);  // uniform prior cancels
-        for (int32_t e = lo; e < hi; ++e) {
-          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
-          double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
-          double log_q = std::log(q);
-          double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
-          for (int z = 0; z < L; ++z) {
-            log_p[z] += (z == e_label[e]) ? log_q : log_wrong;
+        for (SegRowCursor& c : cur) {
+          const int32_t* ccol = c.seg->cm_col();
+          const int32_t* cworker = c.seg->cm_worker();
+          const int32_t* clabel = c.seg->cm_label();
+          while (c.pos < c.end && ccol[c.pos] == j) {
+            double s = xp.alpha[i] * xp.beta[j] * xp.phi[cworker[c.pos]];
+            double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
+            double log_q = std::log(q);
+            double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
+            for (int z = 0; z < L; ++z) {
+              log_p[z] += (z == clabel[c.pos]) ? log_q : log_wrong;
+            }
+            ++c.pos;
           }
         }
         math::SoftmaxInPlace(&log_p);
@@ -206,7 +250,7 @@ void RunEStep(const Schema& schema, const AnswerMatrixLayout& lay,
 /// are marginalized out. Including the MAP prior terms makes the trace the
 /// quantity EM provably never decreases.
 double ObservedLogLikelihood(const Schema& schema,
-                             const AnswerMatrixLayout& lay,
+                             const AnswerMatrixSnapshot& snap,
                              const ParamLayout& layout, const ExpParams& xp,
                              const std::vector<double>& params,
                              const TCrowdState& state) {
@@ -215,36 +259,55 @@ double ObservedLogLikelihood(const Schema& schema,
   double ll = 0.0;
   int rows = state.num_rows;
   int cols = state.num_cols;
-  const int32_t* e_worker = lay.entry_worker();
-  const double* e_number = lay.entry_number();
-  const int32_t* e_label = lay.entry_label();
+  std::vector<SegRowCursor> cur;
+  cur.reserve(snap.segments.size());
   for (int i = 0; i < rows; ++i) {
+    CollectRowCursors(snap, i, &cur);
     for (int j = 0; j < cols; ++j) {
       if (!state.column_active[j]) continue;
-      int32_t lo = lay.cell_begin(i, j);
-      int32_t hi = lay.cell_end(i, j);
-      if (lo == hi) continue;
+      // Cells without answers contribute nothing (matches the historical
+      // flat-layout skip bit for bit).
+      bool has_answers = false;
+      for (const SegRowCursor& c : cur) {
+        if (c.pos < c.end && c.seg->cm_col()[c.pos] == j) {
+          has_answers = true;
+          break;
+        }
+      }
+      if (!has_answers) continue;
       const ColumnSpec& col = schema.column(j);
       if (col.type == ColumnType::kContinuous) {
         // Sequential predictive decomposition of the Gaussian marginal.
         math::Normal belief(0.0, prior_var);
-        for (int32_t e = lo; e < hi; ++e) {
-          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
-          double z = e_number[e];
-          math::Normal predictive(belief.mean(), belief.variance() + s);
-          ll += predictive.LogPdf(z);
-          belief = belief.PosteriorGivenObservation(z, s);
+        for (SegRowCursor& c : cur) {
+          const int32_t* ccol = c.seg->cm_col();
+          const int32_t* cworker = c.seg->cm_worker();
+          const double* cnumber = c.seg->cm_number();
+          while (c.pos < c.end && ccol[c.pos] == j) {
+            double s = xp.alpha[i] * xp.beta[j] * xp.phi[cworker[c.pos]];
+            double z = cnumber[c.pos];
+            math::Normal predictive(belief.mean(), belief.variance() + s);
+            ll += predictive.LogPdf(z);
+            belief = belief.PosteriorGivenObservation(z, s);
+            ++c.pos;
+          }
         }
       } else {
         int L = col.num_labels();
         std::vector<double> log_p(L, -std::log(static_cast<double>(L)));
-        for (int32_t e = lo; e < hi; ++e) {
-          double s = xp.alpha[i] * xp.beta[j] * xp.phi[e_worker[e]];
-          double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
-          double log_q = std::log(q);
-          double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
-          for (int z = 0; z < L; ++z) {
-            log_p[z] += (z == e_label[e]) ? log_q : log_wrong;
+        for (SegRowCursor& c : cur) {
+          const int32_t* ccol = c.seg->cm_col();
+          const int32_t* cworker = c.seg->cm_worker();
+          const int32_t* clabel = c.seg->cm_label();
+          while (c.pos < c.end && ccol[c.pos] == j) {
+            double s = xp.alpha[i] * xp.beta[j] * xp.phi[cworker[c.pos]];
+            double q = ClampProb(Erf(eps / std::sqrt(2.0 * s)));
+            double log_q = std::log(q);
+            double log_wrong = std::log((1.0 - q) / std::max(1, L - 1));
+            for (int z = 0; z < L; ++z) {
+              log_p[z] += (z == clabel[c.pos]) ? log_q : log_wrong;
+            }
+            ++c.pos;
           }
         }
         ll += math::LogSumExp(log_p);
@@ -281,64 +344,66 @@ double ObservedLogLikelihood(const Schema& schema,
 
 TCrowdState TCrowdModel::Fit(const Schema& schema,
                              const AnswerSet& answers) const {
-  return Fit(schema, answers, nullptr);
+  return Fit(schema, answers, static_cast<EmExecutor*>(nullptr));
 }
 
 TCrowdState TCrowdModel::Fit(const Schema& schema, const AnswerSet& answers,
                              EmExecutor* executor) const {
   TCROWD_CHECK(schema.num_columns() == answers.num_cols())
       << "schema/answers column mismatch";
+  // The flat batch layout is just the single-segment special case of the
+  // segmented snapshot: compute the column mask, the standardization
+  // epoch, and the first-appearance worker registry over the whole log,
+  // seal one segment, and run the shared segmented EM core.
+  AnswerMatrixSnapshot snap;
+  snap.num_rows = answers.num_rows();
+  snap.num_cols = answers.num_cols();
+  snap.column_active = ActiveColumns(snap.num_cols);
+
+  const Answer* log = answers.answers().data();
+  std::unordered_map<WorkerId, int> worker_to_dense;
+  BuildWorkerRegistry(log, answers.size(), &snap.worker_ids,
+                      &worker_to_dense);
+  ComputeColumnStandardization(schema,
+                               CollectColumnValues(schema, log,
+                                                   answers.size()),
+                               &snap.col_center, &snap.col_scale);
+
+  snap.offsets.push_back(0);
+  if (!answers.empty()) {
+    snap.segments.push_back(AnswerSegment::Build(
+        schema, snap.column_active, snap.col_center, snap.col_scale,
+        answers.answers().data(), answers.size(), worker_to_dense));
+    snap.offsets.push_back(answers.size());
+  }
+  return Fit(schema, snap, executor);
+}
+
+TCrowdState TCrowdModel::Fit(const Schema& schema,
+                             const AnswerMatrixSnapshot& snap,
+                             EmExecutor* executor) const {
+  TCROWD_CHECK(schema.num_columns() == snap.num_cols)
+      << "schema/snapshot column mismatch";
   TCrowdState state;
   state.schema = schema;
-  state.num_rows = answers.num_rows();
-  state.num_cols = answers.num_cols();
+  state.num_rows = snap.num_rows;
+  state.num_cols = snap.num_cols;
   state.options = options_;
   state.row_difficulty.assign(state.num_rows, 1.0);
   state.col_difficulty.assign(state.num_cols, 1.0);
-  state.col_center.assign(state.num_cols, 0.0);
-  state.col_scale.assign(state.num_cols, 1.0);
+  state.col_center = snap.col_center;
+  state.col_scale = snap.col_scale;
   state.posteriors.assign(
       static_cast<size_t>(state.num_rows) * state.num_cols, CellPosterior{});
   state.default_phi = options_.initial_phi;
-
-  // Column mask.
-  state.column_active.assign(state.num_cols, options_.column_mask.empty());
-  for (int j : options_.column_mask) {
-    TCROWD_CHECK(j >= 0 && j < state.num_cols) << "bad column mask entry";
-    state.column_active[j] = true;
-  }
-
-  // Standardization of continuous columns from the answer distribution.
-  for (int j = 0; j < state.num_cols; ++j) {
-    if (schema.column(j).type != ColumnType::kContinuous) continue;
-    std::vector<double> vals;
-    for (const Answer& a : answers.answers()) {
-      if (a.cell.col == j) vals.push_back(a.value.number());
-    }
-    if (vals.empty()) {
-      // No answers yet: fall back to the schema's nominal domain.
-      const ColumnSpec& col = schema.column(j);
-      state.col_center[j] = 0.5 * (col.min_value + col.max_value);
-      state.col_scale[j] =
-          std::max((col.max_value - col.min_value) / 4.0, kMinScale);
-      continue;
-    }
-    state.col_center[j] = math::Median(vals);
-    double scale = math::RobustScale(vals);
-    if (scale < kMinScale) scale = math::StdDev(vals);
-    if (scale < kMinScale) scale = 1.0;
-    state.col_scale[j] = scale;
-  }
-
-  // Flat answer-matrix views: the EM below never touches the AnswerSet's
-  // id-vector indexes again.
-  AnswerMatrixLayout lay(schema, answers, state.column_active,
-                         state.col_center, state.col_scale);
+  state.column_active = snap.column_active;
+  TCROWD_CHECK(state.column_active == ActiveColumns(state.num_cols))
+      << "snapshot column mask does not match the model's options";
 
   ParamLayout layout;
   layout.num_rows = state.num_rows;
   layout.num_cols = state.num_cols;
-  layout.num_workers = lay.num_workers();
+  layout.num_workers = snap.num_workers();
   layout.with_alpha = options_.estimate_row_difficulty;
   layout.with_beta = options_.estimate_col_difficulty;
 
@@ -361,7 +426,7 @@ TCrowdState TCrowdModel::Fit(const Schema& schema, const AnswerSet& answers,
 
   // Initial E-step with neutral difficulties and uniform worker quality
   // (equivalent to frequency/mean-based initialization).
-  RunEStep(schema, lay, xp, executor, &state);
+  RunEStep(schema, snap, xp, executor, &state);
 
   const double inv_diff_var =
       1.0 / (options_.log_difficulty_prior_stddev *
@@ -372,14 +437,7 @@ TCrowdState TCrowdModel::Fit(const Schema& schema, const AnswerSet& answers,
   const double log_phi0 = std::log(options_.initial_phi);
   const double eps = options_.epsilon;
 
-  const size_t num_answers = lay.num_answers();
-  const int32_t* a_row = lay.ans_row();
-  const int32_t* a_col = lay.ans_col();
-  const int32_t* a_worker = lay.ans_worker();
-  const double* a_number = lay.ans_number();
-  const int32_t* a_label = lay.ans_label();
-  const uint8_t* a_active = lay.ans_active();
-  const uint8_t* a_continuous = lay.ans_continuous();
+  const size_t num_answers = snap.num_answers();
 
   // Per-column constants the M-step needs per answer.
   std::vector<int> col_labels(state.num_cols, 0);
@@ -397,45 +455,64 @@ TCrowdState TCrowdModel::Fit(const Schema& schema, const AnswerSet& answers,
     std::fill(grad->begin(), grad->end(), 0.0);
     mxp.Refresh(layout, p);
 
-    // Per-answer accumulation in answer-id order; sharded over the executor
-    // with one scratch buffer per shard and a tree reduction.
+    // Per-answer accumulation in global answer-id order (segments streamed
+    // back to back); sharded over the executor with one scratch buffer per
+    // shard and a tree reduction.
     auto accumulate = [&](size_t lo, size_t hi, double* g_out,
                           double* val_out) {
-      for (size_t idx = lo; idx < hi; ++idx) {
-        if (!a_active[idx]) continue;
-        int i = a_row[idx];
-        int j = a_col[idx];
-        int w = a_worker[idx];
-        double s = mxp.alpha[i] * mxp.beta[j] * mxp.phi[w];
-        s = std::max(s, math::Normal::kVarianceFloor);
-        const CellPosterior& post =
-            state.posteriors[static_cast<size_t>(i) * state.num_cols + j];
-        double g;  // d(term)/d(ln s)
-        if (a_continuous[idx]) {
-          double z = a_number[idx];
-          double t_mu = state.Standardize(j, post.mean);
-          double t_var = post.variance /
-                         (state.col_scale[j] * state.col_scale[j]);
-          double resid = (z - t_mu) * (z - t_mu) + t_var;
-          *val_out += -0.5 * std::log(2.0 * M_PI * s) - resid / (2.0 * s);
-          g = -0.5 + resid / (2.0 * s);
-        } else {
-          int L = col_labels[j];
-          double x = eps / std::sqrt(2.0 * s);
-          double q = ClampProb(Erf(x));
-          double p_match = post.probs.empty()
-                               ? 1.0 / L
-                               : post.probs[a_label[idx]];
-          *val_out += p_match * std::log(q) +
-                      (1.0 - p_match) *
-                          std::log((1.0 - q) / std::max(1, L - 1));
-          // dq/d(ln s) = -(x / sqrt(pi)) * exp(-x^2).
-          double dq_dlns = -(x / std::sqrt(M_PI)) * std::exp(-x * x);
-          g = (p_match / q - (1.0 - p_match) / (1.0 - q)) * dq_dlns;
+      size_t s = static_cast<size_t>(
+                     std::upper_bound(snap.offsets.begin(),
+                                      snap.offsets.end(), lo) -
+                     snap.offsets.begin()) -
+                 1;
+      for (; s < snap.segments.size() && snap.offsets[s] < hi; ++s) {
+        const AnswerSegment& seg = *snap.segments[s];
+        const int32_t* a_row = seg.ans_row();
+        const int32_t* a_col = seg.ans_col();
+        const int32_t* a_worker = seg.ans_worker();
+        const double* a_number = seg.ans_number();
+        const int32_t* a_label = seg.ans_label();
+        const uint8_t* a_active = seg.ans_active();
+        const uint8_t* a_continuous = seg.ans_continuous();
+        size_t seg_lo = std::max(lo, snap.offsets[s]) - snap.offsets[s];
+        size_t seg_hi = std::min(hi, snap.offsets[s + 1]) - snap.offsets[s];
+        for (size_t idx = seg_lo; idx < seg_hi; ++idx) {
+          if (!a_active[idx]) continue;
+          int i = a_row[idx];
+          int j = a_col[idx];
+          int w = a_worker[idx];
+          double s_var = mxp.alpha[i] * mxp.beta[j] * mxp.phi[w];
+          s_var = std::max(s_var, math::Normal::kVarianceFloor);
+          const CellPosterior& post =
+              state.posteriors[static_cast<size_t>(i) * state.num_cols + j];
+          double g;  // d(term)/d(ln s)
+          if (a_continuous[idx]) {
+            double z = a_number[idx];
+            double t_mu = state.Standardize(j, post.mean);
+            double t_var = post.variance /
+                           (state.col_scale[j] * state.col_scale[j]);
+            double resid = (z - t_mu) * (z - t_mu) + t_var;
+            *val_out +=
+                -0.5 * std::log(2.0 * M_PI * s_var) - resid / (2.0 * s_var);
+            g = -0.5 + resid / (2.0 * s_var);
+          } else {
+            int L = col_labels[j];
+            double x = eps / std::sqrt(2.0 * s_var);
+            double q = ClampProb(Erf(x));
+            double p_match = post.probs.empty()
+                                 ? 1.0 / L
+                                 : post.probs[a_label[idx]];
+            *val_out += p_match * std::log(q) +
+                        (1.0 - p_match) *
+                            std::log((1.0 - q) / std::max(1, L - 1));
+            // dq/d(ln s) = -(x / sqrt(pi)) * exp(-x^2).
+            double dq_dlns = -(x / std::sqrt(M_PI)) * std::exp(-x * x);
+            g = (p_match / q - (1.0 - p_match) / (1.0 - q)) * dq_dlns;
+          }
+          if (layout.with_alpha) g_out[layout.alpha_offset() + i] += g;
+          if (layout.with_beta) g_out[layout.beta_offset() + j] += g;
+          g_out[layout.phi_offset() + w] += g;
         }
-        if (layout.with_alpha) g_out[layout.alpha_offset() + i] += g;
-        if (layout.with_beta) g_out[layout.beta_offset() + j] += g;
-        g_out[layout.phi_offset() + w] += g;
       }
     };
 
@@ -510,10 +587,10 @@ TCrowdState TCrowdModel::Fit(const Schema& schema, const AnswerSet& answers,
 
     // E-step with the fresh parameters.
     xp.Refresh(layout, params);
-    RunEStep(schema, lay, xp, executor, &state);
+    RunEStep(schema, snap, xp, executor, &state);
 
     state.objective_trace.push_back(
-        ObservedLogLikelihood(schema, lay, layout, xp, params, state));
+        ObservedLogLikelihood(schema, snap, layout, xp, params, state));
     size_t n_trace = state.objective_trace.size();
     if (options_.objective_tolerance > 0.0 && n_trace >= 2 &&
         std::fabs(state.objective_trace[n_trace - 1] -
@@ -541,7 +618,7 @@ TCrowdState TCrowdModel::Fit(const Schema& schema, const AnswerSet& answers,
   std::vector<double> phis;
   for (int w = 0; w < layout.num_workers; ++w) {
     double phi = layout.Phi(params, w);
-    state.worker_phi[lay.worker_ids()[w]] = phi;
+    state.worker_phi[snap.worker_ids[w]] = phi;
     phis.push_back(phi);
   }
   if (!phis.empty()) state.default_phi = math::Median(phis);

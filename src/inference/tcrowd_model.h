@@ -10,6 +10,7 @@
 namespace tcrowd {
 
 class EmExecutor;
+struct AnswerMatrixSnapshot;
 
 /// Tuning knobs of the T-Crowd truth-inference EM (paper Section 4).
 struct TCrowdOptions {
@@ -151,6 +152,22 @@ class TCrowdModel : public TruthInference {
   /// executor must not be driven by another fit concurrently.
   TCrowdState Fit(const Schema& schema, const AnswerSet& answers,
                   EmExecutor* executor) const;
+
+  /// Full fit streaming a segmented answer snapshot (the online serving
+  /// path: the engine's SegmentedAnswerStore seals a segment per refresh
+  /// and hands over segment pointers instead of copying the matrix). The
+  /// EM visits every answer in the same order as the flat batch path, so a
+  /// fit over N segments is bit-identical to a fit over one segment holding
+  /// the same answers. The snapshot's standardization epoch and column mask
+  /// are used as-is; the mask must match this model's options. Blocks until
+  /// converged; pass executor = nullptr for a transient serial executor.
+  TCrowdState Fit(const Schema& schema, const AnswerMatrixSnapshot& snapshot,
+                  EmExecutor* executor) const;
+
+  /// Per-column participation mask implied by options().column_mask (all
+  /// columns when the mask is empty). The engine builds its answer store
+  /// with this so sealed segments agree with the model's masking.
+  std::vector<bool> ActiveColumns(int num_cols) const;
 
   /// Converts a fitted state to the plain result interface.
   static InferenceResult StateToResult(const TCrowdState& state);

@@ -34,6 +34,7 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
       tasks_assigned_(&metrics_.counter("service.tasks_assigned")),
       answers_accepted_(&metrics_.counter("service.answers_accepted")),
       answers_rejected_(&metrics_.counter("service.answers_rejected")),
+      answer_batches_(&metrics_.counter("service.answer_batches")),
       tasks_finalized_(&metrics_.counter("service.tasks_finalized")),
       request_latency_(&metrics_.latency("service.request_tasks")),
       submit_latency_(&metrics_.latency("service.submit_answer")),
@@ -188,6 +189,50 @@ std::vector<CellRef> CrowdService::RequestTasks(SessionId session, int k) {
   return picked;
 }
 
+Status CrowdService::AcceptAnswerLocked(Session* session, CellRef cell,
+                                        const Value& value, Answer* out) {
+  auto lease =
+      std::find(session->leases.begin(), session->leases.end(), cell);
+  if (lease == session->leases.end()) {
+    ++rejected_;
+    answers_rejected_->Increment();
+    return Status::FailedPrecondition(
+        StrFormat("session holds no lease on cell (%d,%d)", cell.row,
+                  cell.col));
+  }
+  const ColumnSpec& col = schema_.column(cell.col);
+  bool type_ok =
+      value.valid() && ((col.type == ColumnType::kCategorical &&
+                         value.is_categorical() && value.label() >= 0 &&
+                         value.label() < static_cast<int>(col.labels.size())) ||
+                        (col.type == ColumnType::kContinuous &&
+                         value.is_continuous()));
+  if (!type_ok) {
+    ++rejected_;
+    answers_rejected_->Increment();
+    return Status::InvalidArgument(
+        StrFormat("value %s does not fit column '%s'",
+                  value.ToString().c_str(), col.name.c_str()));
+  }
+
+  session->leases.erase(lease);
+  *out = Answer{session->worker, cell, value};
+  answers_.Add(*out);
+  TaskEntry& task = TaskAt(cell);
+  --task.leases;
+  ++task.answers;
+  ++budget_spent_;
+  answers_accepted_->Increment();
+  if (task.answers >= config_.target_answers_per_task && !task.finalized) {
+    task.finalized = true;
+    ++finalized_count_;
+    tasks_finalized_->Increment();
+  }
+  // Keep the policy's model warm; the router refits on its own cadence.
+  router_.OnAnswer(schema_, answers_, *out);
+  return Status::Ok();
+}
+
 Status CrowdService::SubmitAnswer(SessionId session, CellRef cell,
                                   const Value& value) {
   ScopedLatencyTimer timer(submit_latency_);
@@ -205,49 +250,51 @@ Status CrowdService::SubmitAnswer(SessionId session, CellRef cell,
     }
     Session& sess = it->second;
     sess.last_active_nanos = now;
-    auto lease = std::find(sess.leases.begin(), sess.leases.end(), cell);
-    if (lease == sess.leases.end()) {
-      ++rejected_;
-      answers_rejected_->Increment();
-      return Status::FailedPrecondition(
-          StrFormat("session holds no lease on cell (%d,%d)", cell.row,
-                    cell.col));
-    }
-    const ColumnSpec& col = schema_.column(cell.col);
-    bool type_ok =
-        value.valid() && ((col.type == ColumnType::kCategorical &&
-                           value.is_categorical() && value.label() >= 0 &&
-                           value.label() < static_cast<int>(col.labels.size())) ||
-                          (col.type == ColumnType::kContinuous &&
-                           value.is_continuous()));
-    if (!type_ok) {
-      ++rejected_;
-      answers_rejected_->Increment();
-      return Status::InvalidArgument(
-          StrFormat("value %s does not fit column '%s'",
-                    value.ToString().c_str(), col.name.c_str()));
-    }
-
-    sess.leases.erase(lease);
-    answer = Answer{sess.worker, cell, value};
-    answers_.Add(answer);
-    TaskEntry& task = TaskAt(cell);
-    --task.leases;
-    ++task.answers;
-    ++budget_spent_;
-    answers_accepted_->Increment();
-    if (task.answers >= config_.target_answers_per_task && !task.finalized) {
-      task.finalized = true;
-      ++finalized_count_;
-      tasks_finalized_->Increment();
-    }
-    // Keep the policy's model warm; the router refits on its own cadence.
-    router_.OnAnswer(schema_, answers_, answer);
+    Status st = AcceptAnswerLocked(&sess, cell, value, &answer);
+    if (!st.ok()) return st;
   }
-  // The engine syncs its cached matrix under its own lock and may kick off
+  // The engine queues the answer under its own ingest lock and may kick off
   // an async EM refresh; no service state is touched past this point.
   engine_->SubmitAnswer(answer);
   return Status::Ok();
+}
+
+std::vector<Status> CrowdService::SubmitAnswerBatch(
+    SessionId session, const std::vector<std::pair<CellRef, Value>>& items) {
+  ScopedLatencyTimer timer(submit_latency_);
+  answer_batches_->Increment();
+  std::vector<Status> statuses;
+  statuses.reserve(items.size());
+  std::vector<Answer> accepted;
+  accepted.reserve(items.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t now = NowNanos();
+    ExpireStaleSessionsLocked(now);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      rejected_ += static_cast<int64_t>(items.size());
+      answers_rejected_->Increment(static_cast<int64_t>(items.size()));
+      Status not_found = Status::NotFound(
+          StrFormat("unknown session %lld", static_cast<long long>(session)));
+      statuses.assign(items.size(), not_found);
+      return statuses;
+    }
+    Session& sess = it->second;
+    sess.last_active_nanos = now;
+    for (const auto& [cell, value] : items) {
+      Answer answer;
+      Status st = AcceptAnswerLocked(&sess, cell, value, &answer);
+      if (st.ok()) accepted.push_back(answer);
+      statuses.push_back(std::move(st));
+    }
+  }
+  // One engine hand-off for the whole page: the accepted answers enter the
+  // ingest queue in batch order and drain into the tail segment together.
+  if (!accepted.empty()) {
+    engine_->SubmitAnswerBatch(accepted.data(), accepted.size());
+  }
+  return statuses;
 }
 
 Status CrowdService::EndSession(SessionId session) {

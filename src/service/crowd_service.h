@@ -112,6 +112,20 @@ class CrowdService {
   /// refresh inline.
   Status SubmitAnswer(SessionId session, CellRef cell, const Value& value);
 
+  /// Batched ingestion: accepts a whole page of answers from one session
+  /// under a single acquisition of the service mutex, then hands the
+  /// accepted ones to the inference engine in one
+  /// IncrementalInferenceEngine::SubmitAnswerBatch call (one ingest-queue
+  /// pass instead of per-answer locking). Validation, task-state
+  /// transitions, budget accounting, and router warm-up are identical to
+  /// calling SubmitAnswer once per item, in item order — a duplicate cell
+  /// within the batch consumes the lease with its first occurrence and is
+  /// rejected on the second. Returns one Status per item, aligned with the
+  /// input. Never blocks on an EM refresh in async mode.
+  std::vector<Status> SubmitAnswerBatch(
+      SessionId session,
+      const std::vector<std::pair<CellRef, Value>>& items);
+
   /// Closes the session; unanswered leases return to the open pool (and
   /// their budget commitment is refunded) so backfill can re-route them.
   /// Never blocks on inference.
@@ -167,6 +181,12 @@ class CrowdService {
   /// Releases the session's leases and refunds their commitments; `mu_`
   /// must be held. Does not erase the session from sessions_.
   void ReleaseLeasesLocked(Session* session);
+  /// Validates and books one answer (lease check, type check, task/budget
+  /// accounting, router warm-up); `mu_` must be held. On success fills
+  /// `*out` for the engine hand-off. Shared by SubmitAnswer and
+  /// SubmitAnswerBatch so the two paths stay accounting-identical.
+  Status AcceptAnswerLocked(Session* session, CellRef cell,
+                            const Value& value, Answer* out);
   /// Expires every session idle past the lease deadline; `mu_` must be
   /// held. Returns the number of sessions expired. Unless `force`, the
   /// scan is skipped while the sweep watermark proves nothing can be
@@ -185,6 +205,7 @@ class CrowdService {
   Counter* tasks_assigned_;
   Counter* answers_accepted_;
   Counter* answers_rejected_;
+  Counter* answer_batches_;
   Counter* tasks_finalized_;
   LatencyStats* request_latency_;
   LatencyStats* submit_latency_;

@@ -6,6 +6,7 @@
 
 #include "assignment/policies.h"
 #include "common/logging.h"
+#include "inference/answer_segment.h"
 #include "inference/catd.h"
 #include "inference/crh.h"
 #include "inference/dawid_skene.h"
@@ -23,12 +24,33 @@ InferenceArgs Normalize(InferenceArgs args) {
   args.staleness_threshold = std::max(1, args.staleness_threshold);
   args.num_shards = std::max(1, args.num_shards);
   args.min_answers_for_fit = std::max(1, args.min_answers_for_fit);
+  args.ingest_batch_size = std::max(1, args.ingest_batch_size);
   // The refresh EM shards its E/M steps across the engine's persistent
   // executor; num_threads records the effective shard count so a batch
   // TCrowdModel run with these options reproduces the refresh bit-for-bit.
   args.tcrowd_options.num_threads =
       std::max(args.tcrowd_options.num_threads, args.num_shards);
   return args;
+}
+
+/// Column mask the engine's store seals segments under: the model's mask
+/// for the T-Crowd variants (so sealed segments agree with the fit), all
+/// columns for baseline methods (they index the full log).
+std::vector<bool> StoreActiveColumns(const Schema& schema,
+                                     const InferenceArgs& args) {
+  int cols = schema.num_columns();
+  if (!IncrementalInferenceEngine::IsTCrowdMethod(args.method)) {
+    return std::vector<bool>(cols, true);
+  }
+  if (args.method == "tc-onlycate") {
+    return TCrowdModel::OnlyCategorical(schema, args.tcrowd_options)
+        .ActiveColumns(cols);
+  }
+  if (args.method == "tc-onlycont") {
+    return TCrowdModel::OnlyContinuous(schema, args.tcrowd_options)
+        .ActiveColumns(cols);
+  }
+  return TCrowdModel(args.tcrowd_options).ActiveColumns(cols);
 }
 
 }  // namespace
@@ -43,7 +65,8 @@ IncrementalInferenceEngine::IncrementalInferenceEngine(const Schema& schema,
       pool_(pool),
       executor_(
           std::make_unique<EmExecutor>(args_.tcrowd_options.num_threads)),
-      answers_(num_rows, schema.num_columns()),
+      store_(schema, num_rows, StoreActiveColumns(schema, args_),
+             args_.store),
       tcrowd_path_(IsTCrowdMethod(args_.method)) {
   TCROWD_CHECK(num_rows_ > 0);
   TCROWD_CHECK(schema_.num_columns() > 0);
@@ -84,9 +107,38 @@ std::unique_ptr<TruthInference> IncrementalInferenceEngine::MakeBatchMethod()
   return std::make_unique<TCrowdModel>(MakeTCrowdModel());
 }
 
+void IncrementalInferenceEngine::DrainIngestLocked(bool apply_updates) {
+  std::vector<Answer> batch;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    batch.swap(ingest_);
+  }
+  if (batch.empty()) return;
+  // One pass: append to the store's tail segment and apply the incremental
+  // posterior updates, under a single acquisition of the engine mutex.
+  // `apply_updates` is false only when the caller is about to replace
+  // state_ and replay the tail anyway (the refresh install path) — applying
+  // here too would pay every Bayes update twice.
+  for (const Answer& answer : batch) {
+    store_.Append(answer);
+    ++answers_since_refresh_;
+    if (apply_updates && fitted_ && tcrowd_path_) {
+      ApplyIncrementalAnswer(answer, &state_);
+    }
+  }
+  absorbed_since_refresh_.store(answers_since_refresh_,
+                                std::memory_order_relaxed);
+}
+
+bool IncrementalInferenceEngine::StaleLocked() const {
+  return answers_since_refresh_ >= args_.staleness_threshold ||
+         (!fitted_ && static_cast<int>(store_.size()) >=
+                          args_.min_answers_for_fit);
+}
+
 void IncrementalInferenceEngine::ScheduleRefreshLocked(bool* run_inline) {
   if (shutdown_ ||
-      static_cast<int>(answers_.size()) < args_.min_answers_for_fit) {
+      static_cast<int>(store_.size()) < args_.min_answers_for_fit) {
     return;
   }
   if (refresh_in_flight_) {
@@ -96,6 +148,7 @@ void IncrementalInferenceEngine::ScheduleRefreshLocked(bool* run_inline) {
   }
   refresh_in_flight_ = true;
   answers_since_refresh_ = 0;
+  absorbed_since_refresh_.store(0, std::memory_order_relaxed);
   if (pool_ != nullptr && args_.async_refresh) {
     if (!pool_->Submit([this] { RunRefresh(); })) *run_inline = true;
   } else {
@@ -103,32 +156,58 @@ void IncrementalInferenceEngine::ScheduleRefreshLocked(bool* run_inline) {
   }
 }
 
-void IncrementalInferenceEngine::SubmitAnswer(const Answer& answer) {
+void IncrementalInferenceEngine::DrainAndMaybeRefresh() {
   bool run_inline = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    TCROWD_CHECK(answer.cell.row >= 0 && answer.cell.row < num_rows_);
-    TCROWD_CHECK(answer.cell.col >= 0 &&
-                 answer.cell.col < schema_.num_columns());
-    answers_.Add(answer);
-    ++answers_since_refresh_;
-    if (fitted_ && tcrowd_path_) {
-      ApplyIncrementalAnswer(answer, &state_);
-    }
-    bool stale = answers_since_refresh_ >= args_.staleness_threshold ||
-                 (!fitted_ && static_cast<int>(answers_.size()) >=
-                                  args_.min_answers_for_fit);
-    if (stale && !refresh_in_flight_) {
+    DrainIngestLocked();
+    if (StaleLocked() && !refresh_in_flight_) {
       ScheduleRefreshLocked(&run_inline);
     }
   }
   if (run_inline) RunRefresh();
 }
 
+void IncrementalInferenceEngine::SubmitAnswer(const Answer& answer) {
+  SubmitAnswerBatch(&answer, 1);
+}
+
+void IncrementalInferenceEngine::SubmitAnswerBatch(const Answer* answers,
+                                                   size_t n) {
+  if (n == 0) return;
+  size_t queued;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    ingest_.reserve(ingest_.size() + n);
+    for (size_t k = 0; k < n; ++k) {
+      const Answer& a = answers[k];
+      TCROWD_CHECK(a.cell.row >= 0 && a.cell.row < num_rows_);
+      TCROWD_CHECK(a.cell.col >= 0 && a.cell.col < schema_.num_columns());
+      ingest_.push_back(a);
+    }
+    queued = ingest_.size();
+  }
+  size_t total =
+      total_queued_.fetch_add(n, std::memory_order_relaxed) + n;
+  // Lock-free hints only: the authoritative staleness decision is re-made
+  // under the engine mutex inside the drain. Draining at least as often as
+  // the historical per-answer path would have scheduled keeps the refresh
+  // cadence identical.
+  bool drain =
+      queued >= static_cast<size_t>(args_.ingest_batch_size) ||
+      absorbed_since_refresh_.load(std::memory_order_relaxed) +
+              static_cast<int>(queued) >=
+          args_.staleness_threshold ||
+      (!fitted_flag_.load(std::memory_order_relaxed) &&
+       total >= static_cast<size_t>(args_.min_answers_for_fit));
+  if (drain) DrainAndMaybeRefresh();
+}
+
 void IncrementalInferenceEngine::RequestRefresh() {
   bool run_inline = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DrainIngestLocked();
     ScheduleRefreshLocked(&run_inline);
   }
   if (run_inline) RunRefresh();
@@ -136,7 +215,7 @@ void IncrementalInferenceEngine::RequestRefresh() {
 
 void IncrementalInferenceEngine::RunRefresh() {
   while (true) {
-    AnswerSet snapshot;
+    AnswerMatrixSnapshot snapshot;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) {
@@ -144,21 +223,30 @@ void IncrementalInferenceEngine::RunRefresh() {
         refresh_done_.notify_all();
         return;
       }
-      snapshot = answers_;
-      snapshot_size_ = answers_.size();
+      DrainIngestLocked();
+      // Snapshot-free refresh: seal the tail (O(new answers)) and take
+      // segment POINTERS — no answer is copied, and every previously
+      // sealed segment's runs / SoA views / worker index are reused.
+      snapshot = store_.SealAndSnapshot();
+      snapshot_size_ = snapshot.num_answers();
     }
 
     // The expensive part runs without the lock: submits keep flowing while
-    // the EM re-converges on the snapshot, on the persistent executor.
+    // the EM re-converges over the immutable segments, on the persistent
+    // executor.
     TCrowdState fresh_state;
     InferenceResult fresh_result;
     bool fit_ok = true;
     try {
       if (tcrowd_path_) {
-        TCrowdModel model = MakeTCrowdModel();
-        fresh_state = model.Fit(schema_, snapshot, executor_.get());
+        fresh_state =
+            MakeTCrowdModel().Fit(schema_, snapshot, executor_.get());
       } else {
-        fresh_result = MakeBatchMethod()->Infer(schema_, snapshot);
+        // Baseline methods consume plain AnswerSets; materializing from the
+        // immutable snapshot needs no lock. O(total), but confined to the
+        // periodic-batch-refit path by design.
+        AnswerSet snap_set = MaterializeAnswerSet(snapshot);
+        fresh_result = MakeBatchMethod()->Infer(schema_, snap_set);
       }
     } catch (const std::exception& e) {
       // A failed refresh must never wedge the engine: keep serving the last
@@ -169,19 +257,23 @@ void IncrementalInferenceEngine::RunRefresh() {
 
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // On a successful install the queued answers are replayed onto the
+      // fresh state below — skip the redundant apply to the outgoing one.
+      DrainIngestLocked(/*apply_updates=*/!fit_ok);
       if (fit_ok) {
         if (tcrowd_path_) {
           state_ = std::move(fresh_state);
           // Answers that arrived during the fit are replayed incrementally
           // so the installed state reflects every submitted answer.
-          for (size_t id = snapshot_size_; id < answers_.size(); ++id) {
-            ApplyIncrementalAnswer(answers_.answer(static_cast<int>(id)),
-                                   &state_);
+          for (const Answer& answer :
+               store_.CopyAnswersSince(snapshot_size_)) {
+            ApplyIncrementalAnswer(answer, &state_);
           }
         } else {
           baseline_result_ = std::move(fresh_result);
         }
         fitted_ = true;
+        fitted_flag_.store(true, std::memory_order_relaxed);
         ++refresh_count_;
       }
       if (refresh_pending_ && !shutdown_) {
@@ -189,6 +281,7 @@ void IncrementalInferenceEngine::RunRefresh() {
         // refresh_in_flight_ stays set so waiters keep waiting.
         refresh_pending_ = false;
         answers_since_refresh_ = 0;
+        absorbed_since_refresh_.store(0, std::memory_order_relaxed);
         continue;
       }
       refresh_in_flight_ = false;
@@ -201,20 +294,29 @@ void IncrementalInferenceEngine::RunRefresh() {
   }
 }
 
-AnswerSet IncrementalInferenceEngine::SnapshotAnswers() const {
+AnswerSet IncrementalInferenceEngine::SnapshotAnswers() {
   std::lock_guard<std::mutex> lock(mu_);
-  return answers_;
+  DrainIngestLocked();
+  return store_.MaterializeAnswerSet();
 }
 
-size_t IncrementalInferenceEngine::num_answers() const {
+size_t IncrementalInferenceEngine::num_answers() {
   std::lock_guard<std::mutex> lock(mu_);
-  return answers_.size();
+  DrainIngestLocked();
+  return store_.size();
 }
 
-Value IncrementalInferenceEngine::Estimate(CellRef cell) const {
+SegmentedAnswerStore::Stats IncrementalInferenceEngine::store_stats() {
   std::lock_guard<std::mutex> lock(mu_);
+  DrainIngestLocked();
+  return store_.stats();
+}
+
+Value IncrementalInferenceEngine::Estimate(CellRef cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainIngestLocked();
   if (!fitted_) return Value();
-  if (answers_.CellAnswerCount(cell.row, cell.col) == 0) return Value();
+  if (store_.CellAnswerCount(cell.row, cell.col) == 0) return Value();
   if (tcrowd_path_) {
     if (!state_.column_active[cell.col]) return Value();
     return state_.posterior(cell.row, cell.col).PointEstimate();
@@ -222,15 +324,17 @@ Value IncrementalInferenceEngine::Estimate(CellRef cell) const {
   return baseline_result_.estimated_truth.at(cell);
 }
 
-double IncrementalInferenceEngine::CellEntropy(CellRef cell) const {
+double IncrementalInferenceEngine::CellEntropy(CellRef cell) {
   std::lock_guard<std::mutex> lock(mu_);
+  DrainIngestLocked();
   if (!fitted_ || !tcrowd_path_) return 0.0;
   if (!state_.column_active[cell.col]) return 0.0;
   return state_.posterior(cell.row, cell.col).Entropy();
 }
 
-Table IncrementalInferenceEngine::EstimatedTruth() const {
+Table IncrementalInferenceEngine::EstimatedTruth() {
   std::lock_guard<std::mutex> lock(mu_);
+  DrainIngestLocked();
   if (!fitted_) return Table(schema_, num_rows_);
   if (tcrowd_path_) return TCrowdModel::StateToResult(state_).estimated_truth;
   return baseline_result_.estimated_truth;
@@ -242,14 +346,20 @@ void IncrementalInferenceEngine::WaitForRefresh() {
 }
 
 InferenceResult IncrementalInferenceEngine::Finalize() {
-  AnswerSet snapshot;
+  AnswerMatrixSnapshot snapshot;
   {
     // Drain refreshes, then reserve the executor (refresh_in_flight_ keeps
     // concurrent submits from scheduling a fit onto it mid-finalize).
     std::unique_lock<std::mutex> lock(mu_);
+    DrainIngestLocked();
     refresh_done_.wait(lock, [this] { return !refresh_in_flight_; });
     refresh_in_flight_ = true;
-    snapshot = answers_;
+    DrainIngestLocked();
+    // Full compaction: fresh standardization epoch + worker registry over
+    // everything collected — the snapshot is then indistinguishable from
+    // the one the batch model builds, which is what makes the finalized
+    // truths bit-identical to a batch fit on the same answers.
+    snapshot = store_.SealAndSnapshot(/*force_compact=*/true);
   }
   InferenceResult result;
   try {
@@ -259,7 +369,8 @@ InferenceResult IncrementalInferenceEngine::Finalize() {
       result = TCrowdModel::StateToResult(
           MakeTCrowdModel().Fit(schema_, snapshot, executor_.get()));
     } else {
-      result = MakeBatchMethod()->Infer(schema_, snapshot);
+      result = MakeBatchMethod()->Infer(schema_,
+                                        MaterializeAnswerSet(snapshot));
     }
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);

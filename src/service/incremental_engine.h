@@ -1,6 +1,7 @@
 #ifndef TCROWD_SERVICE_INCREMENTAL_ENGINE_H_
 #define TCROWD_SERVICE_INCREMENTAL_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "data/answer.h"
 #include "inference/em_executor.h"
 #include "inference/inference_result.h"
+#include "inference/segment_store.h"
 #include "inference/tcrowd_model.h"
 
 namespace tcrowd::service {
@@ -45,23 +47,47 @@ struct InferenceArgs {
   /// Answers required before the first fit is attempted (EM on a nearly
   /// empty matrix is noise).
   int min_answers_for_fit = 8;
+
+  /// Submitted answers buffer in the engine's ingest queue and are drained
+  /// into the answer store's tail segment in one pass once this many are
+  /// queued (or earlier, when a staleness crossing / read needs them) —
+  /// amortizing the engine lock and the incremental posterior updates over
+  /// the batch instead of locking per answer. 1 restores per-answer
+  /// absorption.
+  int ingest_batch_size = 32;
+
+  /// Segment substrate tuning: compaction thresholds of the engine-owned
+  /// SegmentedAnswerStore (fragmentation, epoch growth, tombstones).
+  SegmentedAnswerStore::Options store;
 };
 
-/// Online truth inference around the batch models: owns the growing answer
-/// matrix (the service's single cached copy — every consumer reads it from
-/// here instead of re-indexing answer logs), absorbs each answer with a
-/// cheap per-cell Bayes step, and re-converges with a sharded EM refresh
-/// whenever the incremental state has gone stale.
+/// Online truth inference around the batch models: owns the growing
+/// segmented answer store (the service's single indexed copy — every
+/// consumer reads it from here instead of re-indexing answer logs), absorbs
+/// answers batch-wise with cheap per-cell Bayes steps, and re-converges
+/// with a sharded EM refresh whenever the incremental state has gone stale.
+///
+/// The answer path (see docs/DATA_LIFECYCLE.md):
+///
+///   SubmitAnswer/SubmitAnswerBatch -> ingest queue -> (drain) tail segment
+///   -> SealAndSnapshot() seals the tail -> EM streams the sealed segments
+///
+/// A refresh seals ONLY the new tail (O(new answers)) and snapshots a
+/// vector of segment pointers — it never copies the answer matrix and never
+/// rebuilds the layout of previously sealed answers, so refresh cost scales
+/// with what arrived since the last refresh, not with total history.
 ///
 /// Refreshes run the exact same hot loop as the batch TCrowdModel (both fit
-/// through AnswerMatrixLayout + EmExecutor), on a persistent executor owned
-/// by this engine, so no refresh ever pays thread start-up. Refresh
+/// through the segmented snapshot + EmExecutor), on a persistent executor
+/// owned by this engine, so no refresh ever pays thread start-up. Refresh
 /// requests arriving while a refresh is running coalesce into exactly one
 /// follow-up refresh.
 ///
-/// Thread-safety: every public method may be called concurrently; internal
-/// state is guarded by one mutex, and refresh fits run on a snapshot so the
-/// submit path never waits on EM.
+/// Thread-safety: every public method may be called concurrently. Internal
+/// state is guarded by one engine mutex; the ingest queue has its own
+/// cheaper mutex so submits don't contend with reads or refresh installs;
+/// fits stream immutable segment snapshots so the submit path never waits
+/// on EM. Read APIs drain the ingest queue first (read-your-writes).
 class IncrementalInferenceEngine {
  public:
   /// `pool` (optional, unowned) runs async refreshes; it must outlive the
@@ -79,11 +105,19 @@ class IncrementalInferenceEngine {
   IncrementalInferenceEngine& operator=(const IncrementalInferenceEngine&) =
       delete;
 
-  /// Appends the answer to the cached matrix, applies the incremental
-  /// posterior update, and schedules a refresh when staleness crosses the
-  /// threshold. Never blocks on EM in async mode; in inline mode (no pool
-  /// or async_refresh=false) the triggering call runs the refresh itself.
+  /// Queues the answer for ingestion. The queue is drained into the store's
+  /// tail segment — applying the incremental posterior updates in one
+  /// locked pass — when ingest_batch_size answers have gathered, when
+  /// staleness crosses the refresh threshold, or when a read needs the
+  /// answers. Never blocks on EM in async mode; in inline mode the
+  /// staleness-crossing call runs the refresh itself.
   void SubmitAnswer(const Answer& answer);
+
+  /// Queues a whole batch under one ingest lock; the batched ingestion
+  /// entry point behind CrowdService::SubmitAnswerBatch. Answers keep their
+  /// in-batch order in the global log. Same drain/refresh semantics as
+  /// SubmitAnswer.
+  void SubmitAnswerBatch(const Answer* answers, size_t n);
 
   /// Explicitly schedules a full refresh (subject to min_answers_for_fit).
   /// If one is already running, the request coalesces: exactly one
@@ -92,34 +126,46 @@ class IncrementalInferenceEngine {
   /// refresh inline otherwise.
   void RequestRefresh();
 
-  /// Copy of the current answer matrix (safe against concurrent submits).
-  AnswerSet SnapshotAnswers() const;
-  /// Number of answers absorbed so far.
-  size_t num_answers() const;
+  /// Full export of the current answer log as a plain AnswerSet. O(total
+  /// answers) by design — this is the test/baseline path, NOT the refresh
+  /// path (refreshes snapshot segment pointers instead). Drains the ingest
+  /// queue first.
+  AnswerSet SnapshotAnswers();
+  /// Number of answers absorbed so far (drains the ingest queue).
+  size_t num_answers();
 
   /// Current point estimate for one cell (incrementally updated between
   /// refreshes). Missing value before the first fit / without answers.
-  Value Estimate(CellRef cell) const;
+  /// Drains the ingest queue so a submitted answer is always visible.
+  Value Estimate(CellRef cell);
   /// Current posterior entropy of one cell; 0 before the first fit.
-  double CellEntropy(CellRef cell) const;
+  double CellEntropy(CellRef cell);
   /// Current full estimated table (missing cells where nothing is known).
-  Table EstimatedTruth() const;
+  Table EstimatedTruth();
 
   /// Blocks until no refresh is running, queued behind a submit, or
   /// pending through coalescing.
   void WaitForRefresh();
 
-  /// Drains pending refreshes, then runs one final full batch fit over the
-  /// complete answer matrix (on the persistent executor for the T-Crowd
-  /// methods) and returns it. The finalized truths therefore match the
-  /// batch model run on the same answer set exactly. Blocks.
+  /// Drains pending ingests and refreshes, compacts the store (fresh
+  /// standardization epoch and worker registry over everything collected —
+  /// exactly what the batch model computes), then runs one final full
+  /// batch-converged fit on the persistent executor and returns it. The
+  /// finalized truths therefore match the batch model run on the same
+  /// answer set bit for bit. Blocks.
   InferenceResult Finalize();
 
   /// Diagnostics. Each takes the engine mutex briefly; never blocks on EM.
   int refresh_count() const;
+  /// Answers absorbed into the store since the last scheduled refresh
+  /// (excludes answers still buffered in the ingest queue).
   int answers_since_refresh() const;
   bool fitted() const;
   const InferenceArgs& args() const { return args_; }
+  /// Substrate counters of the engine-owned store (seals, compactions,
+  /// re-indexed entries) — what the no-O(total)-rebuild regression test and
+  /// bench_ingest read. Drains the ingest queue.
+  SegmentedAnswerStore::Stats store_stats();
 
   /// True for "tcrowd" and its restricted tc-onlycate/tc-onlycont variants,
   /// which all run the incremental path.
@@ -132,12 +178,22 @@ class IncrementalInferenceEngine {
   /// fall back to T-Crowd).
   std::unique_ptr<TruthInference> MakeBatchMethod() const;
 
+  /// Moves every queued answer into the store's tail and (unless
+  /// `apply_updates` is false because the caller is about to install a
+  /// fresh state and replay the tail) applies the incremental posterior
+  /// updates; `mu_` must be held (takes `ingest_mu_` briefly inside —
+  /// always in that order).
+  void DrainIngestLocked(bool apply_updates = true);
+  /// Drains, then schedules a refresh if the absorbed state is stale.
+  void DrainAndMaybeRefresh();
   /// Schedules (or runs inline) a refresh; `mu_` must be held. Sets the
   /// coalescing flag instead when a refresh is already in flight.
   void ScheduleRefreshLocked(bool* run_inline);
-  /// The refresh body: snapshot, fit, install, replay the tail; loops while
-  /// coalesced requests are pending.
+  /// The refresh body: seal + segment-pointer snapshot, fit, install,
+  /// replay the tail; loops while coalesced requests are pending.
   void RunRefresh();
+  /// Staleness predicate; `mu_` must be held.
+  bool StaleLocked() const;
 
   const Schema schema_;
   const int num_rows_;
@@ -148,9 +204,20 @@ class IncrementalInferenceEngine {
   /// lifetime, reused by every refresh and by Finalize.
   std::unique_ptr<EmExecutor> executor_;
 
+  /// Ingest queue: submits append here under `ingest_mu_` only, so the
+  /// submit hot path never contends with reads, installs, or the Bayes
+  /// updates. Lock order: mu_ before ingest_mu_ (never the reverse).
+  std::mutex ingest_mu_;
+  std::vector<Answer> ingest_;
+  /// Answers ever queued (ingest + absorbed); lock-free staleness hints.
+  std::atomic<size_t> total_queued_{0};
+  std::atomic<int> absorbed_since_refresh_{0};
+  std::atomic<bool> fitted_flag_{false};
+
   mutable std::mutex mu_;
   std::condition_variable refresh_done_;
-  AnswerSet answers_;
+  /// The segmented answer log (tail + sealed immutable segments).
+  SegmentedAnswerStore store_;
   /// Incremental T-Crowd state (valid when fitted_ && tcrowd_path_).
   TCrowdState state_;
   /// Batch estimates for the baseline path (valid when fitted_ &&
@@ -165,8 +232,8 @@ class IncrementalInferenceEngine {
   bool shutdown_ = false;
   int answers_since_refresh_ = 0;
   int refresh_count_ = 0;
-  /// Index into answers_ of the first answer the running refresh did NOT
-  /// snapshot; on install the tail [snapshot_size_, size) is replayed.
+  /// Store size the running refresh snapshotted; on install the tail
+  /// [snapshot_size_, size) is replayed incrementally.
   size_t snapshot_size_ = 0;
 };
 

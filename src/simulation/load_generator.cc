@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -18,6 +19,7 @@ LoadGenerator::LoadGenerator(CrowdSimulator* crowd,
   TCROWD_CHECK(service_ != nullptr);
   options_.max_arrivals = std::max(1, options_.max_arrivals);
   options_.tasks_per_request = std::max(1, options_.tasks_per_request);
+  options_.batch_size = std::max(1, options_.batch_size);
   options_.num_driver_threads = std::max(1, options_.num_driver_threads);
 }
 
@@ -42,6 +44,35 @@ void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
     bool abandons = !tasks.empty() && rng.Bernoulli(options_.abandon_prob);
     if (abandons) {
       ++report->abandoned_sessions;
+    } else if (options_.batch_size > 1) {
+      // Batch replay: answer the whole lease page from the generative
+      // model, then submit it in batch_size chunks through the service's
+      // batched ingestion path.
+      std::vector<std::pair<CellRef, Value>> items;
+      items.reserve(tasks.size());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const CellRef& cell : tasks) {
+          items.emplace_back(cell, crowd_->Answer(worker, cell));
+        }
+      }
+      for (size_t lo = 0; lo < items.size();
+           lo += static_cast<size_t>(options_.batch_size)) {
+        size_t hi = std::min(items.size(),
+                             lo + static_cast<size_t>(options_.batch_size));
+        std::vector<std::pair<CellRef, Value>> page(items.begin() + lo,
+                                                    items.begin() + hi);
+        std::vector<Status> statuses =
+            service_->SubmitAnswerBatch(session, page);
+        ++report->batches;
+        for (const Status& st : statuses) {
+          if (st.ok()) {
+            ++report->answers;
+          } else {
+            ++report->rejected;
+          }
+        }
+      }
     } else {
       for (const CellRef& cell : tasks) {
         Value value;
@@ -87,6 +118,7 @@ LoadReport LoadGenerator::Run() {
     report.answers += p.answers;
     report.rejected += p.rejected;
     report.abandoned_sessions += p.abandoned_sessions;
+    report.batches += p.batches;
   }
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;

@@ -19,6 +19,11 @@ struct LoadGeneratorOptions {
   /// Probability a session walks away without answering its leases — the
   /// abandonment that exercises lease release + backfill.
   double abandon_prob = 0.0;
+  /// Batch replay mode: > 1 submits a session's answers through
+  /// CrowdService::SubmitAnswerBatch in pages of this size (one service
+  /// lock + one engine ingest pass per page); <= 1 replays per answer via
+  /// SubmitAnswer.
+  int batch_size = 1;
   /// Concurrent driver threads replaying arrivals against the service.
   int num_driver_threads = 1;
   uint64_t seed = 7;
@@ -31,6 +36,8 @@ struct LoadReport {
   int64_t answers = 0;
   int64_t rejected = 0;
   int64_t abandoned_sessions = 0;
+  /// SubmitAnswerBatch calls issued (0 in per-answer replay mode).
+  int64_t batches = 0;
   double wall_seconds = 0.0;
   /// Answer-event throughput of the whole run.
   double answers_per_second = 0.0;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "assignment/policies.h"
 #include "data/schema.h"
@@ -223,6 +224,57 @@ TEST(CrowdService, MetricsCountersTrackTraffic) {
   EXPECT_EQ(value("service.answers_accepted"), 3);
   EXPECT_EQ(svc->metrics().latency("service.request_tasks").count(), 1);
   EXPECT_EQ(svc->metrics().latency("service.submit_answer").count(), 3);
+}
+
+TEST(CrowdService, SubmitAnswerBatchMixedOutcomesKeepAccounting) {
+  auto svc = MakeService(/*num_rows=*/4, /*target=*/3);
+  CrowdService::SessionId session = svc->StartSession(7);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 3);
+  ASSERT_EQ(tasks.size(), 3u);
+
+  // One page: [ok, ok, wrong-type reject, duplicate-of-first reject,
+  // no-lease reject] — accounting must match five SubmitAnswer calls.
+  std::vector<std::pair<CellRef, Value>> items = {
+      {tasks[0], ValueFor(svc->schema(), tasks[0])},
+      {tasks[1], ValueFor(svc->schema(), tasks[1])},
+      {tasks[2], tasks[2].col == 0 ? Value::Continuous(1.0)
+                                   : Value::Categorical(0)},
+      {tasks[0], ValueFor(svc->schema(), tasks[0])},
+      {CellRef{3, 1}, Value::Continuous(2.0)},
+  };
+  std::vector<Status> statuses = svc->SubmitAnswerBatch(session, items);
+  ASSERT_EQ(statuses.size(), items.size());
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].ok());
+  EXPECT_EQ(statuses[2].code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(statuses[3].code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(statuses[4].code(), StatusCode::kFailedPrecondition);
+
+  ServiceStats stats = svc->Stats();
+  EXPECT_EQ(stats.answers_accepted, 2);
+  EXPECT_EQ(stats.answers_rejected, 3);
+  EXPECT_EQ(svc->AnswerCount(tasks[0]), 1);
+  EXPECT_EQ(svc->AnswerCount(tasks[1]), 1);
+  EXPECT_EQ(svc->engine().num_answers(), 2u);
+  EXPECT_EQ(svc->metrics().counter("service.answer_batches").value(), 1);
+  // The wrong-typed answer's lease survives; re-answering it works.
+  EXPECT_TRUE(svc->SubmitAnswer(session, tasks[2],
+                                ValueFor(svc->schema(), tasks[2]))
+                  .ok());
+}
+
+TEST(CrowdService, SubmitAnswerBatchUnknownSessionRejectsWholePage) {
+  auto svc = MakeService();
+  std::vector<std::pair<CellRef, Value>> items = {
+      {CellRef{0, 0}, Value::Categorical(0)},
+      {CellRef{0, 1}, Value::Continuous(1.0)},
+  };
+  std::vector<Status> statuses = svc->SubmitAnswerBatch(999, items);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].code(), StatusCode::kNotFound);
+  EXPECT_EQ(statuses[1].code(), StatusCode::kNotFound);
+  EXPECT_EQ(svc->Stats().answers_rejected, 2);
+  EXPECT_EQ(svc->engine().num_answers(), 0u);
 }
 
 TEST(CrowdService, LeaseTimeoutExpiresAbandonedSessionAndRefundsBudget) {

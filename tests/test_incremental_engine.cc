@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <future>
+#include <thread>
 
 #include "inference/majority_voting.h"
 #include "inference/tcrowd_model.h"
@@ -255,6 +257,124 @@ TEST(IncrementalEngine, ShardedFinalizeMatchesShardedBatchBitForBit) {
                                     world.world.truth.num_rows(), args,
                                     &pool);
   Replay(world, &engine);
+
+  InferenceResult finalized = engine.Finalize();
+  TCrowdModel batch(engine.args().tcrowd_options);
+  InferenceResult expected = batch.Infer(world.world.schema,
+                                         engine.SnapshotAnswers());
+  ExpectTablesMatch(world.world.schema, finalized.estimated_truth,
+                    expected.estimated_truth, 0.0);
+}
+
+TEST(IncrementalEngine, RefreshReusesSegmentsNoFullRebuild) {
+  // Regression for the per-refresh O(total-answers) rebuild+copy: with
+  // compaction disabled, every answer must be indexed into a sealed
+  // segment EXACTLY once across all refreshes — refresh-after-K-new-answers
+  // does O(K) layout work, never a rebuild of the whole matrix.
+  SimWorld world(21, /*answers_per_task=*/3);  // 40 x 6 x 3 = 720 answers
+  InferenceArgs args = SyncArgs(/*staleness=*/50);
+  args.store.max_sealed_segments = 0;
+  args.store.epoch_growth_factor = 0.0;
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    nullptr);
+  Replay(world, &engine);
+  EXPECT_GE(engine.refresh_count(), 10);
+
+  SegmentedAnswerStore::Stats stats = engine.store_stats();
+  EXPECT_EQ(stats.appended, world.answers.size());
+  // Every refresh sealed only its new tail: each answer was indexed at most
+  // once (only the post-last-refresh remainder is still unsealed), and
+  // nothing was ever re-indexed. The historical rebuild-per-fit would have
+  // indexed ~refresh_count * answers/2 ≈ 5000+ entries here.
+  EXPECT_LE(stats.sealed_entries, stats.appended);
+  EXPECT_GE(stats.sealed_entries, stats.appended - 50);
+  EXPECT_EQ(stats.compactions, 0u);
+  EXPECT_EQ(stats.compacted_entries, 0u);
+  EXPECT_EQ(static_cast<uint64_t>(stats.sealed_segments),
+            static_cast<uint64_t>(engine.refresh_count()));
+}
+
+TEST(IncrementalEngine, BatchSubmitFinalizesBitIdenticalToPerAnswer) {
+  SimWorld world(22, /*answers_per_task=*/3);
+  const std::vector<Answer>& all = world.answers.answers();
+
+  IncrementalInferenceEngine per_answer(world.world.schema,
+                                        world.world.truth.num_rows(),
+                                        SyncArgs(/*staleness=*/64), nullptr);
+  Replay(world, &per_answer);
+
+  IncrementalInferenceEngine batched(world.world.schema,
+                                     world.world.truth.num_rows(),
+                                     SyncArgs(/*staleness=*/64), nullptr);
+  for (size_t lo = 0; lo < all.size(); lo += 37) {
+    size_t n = std::min<size_t>(37, all.size() - lo);
+    batched.SubmitAnswerBatch(all.data() + lo, n);
+  }
+  EXPECT_EQ(batched.num_answers(), per_answer.num_answers());
+
+  // Same answers in the same order: the finalized truths must agree with
+  // each other and with the batch model, to the last bit.
+  InferenceResult a = per_answer.Finalize();
+  InferenceResult b = batched.Finalize();
+  ExpectTablesMatch(world.world.schema, a.estimated_truth, b.estimated_truth,
+                    0.0);
+  TCrowdModel batch(batched.args().tcrowd_options);
+  InferenceResult expected =
+      batch.Infer(world.world.schema, batched.SnapshotAnswers());
+  ExpectTablesMatch(world.world.schema, b.estimated_truth,
+                    expected.estimated_truth, 0.0);
+}
+
+TEST(IncrementalEngine, IngestQueueGivesReadYourWrites) {
+  // Answers below every drain trigger sit in the ingest queue; any read
+  // must still observe them (reads drain first).
+  SimWorld world(24, /*answers_per_task=*/1);
+  InferenceArgs args = SyncArgs(/*staleness=*/1000000);
+  args.min_answers_for_fit = 1000000;
+  args.ingest_batch_size = 1000000;
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    nullptr);
+  for (int k = 0; k < 5; ++k) {
+    engine.SubmitAnswer(world.answers.answer(k));
+  }
+  EXPECT_EQ(engine.num_answers(), 5u);
+  EXPECT_EQ(engine.SnapshotAnswers().size(), 5u);
+  EXPECT_EQ(engine.store_stats().appended, 5u);
+}
+
+TEST(IncrementalEngine, RefreshRacingBatchIngestStaysConsistent) {
+  // Two threads page batches in while a third keeps requesting refreshes:
+  // the sealed-segment substrate must absorb everything exactly once and
+  // finalize bit-identical to the batch model.
+  SimWorld world(25, /*answers_per_task=*/4);
+  ThreadPool pool(2);
+  InferenceArgs args = SyncArgs(/*staleness=*/40);
+  args.async_refresh = true;
+  args.ingest_batch_size = 16;
+  IncrementalInferenceEngine engine(world.world.schema,
+                                    world.world.truth.num_rows(), args,
+                                    &pool);
+
+  const std::vector<Answer>& all = world.answers.answers();
+  size_t half = all.size() / 2;
+  auto submit_range = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; k += 23) {
+      size_t n = std::min<size_t>(23, hi - k);
+      engine.SubmitAnswerBatch(all.data() + k, n);
+    }
+  };
+  std::thread t1([&] { submit_range(0, half); });
+  std::thread t2([&] { submit_range(half, all.size()); });
+  for (int r = 0; r < 20; ++r) engine.RequestRefresh();
+  t1.join();
+  t2.join();
+  engine.WaitForRefresh();
+
+  EXPECT_EQ(engine.num_answers(), all.size());
+  SegmentedAnswerStore::Stats stats = engine.store_stats();
+  EXPECT_EQ(stats.appended, all.size());
 
   InferenceResult finalized = engine.Finalize();
   TCrowdModel batch(engine.args().tcrowd_options);

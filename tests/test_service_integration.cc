@@ -113,6 +113,63 @@ TEST(ServiceIntegration, ReplayDrainsBudgetAndMatchesBatchInference) {
   EXPECT_LT(error, 0.5);
 }
 
+TEST(ServiceIntegration, BatchReplayDrainsAndMatchesBatchInference) {
+  // The same end-to-end drain, but paged through SubmitAnswerBatch (the
+  // LoadGenerator batch replay mode): accounting must balance exactly and
+  // the finalized truths must still match batch T-Crowd bit for bit.
+  sim::TableGeneratorOptions topt;
+  topt.num_rows = 16;
+  topt.num_cols = 4;
+  topt.categorical_ratio = 0.5;
+  sim::CrowdOptions copt = SimWorld::DefaultCrowd();
+  copt.num_workers = 10;
+  SimWorld world(93, /*answers_per_task=*/0, topt, copt);
+
+  const int kTarget = 3;
+  CrowdService svc(world.world.schema, world.world.truth.num_rows(),
+                   std::make_unique<LoopingPolicy>(), ServingConfig(kTarget));
+
+  sim::LoadGeneratorOptions load;
+  load.max_arrivals = 100000;
+  load.tasks_per_request = 6;
+  load.batch_size = 4;  // pages of 4 through SubmitAnswerBatch
+  load.num_driver_threads = 2;
+  load.seed = 9;
+  sim::LoadGenerator generator(&world.crowd, &svc, load);
+  sim::LoadReport report = generator.Run();
+
+  const int num_cells =
+      world.world.truth.num_rows() * world.world.schema.num_columns();
+  EXPECT_TRUE(svc.Drained());
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_EQ(report.answers, static_cast<int64_t>(num_cells) * kTarget);
+  EXPECT_GT(report.batches, 0);
+  EXPECT_EQ(svc.metrics().counter("service.answer_batches").value(),
+            report.batches);
+  EXPECT_EQ(svc.metrics().counter("service.answers_accepted").value(),
+            report.answers);
+  EXPECT_EQ(svc.engine().num_answers(),
+            static_cast<size_t>(report.answers));
+
+  InferenceResult finalized = svc.Finalize();
+  AnswerSet collected = svc.engine().SnapshotAnswers();
+  TCrowdModel batch(svc.engine().args().tcrowd_options);
+  InferenceResult expected = batch.Infer(world.world.schema, collected);
+  for (int i = 0; i < world.world.truth.num_rows(); ++i) {
+    for (int j = 0; j < world.world.schema.num_columns(); ++j) {
+      const Value& got = finalized.estimated_truth.at(i, j);
+      const Value& want = expected.estimated_truth.at(i, j);
+      ASSERT_EQ(got.valid(), want.valid());
+      if (!got.valid()) continue;
+      if (got.is_categorical()) {
+        EXPECT_EQ(got.label(), want.label()) << "cell " << i << "," << j;
+      } else {
+        EXPECT_EQ(got.number(), want.number()) << "cell " << i << "," << j;
+      }
+    }
+  }
+}
+
 TEST(ServiceIntegration, ConcurrentDriversKeepAccountingConsistent) {
   // Hammer the service from 4 driver threads with a cheap policy/engine and
   // verify the books still balance exactly.

@@ -1,18 +1,26 @@
 #!/usr/bin/env sh
-# Docs-freshness check: every module directory under src/ must be mentioned
-# in docs/ARCHITECTURE.md, so the architecture doc cannot silently rot as
-# the codebase grows. Run by CI on every build; run it locally after adding
-# a module:
+# Docs-freshness check, run by CI on every build:
+#
+#   1. every module directory under src/ must be mentioned in
+#      docs/ARCHITECTURE.md (the table and the dependency diagram both
+#      qualify), so the architecture doc cannot silently rot;
+#   2. docs/DATA_LIFECYCLE.md must exist and keep naming every stage API of
+#      the answer path (submit -> ingest queue -> tail -> sealed segments ->
+#      EM streaming -> finalize), so renaming or removing a stage forces a
+#      doc update;
+#   3. README.md and docs/ARCHITECTURE.md must link the lifecycle doc.
+#
+# Run it locally after adding a module or touching the answer path:
 #
 #   tools/check_docs.sh
-#
-# A module is "mentioned" when its directory name appears as a word
-# anywhere in docs/ARCHITECTURE.md (the table and the dependency diagram
-# both qualify).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 doc="$repo_root/docs/ARCHITECTURE.md"
+lifecycle="$repo_root/docs/DATA_LIFECYCLE.md"
+readme="$repo_root/README.md"
+
+fail=0
 
 if [ ! -f "$doc" ]; then
   echo "check_docs.sh: $doc is missing" >&2
@@ -33,7 +41,33 @@ if [ -n "$missing" ]; then
     echo "  - $m" >&2
   done
   echo "Describe them in the module table / dependency graph." >&2
-  exit 1
+  fail=1
 fi
 
-echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented."
+if [ ! -f "$lifecycle" ]; then
+  echo "check_docs.sh: $lifecycle is missing" >&2
+  fail=1
+else
+  # The answer path's stage APIs; each must stay documented by name.
+  for anchor in SubmitAnswer SubmitAnswerBatch AnswerSegment \
+                SegmentedAnswerStore SealAndSnapshot Tombstone \
+                EmExecutor Finalize; do
+    if ! grep -q -w "$anchor" "$lifecycle"; then
+      echo "check_docs.sh: docs/DATA_LIFECYCLE.md no longer mentions" \
+           "'$anchor' — update the lifecycle doc." >&2
+      fail=1
+    fi
+  done
+fi
+
+for linker in "$readme" "$doc"; do
+  if ! grep -q "DATA_LIFECYCLE.md" "$linker"; then
+    echo "check_docs.sh: $(basename "$linker") does not link" \
+         "docs/DATA_LIFECYCLE.md" >&2
+    fail=1
+  fi
+done
+
+[ "$fail" -eq 0 ] || exit 1
+
+echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle doc is fresh."

@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # Perf-baseline harness (ROADMAP: "add a perf baseline harness before
-# optimizing hot paths"): runs the Google-Benchmark efficiency sweeps —
-# assignment (paper Fig. 11) and inference (paper Fig. 12) — and snapshots
-# their JSON output into one BENCH_baseline.json, so later optimizations
-# have a fixed reference to diff against.
+# optimizing hot paths"): runs the Google-Benchmark sweeps — assignment
+# (paper Fig. 11), inference (paper Fig. 12), and answer ingestion
+# (segment substrate: per-answer vs batched submit, rebuild vs incremental
+# layout) — and snapshots their JSON output into one BENCH_baseline.json,
+# so later optimizations have a fixed reference to diff against.
 #
 # Usage:
 #   tools/run_bench.sh [OUT.json]          # default OUT: ./BENCH_baseline.json
@@ -16,7 +17,7 @@ build_dir=${BENCH_BUILD_DIR:-$repo_root/build}
 out=${1:-$repo_root/BENCH_baseline.json}
 filter=${BENCH_FILTER:-}
 
-benches="bench_fig11_assignment_efficiency bench_fig12_inference_efficiency"
+benches="bench_fig11_assignment_efficiency bench_fig12_inference_efficiency bench_ingest"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 # shellcheck disable=SC2086  # word-splitting the target list is intended

@@ -68,7 +68,8 @@ commands:
              [--rows=N --cols=M --ratio=R --workers=W]
              [--policy=NAME] [--engine=METHOD] [--target=K]
              [--arrivals=N] [--tasks-per-worker=K] [--staleness=N]
-             [--threads=T] [--drivers=D] [--abandon=P] [--seed=S]
+             [--batch-size=N] [--threads=T] [--drivers=D] [--abandon=P]
+             [--seed=S]
 
 methods: tcrowd, tc-onlycate, tc-onlycont, mv, median, ds, zencrowd, glad,
          gtm, crh, catd
@@ -413,6 +414,9 @@ int CmdServeSim(const FlagParser& flags) {
   load.tasks_per_request =
       static_cast<int>(flags.GetInt("tasks-per-worker", 1));
   load.abandon_prob = flags.GetDouble("abandon", 0.0);
+  // Batch replay: page answers through SubmitAnswerBatch instead of one
+  // SubmitAnswer per answer (see docs/DATA_LIFECYCLE.md).
+  load.batch_size = static_cast<int>(flags.GetInt("batch-size", 1));
   load.num_driver_threads = static_cast<int>(flags.GetInt("drivers", 1));
   load.seed = seed + 3;
   sim::LoadGenerator generator(world.crowd.get(), &svc, load);
@@ -427,12 +431,13 @@ int CmdServeSim(const FlagParser& flags) {
 
   std::printf("\n-- load report --\n");
   std::printf("arrivals=%lld assignments=%lld answers=%lld rejected=%lld "
-              "abandoned=%lld\n",
+              "abandoned=%lld batches=%lld\n",
               static_cast<long long>(report.arrivals),
               static_cast<long long>(report.assignments),
               static_cast<long long>(report.answers),
               static_cast<long long>(report.rejected),
-              static_cast<long long>(report.abandoned_sessions));
+              static_cast<long long>(report.abandoned_sessions),
+              static_cast<long long>(report.batches));
   std::printf("wall=%.3fs throughput=%.0f answers/s\n", report.wall_seconds,
               report.answers_per_second);
 

@@ -2,6 +2,9 @@
 
 namespace tcrowd {
 
+// Deliberately out of line; see the header.
+Status::~Status() = default;
+
 const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:

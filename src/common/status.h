@@ -31,6 +31,16 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
+  /// Out-of-line (status.cc): keeping the destructor opaque stops gcc 12
+  /// from inlining the std::string teardown through std::variant's
+  /// destruction visit, which trips a maybe-uninitialized false positive on
+  /// every StatusOr<T> at -O3 -Werror (gcc bug 105937 family).
+  ~Status();
+  Status(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(const Status&) = default;
+  Status& operator=(Status&&) = default;
+
   static Status Ok() { return Status(); }
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));

@@ -35,6 +35,7 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
       answers_accepted_(&metrics_.counter("service.answers_accepted")),
       answers_rejected_(&metrics_.counter("service.answers_rejected")),
       answer_batches_(&metrics_.counter("service.answer_batches")),
+      answers_restored_(&metrics_.counter("service.answers_restored")),
       tasks_finalized_(&metrics_.counter("service.tasks_finalized")),
       request_latency_(&metrics_.latency("service.request_tasks")),
       submit_latency_(&metrics_.latency("service.submit_answer")),
@@ -51,6 +52,33 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
   if (config_.max_total_answers < 0) {
     config_.max_total_answers =
         static_cast<int64_t>(config_.target_answers_per_task) * tasks_.size();
+  }
+
+  // Crash-restart recovery: replay the engine's restored answer log into
+  // the service ledger, exactly as if each answer had been accepted live —
+  // per-cell counts, budget spend/commit, and task finalization all line
+  // up with the durable history. The router is NOT warmed per answer; its
+  // first Route() refits over the full recovered AnswerSet anyway.
+  if (engine_->restored_answers() > 0) {
+    AnswerSet recovered = engine_->SnapshotAnswers();
+    for (const Answer& answer : recovered.answers()) {
+      answers_.Add(answer);
+      TaskEntry& task = TaskAt(answer.cell);
+      ++task.answers;
+      ++budget_spent_;
+      ++budget_committed_;
+      if (task.answers >= config_.target_answers_per_task &&
+          !task.finalized) {
+        task.finalized = true;
+        ++finalized_count_;
+        tasks_finalized_->Increment();
+      }
+    }
+    answers_restored_->Increment(static_cast<int64_t>(recovered.size()));
+    answers_accepted_->Increment(static_cast<int64_t>(recovered.size()));
+    // Bring estimates back online without blocking startup (async mode
+    // runs the fit on the service pool).
+    engine_->RequestRefresh();
   }
 }
 
@@ -349,6 +377,7 @@ ServiceStats CrowdService::Stats() const {
   stats.sessions_expired = sessions_expired_total_;
   stats.answers_accepted = budget_spent_;
   stats.answers_rejected = rejected_;
+  stats.answers_restored = answers_restored_->value();
   stats.assignments = tasks_assigned_->value();
   stats.backfilled = router_.backfilled();
   stats.budget_spent = budget_spent_;

@@ -65,6 +65,9 @@ struct ServiceStats {
   int64_t sessions_expired = 0;
   int64_t answers_accepted = 0;
   int64_t answers_rejected = 0;
+  /// Answers recovered from the checkpoint directory at startup (already
+  /// counted in budget_spent; their tasks may start finalized).
+  int64_t answers_restored = 0;
   int64_t assignments = 0;
   int64_t backfilled = 0;
   int64_t budget_spent = 0;
@@ -77,6 +80,15 @@ struct ServiceStats {
 /// answers that feed the IncrementalInferenceEngine, and tasks progress
 /// open → assigned → answered → finalized under per-task and global budget
 /// accounting.
+///
+/// Durability: when config.inference.checkpoint names a directory, the
+/// engine restores the durable answer log at construction and the service
+/// rebuilds its task/budget ledger from it (per-cell answer counts,
+/// budget_spent, finalized tasks) — so a restarted service resumes exactly
+/// where the durable log left off. Sessions and leases are deliberately
+/// NOT persisted: they are seconds-lived worker state, and the lease
+/// accounting self-heals (a crashed service's in-flight leases simply
+/// never existed in the restarted one). See docs/PERSISTENCE.md.
 ///
 /// Thread-safety: all public methods may be called from concurrent driver
 /// threads. Request handling is serialized on one service mutex (policies
@@ -148,6 +160,14 @@ class CrowdService {
   /// Aggregate snapshot; takes the service mutex briefly, never blocks on
   /// inference.
   ServiceStats Stats() const;
+  /// Health of the persistence subsystem (OK when checkpointing is
+  /// disabled). A restore failure surfaces here — the service still comes
+  /// up empty and serving, it just is not durable.
+  Status checkpoint_status() const { return engine_->checkpoint_status(); }
+  /// Answers recovered from the checkpoint directory at construction.
+  int64_t restored_answers() const {
+    return static_cast<int64_t>(engine_->restored_answers());
+  }
   MetricsRegistry& metrics() { return metrics_; }
   IncrementalInferenceEngine& engine() { return *engine_; }
   const Schema& schema() const { return schema_; }
@@ -206,6 +226,7 @@ class CrowdService {
   Counter* answers_accepted_;
   Counter* answers_rejected_;
   Counter* answer_batches_;
+  Counter* answers_restored_;
   Counter* tasks_finalized_;
   LatencyStats* request_latency_;
   LatencyStats* submit_latency_;

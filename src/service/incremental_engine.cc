@@ -6,6 +6,7 @@
 
 #include "assignment/policies.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "inference/answer_segment.h"
 #include "inference/catd.h"
 #include "inference/crh.h"
@@ -70,6 +71,79 @@ IncrementalInferenceEngine::IncrementalInferenceEngine(const Schema& schema,
       tcrowd_path_(IsTCrowdMethod(args_.method)) {
   TCROWD_CHECK(num_rows_ > 0);
   TCROWD_CHECK(schema_.num_columns() > 0);
+  if (args_.checkpoint.enabled()) RestoreFromCheckpoint();
+}
+
+void IncrementalInferenceEngine::DisableCheckpointing(const Status& error,
+                                                      const char* during) {
+  TCROWD_LOG(Warning) << "checkpointing disabled (" << during
+                      << "): " << error.ToString()
+                      << " — serving continues from memory only";
+  if (checkpoint_status_.ok()) checkpoint_status_ = error;
+  snapshot_.reset();
+}
+
+void IncrementalInferenceEngine::RestoreFromCheckpoint() {
+  // Constructor-only: no other thread can touch the engine yet, so no lock.
+  snapshot_ = std::make_unique<SnapshotStore>(args_.checkpoint);
+  SnapshotStore::RecoveredLog log;
+  Status st = snapshot_->Open(schema_, num_rows_, &log);
+  if (!st.ok()) {
+    // Never write into a directory we could not make sense of: restoring
+    // nothing AND persisting over the old state would destroy the evidence.
+    DisableCheckpointing(st, "restore");
+    return;
+  }
+  if (log.journal_truncated) {
+    TCROWD_LOG(Warning) << "snapshot journal had a torn tail; recovered the "
+                        << "clean prefix (" << log.answers.size()
+                        << " answers)";
+  }
+  // Semantic validation, mirroring what AcceptAnswerLocked enforced before
+  // any of these answers were ever journaled: a checkpoint can be
+  // CRC-clean yet hold out-of-range cells or labels (hand-edited file,
+  // buggy writer). Such data must refuse with a clean Status, not abort a
+  // store CHECK or index a baseline method out of bounds later.
+  for (size_t k = 0; k < log.answers.size(); ++k) {
+    const Answer& a = log.answers[k];
+    bool cell_ok = a.cell.row >= 0 && a.cell.row < num_rows_ &&
+                   a.cell.col >= 0 && a.cell.col < schema_.num_columns();
+    bool value_ok = false;
+    if (cell_ok) {
+      const ColumnSpec& col = schema_.column(a.cell.col);
+      value_ok =
+          a.value.valid() &&
+          ((col.type == ColumnType::kCategorical &&
+            a.value.is_categorical() && a.value.label() >= 0 &&
+            a.value.label() < static_cast<int>(col.labels.size())) ||
+           (col.type == ColumnType::kContinuous && a.value.is_continuous()));
+    }
+    if (!cell_ok || !value_ok) {
+      DisableCheckpointing(
+          Status::FailedPrecondition(StrFormat(
+              "checkpoint %s: answer %zu does not fit the serving schema "
+              "(cell %d,%d %s)",
+              args_.checkpoint.directory.c_str(), k, a.cell.row, a.cell.col,
+              a.value.ToString().c_str())),
+          "restore validation");
+      return;
+    }
+  }
+  // Replay the durable log into the in-memory store, re-sealing at each
+  // durable segment boundary (compaction thresholds may merge them — that
+  // only changes in-memory layout, never the chronological log). Journal
+  // answers stay in the tail, exactly as they were before the crash.
+  size_t offset = 0;
+  for (size_t sz : log.segment_sizes) {
+    store_.AppendBatch(log.answers.data() + offset, sz);
+    store_.SealAndSnapshot();
+    offset += sz;
+  }
+  if (offset < log.answers.size()) {
+    store_.AppendBatch(log.answers.data() + offset,
+                       log.answers.size() - offset);
+  }
+  restored_ = log.answers.size();
 }
 
 IncrementalInferenceEngine::~IncrementalInferenceEngine() {
@@ -119,6 +193,7 @@ void IncrementalInferenceEngine::DrainIngestLocked(bool apply_updates) {
   // `apply_updates` is false only when the caller is about to replace
   // state_ and replay the tail anyway (the refresh install path) — applying
   // here too would pay every Bayes update twice.
+  size_t base = store_.size();
   for (const Answer& answer : batch) {
     store_.Append(answer);
     ++answers_since_refresh_;
@@ -128,6 +203,13 @@ void IncrementalInferenceEngine::DrainIngestLocked(bool apply_updates) {
   }
   absorbed_since_refresh_.store(answers_since_refresh_,
                                 std::memory_order_relaxed);
+  if (snapshot_ != nullptr) {
+    // Durability boundary: once the journal append returns, everything
+    // absorbed so far survives a crash. One framed record per drained
+    // batch — the same amortization the ingest queue buys the lock.
+    Status st = snapshot_->JournalAppend(base, batch.data(), batch.size());
+    if (!st.ok()) DisableCheckpointing(st, "journal append");
+  }
 }
 
 bool IncrementalInferenceEngine::StaleLocked() const {
@@ -229,6 +311,9 @@ void IncrementalInferenceEngine::RunRefresh() {
       // sealed segment's runs / SoA views / worker index are reused.
       snapshot = store_.SealAndSnapshot();
       snapshot_size_ = snapshot.num_answers();
+      // Checkpoint-on-seal: the newly sealed slice goes to disk exactly
+      // once, while it is still O(answers since the last refresh).
+      PersistSealedLocked();
     }
 
     // The expensive part runs without the lock: submits keep flowing while
@@ -292,6 +377,24 @@ void IncrementalInferenceEngine::RunRefresh() {
       return;
     }
   }
+}
+
+void IncrementalInferenceEngine::PersistSealedLocked() {
+  if (snapshot_ == nullptr) return;
+  size_t durable = snapshot_->durable_sealed();
+  size_t sealed_total = store_.size();  // tail empty right after a seal
+  if (sealed_total <= durable) return;
+  // Chronological ids are stable here: the engine never tombstones, so
+  // compaction preserves the log and [durable, sealed_total) is exactly
+  // the slice no segment file covers yet.
+  std::vector<Answer> delta = store_.CopyAnswersSince(durable);
+  Status st = snapshot_->PersistSealed(delta.data(), delta.size());
+  if (!st.ok()) DisableCheckpointing(st, "segment persist");
+}
+
+Status IncrementalInferenceEngine::checkpoint_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_status_;
 }
 
 AnswerSet IncrementalInferenceEngine::SnapshotAnswers() {
@@ -360,6 +463,7 @@ InferenceResult IncrementalInferenceEngine::Finalize() {
     // the one the batch model builds, which is what makes the finalized
     // truths bit-identical to a batch fit on the same answers.
     snapshot = store_.SealAndSnapshot(/*force_compact=*/true);
+    PersistSealedLocked();
   }
   InferenceResult result;
   try {

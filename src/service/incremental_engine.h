@@ -8,12 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/answer.h"
 #include "inference/em_executor.h"
 #include "inference/inference_result.h"
 #include "inference/segment_store.h"
 #include "inference/tcrowd_model.h"
+#include "service/snapshot_store.h"
 
 namespace tcrowd::service {
 
@@ -59,6 +61,13 @@ struct InferenceArgs {
   /// Segment substrate tuning: compaction thresholds of the engine-owned
   /// SegmentedAnswerStore (fragmentation, epoch growth, tombstones).
   SegmentedAnswerStore::Options store;
+
+  /// Durable segment persistence (docs/PERSISTENCE.md). When a directory is
+  /// set, the engine restores the answer log from it at construction,
+  /// journals every ingest-drained batch, and persists each newly sealed
+  /// slice of the log piggybacked on the refresh seal — keeping the hot
+  /// path O(new answers). Empty (default) disables persistence entirely.
+  CheckpointArgs checkpoint;
 };
 
 /// Online truth inference around the batch models: owns the growing
@@ -167,6 +176,15 @@ class IncrementalInferenceEngine {
   /// bench_ingest read. Drains the ingest queue.
   SegmentedAnswerStore::Stats store_stats();
 
+  /// Health of the persistence subsystem. OK while checkpointing is
+  /// disabled or working; once an open/restore or write fails the engine
+  /// stops persisting (it keeps serving from memory — durability degrades,
+  /// inference does not) and this returns the first error.
+  Status checkpoint_status() const;
+  /// Answers recovered from the checkpoint directory at construction.
+  /// Constant after the constructor returns.
+  size_t restored_answers() const { return restored_; }
+
   /// True for "tcrowd" and its restricted tc-onlycate/tc-onlycont variants,
   /// which all run the incremental path.
   static bool IsTCrowdMethod(const std::string& method);
@@ -194,6 +212,18 @@ class IncrementalInferenceEngine {
   void RunRefresh();
   /// Staleness predicate; `mu_` must be held.
   bool StaleLocked() const;
+  /// Restores the answer log from the snapshot directory (constructor
+  /// only, before any concurrency; re-seals at the durable segment
+  /// boundaries). Disables persistence on failure.
+  void RestoreFromCheckpoint();
+  /// Persists the newly sealed slice [durable_sealed, sealed_total) after a
+  /// SealAndSnapshot() and resets the journal; `mu_` must be held (the
+  /// tail is empty at that point, so the slice is exactly the sealed
+  /// delta). O(new answers). Disables persistence on failure.
+  void PersistSealedLocked();
+  /// Records a persistence failure and stops persisting; `mu_` must be
+  /// held (or the constructor running single-threaded).
+  void DisableCheckpointing(const Status& error, const char* during);
 
   const Schema schema_;
   const int num_rows_;
@@ -218,6 +248,11 @@ class IncrementalInferenceEngine {
   std::condition_variable refresh_done_;
   /// The segmented answer log (tail + sealed immutable segments).
   SegmentedAnswerStore store_;
+  /// Durable side of the log (null when checkpointing is disabled or has
+  /// failed). All access under `mu_` (constructor excepted).
+  std::unique_ptr<SnapshotStore> snapshot_;
+  Status checkpoint_status_;
+  size_t restored_ = 0;
   /// Incremental T-Crowd state (valid when fitted_ && tcrowd_path_).
   TCrowdState state_;
   /// Batch estimates for the baseline path (valid when fitted_ &&

@@ -26,6 +26,7 @@ LoadGenerator::LoadGenerator(CrowdSimulator* crowd,
 void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
   Rng rng(seed);
   while (true) {
+    if (StopRequested()) return;
     WorkerId worker;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -68,10 +69,12 @@ void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
         for (const Status& st : statuses) {
           if (st.ok()) {
             ++report->answers;
+            answers_accepted_.fetch_add(1, std::memory_order_relaxed);
           } else {
             ++report->rejected;
           }
         }
+        if (StopRequested()) break;  // "crash": drop the unanswered leases
       }
     } else {
       for (const CellRef& cell : tasks) {
@@ -83,9 +86,11 @@ void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
         Status st = service_->SubmitAnswer(session, cell, value);
         if (st.ok()) {
           ++report->answers;
+          answers_accepted_.fetch_add(1, std::memory_order_relaxed);
         } else {
           ++report->rejected;
         }
+        if (StopRequested()) break;  // "crash": drop the unanswered leases
       }
     }
     service_->EndSession(session);
@@ -120,6 +125,7 @@ LoadReport LoadGenerator::Run() {
     report.abandoned_sessions += p.abandoned_sessions;
     report.batches += p.batches;
   }
+  report.stopped_early = StopRequested();
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   report.wall_seconds = elapsed.count();

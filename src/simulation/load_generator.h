@@ -1,6 +1,7 @@
 #ifndef TCROWD_SIMULATION_LOAD_GENERATOR_H_
 #define TCROWD_SIMULATION_LOAD_GENERATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 
@@ -26,6 +27,12 @@ struct LoadGeneratorOptions {
   int batch_size = 1;
   /// Concurrent driver threads replaying arrivals against the service.
   int num_driver_threads = 1;
+  /// Kill/restart replay mode: > 0 stops the run (all driver threads) once
+  /// this many answers were accepted, leaving the service mid-flight — the
+  /// harness for simulated crashes (`serve-sim --crash-after=N`). A
+  /// restarted service gets a FRESH generator that drives the remainder.
+  /// <= 0 runs to drain as usual.
+  int64_t stop_after_answers = 0;
   uint64_t seed = 7;
 };
 
@@ -38,6 +45,8 @@ struct LoadReport {
   int64_t abandoned_sessions = 0;
   /// SubmitAnswerBatch calls issued (0 in per-answer replay mode).
   int64_t batches = 0;
+  /// True when the run hit stop_after_answers instead of draining.
+  bool stopped_early = false;
   double wall_seconds = 0.0;
   /// Answer-event throughput of the whole run.
   double answers_per_second = 0.0;
@@ -62,6 +71,12 @@ class LoadGenerator {
  private:
   /// One driver thread's loop; shares the arrival budget with its peers.
   void DriveLoop(uint64_t seed, LoadReport* report);
+  /// True once the accepted-answer total hit stop_after_answers.
+  bool StopRequested() const {
+    return options_.stop_after_answers > 0 &&
+           answers_accepted_.load(std::memory_order_relaxed) >=
+               options_.stop_after_answers;
+  }
 
   CrowdSimulator* const crowd_;
   service::CrowdService* const service_;
@@ -69,6 +84,8 @@ class LoadGenerator {
 
   std::mutex mu_;  ///< guards crowd_ (the simulator is single-threaded)
   int64_t arrivals_issued_ = 0;
+  /// Accepted answers across all driver threads (the kill switch's meter).
+  std::atomic<int64_t> answers_accepted_{0};
 };
 
 }  // namespace tcrowd::sim

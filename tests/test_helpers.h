@@ -1,6 +1,8 @@
 #ifndef TCROWD_TESTS_TEST_HELPERS_H_
 #define TCROWD_TESTS_TEST_HELPERS_H_
 
+#include <gtest/gtest.h>
+
 #include <vector>
 
 #include "common/rng.h"
@@ -100,6 +102,27 @@ struct SimWorld {
     return sim::GenerateTable(opt, &rng);
   }
 };
+
+/// Cell-by-cell table comparison; `tol == 0.0` demands bit-identical
+/// continuous estimates (EXPECT_NEAR with a zero bound is exact equality).
+inline void ExpectTablesMatch(const Schema& schema, const Table& a,
+                              const Table& b, double tol) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int i = 0; i < a.num_rows(); ++i) {
+    for (int j = 0; j < schema.num_columns(); ++j) {
+      const Value& va = a.at(i, j);
+      const Value& vb = b.at(i, j);
+      ASSERT_EQ(va.valid(), vb.valid()) << "cell " << i << "," << j;
+      if (!va.valid()) continue;
+      if (va.is_categorical()) {
+        EXPECT_EQ(va.label(), vb.label()) << "cell " << i << "," << j;
+      } else {
+        EXPECT_NEAR(va.number(), vb.number(), tol)
+            << "cell " << i << "," << j;
+      }
+    }
+  }
+}
 
 }  // namespace tcrowd::testing
 

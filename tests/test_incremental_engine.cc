@@ -14,6 +14,7 @@
 namespace tcrowd::service {
 namespace {
 
+using tcrowd::testing::ExpectTablesMatch;
 using tcrowd::testing::SimWorld;
 
 InferenceArgs SyncArgs(int staleness) {
@@ -30,25 +31,6 @@ InferenceArgs SyncArgs(int staleness) {
 void Replay(const SimWorld& world, IncrementalInferenceEngine* engine) {
   for (const Answer& answer : world.answers.answers()) {
     engine->SubmitAnswer(answer);
-  }
-}
-
-void ExpectTablesMatch(const Schema& schema, const Table& a, const Table& b,
-                       double tol) {
-  ASSERT_EQ(a.num_rows(), b.num_rows());
-  for (int i = 0; i < a.num_rows(); ++i) {
-    for (int j = 0; j < schema.num_columns(); ++j) {
-      const Value& va = a.at(i, j);
-      const Value& vb = b.at(i, j);
-      ASSERT_EQ(va.valid(), vb.valid()) << "cell " << i << "," << j;
-      if (!va.valid()) continue;
-      if (va.is_categorical()) {
-        EXPECT_EQ(va.label(), vb.label()) << "cell " << i << "," << j;
-      } else {
-        EXPECT_NEAR(va.number(), vb.number(), tol)
-            << "cell " << i << "," << j;
-      }
-    }
   }
 }
 

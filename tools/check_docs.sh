@@ -8,7 +8,10 @@
 #      the answer path (submit -> ingest queue -> tail -> sealed segments ->
 #      EM streaming -> finalize), so renaming or removing a stage forces a
 #      doc update;
-#   3. README.md and docs/ARCHITECTURE.md must link the lifecycle doc.
+#   3. docs/PERSISTENCE.md must exist and keep naming every piece of the
+#      durability subsystem (codec, snapshot store, checkpoint hooks, the
+#      on-disk file names), so the recovery protocol doc cannot rot;
+#   4. README.md and docs/ARCHITECTURE.md must link both docs.
 #
 # Run it locally after adding a module or touching the answer path:
 #
@@ -18,6 +21,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 doc="$repo_root/docs/ARCHITECTURE.md"
 lifecycle="$repo_root/docs/DATA_LIFECYCLE.md"
+persistence="$repo_root/docs/PERSISTENCE.md"
 readme="$repo_root/README.md"
 
 fail=0
@@ -60,14 +64,33 @@ else
   done
 fi
 
-for linker in "$readme" "$doc"; do
-  if ! grep -q "DATA_LIFECYCLE.md" "$linker"; then
-    echo "check_docs.sh: $(basename "$linker") does not link" \
-         "docs/DATA_LIFECYCLE.md" >&2
-    fail=1
-  fi
+if [ ! -f "$persistence" ]; then
+  echo "check_docs.sh: $persistence is missing" >&2
+  fail=1
+else
+  # The durability subsystem's load-bearing names; each must stay
+  # documented (codec + store APIs, engine hooks, on-disk file names).
+  for anchor in segment_codec SnapshotStore CheckpointArgs \
+                EncodeAnswerBlock SchemaFingerprint MANIFEST journal.bin \
+                restored_answers checkpoint_status crash-after; do
+    if ! grep -q "$anchor" "$persistence"; then
+      echo "check_docs.sh: docs/PERSISTENCE.md no longer mentions" \
+           "'$anchor' — update the persistence doc." >&2
+      fail=1
+    fi
+  done
+fi
+
+for linked in DATA_LIFECYCLE.md PERSISTENCE.md; do
+  for linker in "$readme" "$doc"; do
+    if ! grep -q "$linked" "$linker"; then
+      echo "check_docs.sh: $(basename "$linker") does not link" \
+           "docs/$linked" >&2
+      fail=1
+    fi
+  done
 done
 
 [ "$fail" -eq 0 ] || exit 1
 
-echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle doc is fresh."
+echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle and persistence docs are fresh."

@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Perf-baseline harness (ROADMAP: "add a perf baseline harness before
 # optimizing hot paths"): runs the Google-Benchmark sweeps — assignment
-# (paper Fig. 11), inference (paper Fig. 12), and answer ingestion
-# (segment substrate: per-answer vs batched submit, rebuild vs incremental
-# layout) — and snapshots their JSON output into one BENCH_baseline.json,
-# so later optimizations have a fixed reference to diff against.
+# (paper Fig. 11), inference (paper Fig. 12), answer ingestion (segment
+# substrate: per-answer vs batched submit, rebuild vs incremental layout),
+# and segment persistence (snapshot write/load throughput, crash-recovery
+# latency vs history size) — and snapshots their JSON output into one
+# BENCH_baseline.json, so later optimizations have a fixed reference to
+# diff against (tools/diff_bench.py; the nightly bench workflow posts the
+# diff in its job summary).
 #
 # Usage:
 #   tools/run_bench.sh [OUT.json]          # default OUT: ./BENCH_baseline.json
@@ -17,7 +20,7 @@ build_dir=${BENCH_BUILD_DIR:-$repo_root/build}
 out=${1:-$repo_root/BENCH_baseline.json}
 filter=${BENCH_FILTER:-}
 
-benches="bench_fig11_assignment_efficiency bench_fig12_inference_efficiency bench_ingest"
+benches="bench_fig11_assignment_efficiency bench_fig12_inference_efficiency bench_ingest bench_snapshot"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 # shellcheck disable=SC2086  # word-splitting the target list is intended

@@ -23,6 +23,7 @@
 //   tcrowd infer --data=/tmp/restaurant --method=tcrowd --out=/tmp/est.csv
 //   tcrowd eval --data=/tmp/restaurant
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -45,6 +46,7 @@
 #include "platform/metrics.h"
 #include "platform/report.h"
 #include "service/crowd_service.h"
+#include "service/snapshot_store.h"
 #include "simulation/dataset_synthesizer.h"
 #include "simulation/load_generator.h"
 #include "simulation/table_generator.h"
@@ -69,7 +71,12 @@ commands:
              [--policy=NAME] [--engine=METHOD] [--target=K]
              [--arrivals=N] [--tasks-per-worker=K] [--staleness=N]
              [--batch-size=N] [--threads=T] [--drivers=D] [--abandon=P]
-             [--seed=S]
+             [--checkpoint-dir=DIR] [--crash-after=N] [--seed=S]
+
+serve-sim durability: --checkpoint-dir=DIR persists the answer log (and
+restores it at startup). --crash-after=N runs a crash drill: serve until N
+answers were accepted, tear the service down mid-flight, restart it from
+the checkpoint, and drive the remainder to completion.
 
 methods: tcrowd, tc-onlycate, tc-onlycont, mv, median, ds, zencrowd, glad,
          gtm, crh, catd
@@ -392,6 +399,14 @@ int CmdServeSim(const FlagParser& flags) {
     return 2;
   }
 
+  std::string checkpoint_dir = flags.GetString("checkpoint-dir");
+  int64_t crash_after = flags.GetInt("crash-after", 0);
+  if (crash_after > 0 && checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "serve-sim: --crash-after requires --checkpoint-dir\n");
+    return 2;
+  }
+
   service::ServiceConfig config;
   config.target_answers_per_task = static_cast<int>(flags.GetInt("target", 4));
   config.num_threads = static_cast<int>(flags.GetInt("threads", 2));
@@ -399,15 +414,13 @@ int CmdServeSim(const FlagParser& flags) {
   config.inference.staleness_threshold =
       static_cast<int>(flags.GetInt("staleness", 64));
   config.inference.num_shards = config.num_threads;
+  config.inference.checkpoint.directory = checkpoint_dir;
   config.router.seed = seed + 2;
   if (MakeMethod(config.inference.method, world.dataset.schema) == nullptr) {
     std::fprintf(stderr, "serve-sim: unknown --engine=%s\n",
                  config.inference.method.c_str());
     return 2;
   }
-
-  service::CrowdService svc(world.dataset.schema, world.dataset.num_rows(),
-                            std::move(policy), config);
 
   sim::LoadGeneratorOptions load;
   load.max_arrivals = static_cast<int>(flags.GetInt("arrivals", 1000000));
@@ -419,6 +432,53 @@ int CmdServeSim(const FlagParser& flags) {
   load.batch_size = static_cast<int>(flags.GetInt("batch-size", 1));
   load.num_driver_threads = static_cast<int>(flags.GetInt("drivers", 1));
   load.seed = seed + 3;
+
+  if (crash_after > 0) {
+    // Crash drill (docs/PERSISTENCE.md): phase 1 serves until crash_after
+    // answers were accepted, then the service is torn down mid-flight — no
+    // Finalize, sessions left open — exactly what a kill -9 leaves behind.
+    // Start from a clean slate so the drill is reproducible.
+    Status st = service::SnapshotStore::WipeDirectory(checkpoint_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve-sim: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("-- phase 1: serving until simulated crash (%lld answers), "
+                "checkpointing to %s --\n",
+                static_cast<long long>(crash_after), checkpoint_dir.c_str());
+    {
+      service::CrowdService svc(world.dataset.schema,
+                                world.dataset.num_rows(),
+                                MakePolicy(policy_name, seed), config);
+      sim::LoadGeneratorOptions phase1 = load;
+      phase1.stop_after_answers = crash_after;
+      sim::LoadGenerator generator(world.crowd.get(), &svc, phase1);
+      sim::LoadReport r = generator.Run();
+      std::printf("crashed after %lld accepted answers (%s)\n",
+                  static_cast<long long>(r.answers),
+                  r.stopped_early ? "mid-flight" : "drained first");
+    }
+    std::printf("-- phase 2: restarting from %s --\n", checkpoint_dir.c_str());
+  }
+
+  auto restart_begin = std::chrono::steady_clock::now();
+  service::CrowdService svc(world.dataset.schema, world.dataset.num_rows(),
+                            std::move(policy), config);
+  std::chrono::duration<double> recovery =
+      std::chrono::steady_clock::now() - restart_begin;
+  if (!checkpoint_dir.empty()) {
+    Status st = svc.checkpoint_status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve-sim: checkpoint restore failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint %s: restored %lld answers in %.3fs\n",
+                checkpoint_dir.c_str(),
+                static_cast<long long>(svc.restored_answers()),
+                recovery.count());
+  }
+
   sim::LoadGenerator generator(world.crowd.get(), &svc, load);
 
   std::printf("serving %s (%d rows x %d cols) with %s policy + %s engine, "

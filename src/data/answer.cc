@@ -74,6 +74,30 @@ double AnswerSet::MeanAnswersPerCell() const {
   return static_cast<double>(answers_.size()) / static_cast<double>(cells);
 }
 
+bool AnswerSet::RemoveLast(WorkerId worker, CellRef cell) {
+  const std::vector<int>& ids = by_cell_[CellIndex(cell.row, cell.col)];
+  int target = -1;
+  for (size_t k = ids.size(); k-- > 0;) {
+    if (answers_[ids[k]].worker == worker) {
+      target = ids[k];
+      break;
+    }
+  }
+  if (target < 0) return false;
+  answers_.erase(answers_.begin() + target);
+  // Every id above `target` shifts down by one; rebuild both indexes so the
+  // set stays gap-free for policies that refit from it. O(total), which the
+  // rare retraction path can afford.
+  for (auto& ids_for_cell : by_cell_) ids_for_cell.clear();
+  for (auto& ids_for_worker : by_worker_) ids_for_worker.clear();
+  for (int id = 0; id < static_cast<int>(answers_.size()); ++id) {
+    const Answer& a = answers_[id];
+    by_cell_[CellIndex(a.cell.row, a.cell.col)].push_back(id);
+    by_worker_[a.worker].push_back(id);
+  }
+  return true;
+}
+
 void AnswerSet::ReplaceValue(int id, const Value& value) {
   TCROWD_CHECK(id >= 0 && static_cast<size_t>(id) < answers_.size());
   TCROWD_CHECK(value.valid());

@@ -74,6 +74,12 @@ class AnswerSet {
   /// Replaces the value of answer `id` (used by noise injection).
   void ReplaceValue(int id, const Value& value);
 
+  /// Removes the newest answer `worker` gave on `cell` and renumbers the
+  /// ids above it (the retraction path of CrowdService). O(total) — the
+  /// indexes are rebuilt so every consumer sees a clean, gap-free set.
+  /// Returns false when the worker has no answer on the cell.
+  bool RemoveLast(WorkerId worker, CellRef cell);
+
  private:
   int num_rows_ = 0;
   int num_cols_ = 0;

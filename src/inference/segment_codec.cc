@@ -7,10 +7,14 @@
 namespace tcrowd {
 namespace {
 
-// Frame magics ("TCSG" / "TCMF" / "TCJR" in LE byte order on disk).
+// Frame magics ("TCSG" / "TCMF" / "TCJR" / "TCJX" in LE byte order on
+// disk). "TCJX" tags the journal's retraction record; a distinct magic (not
+// a flag inside the batch record) keeps version-1 readers refusing loudly
+// instead of misparsing.
 constexpr uint32_t kAnswerBlockMagic = 0x47534354;
 constexpr uint32_t kManifestMagic = 0x464d4354;
 constexpr uint32_t kJournalMagic = 0x524a4354;
+constexpr uint32_t kJournalRetractMagic = 0x584a4354;
 
 // Smallest possible per-answer encoding (worker+row+col+kind byte): used to
 // sanity-bound decoded counts before any allocation, so a corrupt count
@@ -262,6 +266,8 @@ void EncodeManifest(const SnapshotManifest& manifest, std::string* out) {
     PutU64(seg.count, out);
     PutU32(seg.crc, out);
   }
+  PutU32(static_cast<uint32_t>(manifest.retracted_ids.size()), out);
+  for (uint64_t id : manifest.retracted_ids) PutU64(id, out);
   PutU32(Crc32(out->data() + start, out->size() - start), out);
 }
 
@@ -297,6 +303,21 @@ Status DecodeManifest(const void* data, size_t size, SnapshotManifest* out) {
     total += seg.count;
     decoded.segments.push_back(std::move(seg));
   }
+  uint32_t num_retracted;
+  if (!r.U32(&num_retracted)) {
+    return Status::IoError("manifest: truncated retraction table");
+  }
+  if (num_retracted > r.left / 8) {
+    return Status::IoError("manifest: retraction count exceeds payload");
+  }
+  decoded.retracted_ids.reserve(num_retracted);
+  for (uint32_t k = 0; k < num_retracted; ++k) {
+    uint64_t id;
+    if (!r.U64(&id)) {
+      return Status::IoError("manifest: truncated retraction table");
+    }
+    decoded.retracted_ids.push_back(id);
+  }
   size_t crc_offset = size - r.left;
   uint32_t stored;
   if (!r.U32(&stored) || r.left != 0) {
@@ -310,6 +331,15 @@ Status DecodeManifest(const void* data, size_t size, SnapshotManifest* out) {
         StrFormat("manifest: segment counts sum to %llu, header says %llu",
                   static_cast<unsigned long long>(total),
                   static_cast<unsigned long long>(decoded.sealed_answers)));
+  }
+  for (size_t k = 0; k < decoded.retracted_ids.size(); ++k) {
+    uint64_t id = decoded.retracted_ids[k];
+    if (id >= decoded.sealed_answers ||
+        (k > 0 && id <= decoded.retracted_ids[k - 1])) {
+      return Status::IoError(
+          "manifest: retraction table not strictly increasing below "
+          "sealed_answers");
+    }
   }
   *out = std::move(decoded);
   return Status::Ok();
@@ -326,21 +356,43 @@ void EncodeJournalRecord(uint64_t base_id, const Answer* answers, size_t n,
   PutU32(Crc32(out->data() + start, out->size() - start), out);
 }
 
+void EncodeRetractionRecord(uint64_t log_id, std::string* out) {
+  size_t start = out->size();
+  PutU32(kJournalRetractMagic, out);
+  PutU32(kSegmentCodecVersion, out);
+  PutU64(log_id, out);
+  PutU32(Crc32(out->data() + start, out->size() - start), out);
+}
+
 Status DecodeJournal(const void* data, size_t size, JournalReplay* out) {
   const uint8_t* base = static_cast<const uint8_t*>(data);
   size_t offset = 0;
   out->records.clear();
+  out->retracted_ids.clear();
   out->truncated = false;
   while (offset < size) {
     Reader r(base + offset, size - offset);
     uint32_t magic, version;
-    JournalRecord rec;
-    uint64_t count;
-    if (!r.U32(&magic) || magic != kJournalMagic || !r.U32(&version) ||
-        version != kSegmentCodecVersion || !r.U64(&rec.base_id) ||
-        !r.U64(&count) || !GetAnswers(&r, count, &rec.answers)) {
+    if (!r.U32(&magic) || !r.U32(&version) ||
+        version != kSegmentCodecVersion) {
       out->truncated = true;
       return Status::Ok();
+    }
+    bool is_retraction = magic == kJournalRetractMagic;
+    JournalRecord rec;
+    uint64_t retracted_id = 0;
+    if (is_retraction) {
+      if (!r.U64(&retracted_id)) {
+        out->truncated = true;
+        return Status::Ok();
+      }
+    } else {
+      uint64_t count;
+      if (magic != kJournalMagic || !r.U64(&rec.base_id) || !r.U64(&count) ||
+          !GetAnswers(&r, count, &rec.answers)) {
+        out->truncated = true;
+        return Status::Ok();
+      }
     }
     size_t crc_offset = (size - offset) - r.left;
     uint32_t stored;
@@ -349,7 +401,11 @@ Status DecodeJournal(const void* data, size_t size, JournalReplay* out) {
       out->truncated = true;
       return Status::Ok();
     }
-    out->records.push_back(std::move(rec));
+    if (is_retraction) {
+      out->retracted_ids.push_back(retracted_id);
+    } else {
+      out->records.push_back(std::move(rec));
+    }
     offset += crc_offset + 4;
   }
   return Status::Ok();

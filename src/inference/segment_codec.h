@@ -12,19 +12,24 @@
 namespace tcrowd {
 
 /// Binary on-disk codec for the durable answer log (see
-/// docs/PERSISTENCE.md). Three framed record kinds share one discipline —
+/// docs/PERSISTENCE.md). Four framed record kinds share one discipline —
 /// little-endian fixed-width fields, an explicit format version, and a
 /// trailing CRC-32 over everything before it:
 ///
 ///  - **answer block**: the chronological slice of the log one sealed
 ///    segment file holds (`EncodeAnswerBlock`/`DecodeAnswerBlock`);
 ///  - **manifest**: the snapshot directory's table of contents — schema
-///    fingerprint, table shape, and the ordered list of segment files with
-///    their sizes and checksums (`EncodeManifest`/`DecodeManifest`);
+///    fingerprint, table shape, the ordered list of segment files with
+///    their sizes and checksums, and the sorted log ids of every folded
+///    retraction (`EncodeManifest`/`DecodeManifest`);
 ///  - **journal record**: one ingest batch appended between seals, tagged
 ///    with the global id of its first answer so replay after a crash can
 ///    skip batches an already-durable segment covers
-///    (`EncodeJournalRecord`/`DecodeJournal`).
+///    (`EncodeJournalRecord`/`DecodeJournal`);
+///  - **retraction record**: a single retracted answer's log id, appended
+///    to the journal in arrival order so a retraction accepted between two
+///    seals survives a crash (`EncodeRetractionRecord`; replayed by
+///    `DecodeJournal` into `JournalReplay::retracted_ids`).
 ///
 /// Continuous values are stored as raw IEEE-754 bit patterns, so a decoded
 /// log is bit-identical to the encoded one — the foundation of the
@@ -37,9 +42,10 @@ namespace tcrowd {
 /// corrupt record ends replay at the last whole record (prefix recovery,
 /// reported via `truncated`), because a crash mid-append is its normal case.
 
-/// Current revision of all three record formats. Bump on any layout change;
-/// decoders refuse other revisions rather than guessing.
-inline constexpr uint32_t kSegmentCodecVersion = 1;
+/// Current revision of all record formats. Bump on any layout change;
+/// decoders refuse other revisions rather than guessing. Version 2 added
+/// the manifest's retraction table and the journal retraction record.
+inline constexpr uint32_t kSegmentCodecVersion = 2;
 
 /// CRC-32 (IEEE 802.3 polynomial, bit-reflected) of `n` bytes, chainable
 /// via `seed` (pass the previous call's return value to continue a stream).
@@ -74,11 +80,16 @@ struct ManifestSegment {
 };
 
 /// The snapshot directory's table of contents. `sealed_answers` must equal
-/// the sum of the segment counts (validated on decode).
+/// the sum of the segment counts (validated on decode). `retracted_ids`
+/// holds the log ids of every retraction folded in from the journal at
+/// seal time; encode requires — and decode enforces — that the list is
+/// strictly increasing with every id below `sealed_answers` (a retraction
+/// is folded only once the answer it kills is segment-durable).
 struct SnapshotManifest {
   uint64_t schema_fingerprint = 0;
   uint64_t sealed_answers = 0;
   std::vector<ManifestSegment> segments;
+  std::vector<uint64_t> retracted_ids;
 };
 
 void EncodeManifest(const SnapshotManifest& manifest, std::string* out);
@@ -92,6 +103,11 @@ Status DecodeManifest(const void* data, size_t size, SnapshotManifest* out);
 void EncodeJournalRecord(uint64_t base_id, const Answer* answers, size_t n,
                          std::string* out);
 
+/// Appends one framed retraction record to `*out`: `log_id` is the global
+/// chronological id of the answer being retracted. Retraction records
+/// interleave with batch records in arrival order.
+void EncodeRetractionRecord(uint64_t log_id, std::string* out);
+
 /// One replayed journal record.
 struct JournalRecord {
   uint64_t base_id = 0;
@@ -101,6 +117,9 @@ struct JournalRecord {
 /// Result of replaying a journal file end to end.
 struct JournalReplay {
   std::vector<JournalRecord> records;
+  /// Log ids named by retraction records, in journal order (not deduped —
+  /// the consumer owns id resolution).
+  std::vector<uint64_t> retracted_ids;
   /// True when trailing bytes were dropped (torn final append, or any
   /// corruption — replay keeps the longest clean prefix of whole records).
   bool truncated = false;

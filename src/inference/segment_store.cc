@@ -260,7 +260,9 @@ std::vector<Answer> SegmentedAnswerStore::CopyAnswersSince(
 
 AnswerSet SegmentedAnswerStore::MaterializeAnswerSet() const {
   AnswerSet out(num_rows_, num_cols_);
-  for (const Answer& a : CopyAnswersSince(0)) out.Add(a);
+  // Live answers only: a retracted answer must not reappear in exports just
+  // because the seal that physically removes it has not run yet.
+  for (const Answer& a : CollectLiveAnswers()) out.Add(a);
   return out;
 }
 

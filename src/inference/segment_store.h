@@ -117,7 +117,8 @@ class SegmentedAnswerStore {
   /// snapshot.
   std::vector<Answer> CopyAnswersSince(size_t since) const;
 
-  /// Full export as a plain AnswerSet; O(total). Test/export path only.
+  /// Full export of the LIVE answers (pending tombstones excluded) as a
+  /// plain AnswerSet; O(total). Test/export path only.
   AnswerSet MaterializeAnswerSet() const;
 
   const Stats& stats() const { return stats_; }

@@ -34,6 +34,7 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
       tasks_assigned_(&metrics_.counter("service.tasks_assigned")),
       answers_accepted_(&metrics_.counter("service.answers_accepted")),
       answers_rejected_(&metrics_.counter("service.answers_rejected")),
+      answers_retracted_(&metrics_.counter("service.answers_retracted")),
       answer_batches_(&metrics_.counter("service.answer_batches")),
       answers_restored_(&metrics_.counter("service.answers_restored")),
       tasks_finalized_(&metrics_.counter("service.tasks_finalized")),
@@ -325,6 +326,36 @@ std::vector<Status> CrowdService::SubmitAnswerBatch(
   return statuses;
 }
 
+Status CrowdService::RetractAnswer(WorkerId worker, CellRef cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cell.row < 0 || cell.row >= num_rows_ || cell.col < 0 ||
+      cell.col >= schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("cell (%d,%d) out of range", cell.row, cell.col));
+  }
+  // Engine first: it owns the durable log, and a submit whose engine
+  // hand-off is still in flight on another thread surfaces there as
+  // NotFound — in that case the ledger must stay untouched too.
+  Status st = engine_->RetractAnswer(worker, cell);
+  if (!st.ok()) return st;
+
+  bool removed = answers_.RemoveLast(worker, cell);
+  TCROWD_CHECK(removed) << "ledger/engine retraction mismatch";
+  TaskEntry& task = TaskAt(cell);
+  --task.answers;
+  --budget_spent_;
+  --budget_committed_;
+  if (task.finalized && task.answers < config_.target_answers_per_task) {
+    // The task only reached its target thanks to the retracted answer;
+    // reopen it so the router can backfill the hole.
+    task.finalized = false;
+    --finalized_count_;
+  }
+  ++retractions_total_;
+  answers_retracted_->Increment();
+  return Status::Ok();
+}
+
 Status CrowdService::EndSession(SessionId session) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session);
@@ -377,6 +408,7 @@ ServiceStats CrowdService::Stats() const {
   stats.sessions_expired = sessions_expired_total_;
   stats.answers_accepted = budget_spent_;
   stats.answers_rejected = rejected_;
+  stats.answers_retracted = retractions_total_;
   stats.answers_restored = answers_restored_->value();
   stats.assignments = tasks_assigned_->value();
   stats.backfilled = router_.backfilled();

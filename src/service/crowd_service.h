@@ -65,6 +65,9 @@ struct ServiceStats {
   int64_t sessions_expired = 0;
   int64_t answers_accepted = 0;
   int64_t answers_rejected = 0;
+  /// Accepted answers later retracted (their budget was refunded; they are
+  /// no longer part of answers_accepted/budget_spent).
+  int64_t answers_retracted = 0;
   /// Answers recovered from the checkpoint directory at startup (already
   /// counted in budget_spent; their tasks may start finalized).
   int64_t answers_restored = 0;
@@ -137,6 +140,18 @@ class CrowdService {
   std::vector<Status> SubmitAnswerBatch(
       SessionId session,
       const std::vector<std::pair<CellRef, Value>>& items);
+
+  /// Retracts the newest accepted answer `worker` gave on `cell` — the
+  /// online tombstone path: the engine tombstones the answer in its
+  /// segmented store (journaling a durable retraction record when
+  /// checkpointing is on), the service ledger refunds the answer's budget
+  /// spend/commitment, and a task that only reached its target thanks to
+  /// the retracted answer is un-finalized so the router can backfill it.
+  /// Sessionless by design (a worker may disavow an answer long after the
+  /// session that produced it expired). NotFound when the worker has no
+  /// live answer on the cell. Runs under the service mutex end to end —
+  /// retraction is the rare slow path, consistency wins.
+  Status RetractAnswer(WorkerId worker, CellRef cell);
 
   /// Closes the session; unanswered leases return to the open pool (and
   /// their budget commitment is refunded) so backfill can re-route them.
@@ -225,6 +240,7 @@ class CrowdService {
   Counter* tasks_assigned_;
   Counter* answers_accepted_;
   Counter* answers_rejected_;
+  Counter* answers_retracted_;
   Counter* answer_batches_;
   Counter* answers_restored_;
   Counter* tasks_finalized_;
@@ -245,9 +261,10 @@ class CrowdService {
   int64_t sessions_started_total_ = 0;
   int64_t sessions_expired_total_ = 0;
   int64_t last_sweep_nanos_ = 0;  ///< watermark of the last expiry scan
-  int64_t budget_spent_ = 0;      ///< accepted answers
+  int64_t budget_spent_ = 0;      ///< accepted answers (net of retractions)
   int64_t budget_committed_ = 0;  ///< accepted + outstanding leases
   int64_t rejected_ = 0;
+  int64_t retractions_total_ = 0;
   int finalized_count_ = 0;
 };
 

@@ -71,6 +71,7 @@ IncrementalInferenceEngine::IncrementalInferenceEngine(const Schema& schema,
       tcrowd_path_(IsTCrowdMethod(args_.method)) {
   TCROWD_CHECK(num_rows_ > 0);
   TCROWD_CHECK(schema_.num_columns() > 0);
+  cell_live_.resize(static_cast<size_t>(num_rows_) * schema_.num_columns());
   if (args_.checkpoint.enabled()) RestoreFromCheckpoint();
 }
 
@@ -81,6 +82,8 @@ void IncrementalInferenceEngine::DisableCheckpointing(const Status& error,
                       << " — serving continues from memory only";
   if (checkpoint_status_.ok()) checkpoint_status_ = error;
   snapshot_.reset();
+  unsealed_log_.clear();
+  unsealed_log_.shrink_to_fit();
 }
 
 void IncrementalInferenceEngine::RestoreFromCheckpoint() {
@@ -133,17 +136,45 @@ void IncrementalInferenceEngine::RestoreFromCheckpoint() {
   // durable segment boundary (compaction thresholds may merge them — that
   // only changes in-memory layout, never the chronological log). Journal
   // answers stay in the tail, exactly as they were before the crash.
+  // Durably retracted answers are filtered out while replaying: the store
+  // holds live answers only, and a force-compacting Finalize() then sees
+  // the exact chronological live sequence the uninterrupted run would —
+  // which is what keeps restore-then-Finalize bit-identical even when the
+  // crash fell between a retraction and the seal that folds it.
+  const std::vector<uint64_t>& dead = log.retracted_ids;  // sorted, deduped
+  auto is_dead = [&dead](size_t id) {
+    return std::binary_search(dead.begin(), dead.end(),
+                              static_cast<uint64_t>(id));
+  };
   size_t offset = 0;
+  std::vector<Answer> live_buf;
   for (size_t sz : log.segment_sizes) {
-    store_.AppendBatch(log.answers.data() + offset, sz);
+    live_buf.clear();
+    for (size_t k = offset; k < offset + sz; ++k) {
+      if (!is_dead(k)) live_buf.push_back(log.answers[k]);
+    }
+    store_.AppendBatch(live_buf.data(), live_buf.size());
     store_.SealAndSnapshot();
     offset += sz;
   }
-  if (offset < log.answers.size()) {
-    store_.AppendBatch(log.answers.data() + offset,
-                       log.answers.size() - offset);
+  for (size_t k = offset; k < log.answers.size(); ++k) {
+    if (!is_dead(k)) store_.Append(log.answers[k]);
   }
-  restored_ = log.answers.size();
+  for (size_t k = 0; k < log.answers.size(); ++k) {
+    if (is_dead(k)) continue;
+    const Answer& a = log.answers[k];
+    cell_live_[static_cast<size_t>(a.cell.row) * schema_.num_columns() +
+               a.cell.col]
+        .push_back(CellLogEntry{k, a.worker});
+  }
+  // Log-space bookkeeping: log ids keep counting from the durable total;
+  // the unfiltered journal tail is what the next persist seals.
+  log_size_ = log.answers.size();
+  applied_dead_.assign(dead.begin(), dead.end());
+  unsealed_log_.assign(log.answers.begin() + log.sealed_answers,
+                       log.answers.end());
+  restored_ = log.answers.size() - dead.size();
+  restored_retractions_ = dead.size();
 }
 
 IncrementalInferenceEngine::~IncrementalInferenceEngine() {
@@ -193,9 +224,15 @@ void IncrementalInferenceEngine::DrainIngestLocked(bool apply_updates) {
   // `apply_updates` is false only when the caller is about to replace
   // state_ and replay the tail anyway (the refresh install path) — applying
   // here too would pay every Bayes update twice.
-  size_t base = store_.size();
+  // Journal records are tagged with LOG ids, not store ids: retractions
+  // may have renumbered the store, but the durable log is append-only.
+  size_t base = log_size_;
   for (const Answer& answer : batch) {
     store_.Append(answer);
+    cell_live_[static_cast<size_t>(answer.cell.row) * schema_.num_columns() +
+               answer.cell.col]
+        .push_back(CellLogEntry{log_size_, answer.worker});
+    ++log_size_;
     ++answers_since_refresh_;
     if (apply_updates && fitted_ && tcrowd_path_) {
       ApplyIncrementalAnswer(answer, &state_);
@@ -204,6 +241,7 @@ void IncrementalInferenceEngine::DrainIngestLocked(bool apply_updates) {
   absorbed_since_refresh_.store(answers_since_refresh_,
                                 std::memory_order_relaxed);
   if (snapshot_ != nullptr) {
+    unsealed_log_.insert(unsealed_log_.end(), batch.begin(), batch.end());
     // Durability boundary: once the journal append returns, everything
     // absorbed so far survives a crash. One framed record per drained
     // batch — the same amortization the ingest queue buys the lock.
@@ -311,6 +349,7 @@ void IncrementalInferenceEngine::RunRefresh() {
       // sealed segment's runs / SoA views / worker index are reused.
       snapshot = store_.SealAndSnapshot();
       snapshot_size_ = snapshot.num_answers();
+      AbsorbAppliedTombstonesLocked();
       // Checkpoint-on-seal: the newly sealed slice goes to disk exactly
       // once, while it is still O(answers since the last refresh).
       PersistSealedLocked();
@@ -381,15 +420,94 @@ void IncrementalInferenceEngine::RunRefresh() {
 
 void IncrementalInferenceEngine::PersistSealedLocked() {
   if (snapshot_ == nullptr) return;
-  size_t durable = snapshot_->durable_sealed();
-  size_t sealed_total = store_.size();  // tail empty right after a seal
-  if (sealed_total <= durable) return;
-  // Chronological ids are stable here: the engine never tombstones, so
-  // compaction preserves the log and [durable, sealed_total) is exactly
-  // the slice no segment file covers yet.
-  std::vector<Answer> delta = store_.CopyAnswersSince(durable);
-  Status st = snapshot_->PersistSealed(delta.data(), delta.size());
-  if (!st.ok()) DisableCheckpointing(st, "segment persist");
+  if (unsealed_log_.empty()) return;
+  // The durable log is append-only in log-id space: the newly sealed slice
+  // is the unfiltered answers drained since the last persist, NOT a copy
+  // from the store — a seal may have scrubbed retracted answers out of the
+  // in-memory numbering, but on disk they stay in place and the retraction
+  // records (folded into the manifest by this persist) mark them dead.
+  Status st =
+      snapshot_->PersistSealed(unsealed_log_.data(), unsealed_log_.size());
+  if (!st.ok()) {
+    DisableCheckpointing(st, "segment persist");
+    return;
+  }
+  unsealed_log_.clear();
+}
+
+void IncrementalInferenceEngine::AbsorbAppliedTombstonesLocked() {
+  if (!pending_dead_.empty()) {
+    std::sort(pending_dead_.begin(), pending_dead_.end());
+    size_t mid = applied_dead_.size();
+    applied_dead_.insert(applied_dead_.end(), pending_dead_.begin(),
+                         pending_dead_.end());
+    std::inplace_merge(applied_dead_.begin(), applied_dead_.begin() + mid,
+                       applied_dead_.end());
+    pending_dead_.clear();
+  }
+  // The store now holds exactly the live log (tail included): every
+  // retraction ever accepted has been renumbered away by the seal.
+  TCROWD_CHECK(store_.size() ==
+               static_cast<size_t>(log_size_) - applied_dead_.size());
+}
+
+size_t IncrementalInferenceEngine::StoreIdForLocked(uint64_t log_id) const {
+  size_t applied_before = static_cast<size_t>(
+      std::lower_bound(applied_dead_.begin(), applied_dead_.end(), log_id) -
+      applied_dead_.begin());
+  return static_cast<size_t>(log_id) - applied_before;
+}
+
+Status IncrementalInferenceEngine::RetractAnswer(WorkerId worker,
+                                                 CellRef cell) {
+  bool run_inline = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cell.row < 0 || cell.row >= num_rows_ || cell.col < 0 ||
+        cell.col >= schema_.num_columns()) {
+      return Status::InvalidArgument("retract: cell out of range");
+    }
+    DrainIngestLocked();  // the target answer may still be queued
+    auto& entries =
+        cell_live_[static_cast<size_t>(cell.row) * schema_.num_columns() +
+                   cell.col];
+    size_t pos = entries.size();
+    for (size_t k = entries.size(); k-- > 0;) {
+      if (entries[k].worker == worker) {
+        pos = k;
+        break;
+      }
+    }
+    if (pos == entries.size()) {
+      return Status::NotFound(
+          "retract: worker has no live answer on this cell");
+    }
+    uint64_t log_id = entries[pos].log_id;
+    entries.erase(entries.begin() + pos);
+    store_.Tombstone(StoreIdForLocked(log_id));
+    pending_dead_.push_back(log_id);
+    ++retractions_total_;
+    // A retraction is as staleness-relevant as an answer: the incremental
+    // posterior still carries the dead evidence until the next refresh
+    // re-converges over the live log.
+    ++answers_since_refresh_;
+    absorbed_since_refresh_.store(answers_since_refresh_,
+                                  std::memory_order_relaxed);
+    if (snapshot_ != nullptr) {
+      Status st = snapshot_->JournalRetract(log_id);
+      if (!st.ok()) DisableCheckpointing(st, "journal retract");
+    }
+    if (StaleLocked() && !refresh_in_flight_) {
+      ScheduleRefreshLocked(&run_inline);
+    }
+  }
+  if (run_inline) RunRefresh();
+  return Status::Ok();
+}
+
+size_t IncrementalInferenceEngine::num_retractions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retractions_total_;
 }
 
 Status IncrementalInferenceEngine::checkpoint_status() const {
@@ -463,6 +581,7 @@ InferenceResult IncrementalInferenceEngine::Finalize() {
     // the one the batch model builds, which is what makes the finalized
     // truths bit-identical to a batch fit on the same answers.
     snapshot = store_.SealAndSnapshot(/*force_compact=*/true);
+    AbsorbAppliedTombstonesLocked();
     PersistSealedLocked();
   }
   InferenceResult result;

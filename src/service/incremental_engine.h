@@ -135,6 +135,16 @@ class IncrementalInferenceEngine {
   /// refresh inline otherwise.
   void RequestRefresh();
 
+  /// Retracts the newest live answer `worker` gave on `cell`: tombstones it
+  /// in the store (per-cell counts drop immediately; the physical removal
+  /// happens at the next seal), journals a durable retraction record when
+  /// checkpointing is on, and counts toward staleness so a refresh
+  /// re-converges without the answer. The incremental posterior keeps the
+  /// retracted evidence until that refresh; Finalize() is always exact
+  /// (it force-compacts to the live answers first). NotFound when the
+  /// worker has no live answer on the cell.
+  Status RetractAnswer(WorkerId worker, CellRef cell);
+
   /// Full export of the current answer log as a plain AnswerSet. O(total
   /// answers) by design — this is the test/baseline path, NOT the refresh
   /// path (refreshes snapshot segment pointers instead). Drains the ingest
@@ -181,9 +191,15 @@ class IncrementalInferenceEngine {
   /// stops persisting (it keeps serving from memory — durability degrades,
   /// inference does not) and this returns the first error.
   Status checkpoint_status() const;
-  /// Answers recovered from the checkpoint directory at construction.
-  /// Constant after the constructor returns.
+  /// Live answers recovered from the checkpoint directory at construction
+  /// (durable log minus durable retractions). Constant after the
+  /// constructor returns.
   size_t restored_answers() const { return restored_; }
+  /// Durable retractions replayed at construction. Constant after the
+  /// constructor returns.
+  size_t restored_retractions() const { return restored_retractions_; }
+  /// Retractions accepted by this engine instance (restored ones excluded).
+  size_t num_retractions() const;
 
   /// True for "tcrowd" and its restricted tc-onlycate/tc-onlycont variants,
   /// which all run the incremental path.
@@ -216,11 +232,18 @@ class IncrementalInferenceEngine {
   /// only, before any concurrency; re-seals at the durable segment
   /// boundaries). Disables persistence on failure.
   void RestoreFromCheckpoint();
-  /// Persists the newly sealed slice [durable_sealed, sealed_total) after a
-  /// SealAndSnapshot() and resets the journal; `mu_` must be held (the
-  /// tail is empty at that point, so the slice is exactly the sealed
-  /// delta). O(new answers). Disables persistence on failure.
+  /// Persists the not-yet-durable slice of the append-only log
+  /// (`unsealed_log_`) after a SealAndSnapshot() and resets the journal;
+  /// `mu_` must be held (the tail is empty at that point, so everything in
+  /// the slice is sealed). O(new answers). Disables persistence on failure.
   void PersistSealedLocked();
+  /// Moves `pending_dead_` into the sorted `applied_dead_` set; must be
+  /// called under `mu_` right after every SealAndSnapshot(), which is the
+  /// moment the store physically removes pending tombstones and renumbers.
+  void AbsorbAppliedTombstonesLocked();
+  /// Store id currently holding log id `log_id` (= log id minus the
+  /// applied retractions before it); `mu_` must be held and the id live.
+  size_t StoreIdForLocked(uint64_t log_id) const;
   /// Records a persistence failure and stops persisting; `mu_` must be
   /// held (or the constructor running single-threaded).
   void DisableCheckpointing(const Status& error, const char* during);
@@ -253,6 +276,33 @@ class IncrementalInferenceEngine {
   std::unique_ptr<SnapshotStore> snapshot_;
   Status checkpoint_status_;
   size_t restored_ = 0;
+  size_t restored_retractions_ = 0;
+
+  // ---- Retraction bookkeeping (all under `mu_`). The durable log is
+  // append-only in LOG-ID space: every accepted answer gets the next log id
+  // forever, retractions are separate records, and the in-memory store's
+  // global ids are the log ids minus the retractions already applied by a
+  // seal. ----
+  /// Answers ever accepted (monotonic; store ids are log-space minus
+  /// applied retractions).
+  uint64_t log_size_ = 0;
+  /// Unfiltered log slice accepted since the last durable persist; what
+  /// PersistSealedLocked writes as the next segment file. Maintained only
+  /// while checkpointing is live.
+  std::vector<Answer> unsealed_log_;
+  /// Retracted log ids already physically removed by a seal (sorted).
+  std::vector<uint64_t> applied_dead_;
+  /// Retracted log ids tombstoned but still occupying store numbering
+  /// (applied at the next seal).
+  std::vector<uint64_t> pending_dead_;
+  /// Per-cell live answers (log id + worker), newest last; how a
+  /// (worker, cell) retraction resolves to a log id.
+  struct CellLogEntry {
+    uint64_t log_id;
+    WorkerId worker;
+  };
+  std::vector<std::vector<CellLogEntry>> cell_live_;
+  uint64_t retractions_total_ = 0;
   /// Incremental T-Crowd state (valid when fitted_ && tcrowd_path_).
   TCrowdState state_;
   /// Batch estimates for the baseline path (valid when fitted_ &&

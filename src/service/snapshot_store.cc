@@ -261,6 +261,7 @@ Status SnapshotStore::Open(const Schema& schema, int num_rows,
   // publish and journal reset leaves exactly those behind).
   std::string journal_path = (dir / kJournalName).string();
   std::vector<Answer> tail;
+  std::vector<uint64_t> journal_retractions;
   if (fs::exists(journal_path)) {
     std::string bytes;
     TCROWD_RETURN_IF_ERROR(ReadFileBytes(journal_path, &bytes));
@@ -282,15 +283,39 @@ Status SnapshotStore::Open(const Schema& schema, int num_rows,
     }
     recovered->answers.insert(recovered->answers.end(), tail.begin(),
                               tail.end());
+    journal_retractions = std::move(replay.retracted_ids);
   }
+
+  // Durable retractions = manifest table ∪ journal records, sorted,
+  // deduplicated, and bounded by the recovered log (a retraction naming an
+  // answer that never became durable is moot — the answer it killed died
+  // with the torn tail).
+  std::vector<uint64_t> dead = manifest_.retracted_ids;
+  const uint64_t recovered_total = recovered->answers.size();
+  for (uint64_t id : journal_retractions) {
+    if (id < recovered_total) dead.push_back(id);
+  }
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  recovered->retracted_ids = dead;
 
   // Republish the journal as one clean record (drops torn tails and sealed
   // leftovers for good) — atomically, so the tail's only durable copy is
-  // never mid-air — then keep it open for appends.
+  // never mid-air — then keep it open for appends. Journal retractions the
+  // manifest has not folded yet must ride along, or a crash before the
+  // next seal would resurrect the retracted answers.
   std::string clean;
   if (!tail.empty()) {
     EncodeJournalRecord(manifest_.sealed_answers, tail.data(), tail.size(),
                         &clean);
+  }
+  journal_retracted_.clear();
+  for (uint64_t id : dead) {
+    if (!std::binary_search(manifest_.retracted_ids.begin(),
+                            manifest_.retracted_ids.end(), id)) {
+      EncodeRetractionRecord(id, &clean);
+      journal_retracted_.push_back(id);
+    }
   }
   TCROWD_RETURN_IF_ERROR(PublishJournal(clean));
   journaled_ = tail.size();
@@ -381,22 +406,43 @@ Status SnapshotStore::PersistSealed(const Answer* answers, size_t n) {
   TCROWD_CHECK(opened_);
   if (n == 0) return Status::Ok();
   size_t segments_before = manifest_.segments.size();
+  std::vector<uint64_t> retracted_before = manifest_.retracted_ids;
   Status st = WriteSegmentFile(answers, n);
   if (!st.ok()) {
     manifest_.segments.resize(segments_before);
     return st;
   }
   manifest_.sealed_answers += n;
+  // Fold journal retractions whose target is now segment-durable into the
+  // manifest's retraction table (sorted, deduplicated); any others stay
+  // journal-resident until their answer seals.
+  std::vector<uint64_t> still_journaled;
+  for (uint64_t id : journal_retracted_) {
+    if (id < manifest_.sealed_answers) {
+      manifest_.retracted_ids.push_back(id);
+    } else {
+      still_journaled.push_back(id);
+    }
+  }
+  std::sort(manifest_.retracted_ids.begin(), manifest_.retracted_ids.end());
+  manifest_.retracted_ids.erase(std::unique(manifest_.retracted_ids.begin(),
+                                            manifest_.retracted_ids.end()),
+                                manifest_.retracted_ids.end());
   st = WriteManifest();
   if (!st.ok()) {
     // Roll the in-memory manifest back so a retry re-writes the slice.
     manifest_.segments.resize(segments_before);
     manifest_.sealed_answers -= n;
+    manifest_.retracted_ids = std::move(retracted_before);
     return st;
   }
   // Only after the manifest durably lists the segment: anything the journal
-  // held is covered now, so dropping it cannot lose answers.
-  TCROWD_RETURN_IF_ERROR(PublishJournal(std::string()));
+  // held is covered now, so dropping it cannot lose answers. Not-yet-folded
+  // retractions (if any) are re-journaled into the fresh file.
+  std::string clean;
+  for (uint64_t id : still_journaled) EncodeRetractionRecord(id, &clean);
+  TCROWD_RETURN_IF_ERROR(PublishJournal(clean));
+  journal_retracted_ = std::move(still_journaled);
   journaled_ = 0;
   if (args_.max_segment_files > 0 &&
       static_cast<int>(manifest_.segments.size()) > args_.max_segment_files) {
@@ -416,6 +462,18 @@ Status SnapshotStore::JournalAppend(uint64_t base_id, const Answer* answers,
   }
   TCROWD_RETURN_IF_ERROR(SyncFile(journal_, "snapshot journal"));
   journaled_ += n;
+  return Status::Ok();
+}
+
+Status SnapshotStore::JournalRetract(uint64_t log_id) {
+  TCROWD_CHECK(journal_ != nullptr);
+  std::string bytes;
+  EncodeRetractionRecord(log_id, &bytes);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), journal_) != bytes.size()) {
+    return Status::IoError("short write to snapshot journal");
+  }
+  TCROWD_RETURN_IF_ERROR(SyncFile(journal_, "snapshot journal"));
+  journal_retracted_.push_back(log_id);
   return Status::Ok();
 }
 

@@ -41,7 +41,8 @@ struct CheckpointArgs {
 ///
 ///   MANIFEST          versioned, checksummed table of contents
 ///   seg-NNNNNN.bin    one immutable answer block per sealed checkpoint
-///   journal.bin       framed tail-answer records since the last seal
+///   journal.bin       framed tail-answer + retraction records since the
+///                     last seal
 ///
 /// Each sealed slice of the log is written once as a new segment file;
 /// between seals every ingest-drained batch is appended to the journal,
@@ -79,6 +80,11 @@ class SnapshotStore {
     std::vector<size_t> segment_sizes;
     /// Answers recovered from segment files (== sum of segment_sizes).
     size_t sealed_answers = 0;
+    /// Log ids of every durable retraction (manifest table ∪ journal
+    /// retraction records), sorted and deduplicated, each below
+    /// `answers.size()`. The log in `answers` is NOT filtered — the caller
+    /// decides which entries are live.
+    std::vector<uint64_t> retracted_ids;
     /// True when a torn journal tail was dropped during replay.
     bool journal_truncated = false;
   };
@@ -108,10 +114,20 @@ class SnapshotStore {
   /// journal.
   Status JournalAppend(uint64_t base_id, const Answer* answers, size_t n);
 
+  /// Appends one retraction record (the global id of the answer being
+  /// retracted) to the journal. The retraction is durable as soon as this
+  /// returns; the next PersistSealed folds it into the manifest's
+  /// retraction table.
+  Status JournalRetract(uint64_t log_id);
+
   /// Answers durable in segment files / in the journal / in total.
   size_t durable_sealed() const { return manifest_.sealed_answers; }
   size_t durable_journaled() const { return journaled_; }
   size_t durable_total() const { return durable_sealed() + journaled_; }
+
+  /// Durable retractions: folded into the manifest / still journal-only.
+  size_t manifest_retractions() const { return manifest_.retracted_ids.size(); }
+  size_t journal_retractions() const { return journal_retracted_.size(); }
 
   const std::string& directory() const { return args_.directory; }
 
@@ -150,6 +166,9 @@ class SnapshotStore {
   SnapshotManifest manifest_;
   std::FILE* journal_ = nullptr;  ///< open for append after Open()
   size_t journaled_ = 0;          ///< answers in the current journal
+  /// Retraction ids recorded in the current journal, not yet folded into
+  /// the manifest's retraction table.
+  std::vector<uint64_t> journal_retracted_;
   size_t next_file_index_ = 0;    ///< monotonic; names are never reused
   bool opened_ = false;
 };

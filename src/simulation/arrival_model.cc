@@ -1,0 +1,96 @@
+#include "simulation/arrival_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "simulation/worker_behavior.h"
+
+namespace tcrowd::sim {
+
+namespace {
+
+class SteadyArrivals : public ArrivalModel {
+ public:
+  std::string name() const override { return "steady"; }
+  WorkerId Next(const ArrivalContext& ctx) const override {
+    return ctx.crowd->NextWorker(ctx.rng);
+  }
+};
+
+class BurstArrivals : public ArrivalModel {
+ public:
+  BurstArrivals(double wave_start, double wave_end, double intensity,
+                uint64_t salt, double clique_fraction)
+      : wave_start_(wave_start),
+        wave_end_(wave_end),
+        intensity_(intensity),
+        salt_(salt),
+        clique_fraction_(clique_fraction) {}
+  std::string name() const override { return "burst"; }
+  WorkerId Next(const ArrivalContext& ctx) const override {
+    bool in_wave =
+        ctx.progress >= wave_start_ && ctx.progress < wave_end_;
+    if (in_wave && ctx.rng->Bernoulli(intensity_)) {
+      // Uniform over the clique. The clique is a fixed hash-selected
+      // subset, so enumerate it; pools are tens-to-hundreds of workers.
+      std::vector<WorkerId> crew;
+      for (WorkerId w = 0; w < ctx.crowd->num_workers(); ++w) {
+        if (InClique(salt_, w, clique_fraction_)) crew.push_back(w);
+      }
+      if (!crew.empty()) {
+        return crew[ctx.rng->UniformInt(0, static_cast<int>(crew.size()) - 1)];
+      }
+    }
+    return ctx.crowd->NextWorker(ctx.rng);
+  }
+
+ private:
+  double wave_start_;
+  double wave_end_;
+  double intensity_;
+  uint64_t salt_;
+  double clique_fraction_;
+};
+
+class ChurnArrivals : public ArrivalModel {
+ public:
+  explicit ChurnArrivals(double cohort_fraction)
+      : cohort_fraction_(cohort_fraction) {}
+  std::string name() const override { return "churn"; }
+  WorkerId Next(const ArrivalContext& ctx) const override {
+    int pool = ctx.crowd->num_workers();
+    int width = std::max(
+        1, static_cast<int>(cohort_fraction_ * static_cast<double>(pool)));
+    // The window's start slides across the whole pool exactly once over the
+    // run, so the first cohort has fully churned out by the end.
+    double p = std::clamp(ctx.progress, 0.0, 1.0);
+    int start = static_cast<int>(p * static_cast<double>(pool - width) +
+                                 0.5);
+    return static_cast<WorkerId>(start + ctx.rng->UniformInt(0, width - 1));
+  }
+
+ private:
+  double cohort_fraction_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalModel> MakeSteadyArrivals() {
+  return std::make_unique<SteadyArrivals>();
+}
+
+std::unique_ptr<ArrivalModel> MakeBurstArrivals(double wave_start,
+                                                double wave_end,
+                                                double intensity,
+                                                uint64_t salt,
+                                                double clique_fraction) {
+  return std::make_unique<BurstArrivals>(wave_start, wave_end, intensity,
+                                         salt, clique_fraction);
+}
+
+std::unique_ptr<ArrivalModel> MakeChurnArrivals(double cohort_fraction) {
+  return std::make_unique<ChurnArrivals>(cohort_fraction);
+}
+
+}  // namespace tcrowd::sim

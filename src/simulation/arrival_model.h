@@ -1,0 +1,60 @@
+#ifndef TCROWD_SIMULATION_ARRIVAL_MODEL_H_
+#define TCROWD_SIMULATION_ARRIVAL_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "simulation/crowd_simulator.h"
+
+namespace tcrowd::sim {
+
+/// Everything an arrival model may look at when drawing the next worker.
+struct ArrivalContext {
+  const CrowdSimulator* crowd = nullptr;
+  /// Arrivals issued so far (the index of THIS arrival, 0-based).
+  int64_t arrival_index = 0;
+  /// Fraction of the run's answer budget already spent, in [0,1].
+  double progress = 0.0;
+  /// The caller's deterministic stream for this arrival.
+  Rng* rng = nullptr;
+};
+
+/// Which simulated worker shows up next. The steady implementation is the
+/// simulator's skewed participation draw; adversarial implementations
+/// reshape the stream (spam waves, churning cohorts) without touching the
+/// per-answer generative model. Stateless and const, like WorkerBehavior —
+/// all shaping derives from `progress`/`arrival_index` and the caller's
+/// rng, so replays are order-independent.
+class ArrivalModel {
+ public:
+  virtual ~ArrivalModel() = default;
+  virtual std::string name() const = 0;
+  virtual WorkerId Next(const ArrivalContext& ctx) const = 0;
+};
+
+/// The simulator's plain skewed participation stream.
+std::unique_ptr<ArrivalModel> MakeSteadyArrivals();
+
+/// A coordinated wave: while progress is inside [wave_start, wave_end),
+/// each arrival is, with probability `intensity`, drawn uniformly from the
+/// clique selected by InClique(salt, ., clique_fraction) — the attack crew
+/// flooding the queue mid-run. Outside the wave (and with probability
+/// 1 - intensity inside it) arrivals are steady. Pair `salt` and
+/// `clique_fraction` with the hostile WorkerBehavior so the flood and the
+/// bad answers come from the same workers.
+std::unique_ptr<ArrivalModel> MakeBurstArrivals(double wave_start,
+                                                double wave_end,
+                                                double intensity,
+                                                uint64_t salt,
+                                                double clique_fraction);
+
+/// Worker churn: at any moment only a sliding cohort of
+/// `cohort_fraction` * pool-size consecutive worker ids participates; the
+/// window slides across the whole pool as progress goes 0 -> 1, so early
+/// workers disappear and fresh ones keep arriving with no history.
+std::unique_ptr<ArrivalModel> MakeChurnArrivals(double cohort_fraction);
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_ARRIVAL_MODEL_H_

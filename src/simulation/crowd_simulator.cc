@@ -7,6 +7,16 @@
 
 namespace tcrowd::sim {
 
+namespace {
+/// SplitMix64 finalizer — the stable hash behind PairSeed().
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 CrowdSimulator::CrowdSimulator(const CrowdOptions& options,
                                const Schema& schema, const Table& truth,
                                std::vector<double> row_difficulty,
@@ -34,6 +44,11 @@ CrowdSimulator::CrowdSimulator(const CrowdOptions& options,
     arrival_weights_[w] =
         std::pow(rng_.Uniform(1e-3, 1.0), options.participation_skew);
   }
+  // Salt for AnswerWith(): peek the next engine output through a copy so
+  // rng_ itself is not advanced — every existing lazy-draw sequence stays
+  // bit-identical to before this salt existed.
+  Rng peek = rng_;
+  pair_seed_ = peek.engine()();
 }
 
 CrowdSimulator::CrowdSimulator(const CrowdOptions& options,
@@ -115,6 +130,55 @@ Value CrowdSimulator::Answer(WorkerId u, CellRef cell) {
     draw.shared_bias = RowBias(u, cell.row);
   }
   return GenerateAnswer(worker(u), col, truth_->at(cell), draw, &rng_);
+}
+
+uint64_t CrowdSimulator::PairSeed(uint64_t tag, WorkerId u, int row) const {
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+                 static_cast<uint32_t>(row);
+  return Mix64(pair_seed_ ^ Mix64(key + tag * 0x9e3779b97f4a7c15ull));
+}
+
+double CrowdSimulator::RowUnfamiliarProbAt(int row) const {
+  double p = options_.unfamiliar_prob;
+  if (options_.unfamiliar_row_log_sigma > 0.0) {
+    Rng r(PairSeed(/*tag=*/1, /*u=*/-1, row));
+    p = std::min(0.9, p * r.LogNormal(0.0, options_.unfamiliar_row_log_sigma));
+  }
+  return p;
+}
+
+double CrowdSimulator::RowFactorAt(WorkerId u, int row) const {
+  if (options_.unfamiliar_prob <= 0.0) return 1.0;
+  Rng r(PairSeed(/*tag=*/2, u, row));
+  if (!r.Bernoulli(RowUnfamiliarProbAt(row))) return 1.0;
+  return options_.unfamiliar_boost * r.LogNormal(0.0, 0.25);
+}
+
+double CrowdSimulator::RowBiasAt(WorkerId u, int row) const {
+  Rng r(PairSeed(/*tag=*/3, u, row));
+  return r.Gaussian(0.0, 1.0);
+}
+
+Value CrowdSimulator::AnswerWith(WorkerId u, CellRef cell, Rng* rng,
+                                 double noise_boost) const {
+  const ColumnSpec& col = schema_->column(cell.col);
+  WorkerProfile profile = worker(u);
+  profile.phi *= noise_boost;
+  AnswerDraw draw;
+  draw.row_difficulty = row_difficulty_[cell.row];
+  draw.col_difficulty = col_difficulty_[cell.col];
+  draw.row_factor = RowFactorAt(u, cell.row);
+  draw.col_scale = col_scale_[cell.col];
+  draw.epsilon = options_.epsilon;
+  if (options_.row_bias_rho > 0.0 && col.type == ColumnType::kContinuous) {
+    draw.bias_rho = options_.row_bias_rho;
+    draw.shared_bias = RowBiasAt(u, cell.row);
+  }
+  return GenerateAnswer(profile, col, truth_->at(cell), draw, rng);
+}
+
+WorkerId CrowdSimulator::NextWorker(Rng* rng) const {
+  return static_cast<WorkerId>(rng->Categorical(arrival_weights_));
 }
 
 void CrowdSimulator::SeedAnswers(int k, AnswerSet* answers) {

@@ -72,6 +72,26 @@ class CrowdSimulator {
   /// Generates (and returns) worker `u`'s answer for `cell`.
   Value Answer(WorkerId u, CellRef cell);
 
+  /// Order-independent variant of Answer(): identical generative model, but
+  /// every per-(worker,row) latent (recognition factor, shared bias, row
+  /// unfamiliarity) is derived from a stable hash of (simulator seed,
+  /// worker, row) instead of being drawn lazily from the shared stream, and
+  /// the fresh noise comes from the caller's `rng`. Two calls with the same
+  /// arguments and rng state produce the same answer no matter what ran in
+  /// between — the property the deterministic LoadGenerator mode and the
+  /// scenario runner are built on. `noise_boost` multiplies the worker's
+  /// variance phi (> 1 degrades quality; used by drifting/sleeper
+  /// behaviors). Const and stateless: safe from concurrent threads.
+  Value AnswerWith(WorkerId u, CellRef cell, Rng* rng,
+                   double noise_boost = 1.0) const;
+
+  /// Order-independent arrival draw from the caller's stream (same skewed
+  /// participation weights as NextWorker()).
+  WorkerId NextWorker(Rng* rng) const;
+
+  const Schema& schema() const { return *schema_; }
+  const Table& truth() const { return *truth_; }
+
   /// Seeds `answers` with `k` answers per cell, HIT-style: for every row,
   /// `k` distinct workers each answer the whole row.
   void SeedAnswers(int k, AnswerSet* answers);
@@ -107,6 +127,17 @@ class CrowdSimulator {
 
   double RowUnfamiliarProb(int row);
   double RowBias(WorkerId u, int row);
+
+  /// Stable seed for the order-independent latents of AnswerWith(): mixes
+  /// the simulator salt with (tag, worker, row).
+  uint64_t PairSeed(uint64_t tag, WorkerId u, int row) const;
+  double RowFactorAt(WorkerId u, int row) const;
+  double RowUnfamiliarProbAt(int row) const;
+  double RowBiasAt(WorkerId u, int row) const;
+
+  /// Per-simulator salt for AnswerWith(), peeked from rng_ at construction
+  /// without consuming from it (the lazy Answer() stream stays untouched).
+  uint64_t pair_seed_ = 0;
 };
 
 }  // namespace tcrowd::sim

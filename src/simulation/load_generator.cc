@@ -11,6 +11,16 @@
 
 namespace tcrowd::sim {
 
+namespace {
+/// SplitMix64 finalizer; derives the per-arrival session streams.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 LoadGenerator::LoadGenerator(CrowdSimulator* crowd,
                              service::CrowdService* svc,
                              LoadGeneratorOptions options)
@@ -23,7 +33,84 @@ LoadGenerator::LoadGenerator(CrowdSimulator* crowd,
   options_.num_driver_threads = std::max(1, options_.num_driver_threads);
 }
 
+bool LoadGenerator::RunArrivalDeterministic(LoadReport* report) {
+  // The whole arrival runs under the generator lock, in arrival order, with
+  // a stream derived from (seed, arrival index) and only order-independent
+  // simulator calls — so the replayed history is a pure function of the
+  // options, never of thread interleaving. Driver threads beyond the first
+  // only help when the service does work off this thread (async refreshes
+  // already do); the REPLAYED HISTORY is identical either way.
+  std::lock_guard<std::mutex> lock(mu_);
+  // The stop check must happen under the lock: the accepted counter only
+  // moves in here, so the crash point lands on the same arrival no matter
+  // how many threads are racing for the lock.
+  if (StopRequested()) return false;
+  if (arrivals_issued_ >= options_.max_arrivals) return false;
+  if (service_->Drained()) return false;
+  int64_t index = arrivals_issued_++;
+  Rng session_rng(
+      Mix64(options_.seed ^ Mix64(static_cast<uint64_t>(index))));
+  ++report->arrivals;
+
+  WorkerId worker = crowd_->NextWorker(&session_rng);
+  service::CrowdService::SessionId session = service_->StartSession(worker);
+  std::vector<CellRef> tasks =
+      service_->RequestTasks(session, options_.tasks_per_request);
+  report->assignments += static_cast<int64_t>(tasks.size());
+
+  bool abandons =
+      !tasks.empty() && session_rng.Bernoulli(options_.abandon_prob);
+  if (abandons) {
+    ++report->abandoned_sessions;
+  } else if (options_.batch_size > 1) {
+    std::vector<std::pair<CellRef, Value>> items;
+    items.reserve(tasks.size());
+    for (const CellRef& cell : tasks) {
+      items.emplace_back(cell, crowd_->AnswerWith(worker, cell,
+                                                  &session_rng));
+    }
+    for (size_t lo = 0; lo < items.size();
+         lo += static_cast<size_t>(options_.batch_size)) {
+      size_t hi = std::min(items.size(),
+                           lo + static_cast<size_t>(options_.batch_size));
+      std::vector<std::pair<CellRef, Value>> page(items.begin() + lo,
+                                                  items.begin() + hi);
+      std::vector<Status> statuses =
+          service_->SubmitAnswerBatch(session, page);
+      ++report->batches;
+      for (const Status& st : statuses) {
+        if (st.ok()) {
+          ++report->answers;
+          answers_accepted_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++report->rejected;
+        }
+      }
+      if (StopRequested()) break;  // "crash": drop the unanswered leases
+    }
+  } else {
+    for (const CellRef& cell : tasks) {
+      Value value = crowd_->AnswerWith(worker, cell, &session_rng);
+      Status st = service_->SubmitAnswer(session, cell, value);
+      if (st.ok()) {
+        ++report->answers;
+        answers_accepted_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++report->rejected;
+      }
+      if (StopRequested()) break;  // "crash": drop the unanswered leases
+    }
+  }
+  service_->EndSession(session);
+  return true;
+}
+
 void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
+  if (options_.deterministic) {
+    while (RunArrivalDeterministic(report)) {
+    }
+    return;
+  }
   Rng rng(seed);
   while (true) {
     if (StopRequested()) return;

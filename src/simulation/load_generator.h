@@ -33,6 +33,16 @@ struct LoadGeneratorOptions {
   /// restarted service gets a FRESH generator that drives the remainder.
   /// <= 0 runs to drain as usual.
   int64_t stop_after_answers = 0;
+  /// Deterministic replay (default): each whole arrival — session open,
+  /// leases, answers, close — runs serialized in arrival order, driven by a
+  /// session stream derived from (seed, arrival index) and the simulator's
+  /// order-independent AnswerWith() path, so the replayed history (and the
+  /// finalized truths) is bit-identical for ANY num_driver_threads. False
+  /// restores the racy mode where driver threads interleave service calls
+  /// freely (per-thread streams, shared lazy simulator draws) — the
+  /// contention-realistic setting for throughput measurements, at the cost
+  /// of run-to-run variation.
+  bool deterministic = true;
   uint64_t seed = 7;
 };
 
@@ -71,6 +81,10 @@ class LoadGenerator {
  private:
   /// One driver thread's loop; shares the arrival budget with its peers.
   void DriveLoop(uint64_t seed, LoadReport* report);
+  /// One whole arrival under the generator lock (deterministic mode):
+  /// `session_rng` is the arrival's derived stream. Returns false when the
+  /// run is over (arrival budget exhausted or service drained).
+  bool RunArrivalDeterministic(LoadReport* report);
   /// True once the accepted-answer total hit stop_after_answers.
   bool StopRequested() const {
     return options_.stop_after_answers > 0 &&

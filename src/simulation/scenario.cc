@@ -1,0 +1,245 @@
+#include "simulation/scenario.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "inference/majority_voting.h"
+#include "inference/tcrowd_model.h"
+#include "platform/metrics.h"
+
+namespace tcrowd::sim {
+
+namespace {
+
+const std::vector<ScenarioSpec>& Registry() {
+  static const std::vector<ScenarioSpec>* kRegistry = [] {
+    auto* r = new std::vector<ScenarioSpec>;
+    auto add = [r](std::string name, std::string description,
+                   std::shared_ptr<const WorkerBehavior> behavior,
+                   std::shared_ptr<const ArrivalModel> arrivals,
+                   double retract_prob = 0.0, int retract_delay = 24) {
+      ScenarioSpec spec;
+      spec.name = std::move(name);
+      spec.description = std::move(description);
+      spec.behavior = std::move(behavior);
+      spec.arrivals = std::move(arrivals);
+      spec.retract_prob = retract_prob;
+      spec.retract_delay = retract_delay;
+      r->push_back(std::move(spec));
+    };
+    add("baseline-honest",
+        "the paper's generative crowd, steady arrivals — the control run",
+        MakeHonestBehavior(), MakeSteadyArrivals());
+    add("spam-wave",
+        "30% of the pool answers uniformly at random and floods the queue "
+        "mid-run (progress 0.25-0.75)",
+        MakeSpammerBehavior(0.3),
+        MakeBurstArrivals(/*wave_start=*/0.25, /*wave_end=*/0.75,
+                          /*intensity=*/0.6, kSpamCliqueSalt,
+                          /*clique_fraction=*/0.3));
+    add("collusion-ring",
+        "a quarter of the pool emits a shared plausible-but-wrong answer "
+        "per cell — the wrong answers agree with each other",
+        MakeCollusionBehavior(0.25), MakeSteadyArrivals());
+    add("quality-drift",
+        "half the pool degrades linearly to 8x its answer variance as the "
+        "budget is spent",
+        MakeDriftBehavior(/*end_noise_boost=*/8.0, /*drift_fraction=*/0.5),
+        MakeSteadyArrivals());
+    add("retraction-storm",
+        "honest crowd, but a quarter of the accepted answers are later "
+        "disavowed — drives the live tombstone/backfill path end to end",
+        MakeHonestBehavior(), MakeSteadyArrivals(),
+        /*retract_prob=*/0.25, /*retract_delay=*/16);
+    add("sleeper-cell",
+        "35% of a churning pool answers honestly until half the budget is "
+        "spent, then switches to the collusion oracle",
+        MakeSleeperBehavior(/*sleeper_fraction=*/0.35, /*turn_at=*/0.5),
+        MakeChurnArrivals(/*cohort_fraction=*/0.4));
+    return r;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const ScenarioSpec& spec : Registry()) names.push_back(spec.name);
+  return names;
+}
+
+bool FindScenario(const std::string& name, ScenarioSpec* spec) {
+  for (const ScenarioSpec& candidate : Registry()) {
+    if (candidate.name == name) {
+      *spec = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FormatQualityCurveCsv(const ScenarioReport& report) {
+  std::string csv =
+      "scenario,budget,tcrowd_error_rate,tcrowd_mnad,mv_error_rate,mv_mnad\n";
+  for (const QualityPoint& p : report.curve) {
+    csv += StrFormat("%s,%lld,%.6f,%.6f,%.6f,%.6f\n",
+                     report.scenario.c_str(),
+                     static_cast<long long>(p.budget), p.tcrowd_error_rate,
+                     p.tcrowd_mnad, p.mv_error_rate, p.mv_mnad);
+  }
+  return csv;
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec, const CrowdSimulator* crowd,
+                               service::CrowdService* service,
+                               ScenarioOptions options)
+    : spec_(std::move(spec)),
+      crowd_(crowd),
+      service_(service),
+      options_(options) {
+  TCROWD_CHECK(crowd_ != nullptr);
+  TCROWD_CHECK(service_ != nullptr);
+  TCROWD_CHECK(spec_.behavior != nullptr);
+  TCROWD_CHECK(spec_.arrivals != nullptr);
+  options_.checkpoints = std::max(1, options_.checkpoints);
+  options_.tasks_per_request = std::max(1, options_.tasks_per_request);
+  options_.max_arrivals = std::max<int64_t>(1, options_.max_arrivals);
+}
+
+ScenarioReport ScenarioRunner::Run() {
+  ScenarioReport report;
+  report.scenario = spec_.name;
+  const Schema& schema = crowd_->schema();
+  const Table& truth = crowd_->truth();
+  const int64_t budget = service_->config().max_total_answers;
+  TCROWD_CHECK(budget > 0);
+  Rng rng(options_.seed);
+
+  // Both aggregators run as full batch fits over the engine's live answer
+  // snapshot: the curve compares methods on identical evidence, independent
+  // of the engine's own refresh cadence.
+  auto measure = [&](int64_t budget_mark) {
+    QualityPoint point;
+    point.budget = budget_mark;
+    AnswerSet snapshot = service_->engine().SnapshotAnswers();
+    if (snapshot.empty()) return point;
+    TCrowdModel tcrowd(service_->config().inference.tcrowd_options);
+    InferenceResult tc = tcrowd.Infer(schema, snapshot);
+    InferenceResult mv = MajorityVoting().Infer(schema, snapshot);
+    point.tcrowd_error_rate = Metrics::ErrorRate(truth, tc.estimated_truth);
+    point.tcrowd_mnad = Metrics::Mnad(truth, tc.estimated_truth);
+    point.mv_error_rate = Metrics::ErrorRate(truth, mv.estimated_truth);
+    point.mv_mnad = Metrics::Mnad(truth, mv.estimated_truth);
+    return point;
+  };
+
+  // Evenly spaced budget checkpoints (on NET spend — retraction refunds
+  // push a checkpoint crossing back out).
+  std::vector<int64_t> checkpoints;
+  for (int c = 1; c <= options_.checkpoints; ++c) {
+    int64_t mark = budget * c / options_.checkpoints;
+    if (mark > 0 && (checkpoints.empty() || mark != checkpoints.back())) {
+      checkpoints.push_back(mark);
+    }
+  }
+  size_t next_checkpoint = 0;
+
+  struct PendingRetraction {
+    int64_t due;  ///< gross accepted count at which the disavowal lands
+    WorkerId worker;
+    CellRef cell;
+  };
+  std::deque<PendingRetraction> pending;
+
+  // Accepted answers, retracted ones included. Starts at the service's
+  // restored net spend so a crash-restarted run resumes the budget axis
+  // (and the progress clock) where the durable log left off.
+  int64_t gross = service_->Stats().budget_spent;
+  auto net = [&]() { return gross - report.answers_retracted; };
+  auto progress = [&]() {
+    return std::clamp(static_cast<double>(net()) /
+                          static_cast<double>(budget),
+                      0.0, 1.0);
+  };
+  auto crashed = [&]() {
+    return options_.stop_after_answers > 0 &&
+           gross >= options_.stop_after_answers;
+  };
+
+  while (report.arrivals < options_.max_arrivals && !service_->Drained() &&
+         !crashed()) {
+    ArrivalContext arrival_ctx{crowd_, report.arrivals, progress(), &rng};
+    WorkerId worker = spec_.arrivals->Next(arrival_ctx);
+    ++report.arrivals;
+
+    service::CrowdService::SessionId session = service_->StartSession(worker);
+    std::vector<CellRef> tasks =
+        service_->RequestTasks(session, options_.tasks_per_request);
+    for (const CellRef& cell : tasks) {
+      BehaviorContext behavior_ctx{crowd_, worker, cell, progress(), &rng};
+      Value value = spec_.behavior->Produce(behavior_ctx);
+      Status st = service_->SubmitAnswer(session, cell, value);
+      if (st.ok()) {
+        ++gross;
+        ++report.answers_accepted;
+        if (spec_.retract_prob > 0.0 && rng.Bernoulli(spec_.retract_prob)) {
+          pending.push_back(
+              {gross + spec_.retract_delay, worker, cell});
+        }
+      } else {
+        ++report.rejected;
+      }
+      if (crashed()) break;  // "crash": drop the unanswered leases
+    }
+    service_->EndSession(session);
+    if (crashed()) break;
+
+    // Land the disavowals that have come due.
+    while (!pending.empty() && pending.front().due <= gross) {
+      PendingRetraction p = pending.front();
+      pending.pop_front();
+      Status st = service_->RetractAnswer(p.worker, p.cell);
+      if (st.ok()) {
+        ++report.answers_retracted;
+      } else {
+        ++report.retraction_misses;
+      }
+    }
+
+    while (next_checkpoint < checkpoints.size() &&
+           net() >= checkpoints[next_checkpoint]) {
+      report.curve.push_back(measure(checkpoints[next_checkpoint]));
+      ++next_checkpoint;
+    }
+  }
+
+  report.stopped_early = crashed();
+  if (!report.stopped_early) {
+    // Flush the not-yet-due disavowals so the storm's full pressure lands,
+    // then close the curve with the final state (which the flush may have
+    // pushed back below the last checkpoint — quality after the storm).
+    while (!pending.empty()) {
+      PendingRetraction p = pending.front();
+      pending.pop_front();
+      if (service_->RetractAnswer(p.worker, p.cell).ok()) {
+        ++report.answers_retracted;
+      } else {
+        ++report.retraction_misses;
+      }
+    }
+    if (net() > 0 &&
+        (report.curve.empty() || report.curve.back().budget != net())) {
+      report.curve.push_back(measure(net()));
+    }
+  }
+
+  report.final_stats = service_->Stats();
+  return report;
+}
+
+}  // namespace tcrowd::sim

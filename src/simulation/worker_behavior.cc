@@ -1,0 +1,162 @@
+#include "simulation/worker_behavior.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tcrowd::sim {
+
+namespace {
+
+/// SplitMix64 finalizer — stable across platforms, the basis of every
+/// order-independent decision in this file.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double HashToUnit(uint64_t x) {
+  return static_cast<double>(Mix64(x) >> 11) * 0x1.0p-53;
+}
+
+Value HonestAnswer(const BehaviorContext& ctx, double noise_boost = 1.0) {
+  return ctx.crowd->AnswerWith(ctx.worker, ctx.cell, ctx.rng, noise_boost);
+}
+
+Value UniformAnswer(const ColumnSpec& col, Rng* rng) {
+  if (col.type == ColumnType::kCategorical) {
+    return Value::Categorical(rng->UniformInt(0, col.num_labels() - 1));
+  }
+  return Value::Continuous(rng->Uniform(col.min_value, col.max_value));
+}
+
+class HonestBehavior : public WorkerBehavior {
+ public:
+  std::string name() const override { return "honest"; }
+  Value Produce(const BehaviorContext& ctx) const override {
+    return HonestAnswer(ctx);
+  }
+};
+
+class SpammerBehavior : public WorkerBehavior {
+ public:
+  explicit SpammerBehavior(double spam_fraction)
+      : spam_fraction_(spam_fraction) {}
+  std::string name() const override { return "spammer"; }
+  Value Produce(const BehaviorContext& ctx) const override {
+    if (!InClique(kSpamCliqueSalt, ctx.worker, spam_fraction_)) {
+      return HonestAnswer(ctx);
+    }
+    return UniformAnswer(ctx.crowd->schema().column(ctx.cell.col), ctx.rng);
+  }
+
+ private:
+  double spam_fraction_;
+};
+
+class CollusionBehavior : public WorkerBehavior {
+ public:
+  explicit CollusionBehavior(double clique_fraction)
+      : clique_fraction_(clique_fraction) {}
+  std::string name() const override { return "collusion"; }
+  Value Produce(const BehaviorContext& ctx) const override {
+    if (!InClique(kCollusionCliqueSalt, ctx.worker, clique_fraction_)) {
+      return HonestAnswer(ctx);
+    }
+    return WrongAnswerOracle(*ctx.crowd, ctx.cell);
+  }
+
+ private:
+  double clique_fraction_;
+};
+
+class DriftBehavior : public WorkerBehavior {
+ public:
+  DriftBehavior(double end_noise_boost, double drift_fraction)
+      : end_noise_boost_(end_noise_boost), drift_fraction_(drift_fraction) {}
+  std::string name() const override { return "drift"; }
+  Value Produce(const BehaviorContext& ctx) const override {
+    if (!InClique(kDriftCliqueSalt, ctx.worker, drift_fraction_)) {
+      return HonestAnswer(ctx);
+    }
+    double boost = 1.0 + ctx.progress * (end_noise_boost_ - 1.0);
+    return HonestAnswer(ctx, boost);
+  }
+
+ private:
+  double end_noise_boost_;
+  double drift_fraction_;
+};
+
+class SleeperBehavior : public WorkerBehavior {
+ public:
+  SleeperBehavior(double sleeper_fraction, double turn_at)
+      : sleeper_fraction_(sleeper_fraction), turn_at_(turn_at) {}
+  std::string name() const override { return "sleeper"; }
+  Value Produce(const BehaviorContext& ctx) const override {
+    if (ctx.progress < turn_at_ ||
+        !InClique(kSleeperCliqueSalt, ctx.worker, sleeper_fraction_)) {
+      return HonestAnswer(ctx);
+    }
+    return WrongAnswerOracle(*ctx.crowd, ctx.cell);
+  }
+
+ private:
+  double sleeper_fraction_;
+  double turn_at_;
+};
+
+}  // namespace
+
+bool InClique(uint64_t salt, WorkerId worker, double fraction) {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  return HashToUnit(salt ^ (static_cast<uint64_t>(worker) << 20)) < fraction;
+}
+
+Value WrongAnswerOracle(const CrowdSimulator& crowd, CellRef cell) {
+  const ColumnSpec& col = crowd.schema().column(cell.col);
+  const Value& truth = crowd.truth().at(cell);
+  uint64_t h =
+      Mix64((static_cast<uint64_t>(cell.row) << 24) ^ cell.col ^ 0x4f52434cull);
+  if (col.type == ColumnType::kCategorical) {
+    int labels = col.num_labels();
+    TCROWD_CHECK(labels >= 2);
+    int offset = 1 + static_cast<int>(h % static_cast<uint64_t>(labels - 1));
+    return Value::Categorical((truth.label() + offset) % labels);
+  }
+  // A consistent 3-to-5-sigma shift in standardized units, sign fixed per
+  // cell: far enough to corrupt frequency averaging, close enough to look
+  // like an opinionated worker rather than an outlier filter's easy prey.
+  double sigmas = 3.0 + static_cast<double>(h % 3ull);
+  double sign = (h & 8ull) != 0 ? 1.0 : -1.0;
+  return Value::Continuous(truth.number() +
+                           sign * sigmas * crowd.col_scale()[cell.col]);
+}
+
+std::unique_ptr<WorkerBehavior> MakeHonestBehavior() {
+  return std::make_unique<HonestBehavior>();
+}
+
+std::unique_ptr<WorkerBehavior> MakeSpammerBehavior(double spam_fraction) {
+  return std::make_unique<SpammerBehavior>(spam_fraction);
+}
+
+std::unique_ptr<WorkerBehavior> MakeCollusionBehavior(double clique_fraction) {
+  return std::make_unique<CollusionBehavior>(clique_fraction);
+}
+
+std::unique_ptr<WorkerBehavior> MakeDriftBehavior(double end_noise_boost,
+                                                  double drift_fraction) {
+  return std::make_unique<DriftBehavior>(end_noise_boost, drift_fraction);
+}
+
+std::unique_ptr<WorkerBehavior> MakeSleeperBehavior(double sleeper_fraction,
+                                                    double turn_at) {
+  return std::make_unique<SleeperBehavior>(sleeper_fraction, turn_at);
+}
+
+}  // namespace tcrowd::sim

@@ -1,0 +1,88 @@
+#ifndef TCROWD_SIMULATION_WORKER_BEHAVIOR_H_
+#define TCROWD_SIMULATION_WORKER_BEHAVIOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "data/value.h"
+#include "simulation/crowd_simulator.h"
+
+namespace tcrowd::sim {
+
+/// Everything a behavior may look at when producing one answer.
+struct BehaviorContext {
+  const CrowdSimulator* crowd = nullptr;
+  WorkerId worker = -1;
+  CellRef cell;
+  /// Fraction of the run's answer budget already spent, in [0,1] — the
+  /// "time" axis that ramping/sleeper behaviors key off. Monotone
+  /// non-decreasing over a run (retraction refunds clamp, never rewind it).
+  double progress = 0.0;
+  /// The caller's deterministic noise stream for this arrival.
+  Rng* rng = nullptr;
+};
+
+/// How a simulated worker turns an assigned cell into an answer value. The
+/// honest implementation is exactly the paper's generative model
+/// (CrowdSimulator::AnswerWith); adversarial implementations replace or
+/// degrade it for a deterministic subset of the worker pool. Behaviors are
+/// stateless and const — every latent decision (who is in the clique, when
+/// a sleeper turns) derives from stable hashes and `progress`, so replays
+/// with the same seed are bit-identical regardless of threading.
+class WorkerBehavior {
+ public:
+  virtual ~WorkerBehavior() = default;
+  virtual std::string name() const = 0;
+  virtual Value Produce(const BehaviorContext& ctx) const = 0;
+};
+
+/// Stable membership test for adversarial cliques: hashes (salt, worker)
+/// into [0,1) and compares against `fraction`. The same (salt, fraction)
+/// always selects the same subset of the pool, so behaviors and arrival
+/// models can agree on who the adversaries are.
+bool InClique(uint64_t salt, WorkerId worker, double fraction);
+
+/// Salts of the built-in adversarial subsets, distinct so the crews are
+/// independent of each other; exposed so arrival models (and tests) can
+/// target exactly the workers a behavior corrupts.
+inline constexpr uint64_t kSpamCliqueSalt = 0x5350414dull;       // "SPAM"
+inline constexpr uint64_t kCollusionCliqueSalt = 0x434f4c4cull;  // "COLL"
+inline constexpr uint64_t kDriftCliqueSalt = 0x44524654ull;      // "DRFT"
+inline constexpr uint64_t kSleeperCliqueSalt = 0x534c5052ull;    // "SLPR"
+
+/// The colluders' shared oracle: a deterministic plausible-but-wrong value
+/// for `cell`, identical for every clique member — a wrong label for
+/// categorical columns, a several-sigma shift for continuous ones. This is
+/// the worst case for frequency-based aggregation: the wrong answers agree
+/// with each other.
+Value WrongAnswerOracle(const CrowdSimulator& crowd, CellRef cell);
+
+/// Honest crowd: the paper's generative model, unmodified.
+std::unique_ptr<WorkerBehavior> MakeHonestBehavior();
+
+/// `spam_fraction` of the pool answers uniformly at random (labels uniform
+/// over the domain, numbers uniform over the column range); everyone else
+/// is honest.
+std::unique_ptr<WorkerBehavior> MakeSpammerBehavior(double spam_fraction);
+
+/// `clique_fraction` of the pool emits the shared WrongAnswerOracle value;
+/// everyone else is honest.
+std::unique_ptr<WorkerBehavior> MakeCollusionBehavior(double clique_fraction);
+
+/// `drift_fraction` of the pool degrades linearly with progress: their
+/// effective variance is boosted by 1 at progress 0 up to `end_noise_boost`
+/// at progress 1 (the new-worker-gets-bored ramp); everyone else is honest.
+std::unique_ptr<WorkerBehavior> MakeDriftBehavior(double end_noise_boost,
+                                                  double drift_fraction);
+
+/// `sleeper_fraction` of the pool answers honestly until progress reaches
+/// `turn_at`, then switches to the collusion oracle — reputation built
+/// early, spent late (the hardest case for quality models that never
+/// forget).
+std::unique_ptr<WorkerBehavior> MakeSleeperBehavior(double sleeper_fraction,
+                                                    double turn_at);
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_WORKER_BEHAVIOR_H_

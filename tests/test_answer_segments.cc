@@ -335,6 +335,169 @@ TEST(SegmentStore, TombstoneThresholdForcesFullCompaction) {
                            model.Fit(schema, snap, nullptr));
 }
 
+TEST(SegmentStore, RetractThenReanswerSameCellKeepsCountsAndFit) {
+  // A worker's answer is retracted and the SAME worker later re-answers the
+  // SAME cell: the count dips and recovers, and the fit over the store
+  // equals a flat fit over survivors-plus-replacement in log order.
+  Schema schema{{Schema::MakeCategorical("c", {"a", "b"}),
+                 Schema::MakeContinuous("x", 0.0, 10.0)}};
+  std::vector<Answer> batch;
+  for (int i = 0; i < 4; ++i) {
+    for (WorkerId w = 0; w < 5; ++w) {
+      batch.push_back(Answer{w, CellRef{i, 0}, Value::Categorical(i % 2)});
+      batch.push_back(
+          Answer{w, CellRef{i, 1}, Value::Continuous(2.0 + i + 0.1 * w)});
+    }
+  }
+  SegmentedAnswerStore store(schema, 4,
+                             std::vector<bool>(schema.num_columns(), true),
+                             NoCompaction());
+  store.AppendBatch(batch.data(), batch.size());
+  store.SealAndSnapshot();
+
+  // Worker 2's answer on cell (1,0) sits at id (1*5+2)*2 = 14.
+  const size_t dead_id = 14;
+  ASSERT_EQ(batch[dead_id].worker, 2);
+  ASSERT_EQ(batch[dead_id].cell.row, 1);
+  ASSERT_EQ(batch[dead_id].cell.col, 0);
+  int before = store.CellAnswerCount(1, 0);
+  store.Tombstone(dead_id);
+  EXPECT_EQ(store.CellAnswerCount(1, 0), before - 1);
+
+  Answer redo{2, CellRef{1, 0}, Value::Categorical(1)};
+  store.AppendBatch(&redo, 1);
+  EXPECT_EQ(store.CellAnswerCount(1, 0), before);
+
+  AnswerMatrixSnapshot snap = store.SealAndSnapshot();
+  EXPECT_EQ(snap.num_answers(), batch.size());
+  EXPECT_EQ(store.stats().tombstones_dropped, 1u);
+  EXPECT_EQ(store.stats().pending_tombstones, 0u);
+
+  AnswerSet flat(4, 2);
+  for (size_t id = 0; id < batch.size(); ++id) {
+    if (id != dead_id) flat.Add(batch[id]);
+  }
+  flat.Add(redo);
+  TCrowdModel model(TCrowdOptions::Fast());
+  ExpectStatesBitIdentical(model.Fit(schema, flat),
+                           model.Fit(schema, snap, nullptr));
+}
+
+TEST(SegmentStore, TombstoneInUnsealedTailDropsAtTheNextSeal) {
+  SimWorld world(781, /*answers_per_task=*/3);
+  const Schema& schema = world.world.schema;
+  SegmentedAnswerStore store(schema, world.answers.num_rows(),
+                             std::vector<bool>(schema.num_columns(), true),
+                             NoCompaction());
+  const std::vector<Answer>& all = world.answers.answers();
+  store.AppendBatch(all.data(), 50);
+  store.SealAndSnapshot();
+  store.AppendBatch(all.data() + 50, 10);  // unsealed tail: ids 50..59
+
+  const Answer& dead = all[55];
+  int before = store.CellAnswerCount(dead.cell.row, dead.cell.col);
+  store.Tombstone(55);
+  // Logically dead immediately, physically still pending.
+  EXPECT_EQ(store.CellAnswerCount(dead.cell.row, dead.cell.col), before - 1);
+  EXPECT_EQ(store.stats().pending_tombstones, 1u);
+  EXPECT_EQ(store.stats().tombstones_dropped, 0u);
+
+  AnswerMatrixSnapshot snap = store.SealAndSnapshot();
+  EXPECT_EQ(snap.num_answers(), 59u);
+  EXPECT_EQ(store.stats().pending_tombstones, 0u);
+  EXPECT_EQ(store.stats().tombstones_dropped, 1u);
+  // Dropping a tail tombstone never rebuilds a sealed segment.
+  EXPECT_EQ(store.stats().scrubbed_segments, 0u);
+
+  // The survivors are the log minus id 55, order preserved.
+  AnswerSet survivors = store.MaterializeAnswerSet();
+  ASSERT_EQ(survivors.size(), 59u);
+  size_t want = 0;
+  for (size_t id = 0; id < 60; ++id) {
+    if (id == 55) continue;
+    EXPECT_EQ(survivors.answer(static_cast<int>(want)).worker,
+              all[id].worker);
+    ++want;
+  }
+}
+
+TEST(SegmentStore, TombstoneCrossingFragmentationCompactionIsDropped) {
+  // A pending tombstone in an early segment while a fragmentation
+  // compaction fires: the compaction must swallow the tombstone (not lose
+  // it, not apply it twice) and the compacted fit must equal a flat fit
+  // over the survivors.
+  SimWorld world(782, /*answers_per_task=*/4);
+  const Schema& schema = world.world.schema;
+  SegmentedAnswerStore::Options opt;
+  opt.max_sealed_segments = 2;
+  opt.epoch_growth_factor = 0.0;
+  SegmentedAnswerStore store(schema, world.answers.num_rows(),
+                             std::vector<bool>(schema.num_columns(), true),
+                             opt);
+  const std::vector<Answer>& all = world.answers.answers();
+  size_t chunk = all.size() / 3;
+  store.AppendBatch(all.data(), chunk);
+  store.SealAndSnapshot();
+  store.AppendBatch(all.data() + chunk, chunk);
+  store.SealAndSnapshot();
+  ASSERT_EQ(store.stats().compactions, 0u);
+
+  store.Tombstone(3);  // lives in the FIRST sealed segment
+  store.AppendBatch(all.data() + 2 * chunk, all.size() - 2 * chunk);
+  // This seal exceeds max_sealed_segments -> full compaction, with the
+  // tombstone still pending.
+  AnswerMatrixSnapshot snap = store.SealAndSnapshot();
+  EXPECT_EQ(store.stats().compactions, 1u);
+  EXPECT_EQ(store.stats().tombstones_dropped, 1u);
+  EXPECT_EQ(store.stats().pending_tombstones, 0u);
+  EXPECT_EQ(snap.num_answers(), all.size() - 1);
+
+  AnswerSet survivors(world.answers.num_rows(), schema.num_columns());
+  for (size_t id = 0; id < all.size(); ++id) {
+    if (id != 3) survivors.Add(all[id]);
+  }
+  TCrowdModel model(TCrowdOptions::Fast());
+  ExpectStatesBitIdentical(model.Fit(schema, survivors),
+                           model.Fit(schema, snap, nullptr));
+}
+
+TEST(SegmentStore, TombstoneStatsBalanceAcrossMixedRetractions) {
+  // pending + dropped must balance like a ledger across scrubs, tail drops,
+  // and duplicates — the accounting the service's retraction counters sit
+  // on top of.
+  SimWorld world(783, /*answers_per_task=*/3);
+  const Schema& schema = world.world.schema;
+  SegmentedAnswerStore store(schema, world.answers.num_rows(),
+                             std::vector<bool>(schema.num_columns(), true),
+                             NoCompaction());
+  const std::vector<Answer>& all = world.answers.answers();
+  store.AppendBatch(all.data(), 40);
+  store.SealAndSnapshot();
+  store.AppendBatch(all.data() + 40, 20);  // tail: ids 40..59
+
+  store.Tombstone(12);  // sealed
+  store.Tombstone(33);  // sealed
+  store.Tombstone(45);  // tail
+  store.Tombstone(12);  // duplicate: must not double-count
+  EXPECT_EQ(store.stats().pending_tombstones, 3u);
+  EXPECT_EQ(store.stats().tombstones_dropped, 0u);
+
+  store.SealAndSnapshot();
+  EXPECT_EQ(store.stats().pending_tombstones, 0u);
+  EXPECT_EQ(store.stats().tombstones_dropped, 3u);
+  EXPECT_EQ(store.stats().scrubbed_segments, 1u);  // one sealed segment hit
+  EXPECT_EQ(store.MaterializeAnswerSet().size(), 57u);
+
+  // Post-seal the store has renumbered: a fresh tombstone on the new
+  // numbering still lands on the intended answer.
+  const Answer& target = all[50];  // survived; new id shifts by prior kills
+  int count = store.CellAnswerCount(target.cell.row, target.cell.col);
+  store.Tombstone(47);  // 50 minus the three earlier kills below it
+  EXPECT_EQ(store.CellAnswerCount(target.cell.row, target.cell.col),
+            count - 1);
+  EXPECT_EQ(store.stats().pending_tombstones, 1u);
+}
+
 TEST(SegmentStore, DuplicateWorkerCellAnswersInOneBatch) {
   // The same worker answering the same cell twice within one batch must be
   // indexed as two entries (the store is a log, not a set) and fit exactly

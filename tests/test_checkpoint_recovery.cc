@@ -239,6 +239,128 @@ TEST(CheckpointRecovery, CheckpointRacingConcurrentRefreshStaysConsistent) {
 }
 
 // ---------------------------------------------------------------------------
+// Retraction durability: a disavowal journaled between seals must survive a
+// crash, and the restored engine must finalize bit-identically to an
+// uninterrupted run that saw the same submits and retractions.
+
+TEST(CheckpointRecovery, CrashBetweenRetractionAndSealFinalizesBitIdentical) {
+  // Staleness is set unreachable, so NOTHING ever seals: every answer and
+  // every retraction record lives in the journal only when the crash lands —
+  // the exact between-retraction-and-seal window.
+  SimWorld world(41, /*answers_per_task=*/3);
+  const std::vector<Answer>& all = world.answers.answers();
+  const Schema& schema = world.world.schema;
+  int rows = world.world.truth.num_rows();
+  size_t crash_at = all.size() / 2;
+  const size_t kRetract[] = {5, crash_at / 2, crash_at - 1};
+
+  auto journal_only = [&](const std::string& d) {
+    InferenceArgs args = DurableSyncArgs(d, /*staleness=*/1000000);
+    // The first-fit trigger ignores staleness, so push it out of reach too —
+    // otherwise one early refresh seals a segment. Finalize stays exact.
+    args.min_answers_for_fit = 1000000;
+    if (d.empty()) args.checkpoint.directory.clear();
+    return args;
+  };
+
+  // Uninterrupted reference: same submits, same retractions, no durability.
+  IncrementalInferenceEngine uninterrupted(schema, rows, journal_only(""),
+                                           nullptr);
+  Replay(all, 0, crash_at, &uninterrupted);
+  for (size_t id : kRetract) {
+    ASSERT_TRUE(
+        uninterrupted.RetractAnswer(all[id].worker, all[id].cell).ok());
+  }
+  Replay(all, crash_at, all.size(), &uninterrupted);
+  InferenceResult expected = uninterrupted.Finalize();
+
+  std::string dir = FreshDir("retract_journal");
+  {
+    IncrementalInferenceEngine crashed(schema, rows, journal_only(dir),
+                                       nullptr);
+    Replay(all, 0, crash_at, &crashed);
+    for (size_t id : kRetract) {
+      ASSERT_TRUE(crashed.RetractAnswer(all[id].worker, all[id].cell).ok());
+    }
+    EXPECT_EQ(crashed.refresh_count(), 0);  // truly no seal before the crash
+    // Crash: destructor only — no Finalize, no graceful seal.
+  }
+  EXPECT_EQ(fs::exists(fs::path(dir) / "seg-000000.bin"), false);
+
+  IncrementalInferenceEngine restored(schema, rows, journal_only(dir),
+                                      nullptr);
+  ASSERT_TRUE(restored.checkpoint_status().ok());
+  ASSERT_EQ(restored.restored_answers(), crash_at - 3);
+  EXPECT_EQ(restored.restored_retractions(), 3u);
+  Replay(all, crash_at, all.size(), &restored);
+
+  InferenceResult finalized = restored.Finalize();
+  ExpectTablesMatch(schema, finalized.estimated_truth,
+                    expected.estimated_truth, 0.0);
+  // And both equal the batch model over the surviving log.
+  TCrowdModel batch(restored.args().tcrowd_options);
+  InferenceResult batch_result =
+      batch.Infer(schema, restored.SnapshotAnswers());
+  ExpectTablesMatch(schema, finalized.estimated_truth,
+                    batch_result.estimated_truth, 0.0);
+}
+
+TEST(CheckpointRecovery, RetractionsFoldedAcrossSealsStayBitIdentical) {
+  // The mixed case: one retraction lands early enough that a later seal
+  // folds it into the manifest's retraction table, another lands after the
+  // last seal and survives only as a journal record; then the crash.
+  // Restore must union both sources.
+  SimWorld world(42, /*answers_per_task=*/3);
+  const std::vector<Answer>& all = world.answers.answers();
+  const Schema& schema = world.world.schema;
+  int rows = world.world.truth.num_rows();
+  size_t mid = all.size() / 3;
+  size_t crash_at = (2 * all.size()) / 3;
+
+  auto sealing = [&](const std::string& d) {
+    InferenceArgs args = DurableSyncArgs(d, /*staleness=*/48);
+    if (d.empty()) args.checkpoint.directory.clear();
+    return args;
+  };
+
+  IncrementalInferenceEngine uninterrupted(schema, rows, sealing(""),
+                                           nullptr);
+  Replay(all, 0, mid, &uninterrupted);
+  ASSERT_TRUE(
+      uninterrupted.RetractAnswer(all[10].worker, all[10].cell).ok());
+  Replay(all, mid, crash_at, &uninterrupted);
+  ASSERT_TRUE(uninterrupted
+                  .RetractAnswer(all[crash_at - 1].worker,
+                                 all[crash_at - 1].cell)
+                  .ok());
+  Replay(all, crash_at, all.size(), &uninterrupted);
+  InferenceResult expected = uninterrupted.Finalize();
+
+  std::string dir = FreshDir("retract_folded");
+  {
+    IncrementalInferenceEngine crashed(schema, rows, sealing(dir), nullptr);
+    Replay(all, 0, mid, &crashed);
+    ASSERT_TRUE(crashed.RetractAnswer(all[10].worker, all[10].cell).ok());
+    Replay(all, mid, crash_at, &crashed);  // seals fold the first retraction
+    EXPECT_GT(crashed.refresh_count(), 0);
+    ASSERT_TRUE(crashed
+                    .RetractAnswer(all[crash_at - 1].worker,
+                                   all[crash_at - 1].cell)
+                    .ok());
+  }
+
+  IncrementalInferenceEngine restored(schema, rows, sealing(dir), nullptr);
+  ASSERT_TRUE(restored.checkpoint_status().ok());
+  ASSERT_EQ(restored.restored_answers(), crash_at - 2);
+  EXPECT_EQ(restored.restored_retractions(), 2u);
+  Replay(all, crash_at, all.size(), &restored);
+
+  InferenceResult finalized = restored.Finalize();
+  ExpectTablesMatch(schema, finalized.estimated_truth,
+                    expected.estimated_truth, 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Corruption: recovery refuses loudly, the engine keeps serving.
 
 TEST(CheckpointRecovery, CorruptedSegmentFileFailsCleanlyAndServesOn) {

@@ -277,6 +277,100 @@ TEST(CrowdService, SubmitAnswerBatchUnknownSessionRejectsWholePage) {
   EXPECT_EQ(svc->engine().num_answers(), 0u);
 }
 
+TEST(CrowdService, RetractAnswerRefundsBudgetAndReopensFinalizedTask) {
+  auto svc = MakeService(/*num_rows=*/2, /*target=*/2);
+  CellRef cell{0, 0};
+  for (WorkerId w = 0; w < 2; ++w) {
+    CrowdService::SessionId session = svc->StartSession(w);
+    std::vector<CellRef> tasks = svc->RequestTasks(session, 4);
+    ASSERT_TRUE(std::find(tasks.begin(), tasks.end(), cell) != tasks.end());
+    EXPECT_TRUE(svc->SubmitAnswer(session, cell, Value::Categorical(0)).ok());
+    EXPECT_TRUE(svc->EndSession(session).ok());
+  }
+  ASSERT_EQ(svc->task_state(cell), TaskState::kFinalized);
+  int64_t spent_before = svc->Stats().budget_spent;
+
+  ASSERT_TRUE(svc->RetractAnswer(0, cell).ok());
+
+  // The ledger rolled back one answer everywhere it is counted.
+  EXPECT_EQ(svc->AnswerCount(cell), 1);
+  EXPECT_EQ(svc->task_state(cell), TaskState::kAnswered);
+  ServiceStats stats = svc->Stats();
+  EXPECT_EQ(stats.answers_retracted, 1);
+  EXPECT_EQ(stats.budget_spent, spent_before - 1);
+  EXPECT_EQ(stats.tasks_finalized, 0);
+  EXPECT_EQ(svc->metrics().counter("service.answers_retracted").value(), 1);
+  EXPECT_EQ(svc->engine().num_retractions(), 1u);
+
+  // The definalized task is assignable again: a fresh worker backfills it
+  // and the task re-finalizes at target.
+  CrowdService::SessionId session = svc->StartSession(9);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 8);
+  ASSERT_TRUE(std::find(tasks.begin(), tasks.end(), cell) != tasks.end());
+  EXPECT_TRUE(svc->SubmitAnswer(session, cell, Value::Categorical(1)).ok());
+  EXPECT_EQ(svc->task_state(cell), TaskState::kFinalized);
+  EXPECT_EQ(svc->Stats().budget_spent, spent_before);
+}
+
+TEST(CrowdService, RetractAnswerRevivesADrainedBudget) {
+  ServiceConfig config = CheapConfig(/*target=*/5);
+  config.max_total_answers = 2;
+  auto svc = std::make_unique<CrowdService>(
+      SmallSchema(), 4, std::make_unique<LoopingPolicy>(), config);
+  CrowdService::SessionId session = svc->StartSession(1);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 10);
+  ASSERT_EQ(tasks.size(), 2u);  // budget-capped
+  for (const CellRef& cell : tasks) {
+    ASSERT_TRUE(
+        svc->SubmitAnswer(session, cell, ValueFor(svc->schema(), cell)).ok());
+  }
+  EXPECT_TRUE(svc->EndSession(session).ok());
+  ASSERT_TRUE(svc->Drained());
+
+  // A retraction refunds both the spend and the commitment, so the freed
+  // slot is leasable again — the router backfills what the disavowal broke.
+  ASSERT_TRUE(svc->RetractAnswer(1, tasks[0]).ok());
+  EXPECT_FALSE(svc->Drained());
+  EXPECT_EQ(svc->Stats().budget_remaining, 1);
+  CrowdService::SessionId fresh = svc->StartSession(2);
+  EXPECT_EQ(svc->RequestTasks(fresh, 5).size(), 1u);
+}
+
+TEST(CrowdService, RetractAnswerRejectsUnknownTargetsCleanly) {
+  auto svc = MakeService();
+  // No answer at all on the cell.
+  EXPECT_EQ(svc->RetractAnswer(1, CellRef{0, 0}).code(),
+            StatusCode::kNotFound);
+  // Out-of-range cells refuse before touching anything.
+  EXPECT_EQ(svc->RetractAnswer(1, CellRef{-1, 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(svc->RetractAnswer(1, CellRef{0, 99}).code(),
+            StatusCode::kInvalidArgument);
+
+  CrowdService::SessionId session = svc->StartSession(7);
+  std::vector<CellRef> tasks = svc->RequestTasks(session, 1);
+  ASSERT_EQ(tasks.size(), 1u);
+  ASSERT_TRUE(svc->SubmitAnswer(session, tasks[0],
+                                ValueFor(svc->schema(), tasks[0]))
+                  .ok());
+  // The WRONG worker cannot retract another worker's answer.
+  EXPECT_EQ(svc->RetractAnswer(8, tasks[0]).code(), StatusCode::kNotFound);
+  // The right worker can — exactly once.
+  EXPECT_TRUE(svc->RetractAnswer(7, tasks[0]).ok());
+  EXPECT_EQ(svc->RetractAnswer(7, tasks[0]).code(), StatusCode::kNotFound);
+
+  // Failed retractions never moved the ledger: one gross accept, one
+  // retraction, zero net spend.
+  ServiceStats stats = svc->Stats();
+  EXPECT_EQ(stats.answers_retracted, 1);
+  EXPECT_EQ(stats.answers_accepted, 0);
+  EXPECT_EQ(svc->metrics().counter("service.answers_accepted").value(), 1);
+  EXPECT_EQ(svc->AnswerCount(tasks[0]), 0);
+  // The live export excludes the retracted answer even before the seal
+  // that physically removes it.
+  EXPECT_EQ(svc->engine().SnapshotAnswers().size(), 0u);
+}
+
 TEST(CrowdService, LeaseTimeoutExpiresAbandonedSessionAndRefundsBudget) {
   int64_t fake_now = 0;
   ServiceConfig config = CheapConfig();

@@ -170,6 +170,99 @@ TEST(ServiceIntegration, BatchReplayDrainsAndMatchesBatchInference) {
   }
 }
 
+/// Bit-level comparison of two answer logs: same length, same chronological
+/// order, same workers/cells/values to the last bit.
+void ExpectAnswerLogsIdentical(const AnswerSet& a, const AnswerSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    const Answer& x = a.answer(static_cast<int>(k));
+    const Answer& y = b.answer(static_cast<int>(k));
+    ASSERT_EQ(x.worker, y.worker) << "answer " << k;
+    ASSERT_EQ(x.cell.row, y.cell.row) << "answer " << k;
+    ASSERT_EQ(x.cell.col, y.cell.col) << "answer " << k;
+    ASSERT_EQ(x.value.is_categorical(), y.value.is_categorical())
+        << "answer " << k;
+    if (x.value.is_categorical()) {
+      ASSERT_EQ(x.value.label(), y.value.label()) << "answer " << k;
+    } else {
+      ASSERT_EQ(x.value.number(), y.value.number()) << "answer " << k;
+    }
+  }
+}
+
+TEST(ServiceIntegration, DeterministicReplayIsThreadCountInvariant) {
+  // The deterministic replay contract: with the default deterministic mode,
+  // the replayed history — and therefore the finalized truths — is a pure
+  // function of the options, identical for ANY num_driver_threads. Run the
+  // same campaign with 1 and 4 drivers and demand bit-equality end to end.
+  auto run = [](int threads, AnswerSet* log, Table* truths, Schema* schema,
+                sim::LoadReport* out) {
+    sim::TableGeneratorOptions topt;
+    topt.num_rows = 16;
+    topt.num_cols = 4;
+    topt.categorical_ratio = 0.5;
+    sim::CrowdOptions copt = SimWorld::DefaultCrowd();
+    copt.num_workers = 10;
+    SimWorld world(94, /*answers_per_task=*/0, topt, copt);
+    *schema = world.world.schema;
+
+    CrowdService svc(world.world.schema, world.world.truth.num_rows(),
+                     std::make_unique<LoopingPolicy>(), ServingConfig(3));
+    sim::LoadGeneratorOptions load;
+    load.tasks_per_request = 3;
+    load.abandon_prob = 0.1;
+    load.num_driver_threads = threads;
+    load.seed = 21;
+    sim::LoadGenerator generator(&world.crowd, &svc, load);
+    *out = generator.Run();
+    EXPECT_TRUE(svc.Drained()) << threads << " threads";
+    *log = svc.engine().SnapshotAnswers();
+    *truths = svc.Finalize().estimated_truth;
+  };
+
+  AnswerSet log1(0, 0), log4(0, 0);
+  Table truths1, truths4;
+  Schema schema1, schema4;
+  sim::LoadReport r1, r4;
+  run(1, &log1, &truths1, &schema1, &r1);
+  run(4, &log4, &truths4, &schema4, &r4);
+
+  EXPECT_EQ(r1.arrivals, r4.arrivals);
+  EXPECT_EQ(r1.answers, r4.answers);
+  EXPECT_EQ(r1.abandoned_sessions, r4.abandoned_sessions);
+  EXPECT_EQ(r1.rejected, r4.rejected);
+  ExpectAnswerLogsIdentical(log1, log4);
+  // Zero tolerance on the finalized truths — not "close", identical.
+  tcrowd::testing::ExpectTablesMatch(schema1, truths1, truths4, 0.0);
+}
+
+TEST(ServiceIntegration, DeterministicCrashPointIsThreadCountInvariant) {
+  // The kill switch must trip on the same arrival regardless of thread
+  // count: the durable prefix a crash leaves behind is reproducible.
+  auto run = [](int threads, AnswerSet* log) {
+    sim::TableGeneratorOptions topt;
+    topt.num_rows = 16;
+    topt.num_cols = 4;
+    SimWorld world(95, /*answers_per_task=*/0, topt);
+    CrowdService svc(world.world.schema, world.world.truth.num_rows(),
+                     std::make_unique<LoopingPolicy>(), ServingConfig(3));
+    sim::LoadGeneratorOptions load;
+    load.tasks_per_request = 3;
+    load.stop_after_answers = 77;
+    load.num_driver_threads = threads;
+    load.seed = 33;
+    sim::LoadGenerator generator(&world.crowd, &svc, load);
+    sim::LoadReport report = generator.Run();
+    EXPECT_TRUE(report.stopped_early);
+    EXPECT_EQ(report.answers, 77);
+    *log = svc.engine().SnapshotAnswers();
+  };
+  AnswerSet log1(0, 0), log4(0, 0);
+  run(1, &log1);
+  run(4, &log4);
+  ExpectAnswerLogsIdentical(log1, log4);
+}
+
 TEST(ServiceIntegration, ConcurrentDriversKeepAccountingConsistent) {
   // Hammer the service from 4 driver threads with a cheap policy/engine and
   // verify the books still balance exactly.

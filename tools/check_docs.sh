@@ -10,8 +10,14 @@
 #      doc update;
 #   3. docs/PERSISTENCE.md must exist and keep naming every piece of the
 #      durability subsystem (codec, snapshot store, checkpoint hooks, the
-#      on-disk file names), so the recovery protocol doc cannot rot;
-#   4. README.md and docs/ARCHITECTURE.md must link both docs.
+#      on-disk file names, the retraction records), so the recovery
+#      protocol doc cannot rot;
+#   4. docs/SCENARIOS.md must exist and keep naming the scenario
+#      subsystem's pieces (behavior/arrival interfaces, the runner, the
+#      registered scenario names, the curve CSV), so the scenario pack
+#      doc cannot rot;
+#   5. README.md and docs/ARCHITECTURE.md must link the lifecycle and
+#      persistence docs, and README.md must link the scenarios doc.
 #
 # Run it locally after adding a module or touching the answer path:
 #
@@ -72,10 +78,31 @@ else
   # documented (codec + store APIs, engine hooks, on-disk file names).
   for anchor in segment_codec SnapshotStore CheckpointArgs \
                 EncodeAnswerBlock SchemaFingerprint MANIFEST journal.bin \
-                restored_answers checkpoint_status crash-after; do
+                restored_answers checkpoint_status crash-after \
+                EncodeRetractionRecord RetractAnswer \
+                restored_retractions; do
     if ! grep -q "$anchor" "$persistence"; then
       echo "check_docs.sh: docs/PERSISTENCE.md no longer mentions" \
            "'$anchor' — update the persistence doc." >&2
+      fail=1
+    fi
+  done
+fi
+
+scenarios="$repo_root/docs/SCENARIOS.md"
+if [ ! -f "$scenarios" ]; then
+  echo "check_docs.sh: $scenarios is missing" >&2
+  fail=1
+else
+  # The scenario subsystem's load-bearing names: the pluggable interfaces,
+  # the runner, every registered scenario, and the curve plumbing.
+  for anchor in WorkerBehavior ArrivalModel ScenarioRunner \
+                FormatQualityCurveCsv baseline-honest spam-wave \
+                collusion-ring quality-drift retraction-storm \
+                sleeper-cell curve-csv; do
+    if ! grep -q -- "$anchor" "$scenarios"; then
+      echo "check_docs.sh: docs/SCENARIOS.md no longer mentions" \
+           "'$anchor' — update the scenarios doc." >&2
       fail=1
     fi
   done
@@ -91,6 +118,11 @@ for linked in DATA_LIFECYCLE.md PERSISTENCE.md; do
   done
 done
 
+if ! grep -q "SCENARIOS.md" "$readme"; then
+  echo "check_docs.sh: README.md does not link docs/SCENARIOS.md" >&2
+  fail=1
+fi
+
 [ "$fail" -eq 0 ] || exit 1
 
-echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle and persistence docs are fresh."
+echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle, persistence, and scenarios docs are fresh."

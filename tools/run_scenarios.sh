@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Nightly scenario sweep (docs/SCENARIOS.md): run every registered
+# adversarial/dynamic scenario through `tcrowd_cli serve-sim --scenario=...`
+# and collect the TCrowd-vs-MajorityVoting quality-vs-budget curves as CSV
+# files, one per scenario. The bench workflow uploads the output directory
+# as an artifact, so quality-under-attack is tracked over time next to the
+# perf sweeps.
+#
+# Usage:
+#   tools/run_scenarios.sh [OUTDIR]       # default OUTDIR: ./scenario_curves
+#   SCENARIO_BUILD_DIR=build/release tools/run_scenarios.sh
+#   SCENARIO_ARGS='--rows=30 --cols=6' tools/run_scenarios.sh  # bigger world
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${SCENARIO_BUILD_DIR:-$repo_root/build}
+out_dir=${1:-$repo_root/scenario_curves}
+extra_args=${SCENARIO_ARGS:-}
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j --target tcrowd_cli >/dev/null
+
+cli="$build_dir/tools/tcrowd_cli"
+if [ ! -x "$cli" ]; then
+  echo "run_scenarios.sh: $cli not built" >&2
+  exit 1
+fi
+
+# Ask the binary for the registry so the sweep can never drift from the
+# code: `--scenario=list` prints one `name  description` line per scenario.
+scenarios=$("$cli" serve-sim --scenario=list | awk '{print $1}')
+if [ -z "$scenarios" ]; then
+  echo "run_scenarios.sh: --scenario=list printed no scenarios" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+for scenario in $scenarios; do
+  echo "running scenario $scenario ..."
+  # shellcheck disable=SC2086  # word-splitting SCENARIO_ARGS is intended
+  "$cli" serve-sim --scenario="$scenario" --rows=20 --cols=4 --workers=16 \
+      --policy=looping --engine=tcrowd --target=4 --staleness=32 \
+      --threads=2 --seed=11 --checkpoints=8 \
+      --curve-csv="$out_dir/curve_$scenario.csv" $extra_args \
+      > "$out_dir/report_$scenario.txt"
+done
+
+echo "curves written to $out_dir:"
+ls "$out_dir"/curve_*.csv

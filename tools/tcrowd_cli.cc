@@ -49,6 +49,7 @@
 #include "service/snapshot_store.h"
 #include "simulation/dataset_synthesizer.h"
 #include "simulation/load_generator.h"
+#include "simulation/scenario.h"
 #include "simulation/table_generator.h"
 
 namespace tcrowd {
@@ -71,12 +72,21 @@ commands:
              [--policy=NAME] [--engine=METHOD] [--target=K]
              [--arrivals=N] [--tasks-per-worker=K] [--staleness=N]
              [--batch-size=N] [--threads=T] [--drivers=D] [--abandon=P]
-             [--checkpoint-dir=DIR] [--crash-after=N] [--seed=S]
+             [--racy] [--checkpoint-dir=DIR] [--crash-after=N] [--seed=S]
+             [--scenario=NAME] [--checkpoints=N] [--curve-csv=FILE.csv]
 
 serve-sim durability: --checkpoint-dir=DIR persists the answer log (and
 restores it at startup). --crash-after=N runs a crash drill: serve until N
 answers were accepted, tear the service down mid-flight, restart it from
 the checkpoint, and drive the remainder to completion.
+
+serve-sim scenarios: --scenario=NAME replays a named adversarial/dynamic
+scenario (hostile worker behaviors + shaped arrivals + retraction pressure,
+see docs/SCENARIOS.md) instead of the plain load generator, recording a
+TCrowd-vs-MajorityVoting quality-vs-budget curve at --checkpoints evenly
+spaced budget marks (--curve-csv writes it as CSV). --scenario=list prints
+the catalog. Replays are deterministic by default; --racy restores the
+contention-realistic racy driver mode (plain load generator only).
 
 methods: tcrowd, tc-onlycate, tc-onlycont, mv, median, ds, zencrowd, glad,
          gtm, crh, catd
@@ -350,6 +360,31 @@ int CmdAssign(const FlagParser& flags) {
 int CmdServeSim(const FlagParser& flags) {
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
+  // Scenario mode: a named adversarial/dynamic scenario replaces the plain
+  // load generator (docs/SCENARIOS.md).
+  bool scenario_mode = flags.Has("scenario");
+  sim::ScenarioSpec scenario;
+  if (scenario_mode) {
+    std::string name = flags.GetString("scenario");
+    if (name == "list") {
+      for (const std::string& s : sim::ScenarioNames()) {
+        sim::ScenarioSpec spec;
+        sim::FindScenario(s, &spec);
+        std::printf("%-18s %s\n", s.c_str(), spec.description.c_str());
+      }
+      return 0;
+    }
+    if (!sim::FindScenario(name, &scenario)) {
+      std::fprintf(stderr, "serve-sim: unknown --scenario=%s; have:",
+                   name.c_str());
+      for (const std::string& s : sim::ScenarioNames()) {
+        std::fprintf(stderr, " %s", s.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
+
   // World: one of the paper's dataset stand-ins, or a custom table. The
   // answer set starts EMPTY — every answer flows through the service.
   // Built via copy elision: a SynthesizedWorld must not be moved (its crowd
@@ -431,7 +466,17 @@ int CmdServeSim(const FlagParser& flags) {
   // SubmitAnswer per answer (see docs/DATA_LIFECYCLE.md).
   load.batch_size = static_cast<int>(flags.GetInt("batch-size", 1));
   load.num_driver_threads = static_cast<int>(flags.GetInt("drivers", 1));
+  // Deterministic replay is the default; --racy restores the free-running
+  // driver interleaving for contention-realistic throughput numbers.
+  load.deterministic = !flags.GetBool("racy", false);
   load.seed = seed + 3;
+
+  sim::ScenarioOptions scenario_opt;
+  scenario_opt.checkpoints = static_cast<int>(flags.GetInt("checkpoints", 8));
+  scenario_opt.tasks_per_request =
+      static_cast<int>(flags.GetInt("tasks-per-worker", 6));
+  scenario_opt.max_arrivals = flags.GetInt("arrivals", 1000000);
+  scenario_opt.seed = seed + 3;
 
   if (crash_after > 0) {
     // Crash drill (docs/PERSISTENCE.md): phase 1 serves until crash_after
@@ -450,13 +495,26 @@ int CmdServeSim(const FlagParser& flags) {
       service::CrowdService svc(world.dataset.schema,
                                 world.dataset.num_rows(),
                                 MakePolicy(policy_name, seed), config);
-      sim::LoadGeneratorOptions phase1 = load;
-      phase1.stop_after_answers = crash_after;
-      sim::LoadGenerator generator(world.crowd.get(), &svc, phase1);
-      sim::LoadReport r = generator.Run();
-      std::printf("crashed after %lld accepted answers (%s)\n",
-                  static_cast<long long>(r.answers),
-                  r.stopped_early ? "mid-flight" : "drained first");
+      if (scenario_mode) {
+        sim::ScenarioOptions phase1 = scenario_opt;
+        phase1.stop_after_answers = crash_after;
+        sim::ScenarioRunner runner(scenario, world.crowd.get(), &svc,
+                                   phase1);
+        sim::ScenarioReport r = runner.Run();
+        std::printf("crashed after %lld accepted answers, %lld retracted "
+                    "(%s)\n",
+                    static_cast<long long>(r.answers_accepted),
+                    static_cast<long long>(r.answers_retracted),
+                    r.stopped_early ? "mid-flight" : "drained first");
+      } else {
+        sim::LoadGeneratorOptions phase1 = load;
+        phase1.stop_after_answers = crash_after;
+        sim::LoadGenerator generator(world.crowd.get(), &svc, phase1);
+        sim::LoadReport r = generator.Run();
+        std::printf("crashed after %lld accepted answers (%s)\n",
+                    static_cast<long long>(r.answers),
+                    r.stopped_early ? "mid-flight" : "drained first");
+      }
     }
     std::printf("-- phase 2: restarting from %s --\n", checkpoint_dir.c_str());
   }
@@ -479,14 +537,82 @@ int CmdServeSim(const FlagParser& flags) {
                 recovery.count());
   }
 
-  sim::LoadGenerator generator(world.crowd.get(), &svc, load);
-
   std::printf("serving %s (%d rows x %d cols) with %s policy + %s engine, "
               "target %d answers/task\n",
               world_name.c_str(), world.dataset.num_rows(),
               world.dataset.num_cols(), policy_name.c_str(),
               config.inference.method.c_str(),
               svc.config().target_answers_per_task);
+
+  if (scenario_mode) {
+    std::printf("scenario %s: %s\n", scenario.name.c_str(),
+                scenario.description.c_str());
+    sim::ScenarioRunner runner(scenario, world.crowd.get(), &svc,
+                               scenario_opt);
+    sim::ScenarioReport report = runner.Run();
+
+    std::printf("\n-- scenario report --\n");
+    std::printf("arrivals=%lld accepted=%lld retracted=%lld "
+                "retraction_misses=%lld rejected=%lld\n",
+                static_cast<long long>(report.arrivals),
+                static_cast<long long>(report.answers_accepted),
+                static_cast<long long>(report.answers_retracted),
+                static_cast<long long>(report.retraction_misses),
+                static_cast<long long>(report.rejected));
+
+    std::printf("\n-- quality vs budget (TCrowd vs MajorityVoting) --\n");
+    Report curve({"budget", "tcrowd_err", "tcrowd_mnad", "mv_err",
+                  "mv_mnad"});
+    for (const sim::QualityPoint& p : report.curve) {
+      curve.AddRow({StrFormat("%lld", static_cast<long long>(p.budget)),
+                    StrFormat("%.4f", p.tcrowd_error_rate),
+                    StrFormat("%.4f", p.tcrowd_mnad),
+                    StrFormat("%.4f", p.mv_error_rate),
+                    StrFormat("%.4f", p.mv_mnad)});
+    }
+    curve.Print();
+
+    std::string curve_csv = flags.GetString("curve-csv");
+    if (!curve_csv.empty()) {
+      std::string csv = sim::FormatQualityCurveCsv(report);
+      std::FILE* f = std::fopen(curve_csv.c_str(), "w");
+      if (f == nullptr || std::fwrite(csv.data(), 1, csv.size(), f) !=
+                              csv.size()) {
+        std::fprintf(stderr, "serve-sim: cannot write %s\n",
+                     curve_csv.c_str());
+        if (f != nullptr) std::fclose(f);
+        return 1;
+      }
+      std::fclose(f);
+      std::printf("curve written to %s\n", curve_csv.c_str());
+    }
+
+    const service::ServiceStats& stats = report.final_stats;
+    std::printf("\n-- task states --\n");
+    std::printf("open=%d assigned=%d answered=%d finalized=%d  "
+                "budget spent=%lld remaining=%lld  refreshes=%d "
+                "retracted=%lld\n",
+                stats.tasks_open, stats.tasks_assigned, stats.tasks_answered,
+                stats.tasks_finalized,
+                static_cast<long long>(stats.budget_spent),
+                static_cast<long long>(stats.budget_remaining),
+                stats.engine_refreshes,
+                static_cast<long long>(stats.answers_retracted));
+
+    InferenceResult final_result = svc.Finalize();
+    if (TruthIsKnown(world.dataset.truth)) {
+      std::printf("\n-- final inference (%s) --\n",
+                  config.inference.method.c_str());
+      std::printf("error rate = %.4f   MNAD = %.4f\n",
+                  Metrics::ErrorRate(world.dataset.truth,
+                                     final_result.estimated_truth),
+                  Metrics::Mnad(world.dataset.truth,
+                                final_result.estimated_truth));
+    }
+    return 0;
+  }
+
+  sim::LoadGenerator generator(world.crowd.get(), &svc, load);
   sim::LoadReport report = generator.Run();
 
   std::printf("\n-- load report --\n");

@@ -1,0 +1,546 @@
+#include "platform/event_log.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tcrowd {
+namespace {
+
+// Frame magic ("TCEV" in LE byte order on disk), deliberately distinct from
+// every segment_codec magic so a misfiled event log is refused loudly by
+// the snapshot readers and vice versa.
+constexpr uint32_t kEventMagic = 0x56454354;
+
+// Smallest per-answer / per-cell encodings: used to sanity-bound decoded
+// counts before any allocation (same defense as the segment codec).
+constexpr size_t kMinAnswerBytes = 3 * 4 + 1;
+constexpr size_t kMinCellBytes = 2 * 4;
+
+// --------------------------------------------------------------------------
+// Little-endian primitives, mirroring segment_codec.cc. They are duplicated
+// (not shared) on purpose: the two codecs version independently and the
+// helpers are the stable, trivial part.
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutDouble(double v, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+void PutString(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+struct Reader {
+  const uint8_t* p;
+  size_t left;
+
+  Reader(const void* data, size_t size)
+      : p(static_cast<const uint8_t*>(data)), left(size) {}
+
+  bool U8(uint8_t* v) {
+    if (left < 1) return false;
+    *v = p[0];
+    ++p;
+    --left;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (left < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (left < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+  bool I32(int32_t* v) {
+    uint32_t u;
+    if (!U32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool Double(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool Str(std::string* out) {
+    uint32_t n;
+    if (!U32(&n) || left < n) return false;
+    out->assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+// Value kind tags, same values as the segment codec's.
+constexpr uint8_t kKindCategorical = 0;
+constexpr uint8_t kKindContinuous = 1;
+constexpr uint8_t kKindMissing = 2;
+
+void PutValue(const Value& v, std::string* out) {
+  if (v.is_categorical()) {
+    PutU8(kKindCategorical, out);
+    PutI32(v.label(), out);
+  } else if (v.is_continuous()) {
+    PutU8(kKindContinuous, out);
+    PutDouble(v.number(), out);
+  } else {
+    PutU8(kKindMissing, out);
+  }
+}
+
+bool GetValue(Reader* r, Value* v) {
+  uint8_t kind;
+  if (!r->U8(&kind)) return false;
+  if (kind == kKindCategorical) {
+    int32_t label;
+    if (!r->I32(&label)) return false;
+    *v = Value::Categorical(label);
+  } else if (kind == kKindContinuous) {
+    double number;
+    if (!r->Double(&number)) return false;
+    *v = Value::Continuous(number);
+  } else if (kind == kKindMissing) {
+    *v = Value();
+  } else {
+    return false;  // unknown kind tag: corrupt
+  }
+  return true;
+}
+
+void PutAnswer(const Answer& a, std::string* out) {
+  PutI32(a.worker, out);
+  PutI32(a.cell.row, out);
+  PutI32(a.cell.col, out);
+  PutValue(a.value, out);
+}
+
+bool GetAnswer(Reader* r, Answer* a) {
+  int32_t worker, row, col;
+  if (!r->I32(&worker) || !r->I32(&row) || !r->I32(&col)) return false;
+  a->worker = worker;
+  a->cell = CellRef{row, col};
+  return GetValue(r, &a->value);
+}
+
+// Crc32 lives in segment_codec; re-declaring it here would drag the
+// inference module into the platform layer's headers, so the event log
+// carries its own identical implementation.
+uint32_t EventCrc32(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~0u;
+  for (size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+bool GetEventPayload(Reader* r, EventType type, RecordedEvent* e) {
+  e->type = type;
+  switch (type) {
+    case EventType::kRunStart: {
+      uint64_t count;
+      if (!r->U64(&e->seed) || !r->Str(&e->policy) || !r->Str(&e->world) ||
+          !r->U64(&e->schema_fingerprint) || !r->U32(&e->num_rows) ||
+          !r->U64(&count)) {
+        return false;
+      }
+      if (count > r->left / kMinAnswerBytes + 1) return false;
+      e->restored.reserve(static_cast<size_t>(count));
+      for (uint64_t k = 0; k < count; ++k) {
+        Answer a;
+        if (!GetAnswer(r, &a)) return false;
+        e->restored.push_back(a);
+      }
+      return true;
+    }
+    case EventType::kSessionStart:
+      return r->U64(&e->session) && r->I32(&e->worker);
+    case EventType::kLeases: {
+      uint32_t count;
+      if (!r->U64(&e->session) || !r->U32(&count)) return false;
+      if (count > r->left / kMinCellBytes + 1) return false;
+      e->cells.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        int32_t row, col;
+        if (!r->I32(&row) || !r->I32(&col)) return false;
+        e->cells.push_back(CellRef{row, col});
+      }
+      return true;
+    }
+    case EventType::kAnswerBatch: {
+      uint32_t count;
+      if (!r->U64(&e->session) || !r->U32(&count)) return false;
+      if (count > r->left / (kMinCellBytes + 2) + 1) return false;
+      e->items.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        AnswerEventItem item;
+        if (!r->I32(&item.cell.row) || !r->I32(&item.cell.col) ||
+            !GetValue(r, &item.value) || !r->U8(&item.status_code)) {
+          return false;
+        }
+        e->items.push_back(std::move(item));
+      }
+      return true;
+    }
+    case EventType::kRetract: {
+      int32_t row, col;
+      if (!r->I32(&e->worker) || !r->I32(&row) || !r->I32(&col) ||
+          !r->U8(&e->status_code)) {
+        return false;
+      }
+      e->cells.push_back(CellRef{row, col});
+      return true;
+    }
+    case EventType::kSessionEnd:
+      return r->U64(&e->session);
+    case EventType::kSessionsExpired: {
+      uint32_t count;
+      if (!r->U32(&count)) return false;
+      if (count > r->left / 8 + 1) return false;
+      e->expired.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        uint64_t id;
+        if (!r->U64(&id)) return false;
+        e->expired.push_back(id);
+      }
+      return true;
+    }
+    case EventType::kSeal:
+      return r->U64(&e->sealed_total);
+    case EventType::kFinalize:
+      return r->U64(&e->digest) && r->U64(&e->answer_count);
+  }
+  return false;  // unknown type tag: corrupt
+}
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kRunStart: return "run-start";
+    case EventType::kSessionStart: return "session-start";
+    case EventType::kLeases: return "leases";
+    case EventType::kAnswerBatch: return "answer-batch";
+    case EventType::kRetract: return "retract";
+    case EventType::kSessionEnd: return "session-end";
+    case EventType::kSessionsExpired: return "sessions-expired";
+    case EventType::kSeal: return "seal";
+    case EventType::kFinalize: return "finalize";
+  }
+  return "?";
+}
+
+void EncodeEvent(const RecordedEvent& event, std::string* out) {
+  size_t start = out->size();
+  PutU32(kEventMagic, out);
+  PutU32(kEventLogVersion, out);
+  PutU8(static_cast<uint8_t>(event.type), out);
+  switch (event.type) {
+    case EventType::kRunStart:
+      PutU64(event.seed, out);
+      PutString(event.policy, out);
+      PutString(event.world, out);
+      PutU64(event.schema_fingerprint, out);
+      PutU32(event.num_rows, out);
+      PutU64(event.restored.size(), out);
+      for (const Answer& a : event.restored) PutAnswer(a, out);
+      break;
+    case EventType::kSessionStart:
+      PutU64(event.session, out);
+      PutI32(event.worker, out);
+      break;
+    case EventType::kLeases:
+      PutU64(event.session, out);
+      PutU32(static_cast<uint32_t>(event.cells.size()), out);
+      for (const CellRef& cell : event.cells) {
+        PutI32(cell.row, out);
+        PutI32(cell.col, out);
+      }
+      break;
+    case EventType::kAnswerBatch:
+      PutU64(event.session, out);
+      PutU32(static_cast<uint32_t>(event.items.size()), out);
+      for (const AnswerEventItem& item : event.items) {
+        PutI32(item.cell.row, out);
+        PutI32(item.cell.col, out);
+        PutValue(item.value, out);
+        PutU8(item.status_code, out);
+      }
+      break;
+    case EventType::kRetract:
+      PutI32(event.worker, out);
+      PutI32(event.cells.empty() ? 0 : event.cells[0].row, out);
+      PutI32(event.cells.empty() ? 0 : event.cells[0].col, out);
+      PutU8(event.status_code, out);
+      break;
+    case EventType::kSessionEnd:
+      PutU64(event.session, out);
+      break;
+    case EventType::kSessionsExpired:
+      PutU32(static_cast<uint32_t>(event.expired.size()), out);
+      for (uint64_t id : event.expired) PutU64(id, out);
+      break;
+    case EventType::kSeal:
+      PutU64(event.sealed_total, out);
+      break;
+    case EventType::kFinalize:
+      PutU64(event.digest, out);
+      PutU64(event.answer_count, out);
+      break;
+  }
+  PutU32(EventCrc32(out->data() + start, out->size() - start), out);
+}
+
+Status DecodeEventLog(const void* data, size_t size, EventLogReplay* out) {
+  const uint8_t* base = static_cast<const uint8_t*>(data);
+  size_t offset = 0;
+  out->events.clear();
+  out->truncated = false;
+  while (offset < size) {
+    Reader r(base + offset, size - offset);
+    uint32_t magic, version;
+    uint8_t type;
+    if (!r.U32(&magic) || magic != kEventMagic || !r.U32(&version) ||
+        version != kEventLogVersion || !r.U8(&type) ||
+        type > static_cast<uint8_t>(EventType::kFinalize)) {
+      out->truncated = true;
+      return Status::Ok();
+    }
+    RecordedEvent event;
+    if (!GetEventPayload(&r, static_cast<EventType>(type), &event)) {
+      out->truncated = true;
+      return Status::Ok();
+    }
+    size_t crc_offset = (size - offset) - r.left;
+    uint32_t stored;
+    if (!r.U32(&stored) || stored != EventCrc32(base + offset, crc_offset)) {
+      out->truncated = true;
+      return Status::Ok();
+    }
+    out->events.push_back(std::move(event));
+    offset += crc_offset + 4;
+  }
+  return Status::Ok();
+}
+
+Status ReadEventLogFile(const std::string& path, EventLogReplay* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open event log " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("cannot read event log " + path);
+  }
+  return DecodeEventLog(bytes.data(), bytes.size(), out);
+}
+
+uint64_t TruthDigest(const Table& table) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(table.num_rows()));
+  mix(static_cast<uint64_t>(table.num_columns()));
+  for (int i = 0; i < table.num_rows(); ++i) {
+    for (int j = 0; j < table.num_columns(); ++j) {
+      const Value& v = table.at(i, j);
+      if (v.is_categorical()) {
+        mix(kKindCategorical);
+        mix(static_cast<uint64_t>(static_cast<int64_t>(v.label())));
+      } else if (v.is_continuous()) {
+        uint64_t bits;
+        double d = v.number();
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(kKindContinuous);
+        mix(bits);
+      } else {
+        mix(kKindMissing);
+      }
+    }
+  }
+  return h;
+}
+
+// ------------------------------------------------------------- recorder --
+
+StatusOr<std::unique_ptr<EventRecorder>> EventRecorder::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open event log " + path + " for writing");
+  }
+  return std::unique_ptr<EventRecorder>(new EventRecorder(path, f));
+}
+
+EventRecorder::EventRecorder(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+EventRecorder::~EventRecorder() { Close(); }
+
+void EventRecorder::SetRunInfo(uint64_t seed, std::string policy,
+                               std::string world) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  policy_ = std::move(policy);
+  world_ = std::move(world);
+}
+
+void EventRecorder::Append(const RecordedEvent& event) {
+  std::string frame;
+  EncodeEvent(event, &frame);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  // Write + flush as one critical section: frames never interleave, and a
+  // hard crash loses at most the libc buffer's tail — which the lenient
+  // decoder recovers from by construction.
+  std::fwrite(frame.data(), 1, frame.size(), file_);
+  std::fflush(file_);
+}
+
+void EventRecorder::RecordRunStart(uint64_t schema_fingerprint,
+                                   uint32_t num_rows,
+                                   const std::vector<Answer>& restored) {
+  RecordedEvent e;
+  e.type = EventType::kRunStart;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e.seed = seed_;
+    e.policy = policy_;
+    e.world = world_;
+  }
+  e.schema_fingerprint = schema_fingerprint;
+  e.num_rows = num_rows;
+  e.restored = restored;
+  Append(e);
+}
+
+void EventRecorder::RecordSessionStart(uint64_t session, int32_t worker) {
+  RecordedEvent e;
+  e.type = EventType::kSessionStart;
+  e.session = session;
+  e.worker = worker;
+  Append(e);
+}
+
+void EventRecorder::RecordLeases(uint64_t session,
+                                 const std::vector<CellRef>& cells) {
+  if (cells.empty()) return;  // nothing granted, nothing to replay
+  RecordedEvent e;
+  e.type = EventType::kLeases;
+  e.session = session;
+  e.cells = cells;
+  Append(e);
+}
+
+void EventRecorder::RecordAnswerBatch(
+    uint64_t session, const std::vector<AnswerEventItem>& items) {
+  if (items.empty()) return;
+  RecordedEvent e;
+  e.type = EventType::kAnswerBatch;
+  e.session = session;
+  e.items = items;
+  Append(e);
+}
+
+void EventRecorder::RecordRetract(int32_t worker, CellRef cell,
+                                  uint8_t status_code) {
+  RecordedEvent e;
+  e.type = EventType::kRetract;
+  e.worker = worker;
+  e.cells.push_back(cell);
+  e.status_code = status_code;
+  Append(e);
+}
+
+void EventRecorder::RecordSessionEnd(uint64_t session) {
+  RecordedEvent e;
+  e.type = EventType::kSessionEnd;
+  e.session = session;
+  Append(e);
+}
+
+void EventRecorder::RecordSessionsExpired(
+    const std::vector<uint64_t>& sessions) {
+  if (sessions.empty()) return;
+  RecordedEvent e;
+  e.type = EventType::kSessionsExpired;
+  e.expired = sessions;
+  Append(e);
+}
+
+void EventRecorder::RecordSeal(uint64_t sealed_total) {
+  RecordedEvent e;
+  e.type = EventType::kSeal;
+  e.sealed_total = sealed_total;
+  Append(e);
+}
+
+void EventRecorder::RecordFinalize(uint64_t digest, uint64_t answer_count) {
+  RecordedEvent e;
+  e.type = EventType::kFinalize;
+  e.digest = digest;
+  e.answer_count = answer_count;
+  Append(e);
+}
+
+Status EventRecorder::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::Ok();
+  const bool flushed = std::fflush(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!flushed || !closed) {
+    return Status::IoError("event log " + path_ + " close failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcrowd

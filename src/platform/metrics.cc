@@ -107,11 +107,11 @@ double LatencyStats::max_micros() const {
   return max_;
 }
 
-double LatencyStats::PercentileMicros(double p) const {
-  p = std::min(1.0, std::max(0.0, p));
+double LatencyStats::ApproxPercentile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) return 0.0;
-  int64_t rank = static_cast<int64_t>(std::ceil(p * static_cast<double>(count_)));
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
   rank = std::max<int64_t>(1, rank);
   int64_t seen = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
@@ -124,10 +124,27 @@ double LatencyStats::PercentileMicros(double p) const {
   return max_;
 }
 
+LatencyStats::Snapshot LatencyStats::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.max = max_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
@@ -149,6 +166,17 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterValues()
   return out;
 }
 
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToString() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -156,12 +184,63 @@ std::string MetricsRegistry::ToString() const {
     out += StrFormat("%-28s = %lld\n", name.c_str(),
                      static_cast<long long>(counter->value()));
   }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("%-28s = %lld (gauge)\n", name.c_str(),
+                     static_cast<long long>(gauge->value()));
+  }
   for (const auto& [name, lat] : latencies_) {
     out += StrFormat(
         "%-28s : n=%lld mean=%.1fus p50=%.0fus p95=%.0fus max=%.0fus\n",
         name.c_str(), static_cast<long long>(lat->count()),
         lat->mean_micros(), lat->PercentileMicros(0.5),
         lat->PercentileMicros(0.95), lat->max_micros());
+  }
+  return out;
+}
+
+namespace {
+
+// "service.answers_accepted" -> "tcrowd_service_answers_accepted". The
+// exposition format allows [a-zA-Z0-9_:] in names; anything else folds to
+// '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "tcrowd_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::FormatPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PromName(name) + "_total";
+    out += StrFormat("# TYPE %s counter\n", prom.c_str());
+    out += StrFormat("%s %lld\n", prom.c_str(),
+                     static_cast<long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PromName(name);
+    out += StrFormat("# TYPE %s gauge\n", prom.c_str());
+    out += StrFormat("%s %lld\n", prom.c_str(),
+                     static_cast<long long>(gauge->value()));
+  }
+  for (const auto& [name, lat] : latencies_) {
+    const std::string prom = PromName(name) + "_micros";
+    const LatencyStats::Snapshot snap = lat->GetSnapshot();
+    out += StrFormat("# TYPE %s summary\n", prom.c_str());
+    for (double q : {0.5, 0.9, 0.99}) {
+      out += StrFormat("%s{quantile=\"%g\"} %.6g\n", prom.c_str(), q,
+                       lat->ApproxPercentile(q));
+    }
+    out += StrFormat("%s_sum %.6g\n", prom.c_str(), snap.sum);
+    out += StrFormat("%s_count %lld\n", prom.c_str(),
+                     static_cast<long long>(snap.count));
   }
   return out;
 }

@@ -49,6 +49,18 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// Instantaneous level (queue depth, live sessions, segment count).
+/// Thread-safe and lock-free, like Counter, but settable both ways.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// Streaming latency summary in microseconds: count / mean / max plus
 /// power-of-two buckets for approximate percentiles. Thread-safe.
 class LatencyStats {
@@ -57,14 +69,28 @@ class LatencyStats {
   /// sub-microsecond samples land in bucket 0, the last bucket is open.
   static constexpr int kNumBuckets = 24;
 
+  /// Consistent copy of the internals, for exporters and tests.
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::array<int64_t, kNumBuckets> buckets{};
+  };
+
   void Record(double micros);
 
   int64_t count() const;
   double mean_micros() const;
   double max_micros() const;
-  /// Approximate percentile (p in [0,1]) read off the bucket histogram:
-  /// upper edge of the bucket holding the p-quantile sample. 0 when empty.
-  double PercentileMicros(double p) const;
+  /// Approximate quantile (q in [0,1]) read off the bucket histogram: the
+  /// upper edge of the bucket holding the q-quantile sample, clamped to the
+  /// observed max (which also bounds the otherwise-open last bucket).
+  /// Returns 0 when no samples were recorded.
+  double ApproxPercentile(double q) const;
+  /// Legacy name for ApproxPercentile.
+  double PercentileMicros(double p) const { return ApproxPercentile(p); }
+
+  Snapshot GetSnapshot() const;
 
  private:
   mutable std::mutex mu_;
@@ -80,18 +106,28 @@ class LatencyStats {
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   LatencyStats& latency(const std::string& name);
 
   /// Snapshot of every counter value, sorted by name.
   std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  /// Snapshot of every gauge value, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
 
-  /// Human-readable dump: one `name = value` line per counter, then one
-  /// `name: count/mean/p50/p95/max` line per latency series.
+  /// Human-readable dump: one `name = value` line per counter and gauge,
+  /// then one `name: count/mean/p50/p95/max` line per latency series.
   std::string ToString() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters as `<name>_total`,
+  /// gauges as-is, latency series as summaries with `quantile` labels for
+  /// p50/p90/p99 plus `_sum`/`_count`. Dots in metric names become
+  /// underscores and everything is prefixed `tcrowd_`.
+  std::string FormatPrometheus() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyStats>> latencies_;
 };
 

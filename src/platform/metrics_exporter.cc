@@ -1,0 +1,77 @@
+#include "platform/metrics_exporter.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tcrowd {
+
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path) {
+  const std::string body = registry.FormatPrometheus();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(StatusCode::kIoError, "cannot open " + tmp);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != body.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kIoError, "cannot rename " + tmp);
+  }
+  return Status::Ok();
+}
+
+MetricsExporter::MetricsExporter(const MetricsRegistry* registry,
+                                 std::string path,
+                                 std::chrono::milliseconds interval)
+    : registry_(registry), path_(std::move(path)), interval_(interval) {
+  TCROWD_CHECK(registry_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsExporter::~MetricsExporter() {
+  Status st = Stop();
+  if (!st.ok()) {
+    TCROWD_LOG(Warning) << "final metrics export failed: " << st.ToString();
+  }
+}
+
+Status MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::Ok();
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::Ok();
+    stopped_ = true;
+  }
+  return WriteMetricsFile(*registry_, path_);
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) break;
+    lock.unlock();
+    Status st = WriteMetricsFile(*registry_, path_);
+    if (!st.ok()) {
+      TCROWD_LOG(Warning) << "periodic metrics export failed: "
+                          << st.ToString();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace tcrowd

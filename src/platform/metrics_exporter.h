@@ -1,0 +1,52 @@
+#ifndef TCROWD_PLATFORM_METRICS_EXPORTER_H_
+#define TCROWD_PLATFORM_METRICS_EXPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "platform/metrics.h"
+
+namespace tcrowd {
+
+/// Writes `registry.FormatPrometheus()` to `path` atomically (tmp file +
+/// rename), so a scraper tailing the file never reads a half-written
+/// exposition.
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path);
+
+/// Background writer: re-exports the registry to `path` every `interval`
+/// and once more at Stop()/destruction, so the file is fresh both during
+/// the run (live dashboards) and at exit (nightly bench artifact).
+class MetricsExporter {
+ public:
+  MetricsExporter(const MetricsRegistry* registry, std::string path,
+                  std::chrono::milliseconds interval);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Stops the periodic thread and writes the final exposition. Idempotent.
+  /// Returns the status of the final write.
+  Status Stop();
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tcrowd
+
+#endif  // TCROWD_PLATFORM_METRICS_EXPORTER_H_

@@ -1,0 +1,321 @@
+#include "platform/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#ifndef _WIN32
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/string_util.h"
+
+namespace tcrowd::trace {
+
+namespace internal {
+std::atomic<uint8_t> g_min_level{static_cast<uint8_t>(Level::kInfo)};
+std::atomic<uint32_t> g_category_mask{
+    (1u << static_cast<unsigned>(Category::kNumCategories)) - 1u};
+}  // namespace internal
+
+namespace {
+
+struct Ring {
+  std::array<Event, kRingSlots> slots;
+  std::atomic<uint64_t> next{0};  ///< total events written to this ring
+  uint32_t thread_id = 0;
+};
+
+std::atomic<uint64_t> g_seq{1};  // 0 means "slot never written"
+std::atomic<uint64_t> g_emitted{0};
+std::atomic<uint64_t> g_overwritten{0};
+
+// Registry of every thread's ring. Rings are leaked deliberately: a dying
+// thread's events must stay dumpable, and the crash handler must never race
+// a destructor.
+std::mutex g_registry_mu;
+std::vector<Ring*>& RegistryLocked() {
+  static std::vector<Ring*>* rings = new std::vector<Ring*>;
+  return *rings;
+}
+
+Ring* RegisterRing() {
+  Ring* ring = new Ring;
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  std::vector<Ring*>& rings = RegistryLocked();
+  ring->thread_id = static_cast<uint32_t>(rings.size());
+  rings.push_back(ring);
+  return ring;
+}
+
+Ring& ThisRing() {
+  thread_local Ring* ring = RegisterRing();
+  return *ring;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Start-of-process reference so dump timestamps read as small "+N.NNNs"
+// offsets.
+const int64_t g_start_nanos = NowNanos();
+
+}  // namespace
+
+namespace internal {
+
+void EmitSlow(Category category, Level level, const char* message,
+              uint64_t a0, uint64_t a1) {
+  Ring& ring = ThisRing();
+  const uint64_t n = ring.next.fetch_add(1, std::memory_order_relaxed);
+  Event& slot = ring.slots[n & (kRingSlots - 1)];
+  // Mark the slot in-flight (seq=0) so Dump() skips it if it reads a
+  // half-written record; publish the real seq last.
+  slot.seq = 0;
+  slot.nanos = NowNanos();
+  slot.message = message;
+  slot.a0 = a0;
+  slot.a1 = a1;
+  slot.thread = ring.thread_id;
+  slot.category = category;
+  slot.level = level;
+  slot.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  g_emitted.fetch_add(1, std::memory_order_relaxed);
+  if (n >= kRingSlots) g_overwritten.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kService: return "service";
+    case Category::kEngine: return "engine";
+    case Category::kSeal: return "seal";
+    case Category::kCheckpoint: return "checkpoint";
+    case Category::kRouter: return "router";
+    case Category::kReplay: return "replay";
+    default: return "?";
+  }
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+  }
+  return "?";
+}
+
+void SetMinLevel(Level level) {
+  internal::g_min_level.store(static_cast<uint8_t>(level),
+                              std::memory_order_relaxed);
+}
+
+Level MinLevel() {
+  return static_cast<Level>(
+      internal::g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetCategoryEnabled(Category category, bool enabled) {
+  const uint32_t bit = 1u << static_cast<unsigned>(category);
+  if (enabled) {
+    internal::g_category_mask.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    internal::g_category_mask.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+bool ParseLevel(const std::string& name, Level* level, bool* off) {
+  *off = false;
+  if (name == "debug") {
+    *level = Level::kDebug;
+  } else if (name == "info") {
+    *level = Level::kInfo;
+  } else if (name == "warn") {
+    *level = Level::kWarn;
+  } else if (name == "off") {
+    *off = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Disable() {
+  internal::g_min_level.store(static_cast<uint8_t>(Level::kWarn) + 1,
+                              std::memory_order_relaxed);
+}
+
+uint64_t EmittedCount() { return g_emitted.load(std::memory_order_relaxed); }
+
+uint64_t OverwrittenCount() {
+  return g_overwritten.load(std::memory_order_relaxed);
+}
+
+std::string Dump() {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    for (Ring* ring : RegistryLocked()) {
+      for (const Event& slot : ring->slots) {
+        Event copy = slot;  // best-effort snapshot; torn slots have seq==0
+        if (copy.seq != 0 && copy.message != nullptr) events.push_back(copy);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  std::string out;
+  out.reserve(events.size() * 64);
+  for (const Event& e : events) {
+    const double secs =
+        static_cast<double>(e.nanos - g_start_nanos) * 1e-9;
+    out += StrFormat("[%" PRIu64 "] +%.6fs t%u %s/%s %s a0=%" PRIu64
+                     " a1=%" PRIu64 "\n",
+                     e.seq, secs, e.thread, CategoryName(e.category),
+                     LevelName(e.level), e.message, e.a0, e.a1);
+  }
+  return out;
+}
+
+void DumpToStderr() {
+  std::string dump = Dump();
+  std::fprintf(stderr,
+               "==== tcrowd trace ring (%zu bytes, %" PRIu64
+               " emitted, %" PRIu64 " overwritten) ====\n",
+               dump.size(), EmittedCount(), OverwrittenCount());
+  std::fwrite(dump.data(), 1, dump.size(), stderr);
+  std::fprintf(stderr, "==== end tcrowd trace ring ====\n");
+  std::fflush(stderr);
+}
+
+void ResetForTest() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  for (Ring* ring : RegistryLocked()) {
+    ring->slots.fill(Event{});
+    ring->next.store(0, std::memory_order_relaxed);
+  }
+  g_emitted.store(0, std::memory_order_relaxed);
+  g_overwritten.store(0, std::memory_order_relaxed);
+  g_seq.store(1, std::memory_order_relaxed);
+}
+
+#ifndef _WIN32
+
+namespace {
+
+// Everything below runs inside a signal handler: write(2) only, no
+// allocation, no locks. The ring registry is read without its mutex — the
+// process is crashing, a torn read beats a deadlock.
+void WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w <= 0) return;
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void WriteStr(int fd, const char* s) { WriteAll(fd, s, std::strlen(s)); }
+
+void WriteU64(int fd, uint64_t v) {
+  char buf[21];
+  char* p = buf + sizeof(buf);
+  *--p = '\0';
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  WriteStr(fd, p);
+}
+
+void DumpRingsRaw(int fd) {
+  WriteStr(fd, "==== tcrowd crash trace dump ====\n");
+  // No sorting (allocation-free): emit per-ring, oldest slot first, with
+  // the global seq printed so `sort -n` reconstructs the merged order.
+  const std::vector<Ring*>& rings = RegistryLocked();
+  for (Ring* ring : rings) {
+    const uint64_t written = ring->next.load(std::memory_order_relaxed);
+    const uint64_t count = std::min<uint64_t>(written, kRingSlots);
+    const uint64_t first = written - count;
+    for (uint64_t i = 0; i < count; ++i) {
+      const Event& e = ring->slots[(first + i) & (kRingSlots - 1)];
+      if (e.seq == 0 || e.message == nullptr) continue;
+      WriteU64(fd, e.seq);
+      WriteStr(fd, " t");
+      WriteU64(fd, e.thread);
+      WriteStr(fd, " ");
+      WriteStr(fd, CategoryName(e.category));
+      WriteStr(fd, "/");
+      WriteStr(fd, LevelName(e.level));
+      WriteStr(fd, " ");
+      WriteStr(fd, e.message);
+      WriteStr(fd, " a0=");
+      WriteU64(fd, e.a0);
+      WriteStr(fd, " a1=");
+      WriteU64(fd, e.a1);
+      WriteStr(fd, "\n");
+    }
+  }
+  WriteStr(fd, "==== end tcrowd crash trace dump ====\n");
+}
+
+// Snapshot of $TCROWD_CRASH_DUMP_DIR taken at install time; getenv is not
+// async-signal-safe.
+char g_crash_dump_path[512] = {0};
+
+void CrashHandler(int signo) {
+  WriteStr(2, "tcrowd: fatal signal ");
+  WriteU64(2, static_cast<uint64_t>(signo));
+  WriteStr(2, ", dumping trace ring\n");
+  DumpRingsRaw(2);
+  if (g_crash_dump_path[0] != '\0') {
+    int fd = ::open(g_crash_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      DumpRingsRaw(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* dir = std::getenv("TCROWD_CRASH_DUMP_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+      std::snprintf(g_crash_dump_path, sizeof(g_crash_dump_path),
+                    "%s/tcrowd-trace-%d.dump", dir,
+                    static_cast<int>(::getpid()));
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = CrashHandler;
+    sigemptyset(&sa.sa_mask);
+    for (int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+      sigaction(signo, &sa, nullptr);
+    }
+  });
+}
+
+#else  // _WIN32
+
+void InstallCrashHandler() {}
+
+#endif
+
+}  // namespace tcrowd::trace

@@ -1,0 +1,127 @@
+#ifndef TCROWD_PLATFORM_TRACE_H_
+#define TCROWD_PLATFORM_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tcrowd::trace {
+
+/// Subsystem a trace event belongs to; events are filtered per category
+/// bitmask (default: all on) and per level.
+enum class Category : uint8_t {
+  kService = 0,     ///< session/lease/submit lifecycle
+  kEngine = 1,      ///< refresh scheduling, fit install, finalize
+  kSeal = 2,        ///< tail seals and store compaction decisions
+  kCheckpoint = 3,  ///< durable IO: segment writes, journal, manifest
+  kRouter = 4,      ///< assignment decisions and backfill
+  kReplay = 5,      ///< event-log record/replay driver
+  kNumCategories = 6,
+};
+
+const char* CategoryName(Category category);
+
+/// Severity of a trace event. kDebug events cover per-answer hot paths and
+/// are filtered out at the default level (kInfo), so always-on tracing adds
+/// one relaxed atomic load + branch there.
+enum class Level : uint8_t { kDebug = 0, kInfo = 1, kWarn = 2 };
+
+const char* LevelName(Level level);
+
+/// One slot of a thread's trace ring. `message` must point to a string
+/// literal (static storage duration) — the ring stores the pointer, never
+/// the bytes, which is what keeps Emit ~free.
+struct Event {
+  uint64_t seq = 0;      ///< global order (0 = slot never written)
+  int64_t nanos = 0;     ///< steady-clock timestamp
+  const char* message = nullptr;
+  uint64_t a0 = 0;       ///< two free-form numeric arguments,
+  uint64_t a1 = 0;       ///<   rendered as "msg a0=.. a1=.."
+  uint32_t thread = 0;   ///< small per-thread id (registration order)
+  Category category = Category::kService;
+  Level level = Level::kInfo;
+};
+
+/// Events each thread's ring holds before overwriting its oldest (power of
+/// two). ~64 KiB per thread: cheap enough to be always on.
+inline constexpr size_t kRingSlots = 1024;
+
+namespace internal {
+
+/// Minimum level stored (relaxed; read on every Emit).
+extern std::atomic<uint8_t> g_min_level;
+/// Category enable bitmask (bit i = Category(i) enabled).
+extern std::atomic<uint32_t> g_category_mask;
+
+void EmitSlow(Category category, Level level, const char* message,
+              uint64_t a0, uint64_t a1);
+
+}  // namespace internal
+
+/// True when an event at (category, level) would be stored — the hot-path
+/// guard, one relaxed load each.
+inline bool Enabled(Category category, Level level) {
+  return static_cast<uint8_t>(level) >=
+             internal::g_min_level.load(std::memory_order_relaxed) &&
+         (internal::g_category_mask.load(std::memory_order_relaxed) >>
+              static_cast<unsigned>(category) &
+          1u) != 0;
+}
+
+/// Stores one event in the calling thread's ring (lock-free past the
+/// thread's first event). `message` MUST be a string literal.
+inline void Emit(Category category, Level level, const char* message,
+                 uint64_t a0 = 0, uint64_t a1 = 0) {
+  if (!Enabled(category, level)) return;
+  internal::EmitSlow(category, level, message, a0, a1);
+}
+
+/// Global level filter (default kInfo; kDebug turns the hot paths on).
+void SetMinLevel(Level level);
+Level MinLevel();
+/// Per-category enable/disable (default: every category on).
+void SetCategoryEnabled(Category category, bool enabled);
+/// Parses "debug" / "info" / "warn" / "off"; false on unknown names. "off"
+/// raises the bar above kWarn so nothing is stored.
+bool ParseLevel(const std::string& name, Level* level, bool* off);
+/// Disables all storing (equivalent to ParseLevel("off")).
+void Disable();
+
+/// Events emitted / dropped-by-overwrite since start (approximate, relaxed).
+uint64_t EmittedCount();
+uint64_t OverwrittenCount();
+
+/// Merged best-effort snapshot of every thread's ring, oldest first, one
+/// line per event:
+///   [seq] +0.000123s cat/level message a0=.. a1=..
+/// Concurrent emitters may tear an in-flight slot; torn slots are skipped.
+std::string Dump();
+
+/// Dump() to stderr with a banner — the on-demand sibling of the crash dump.
+void DumpToStderr();
+
+/// Clears every registered ring and the counters (tests only; not safe
+/// concurrently with Emit on other threads).
+void ResetForTest();
+
+/// Installs SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers that write the
+/// trace dump to stderr (and to `TCROWD_CRASH_DUMP_DIR/tcrowd-trace-<pid>.dump`
+/// when that environment variable is set) before re-raising the signal with
+/// the default disposition. Idempotent. No-op on non-POSIX builds.
+void InstallCrashHandler();
+
+}  // namespace tcrowd::trace
+
+/// Convenience macro: evaluates its arguments only when the event passes
+/// the level/category filter.
+#define TCROWD_TRACE(category, level, message, ...)                        \
+  do {                                                                     \
+    if (::tcrowd::trace::Enabled(::tcrowd::trace::Category::category,      \
+                                 ::tcrowd::trace::Level::level)) {         \
+      ::tcrowd::trace::Emit(::tcrowd::trace::Category::category,           \
+                            ::tcrowd::trace::Level::level, message,        \
+                            ##__VA_ARGS__);                                \
+    }                                                                      \
+  } while (0)
+
+#endif  // TCROWD_PLATFORM_TRACE_H_

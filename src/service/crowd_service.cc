@@ -5,8 +5,22 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "inference/segment_codec.h"
+#include "platform/event_log.h"
+#include "platform/trace.h"
 
 namespace tcrowd::service {
+
+namespace {
+
+// The engine gets the service's recorder through its own args (the engine
+// records seal events from refresh threads).
+InferenceArgs WithRecorder(InferenceArgs args, EventRecorder* recorder) {
+  args.recorder = recorder;
+  return args;
+}
+
+}  // namespace
 
 const char* TaskStateName(TaskState state) {
   switch (state) {
@@ -42,7 +56,8 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
       submit_latency_(&metrics_.latency("service.submit_answer")),
       pool_(static_cast<size_t>(std::max(1, config_.num_threads))),
       engine_(std::make_unique<IncrementalInferenceEngine>(
-          schema, num_rows, config_.inference, &pool_)),
+          schema, num_rows,
+          WithRecorder(config_.inference, config_.recorder), &pool_)),
       router_(std::move(policy), config_.router),
       answers_(num_rows, schema.num_columns()),
       tasks_(static_cast<size_t>(num_rows) * schema.num_columns()) {
@@ -60,8 +75,10 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
   // per-cell counts, budget spend/commit, and task finalization all line
   // up with the durable history. The router is NOT warmed per answer; its
   // first Route() refits over the full recovered AnswerSet anyway.
+  std::vector<Answer> restored_log;
   if (engine_->restored_answers() > 0) {
     AnswerSet recovered = engine_->SnapshotAnswers();
+    restored_log = recovered.answers();
     for (const Answer& answer : recovered.answers()) {
       answers_.Add(answer);
       TaskEntry& task = TaskAt(answer.cell);
@@ -80,6 +97,15 @@ CrowdService::CrowdService(const Schema& schema, int num_rows,
     // Bring estimates back online without blocking startup (async mode
     // runs the fit on the service pool).
     engine_->RequestRefresh();
+  }
+  TCROWD_TRACE(kService, kInfo, "service up", tasks_.size(),
+               restored_log.size());
+  // kRunStart carries the restored bootstrap so a replay without the
+  // checkpoint directory can re-inject the durable history first.
+  if (config_.recorder != nullptr) {
+    config_.recorder->RecordRunStart(SchemaFingerprint(schema_, num_rows_),
+                                     static_cast<uint32_t>(num_rows_),
+                                     restored_log);
   }
 }
 
@@ -137,19 +163,27 @@ int CrowdService::ExpireStaleSessionsLocked(int64_t now, bool force) {
   // deadline period there; the explicit ExpireStaleSessions() is exact).
   if (!force && now - last_sweep_nanos_ < deadline_nanos) return 0;
   last_sweep_nanos_ = now;
-  int expired = 0;
+  std::vector<uint64_t> expired_ids;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (now - it->second.last_active_nanos > deadline_nanos) {
       ReleaseLeasesLocked(&it->second);
+      expired_ids.push_back(static_cast<uint64_t>(it->first));
       it = sessions_.erase(it);
-      ++expired;
     } else {
       ++it;
     }
   }
+  const int expired = static_cast<int>(expired_ids.size());
   if (expired > 0) {
     sessions_expired_total_ += expired;
     sessions_expired_->Increment(expired);
+    TCROWD_TRACE(kService, kInfo, "sessions expired",
+                 static_cast<uint64_t>(expired), sessions_.size());
+    // Wall-clock expiry is nondeterministic; the log pins which sessions
+    // died so replay applies the identical sweep.
+    if (config_.recorder != nullptr) {
+      config_.recorder->RecordSessionsExpired(expired_ids);
+    }
   }
   return expired;
 }
@@ -169,6 +203,11 @@ CrowdService::SessionId CrowdService::StartSession(WorkerId worker) {
   sess.last_active_nanos = now;
   ++sessions_started_total_;
   sessions_started_->Increment();
+  TCROWD_TRACE(kService, kDebug, "session start", static_cast<uint64_t>(id),
+               static_cast<uint64_t>(static_cast<uint32_t>(worker)));
+  if (config_.recorder != nullptr) {
+    config_.recorder->RecordSessionStart(static_cast<uint64_t>(id), worker);
+  }
   return id;
 }
 
@@ -215,7 +254,42 @@ std::vector<CellRef> CrowdService::RequestTasks(SessionId session, int k) {
     ++budget_committed_;
     tasks_assigned_->Increment();
   }
+  TCROWD_TRACE(kRouter, kDebug, "leases granted",
+               static_cast<uint64_t>(session), picked.size());
+  // Routing depends on the policy's current fit — async refresh timing —
+  // so the grant itself is the recorded decision, not the request.
+  if (config_.recorder != nullptr) {
+    config_.recorder->RecordLeases(static_cast<uint64_t>(session), picked);
+  }
   return picked;
+}
+
+Status CrowdService::ApplyRecordedLeases(SessionId session,
+                                         const std::vector<CellRef>& cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound(
+        StrFormat("unknown session %lld", static_cast<long long>(session)));
+  }
+  for (const CellRef& cell : cells) {
+    if (cell.row < 0 || cell.row >= num_rows_ || cell.col < 0 ||
+        cell.col >= schema_.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("cell (%d,%d) out of range", cell.row, cell.col));
+    }
+  }
+  Session& sess = it->second;
+  sess.last_active_nanos = NowNanos();
+  for (const CellRef& cell : cells) {
+    ++TaskAt(cell).leases;
+    sess.leases.push_back(cell);
+    ++budget_committed_;
+    tasks_assigned_->Increment();
+  }
+  TCROWD_TRACE(kReplay, kDebug, "replayed leases",
+               static_cast<uint64_t>(session), cells.size());
+  return Status::Ok();
 }
 
 Status CrowdService::AcceptAnswerLocked(Session* session, CellRef cell,
@@ -252,6 +326,9 @@ Status CrowdService::AcceptAnswerLocked(Session* session, CellRef cell,
   ++task.answers;
   ++budget_spent_;
   answers_accepted_->Increment();
+  TCROWD_TRACE(kService, kDebug, "answer accepted",
+               static_cast<uint64_t>(static_cast<uint32_t>(session->worker)),
+               static_cast<uint64_t>(budget_spent_));
   if (task.answers >= config_.target_answers_per_task && !task.finalized) {
     task.finalized = true;
     ++finalized_count_;
@@ -270,16 +347,28 @@ Status CrowdService::SubmitAnswer(SessionId session, CellRef cell,
     std::lock_guard<std::mutex> lock(mu_);
     int64_t now = NowNanos();
     ExpireStaleSessionsLocked(now);
+    // Single-item submits record the same kAnswerBatch frame as the batch
+    // path; the log captures the acceptance status either way, so replay
+    // can assert the replayed service reached the same verdict.
+    auto record = [&](const Status& st) {
+      if (config_.recorder == nullptr) return;
+      config_.recorder->RecordAnswerBatch(
+          static_cast<uint64_t>(session),
+          {{cell, value, static_cast<uint8_t>(st.code())}});
+    };
     auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       ++rejected_;
       answers_rejected_->Increment();
-      return Status::NotFound(
+      Status st = Status::NotFound(
           StrFormat("unknown session %lld", static_cast<long long>(session)));
+      record(st);
+      return st;
     }
     Session& sess = it->second;
     sess.last_active_nanos = now;
     Status st = AcceptAnswerLocked(&sess, cell, value, &answer);
+    record(st);
     if (!st.ok()) return st;
   }
   // The engine queues the answer under its own ingest lock and may kick off
@@ -300,6 +389,17 @@ std::vector<Status> CrowdService::SubmitAnswerBatch(
     std::lock_guard<std::mutex> lock(mu_);
     int64_t now = NowNanos();
     ExpireStaleSessionsLocked(now);
+    auto record = [&]() {
+      if (config_.recorder == nullptr) return;
+      std::vector<AnswerEventItem> recorded;
+      recorded.reserve(items.size());
+      for (size_t k = 0; k < items.size(); ++k) {
+        recorded.push_back({items[k].first, items[k].second,
+                            static_cast<uint8_t>(statuses[k].code())});
+      }
+      config_.recorder->RecordAnswerBatch(static_cast<uint64_t>(session),
+                                          recorded);
+    };
     auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       rejected_ += static_cast<int64_t>(items.size());
@@ -307,6 +407,7 @@ std::vector<Status> CrowdService::SubmitAnswerBatch(
       Status not_found = Status::NotFound(
           StrFormat("unknown session %lld", static_cast<long long>(session)));
       statuses.assign(items.size(), not_found);
+      record();
       return statuses;
     }
     Session& sess = it->second;
@@ -317,6 +418,7 @@ std::vector<Status> CrowdService::SubmitAnswerBatch(
       if (st.ok()) accepted.push_back(answer);
       statuses.push_back(std::move(st));
     }
+    record();
   }
   // One engine hand-off for the whole page: the accepted answers enter the
   // ingest queue in batch order and drain into the tail segment together.
@@ -328,15 +430,26 @@ std::vector<Status> CrowdService::SubmitAnswerBatch(
 
 Status CrowdService::RetractAnswer(WorkerId worker, CellRef cell) {
   std::lock_guard<std::mutex> lock(mu_);
+  auto record = [&](const Status& st) {
+    if (config_.recorder == nullptr) return;
+    config_.recorder->RecordRetract(worker, cell,
+                                    static_cast<uint8_t>(st.code()));
+  };
   if (cell.row < 0 || cell.row >= num_rows_ || cell.col < 0 ||
       cell.col >= schema_.num_columns()) {
-    return Status::InvalidArgument(
+    Status st = Status::InvalidArgument(
         StrFormat("cell (%d,%d) out of range", cell.row, cell.col));
+    record(st);
+    return st;
   }
   // Engine first: it owns the durable log, and a submit whose engine
   // hand-off is still in flight on another thread surfaces there as
   // NotFound — in that case the ledger must stay untouched too.
   Status st = engine_->RetractAnswer(worker, cell);
+  record(st);
+  TCROWD_TRACE(kService, kInfo, "retraction",
+               static_cast<uint64_t>(static_cast<uint32_t>(worker)),
+               static_cast<uint64_t>(st.ok() ? 1 : 0));
   if (!st.ok()) return st;
 
   bool removed = answers_.RemoveLast(worker, cell);
@@ -366,6 +479,11 @@ Status CrowdService::EndSession(SessionId session) {
   ReleaseLeasesLocked(&it->second);
   sessions_.erase(it);
   sessions_ended_->Increment();
+  TCROWD_TRACE(kService, kDebug, "session end", static_cast<uint64_t>(session),
+               sessions_.size());
+  if (config_.recorder != nullptr) {
+    config_.recorder->RecordSessionEnd(static_cast<uint64_t>(session));
+  }
   return Status::Ok();
 }
 
@@ -418,6 +536,18 @@ ServiceStats CrowdService::Stats() const {
   return stats;
 }
 
-InferenceResult CrowdService::Finalize() { return engine_->Finalize(); }
+InferenceResult CrowdService::Finalize() {
+  InferenceResult result = engine_->Finalize();
+  const uint64_t digest = TruthDigest(result.estimated_truth);
+  TCROWD_TRACE(kService, kInfo, "finalize", digest,
+               static_cast<uint64_t>(engine_->num_answers()));
+  // The digest is the replay contract: a re-driven run must Finalize() to a
+  // truth table with this exact bit pattern.
+  if (config_.recorder != nullptr) {
+    config_.recorder->RecordFinalize(
+        digest, static_cast<uint64_t>(engine_->num_answers()));
+  }
+  return result;
+}
 
 }  // namespace tcrowd::service

@@ -17,6 +17,10 @@
 #include "service/incremental_engine.h"
 #include "service/task_router.h"
 
+namespace tcrowd {
+class EventRecorder;
+}  // namespace tcrowd
+
 namespace tcrowd::service {
 
 /// Lifecycle of one task (cell) inside the service.
@@ -50,6 +54,13 @@ struct ServiceConfig {
   /// Test seam: monotonic nanosecond clock used for lease deadlines.
   /// Defaults to std::chrono::steady_clock when unset.
   std::function<int64_t()> clock_nanos;
+  /// Deterministic event recorder (unowned; must outlive the service).
+  /// When set, every nondeterministic service decision — session ids,
+  /// granted leases, acceptance statuses, expiry sweeps, the Finalize
+  /// digest — is appended to the event log under the service mutex, so a
+  /// replay driver reproduces the run bit-identically. Null disables
+  /// recording. The engine receives the same recorder for seal events.
+  EventRecorder* recorder = nullptr;
   InferenceArgs inference;
   RouterOptions router;
 };
@@ -152,6 +163,15 @@ class CrowdService {
   /// live answer on the cell. Runs under the service mutex end to end —
   /// retraction is the rare slow path, consistency wins.
   Status RetractAnswer(WorkerId worker, CellRef cell);
+
+  /// Replay seam: books exactly `cells` as leases on the session — task
+  /// lease counts, budget commitment, session state — WITHOUT consulting
+  /// the router. Replay drives lease grants from the recorded log through
+  /// this instead of RequestTasks, so routing decisions that depended on
+  /// the original run's async refresh timing are reproduced verbatim.
+  /// Rejects an unknown session or an out-of-range cell.
+  Status ApplyRecordedLeases(SessionId session,
+                             const std::vector<CellRef>& cells);
 
   /// Closes the session; unanswered leases return to the open pool (and
   /// their budget commitment is refunded) so backfill can re-route them.

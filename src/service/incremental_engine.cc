@@ -16,6 +16,8 @@
 #include "inference/majority_voting.h"
 #include "inference/median_inference.h"
 #include "inference/zencrowd.h"
+#include "platform/event_log.h"
+#include "platform/trace.h"
 
 namespace tcrowd::service {
 
@@ -353,7 +355,14 @@ void IncrementalInferenceEngine::RunRefresh() {
       // Checkpoint-on-seal: the newly sealed slice goes to disk exactly
       // once, while it is still O(answers since the last refresh).
       PersistSealedLocked();
+      TCROWD_TRACE(kSeal, kInfo, "refresh seal", snapshot_size_,
+                   static_cast<uint64_t>(refresh_count_));
+      if (args_.recorder != nullptr) {
+        args_.recorder->RecordSeal(snapshot_size_);
+      }
     }
+    TCROWD_TRACE(kEngine, kInfo, "refresh fit start", snapshot_size_,
+                 static_cast<uint64_t>(tcrowd_path_ ? 1 : 0));
 
     // The expensive part runs without the lock: submits keep flowing while
     // the EM re-converges over the immutable segments, on the persistent
@@ -399,6 +408,8 @@ void IncrementalInferenceEngine::RunRefresh() {
         fitted_ = true;
         fitted_flag_.store(true, std::memory_order_relaxed);
         ++refresh_count_;
+        TCROWD_TRACE(kEngine, kInfo, "refresh installed",
+                     static_cast<uint64_t>(refresh_count_), store_.size());
       }
       if (refresh_pending_ && !shutdown_) {
         // Coalesced requests: run one more pass with a fresh snapshot;
@@ -583,7 +594,14 @@ InferenceResult IncrementalInferenceEngine::Finalize() {
     snapshot = store_.SealAndSnapshot(/*force_compact=*/true);
     AbsorbAppliedTombstonesLocked();
     PersistSealedLocked();
+    TCROWD_TRACE(kSeal, kInfo, "finalize force-compact seal",
+                 snapshot.num_answers(), static_cast<uint64_t>(0));
+    if (args_.recorder != nullptr) {
+      args_.recorder->RecordSeal(snapshot.num_answers());
+    }
   }
+  TCROWD_TRACE(kEngine, kInfo, "finalize fit start", snapshot.num_answers(),
+               static_cast<uint64_t>(refresh_count_));
   InferenceResult result;
   try {
     if (tcrowd_path_) {

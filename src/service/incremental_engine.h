@@ -17,6 +17,10 @@
 #include "inference/tcrowd_model.h"
 #include "service/snapshot_store.h"
 
+namespace tcrowd {
+class EventRecorder;
+}  // namespace tcrowd
+
 namespace tcrowd::service {
 
 /// MAGPIE-style argument block configuring the online inference engine: one
@@ -68,6 +72,12 @@ struct InferenceArgs {
   /// slice of the log piggybacked on the refresh seal — keeping the hot
   /// path O(new answers). Empty (default) disables persistence entirely.
   CheckpointArgs checkpoint;
+
+  /// Event recorder (unowned, nullable): the engine records a kSeal event
+  /// after each tail seal. CrowdService plumbs its configured recorder in
+  /// here; seals are informational for replay (which force-compacts at
+  /// Finalize anyway) but load-bearing for incident forensics.
+  EventRecorder* recorder = nullptr;
 };
 
 /// Online truth inference around the batch models: owns the growing

@@ -1,0 +1,198 @@
+#include "service/replay.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "inference/segment_codec.h"
+#include "platform/trace.h"
+
+namespace tcrowd::service {
+namespace {
+
+void NoteDivergence(ReplayReport* report, const char* what, CellRef cell,
+                    uint8_t recorded, uint8_t replayed) {
+  ++report->status_divergences;
+  if (report->first_divergence.empty()) {
+    report->first_divergence = StrFormat(
+        "%s at (%d,%d): recorded %s, replayed %s", what, cell.row, cell.col,
+        StatusCodeName(static_cast<StatusCode>(recorded)),
+        StatusCodeName(static_cast<StatusCode>(replayed)));
+  }
+}
+
+/// Re-injects checkpoint-recovered answers through the live submit path.
+/// Valid because Finalize() force-compacts: only the chronological answer
+/// order matters to the final fit, not which segment an answer landed in.
+/// Consecutive same-worker runs share one bootstrap session so the ledger
+/// books them the way a real worker session would have.
+Status BootstrapRestored(const std::vector<Answer>& restored,
+                         CrowdService* service, ReplayReport* report) {
+  size_t i = 0;
+  while (i < restored.size()) {
+    size_t j = i;
+    while (j < restored.size() &&
+           restored[j].worker == restored[i].worker) {
+      ++j;
+    }
+    CrowdService::SessionId sid = service->StartSession(restored[i].worker);
+    std::vector<CellRef> cells;
+    std::vector<std::pair<CellRef, Value>> items;
+    cells.reserve(j - i);
+    items.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      cells.push_back(restored[k].cell);
+      items.emplace_back(restored[k].cell, restored[k].value);
+    }
+    TCROWD_RETURN_IF_ERROR(service->ApplyRecordedLeases(sid, cells));
+    for (const Status& st : service->SubmitAnswerBatch(sid, items)) {
+      if (!st.ok()) {
+        return Status::Internal(
+            StrFormat("restored answer rejected: %s", st.ToString().c_str()));
+      }
+      ++report->restored_bootstrapped;
+    }
+    service->EndSession(sid);
+    i = j;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const RecordedEvent* FindRunStart(const EventLogReplay& log) {
+  for (const RecordedEvent& e : log.events) {
+    if (e.type == EventType::kRunStart) return &e;
+  }
+  return nullptr;
+}
+
+Status ReplayEvents(const EventLogReplay& log, CrowdService* service,
+                    ReplayReport* report) {
+  *report = ReplayReport{};
+  report->log_truncated = log.truncated;
+
+  // Recorded session id -> live session id. Entries are never erased: a
+  // submit against an already-ended session must replay to the same
+  // NotFound the original run returned.
+  std::unordered_map<uint64_t, CrowdService::SessionId> session_map;
+
+  for (const RecordedEvent& e : log.events) {
+    switch (e.type) {
+      case EventType::kRunStart: {
+        report->seed = e.seed;
+        report->policy = e.policy;
+        report->world = e.world;
+        const uint64_t fp =
+            SchemaFingerprint(service->schema(), service->num_rows());
+        if (e.schema_fingerprint != fp) {
+          return Status::FailedPrecondition(StrFormat(
+              "event log was recorded against a different world: schema "
+              "fingerprint %llx, serving %llx",
+              static_cast<unsigned long long>(e.schema_fingerprint),
+              static_cast<unsigned long long>(fp)));
+        }
+        if (!e.restored.empty()) {
+          TCROWD_RETURN_IF_ERROR(
+              BootstrapRestored(e.restored, service, report));
+        }
+        break;
+      }
+      case EventType::kSessionStart: {
+        session_map[e.session] = service->StartSession(e.worker);
+        ++report->sessions_replayed;
+        break;
+      }
+      case EventType::kLeases: {
+        auto it = session_map.find(e.session);
+        if (it == session_map.end()) {
+          return Status::Internal(StrFormat(
+              "lease event for session %llu with no recorded start",
+              static_cast<unsigned long long>(e.session)));
+        }
+        TCROWD_RETURN_IF_ERROR(
+            service->ApplyRecordedLeases(it->second, e.cells));
+        report->leases_replayed += e.cells.size();
+        break;
+      }
+      case EventType::kAnswerBatch: {
+        // An unmapped recorded session means the original submit already
+        // hit NotFound (e.g. it raced an expiry sweep). Session id 0 is
+        // never granted, so it reproduces those statuses.
+        auto it = session_map.find(e.session);
+        const CrowdService::SessionId sid =
+            it == session_map.end() ? 0 : it->second;
+        std::vector<std::pair<CellRef, Value>> items;
+        items.reserve(e.items.size());
+        for (const AnswerEventItem& item : e.items) {
+          items.emplace_back(item.cell, item.value);
+        }
+        std::vector<Status> statuses = service->SubmitAnswerBatch(sid, items);
+        report->answers_offered += e.items.size();
+        for (size_t i = 0; i < e.items.size() && i < statuses.size(); ++i) {
+          const uint8_t replayed =
+              static_cast<uint8_t>(statuses[i].code());
+          if (statuses[i].ok()) ++report->answers_accepted;
+          if (replayed != e.items[i].status_code) {
+            NoteDivergence(report, "submit", e.items[i].cell,
+                           e.items[i].status_code, replayed);
+          }
+        }
+        break;
+      }
+      case EventType::kRetract: {
+        const CellRef cell = e.cells.empty() ? CellRef{0, 0} : e.cells[0];
+        const Status st = service->RetractAnswer(e.worker, cell);
+        ++report->retractions_replayed;
+        const uint8_t replayed = static_cast<uint8_t>(st.code());
+        if (replayed != e.status_code) {
+          NoteDivergence(report, "retract", cell, e.status_code, replayed);
+        }
+        break;
+      }
+      case EventType::kSessionEnd: {
+        auto it = session_map.find(e.session);
+        if (it != session_map.end()) service->EndSession(it->second);
+        break;
+      }
+      case EventType::kSessionsExpired: {
+        // Replay has no wall clock; the recorded victim list IS the sweep.
+        // EndSession has the identical ledger effect (leases released,
+        // commitments refunded, session unusable afterwards).
+        for (uint64_t s : e.expired) {
+          auto it = session_map.find(s);
+          if (it != session_map.end()) service->EndSession(it->second);
+        }
+        break;
+      }
+      case EventType::kSeal:
+        break;  // informational: seal boundaries never affect Finalize
+      case EventType::kFinalize: {
+        InferenceResult result = service->Finalize();
+        report->reached_finalize = true;
+        report->recorded_digest = e.digest;
+        report->replayed_digest = TruthDigest(result.estimated_truth);
+        report->recorded_answer_count = e.answer_count;
+        report->replayed_answer_count = service->engine().num_answers();
+        report->digest_match =
+            report->recorded_digest == report->replayed_digest;
+        TCROWD_TRACE(kReplay, kInfo, "finalize digests compared",
+                     report->recorded_digest, report->replayed_digest);
+        break;
+      }
+    }
+    ++report->events_applied;
+  }
+  return Status::Ok();
+}
+
+Status ReplayEventLogFile(const std::string& path, CrowdService* service,
+                          ReplayReport* report) {
+  EventLogReplay log;
+  TCROWD_RETURN_IF_ERROR(ReadEventLogFile(path, &log));
+  return ReplayEvents(log, service, report);
+}
+
+}  // namespace tcrowd::service

@@ -1,0 +1,85 @@
+#ifndef TCROWD_SERVICE_REPLAY_H_
+#define TCROWD_SERVICE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "platform/event_log.h"
+#include "service/crowd_service.h"
+
+namespace tcrowd::service {
+
+/// Outcome of re-driving a CrowdService from a recorded event log (see
+/// docs/OBSERVABILITY.md). The verdict is zero-tolerance: a replay is
+/// faithful only when every replayed acceptance status matched the recorded
+/// one AND the Finalize() truth digests are bit-identical.
+struct ReplayReport {
+  uint64_t events_applied = 0;
+  /// The log's tail was torn or corrupt; the clean prefix was replayed.
+  bool log_truncated = false;
+
+  // kRunStart header echo (how the recording run was parameterized).
+  uint64_t seed = 0;
+  std::string policy;
+  std::string world;
+  /// Checkpoint-recovered answers re-injected through the live submit path.
+  uint64_t restored_bootstrapped = 0;
+
+  uint64_t sessions_replayed = 0;
+  uint64_t leases_replayed = 0;
+  uint64_t answers_offered = 0;
+  uint64_t answers_accepted = 0;
+  uint64_t retractions_replayed = 0;
+
+  /// Replayed acceptance statuses that differed from the recorded ones.
+  uint64_t status_divergences = 0;
+  std::string first_divergence;
+
+  /// kFinalize comparison. A log with no finalize event (a crash capture)
+  /// replays through the crash point: reached_finalize stays false and the
+  /// digest fields are meaningless.
+  bool reached_finalize = false;
+  bool digest_match = false;
+  uint64_t recorded_digest = 0;
+  uint64_t replayed_digest = 0;
+  uint64_t recorded_answer_count = 0;
+  uint64_t replayed_answer_count = 0;
+
+  /// The bit-identity verdict: no status divergence, and — when the log
+  /// recorded a Finalize — matching digest and answer count.
+  bool ok() const {
+    return status_divergences == 0 &&
+           (!reached_finalize ||
+            (digest_match &&
+             recorded_answer_count == replayed_answer_count));
+  }
+};
+
+/// Locates the log's kRunStart header (null when the log has none). The
+/// header carries the world recipe a driver needs BEFORE it can construct
+/// the service to replay into.
+const RecordedEvent* FindRunStart(const EventLogReplay& log);
+
+/// Re-drives `service` from the decoded log, event by event, and fills
+/// `*report`. The service must be freshly constructed for the recorded
+/// world: same schema/rows (enforced via the recorded fingerprint), no
+/// checkpoint restore, no recorder, lease expiry disabled. Lease grants go
+/// through CrowdService::ApplyRecordedLeases rather than the router, so the
+/// original run's refresh timing cannot perturb the replay — which is what
+/// makes the digest comparison thread-count independent.
+///
+/// Returns non-OK only for a structurally unusable log (fingerprint
+/// mismatch, lease event for a never-started session, restored-answer
+/// bootstrap failure). Status divergences and digest mismatches are NOT
+/// errors — they are the report's findings.
+Status ReplayEvents(const EventLogReplay& log, CrowdService* service,
+                    ReplayReport* report);
+
+/// Convenience wrapper: read + decode `path`, then ReplayEvents.
+Status ReplayEventLogFile(const std::string& path, CrowdService* service,
+                          ReplayReport* report);
+
+}  // namespace tcrowd::service
+
+#endif  // TCROWD_SERVICE_REPLAY_H_

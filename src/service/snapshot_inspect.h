@@ -1,0 +1,66 @@
+#ifndef TCROWD_SERVICE_SNAPSHOT_INSPECT_H_
+#define TCROWD_SERVICE_SNAPSHOT_INSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcrowd::service {
+
+/// Read-only structural report over a snapshot directory (MANIFEST +
+/// seg-NNNNNN.bin + journal.bin), for the `tcrowd inspect` subcommand and
+/// for tests. Unlike SnapshotStore::Open — which refuses a damaged
+/// directory outright — inspection is diagnostic: it decodes as much as it
+/// can and FLAGS problems per file instead of stopping at the first one,
+/// so an operator can see what a refused snapshot actually contains.
+struct SegmentInspection {
+  std::string file;           ///< name relative to the snapshot directory
+  uint64_t manifest_count = 0;  ///< answers the manifest promises
+  uint64_t decoded_count = 0;   ///< answers the file actually decodes to
+  uint64_t bytes = 0;           ///< on-disk size
+  bool crc_ok = false;        ///< file CRC matches the manifest entry
+  bool decodes = false;       ///< answer block decodes cleanly
+  std::string problem;        ///< empty when healthy
+};
+
+struct SnapshotInspection {
+  std::string directory;
+
+  // MANIFEST
+  bool manifest_ok = false;
+  std::string manifest_problem;  ///< decode refusal, when !manifest_ok
+  uint32_t codec_version = 0;    ///< kSegmentCodecVersion the tools build at
+  uint64_t schema_fingerprint = 0;
+  uint64_t sealed_answers = 0;
+
+  std::vector<SegmentInspection> segments;
+
+  // journal.bin tail
+  bool journal_present = false;
+  uint64_t journal_bytes = 0;
+  uint64_t journal_records = 0;   ///< whole batch records replayed
+  uint64_t journal_answers = 0;   ///< answers across those records
+  bool journal_truncated = false;  ///< torn/corrupt tail was dropped
+
+  /// Durable retraction table: manifest-folded ids plus journal records.
+  std::vector<uint64_t> manifest_retractions;
+  std::vector<uint64_t> journal_retractions;
+
+  /// True when every present piece is internally consistent (manifest
+  /// decodes, every segment verifies, journal tail clean).
+  bool healthy() const;
+};
+
+/// Inspects `directory`. Returns non-OK only when the directory does not
+/// look like a snapshot at all (no MANIFEST file); any damage beyond that
+/// is reported inside the inspection, not as a Status.
+Status InspectSnapshot(const std::string& directory, SnapshotInspection* out);
+
+/// Renders an inspection as the human-readable `tcrowd inspect` listing.
+std::string FormatInspection(const SnapshotInspection& inspection);
+
+}  // namespace tcrowd::service
+
+#endif  // TCROWD_SERVICE_SNAPSHOT_INSPECT_H_

@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "platform/trace.h"
 
 namespace tcrowd::service {
 
@@ -105,6 +106,8 @@ Status SnapshotStore::WriteFileDurable(const std::string& path,
 }
 
 Status SnapshotStore::WriteManifest() {
+  TCROWD_TRACE(kCheckpoint, kInfo, "manifest write",
+               manifest_.sealed_answers, manifest_.segments.size());
   std::string bytes;
   EncodeManifest(manifest_, &bytes);
   fs::path dir(args_.directory);
@@ -353,6 +356,7 @@ Status SnapshotStore::WriteSegmentFile(const Answer* answers, size_t n) {
   // unreferenced orphan (swept at the next Open).
   std::string name = SegmentFileName(next_file_index_++);
   std::string path = (fs::path(args_.directory) / name).string();
+  TCROWD_TRACE(kCheckpoint, kInfo, "segment write", n, next_file_index_ - 1);
 
   std::string bytes;
   EncodeAnswerBlock(answers, n, &bytes);
@@ -372,6 +376,8 @@ Status SnapshotStore::CompactSegments() {
   // O(sealed answers) — amortized O(1) per answer under the geometric
   // growth the max_segment_files threshold induces. Failures leave the
   // old manifest (and files) fully valid.
+  TCROWD_TRACE(kCheckpoint, kInfo, "durable compaction",
+               manifest_.segments.size(), manifest_.sealed_answers);
   std::vector<Answer> merged;
   merged.reserve(manifest_.sealed_answers);
   fs::path dir(args_.directory);
@@ -455,6 +461,7 @@ Status SnapshotStore::JournalAppend(uint64_t base_id, const Answer* answers,
                                     size_t n) {
   TCROWD_CHECK(journal_ != nullptr);
   if (n == 0) return Status::Ok();
+  TCROWD_TRACE(kCheckpoint, kDebug, "journal append", base_id, n);
   std::string bytes;
   EncodeJournalRecord(base_id, answers, n, &bytes);
   if (std::fwrite(bytes.data(), 1, bytes.size(), journal_) != bytes.size()) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "platform/trace.h"
 
 namespace tcrowd::service {
 
@@ -51,10 +52,13 @@ std::vector<CellRef> TaskRouter::Route(const Schema& schema,
     picked.push_back(cell);
     exclude.push_back(cell);
   }
+  const size_t policy_picked = picked.size();
   if (static_cast<int>(picked.size()) < k &&
       options_.backfill != BackfillStrategy::kNone) {
     Backfill(answers, worker, k, unavailable, &picked);
   }
+  TCROWD_TRACE(kRouter, kDebug, "route", policy_picked,
+               picked.size() - policy_picked);
   return picked;
 }
 

@@ -1,0 +1,152 @@
+#include "simulation/report_json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace tcrowd::sim {
+namespace {
+
+std::string JsonNumberOrNull(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return StrFormat("%.6g", v);
+}
+
+/// Minimal string escaping — report strings are scenario/policy names, but
+/// a quote or backslash must still never produce invalid JSON.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string StatsJson(const service::ServiceStats& s) {
+  return StrFormat(
+      "{\"tasks_open\": %d, \"tasks_assigned\": %d, \"tasks_answered\": %d, "
+      "\"tasks_finalized\": %d, \"sessions_started\": %lld, "
+      "\"sessions_expired\": %lld, \"answers_accepted\": %lld, "
+      "\"answers_rejected\": %lld, \"answers_retracted\": %lld, "
+      "\"answers_restored\": %lld, \"budget_spent\": %lld, "
+      "\"budget_remaining\": %lld, \"engine_refreshes\": %d}",
+      s.tasks_open, s.tasks_assigned, s.tasks_answered, s.tasks_finalized,
+      static_cast<long long>(s.sessions_started),
+      static_cast<long long>(s.sessions_expired),
+      static_cast<long long>(s.answers_accepted),
+      static_cast<long long>(s.answers_rejected),
+      static_cast<long long>(s.answers_retracted),
+      static_cast<long long>(s.answers_restored),
+      static_cast<long long>(s.budget_spent),
+      static_cast<long long>(s.budget_remaining), s.engine_refreshes);
+}
+
+}  // namespace
+
+std::string FormatLoadReportJson(const LoadReport& report,
+                                 double final_error_rate,
+                                 double final_mnad) {
+  std::string out = "{\n";
+  out += "  \"kind\": \"load\",\n";
+  out += StrFormat(
+      "  \"arrivals\": %lld,\n  \"assignments\": %lld,\n"
+      "  \"answers\": %lld,\n  \"rejected\": %lld,\n"
+      "  \"abandoned_sessions\": %lld,\n  \"batches\": %lld,\n"
+      "  \"stopped_early\": %s,\n  \"wall_seconds\": %.6f,\n"
+      "  \"answers_per_second\": %.3f,\n",
+      static_cast<long long>(report.arrivals),
+      static_cast<long long>(report.assignments),
+      static_cast<long long>(report.answers),
+      static_cast<long long>(report.rejected),
+      static_cast<long long>(report.abandoned_sessions),
+      static_cast<long long>(report.batches),
+      report.stopped_early ? "true" : "false", report.wall_seconds,
+      report.answers_per_second);
+  out += StrFormat("  \"final_error_rate\": %s,\n  \"final_mnad\": %s,\n",
+                   JsonNumberOrNull(final_error_rate).c_str(),
+                   JsonNumberOrNull(final_mnad).c_str());
+  out += "  \"final_stats\": " + StatsJson(report.final_stats) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string FormatScenarioReportJson(const ScenarioReport& report,
+                                     double final_error_rate,
+                                     double final_mnad) {
+  std::string out = "{\n";
+  out += "  \"kind\": \"scenario\",\n";
+  out += "  \"scenario\": " + JsonString(report.scenario) + ",\n";
+  out += StrFormat(
+      "  \"arrivals\": %lld,\n  \"answers_accepted\": %lld,\n"
+      "  \"answers_retracted\": %lld,\n  \"rejected\": %lld,\n"
+      "  \"retraction_misses\": %lld,\n  \"stopped_early\": %s,\n",
+      static_cast<long long>(report.arrivals),
+      static_cast<long long>(report.answers_accepted),
+      static_cast<long long>(report.answers_retracted),
+      static_cast<long long>(report.rejected),
+      static_cast<long long>(report.retraction_misses),
+      report.stopped_early ? "true" : "false");
+  out += "  \"curve\": [";
+  for (size_t i = 0; i < report.curve.size(); ++i) {
+    const QualityPoint& p = report.curve[i];
+    out += StrFormat(
+        "%s\n    {\"budget\": %lld, \"tcrowd_error_rate\": %s, "
+        "\"tcrowd_mnad\": %s, \"mv_error_rate\": %s, \"mv_mnad\": %s}",
+        i == 0 ? "" : ",", static_cast<long long>(p.budget),
+        JsonNumberOrNull(p.tcrowd_error_rate).c_str(),
+        JsonNumberOrNull(p.tcrowd_mnad).c_str(),
+        JsonNumberOrNull(p.mv_error_rate).c_str(),
+        JsonNumberOrNull(p.mv_mnad).c_str());
+  }
+  out += report.curve.empty() ? "],\n" : "\n  ],\n";
+  out += StrFormat("  \"final_error_rate\": %s,\n  \"final_mnad\": %s,\n",
+                   JsonNumberOrNull(final_error_rate).c_str(),
+                   JsonNumberOrNull(final_mnad).c_str());
+  out += "  \"final_stats\": " + StatsJson(report.final_stats) + "\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteReportJson(const std::string& path, const std::string& json) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", tmp.c_str()));
+  }
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("cannot write %s", tmp.c_str()));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(
+        StrFormat("cannot publish %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcrowd::sim

@@ -1,0 +1,33 @@
+#ifndef TCROWD_SIMULATION_REPORT_JSON_H_
+#define TCROWD_SIMULATION_REPORT_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "simulation/load_generator.h"
+#include "simulation/scenario.h"
+
+namespace tcrowd::sim {
+
+/// Machine-readable serve-sim output (`--report-json=FILE`): one JSON
+/// object per run, so CI jobs and notebooks consume the numbers without
+/// scraping the human listing. Plain flat JSON emitted by hand — the
+/// values are ints/doubles/short names, nothing needing a JSON library.
+
+/// A plain load-generator run. `final_error_rate` / `final_mnad` are the
+/// post-Finalize quality numbers (pass NaN when ground truth is unknown —
+/// they are then emitted as null).
+std::string FormatLoadReportJson(const LoadReport& report,
+                                 double final_error_rate, double final_mnad);
+
+/// A scenario run, including the quality-vs-budget curve.
+std::string FormatScenarioReportJson(const ScenarioReport& report,
+                                     double final_error_rate,
+                                     double final_mnad);
+
+/// Atomically writes `json` to `path` (temp + rename).
+Status WriteReportJson(const std::string& path, const std::string& json);
+
+}  // namespace tcrowd::sim
+
+#endif  // TCROWD_SIMULATION_REPORT_JSON_H_

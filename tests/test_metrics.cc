@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+#include <string>
+
 #include "math/statistics.h"
 
 namespace tcrowd {
@@ -177,6 +181,169 @@ TEST(MetricsRegistry, LatencyStatsSummarize) {
   EXPECT_GE(stats.PercentileMicros(0.999), 512.0);
   // Approximation never exceeds the observed maximum.
   EXPECT_LE(stats.PercentileMicros(0.999), 1000.0);
+}
+
+TEST(MetricsRegistry, GaugesMoveBothWays) {
+  MetricsRegistry registry;
+  Gauge& depth = registry.gauge("engine.queue_depth");
+  depth.Set(10);
+  depth.Add(5);
+  depth.Add(-12);
+  EXPECT_EQ(depth.value(), 3);
+
+  registry.gauge("a.level").Set(-4);  // gauges may go negative
+  auto values = registry.GaugeValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "a.level");
+  EXPECT_EQ(values[0].second, -4);
+  EXPECT_EQ(values[1].first, "engine.queue_depth");
+  EXPECT_EQ(values[1].second, 3);
+}
+
+// ---------------------------------------- percentile bucket boundaries --
+
+TEST(LatencyStats, EmptyStatsReportZeroAtEveryQuantile) {
+  LatencyStats stats;
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(1.0), 0.0);
+}
+
+TEST(LatencyStats, SingleSampleIsItsOwnQuantile) {
+  // One sample inside a closed bucket: every quantile is clamped from the
+  // bucket's upper edge down to the observed max — the sample itself.
+  LatencyStats stats;
+  stats.Record(3.0);  // bucket [2,4)
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(stats.PercentileMicros(0.5), 3.0);  // alias
+}
+
+TEST(LatencyStats, QuantileReadsTheBucketUpperEdge) {
+  // Three samples at 2us (bucket [2,4)) and one far outlier: the median
+  // rank lands in the [2,4) bucket, so p50 is pinned to its upper edge 4.
+  LatencyStats stats;
+  stats.Record(2.0);
+  stats.Record(2.0);
+  stats.Record(2.0);
+  stats.Record(1000.0);  // bucket [512,1024)
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(0.5), 4.0);
+  // The top quantile reaches the outlier's bucket and clamps to the max.
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(1.0), 1000.0);
+}
+
+TEST(LatencyStats, SubMicrosecondSamplesLandInBucketZero) {
+  LatencyStats stats;
+  stats.Record(0.25);
+  stats.Record(0.5);
+  // Bucket 0's upper edge is 2us; the clamp brings it to the 0.5us max.
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(stats.max_micros(), 0.5);
+}
+
+TEST(LatencyStats, OpenLastBucketIsBoundedByItsNominalEdgeOrTheMax) {
+  // A sample beyond every closed bucket lands in the open last bucket,
+  // whose nominal upper edge is 2^kNumBuckets microseconds. A quantile
+  // read there returns min(edge, max): the edge for absurd outliers, the
+  // observed max when it is smaller.
+  const double edge =
+      static_cast<double>(1ll << LatencyStats::kNumBuckets);  // 2^24 us
+  LatencyStats absurd;
+  absurd.Record(1e12);
+  EXPECT_DOUBLE_EQ(absurd.ApproxPercentile(1.0), edge);
+
+  LatencyStats tame;
+  tame.Record(1e7);  // in the open bucket, but below the nominal edge
+  EXPECT_DOUBLE_EQ(tame.ApproxPercentile(1.0), 1e7);
+}
+
+TEST(LatencyStats, NegativeAndNonFiniteSamplesAreCoercedToZero) {
+  LatencyStats stats;
+  stats.Record(-5.0);
+  stats.Record(std::numeric_limits<double>::infinity());
+  stats.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(stats.count(), 3);
+  EXPECT_DOUBLE_EQ(stats.max_micros(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ApproxPercentile(1.0), 0.0);
+}
+
+// ----------------------------------------------- prometheus exposition --
+
+/// Minimal Prometheus text-format (0.0.4) line checker: every line must be
+/// a `# TYPE <name> <counter|gauge|summary>` comment or a sample
+/// `<name>[{label="v"}] <number>`.
+void ExpectValidPrometheusText(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n') << "exposition must end with a newline";
+  size_t start = 0;
+  int samples = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    SCOPED_TRACE(line);
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE tcrowd_", 0), 0u);
+      std::string kind = line.substr(line.rfind(' ') + 1);
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary")
+          << kind;
+      continue;
+    }
+    ++samples;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    std::string name = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    EXPECT_EQ(name.rfind("tcrowd_", 0), 0u) << name;
+    // Metric names may carry one {quantile="..."} label block.
+    size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}');
+      EXPECT_EQ(name.find("quantile=\""), brace + 1);
+    }
+    char* parse_end = nullptr;
+    std::strtod(value.c_str(), &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "unparseable sample value: " << value;
+  }
+  EXPECT_GT(samples, 0);
+}
+
+TEST(MetricsRegistry, FormatPrometheusIsValidExpositionText) {
+  MetricsRegistry registry;
+  registry.counter("service.answers_accepted").Increment(42);
+  registry.counter("service.answers_rejected");
+  registry.gauge("engine.queue_depth").Set(7);
+  LatencyStats& lat = registry.latency("service.submit_answer");
+  for (int i = 0; i < 50; ++i) lat.Record(2.0 + i);
+
+  std::string text = registry.FormatPrometheus();
+  ExpectValidPrometheusText(text);
+
+  // Names: dots become underscores, counters get _total, summaries get
+  // _micros plus _sum/_count and the three quantile samples.
+  EXPECT_NE(text.find("# TYPE tcrowd_service_answers_accepted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcrowd_service_answers_accepted_total 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcrowd_engine_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcrowd_engine_queue_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcrowd_service_submit_answer_micros summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcrowd_service_submit_answer_micros{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcrowd_service_submit_answer_micros{quantile=\"0.9\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("tcrowd_service_submit_answer_micros{quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("tcrowd_service_submit_answer_micros_sum"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcrowd_service_submit_answer_micros_count 50"),
+            std::string::npos);
 }
 
 TEST(MetricsRegistry, ToStringMentionsEveryMetric) {

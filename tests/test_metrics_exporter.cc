@@ -1,0 +1,92 @@
+// The Prometheus file exporter: atomic one-shot writes, the periodic
+// background writer's refresh + final-at-Stop exposition, and Stop()
+// idempotence.
+
+#include "platform/metrics_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace tcrowd {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(MetricsExporter, WriteMetricsFilePublishesTheExposition) {
+  MetricsRegistry registry;
+  registry.counter("service.answers_accepted").Increment(9);
+  std::string path = ::testing::TempDir() + "/metrics_oneshot.prom";
+  Status status = WriteMetricsFile(registry, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::string text = ReadAll(path);
+  EXPECT_EQ(text, registry.FormatPrometheus());
+  EXPECT_NE(text.find("tcrowd_service_answers_accepted_total 9"),
+            std::string::npos);
+  // No temp-file debris next to the published file.
+  EXPECT_NE(std::ifstream(path).good(), false);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsExporter, WriteMetricsFileFailsOnUnwritablePath) {
+  MetricsRegistry registry;
+  Status status =
+      WriteMetricsFile(registry, "/nonexistent-dir/metrics.prom");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(MetricsExporter, PeriodicWriterRefreshesAndStopWritesTheFinalState) {
+  MetricsRegistry registry;
+  Counter& answers = registry.counter("service.answers_accepted");
+  std::string path = ::testing::TempDir() + "/metrics_periodic.prom";
+  std::remove(path.c_str());
+  {
+    MetricsExporter exporter(&registry, path,
+                             std::chrono::milliseconds(20));
+    // Wait for at least one periodic write to land.
+    for (int tries = 0; tries < 200 && ReadAll(path).empty(); ++tries) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_NE(ReadAll(path).find("tcrowd_service_answers_accepted_total 0"),
+              std::string::npos);
+
+    answers.Increment(123);
+    Status status = exporter.Stop();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    // Stop's final write sees the last increment.
+    EXPECT_NE(
+        ReadAll(path).find("tcrowd_service_answers_accepted_total 123"),
+        std::string::npos);
+    EXPECT_TRUE(exporter.Stop().ok());  // idempotent
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsExporter, DestructionWithoutStopStillWritesTheFile) {
+  MetricsRegistry registry;
+  registry.counter("service.answers_accepted").Increment(7);
+  std::string path = ::testing::TempDir() + "/metrics_dtor.prom";
+  std::remove(path.c_str());
+  {
+    MetricsExporter exporter(&registry, path,
+                             std::chrono::milliseconds(10'000));
+    // Interval far beyond the test: only the destructor's write can land.
+  }
+  EXPECT_NE(ReadAll(path).find("tcrowd_service_answers_accepted_total 7"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tcrowd

@@ -1,0 +1,174 @@
+// The diagnostic `tcrowd inspect` pass (docs/OBSERVABILITY.md): a snapshot
+// SnapshotStore just wrote reads back HEALTHY with exact counts; damage is
+// FLAGGED per file instead of aborting the inspection (the contract that
+// separates it from SnapshotStore::Open); only a missing MANIFEST is an
+// error.
+
+#include "service/snapshot_inspect.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/answer.h"
+#include "data/schema.h"
+#include "service/snapshot_store.h"
+
+namespace tcrowd::service {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Schema::MakeCategorical("c", {"a", "b", "c"}),
+                 Schema::MakeContinuous("x", 0.0, 10.0)});
+}
+
+std::vector<Answer> MakeAnswers(int n, int worker_base) {
+  std::vector<Answer> answers;
+  for (int k = 0; k < n; ++k) {
+    answers.push_back(Answer{worker_base + k, CellRef{k % 8, k % 2},
+                             k % 2 == 0 ? Value::Categorical(k % 3)
+                                        : Value::Continuous(0.25 * k)});
+  }
+  return answers;
+}
+
+/// Builds a populated snapshot: two sealed segments, a journal tail with
+/// one batch and one retraction. Returns the directory.
+std::string BuildSnapshot(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(SnapshotStore::WipeDirectory(dir).ok());
+  CheckpointArgs args;
+  args.directory = dir;
+  args.fsync = false;
+  SnapshotStore store(args);
+  SnapshotStore::RecoveredLog recovered;
+  EXPECT_TRUE(store.Open(TestSchema(), 8, &recovered).ok());
+  EXPECT_TRUE(recovered.answers.empty());
+
+  std::vector<Answer> seg1 = MakeAnswers(10, 0);
+  std::vector<Answer> seg2 = MakeAnswers(6, 100);
+  std::vector<Answer> tail = MakeAnswers(3, 200);
+  EXPECT_TRUE(store.PersistSealed(seg1.data(), seg1.size()).ok());
+  EXPECT_TRUE(store.PersistSealed(seg2.data(), seg2.size()).ok());
+  EXPECT_TRUE(store.JournalAppend(16, tail.data(), tail.size()).ok());
+  EXPECT_TRUE(store.JournalRetract(17).ok());
+  return dir;
+}
+
+TEST(SnapshotInspect, FreshSnapshotReadsBackHealthy) {
+  std::string dir = BuildSnapshot("inspect_healthy");
+  SnapshotInspection inspection;
+  Status status = InspectSnapshot(dir, &inspection);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_TRUE(inspection.manifest_ok) << inspection.manifest_problem;
+  EXPECT_EQ(inspection.sealed_answers, 16u);
+  ASSERT_EQ(inspection.segments.size(), 2u);
+  for (const SegmentInspection& seg : inspection.segments) {
+    EXPECT_TRUE(seg.crc_ok) << seg.file << ": " << seg.problem;
+    EXPECT_TRUE(seg.decodes) << seg.file;
+    EXPECT_EQ(seg.manifest_count, seg.decoded_count) << seg.file;
+    EXPECT_TRUE(seg.problem.empty()) << seg.file << ": " << seg.problem;
+  }
+  EXPECT_EQ(inspection.segments[0].manifest_count, 10u);
+  EXPECT_EQ(inspection.segments[1].manifest_count, 6u);
+
+  EXPECT_TRUE(inspection.journal_present);
+  EXPECT_FALSE(inspection.journal_truncated);
+  EXPECT_EQ(inspection.journal_answers, 3u);
+  EXPECT_EQ(inspection.journal_retractions, std::vector<uint64_t>{17});
+
+  EXPECT_TRUE(inspection.healthy());
+  std::string listing = FormatInspection(inspection);
+  EXPECT_NE(listing.find("HEALTHY"), std::string::npos);
+  EXPECT_EQ(listing.find("DAMAGED"), std::string::npos);
+}
+
+TEST(SnapshotInspect, CorruptSegmentIsFlaggedNotFatal) {
+  std::string dir = BuildSnapshot("inspect_corrupt");
+
+  // Flip one byte in the middle of the first segment file.
+  std::string seg_path;
+  {
+    SnapshotInspection before;
+    ASSERT_TRUE(InspectSnapshot(dir, &before).ok());
+    ASSERT_FALSE(before.segments.empty());
+    seg_path = dir + "/" + before.segments[0].file;
+  }
+  std::FILE* f = std::fopen(seg_path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 20, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, 20, SEEK_SET), 0);
+  std::fputc(byte ^ 0xff, f);
+  std::fclose(f);
+
+  SnapshotInspection inspection;
+  Status status = InspectSnapshot(dir, &inspection);
+  ASSERT_TRUE(status.ok()) << status.ToString();  // diagnostic, not fatal
+  EXPECT_TRUE(inspection.manifest_ok);
+  ASSERT_EQ(inspection.segments.size(), 2u);
+  EXPECT_FALSE(inspection.segments[0].crc_ok);
+  EXPECT_FALSE(inspection.segments[0].problem.empty());
+  // The second segment still verifies — damage is per-file.
+  EXPECT_TRUE(inspection.segments[1].crc_ok);
+  EXPECT_TRUE(inspection.segments[1].problem.empty());
+  EXPECT_FALSE(inspection.healthy());
+  EXPECT_NE(FormatInspection(inspection).find("DAMAGED"),
+            std::string::npos);
+}
+
+TEST(SnapshotInspect, TornJournalTailIsFlagged) {
+  std::string dir = BuildSnapshot("inspect_torn");
+
+  // Truncate the journal mid-record.
+  std::string journal = dir + "/journal.bin";
+  std::FILE* f = std::fopen(journal.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 8);
+  ASSERT_EQ(::truncate(journal.c_str(), size - 5), 0);
+
+  SnapshotInspection inspection;
+  ASSERT_TRUE(InspectSnapshot(dir, &inspection).ok());
+  EXPECT_TRUE(inspection.journal_present);
+  EXPECT_TRUE(inspection.journal_truncated);
+  EXPECT_FALSE(inspection.healthy());
+}
+
+TEST(SnapshotInspect, MissingManifestIsNotFound) {
+  std::string dir = ::testing::TempDir() + "/inspect_missing";
+  ASSERT_TRUE(SnapshotStore::WipeDirectory(dir).ok());
+  SnapshotInspection inspection;
+  Status status = InspectSnapshot(dir, &inspection);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound) << status.ToString();
+}
+
+TEST(SnapshotInspect, CorruptManifestIsReportedInline) {
+  std::string dir = BuildSnapshot("inspect_badmanifest");
+  std::string manifest = dir + "/MANIFEST";
+  std::FILE* f = std::fopen(manifest.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+  std::fputc(byte ^ 0x80, f);
+  std::fclose(f);
+
+  SnapshotInspection inspection;
+  ASSERT_TRUE(InspectSnapshot(dir, &inspection).ok());
+  EXPECT_FALSE(inspection.manifest_ok);
+  EXPECT_FALSE(inspection.manifest_problem.empty());
+  EXPECT_FALSE(inspection.healthy());
+}
+
+}  // namespace
+}  // namespace tcrowd::service

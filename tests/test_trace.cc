@@ -1,0 +1,178 @@
+// The always-on trace ring (docs/OBSERVABILITY.md): level/category
+// filtering, ring-overwrite accounting, dump formatting, level-name
+// parsing, and lock-free multi-thread emission.
+
+#include "platform/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tcrowd::trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetForTest();
+    SetMinLevel(Level::kInfo);
+    for (int c = 0; c < static_cast<int>(Category::kNumCategories); ++c) {
+      SetCategoryEnabled(static_cast<Category>(c), true);
+    }
+  }
+  void TearDown() override {
+    ResetForTest();
+    SetMinLevel(Level::kInfo);
+    for (int c = 0; c < static_cast<int>(Category::kNumCategories); ++c) {
+      SetCategoryEnabled(static_cast<Category>(c), true);
+    }
+  }
+};
+
+TEST_F(TraceTest, DefaultLevelFiltersDebugButStoresInfoAndWarn) {
+  EXPECT_FALSE(Enabled(Category::kService, Level::kDebug));
+  EXPECT_TRUE(Enabled(Category::kService, Level::kInfo));
+  EXPECT_TRUE(Enabled(Category::kService, Level::kWarn));
+
+  Emit(Category::kService, Level::kDebug, "hot path event");
+  Emit(Category::kService, Level::kInfo, "lifecycle event", 7, 9);
+  EXPECT_EQ(EmittedCount(), 1u);
+
+  std::string dump = Dump();
+  EXPECT_EQ(dump.find("hot path event"), std::string::npos);
+  EXPECT_NE(dump.find("lifecycle event"), std::string::npos);
+  EXPECT_NE(dump.find("a0=7"), std::string::npos);
+  EXPECT_NE(dump.find("a1=9"), std::string::npos);
+}
+
+TEST_F(TraceTest, DebugLevelOpensTheHotPath) {
+  SetMinLevel(Level::kDebug);
+  EXPECT_TRUE(Enabled(Category::kEngine, Level::kDebug));
+  Emit(Category::kEngine, Level::kDebug, "per answer event");
+  EXPECT_EQ(EmittedCount(), 1u);
+  EXPECT_NE(Dump().find("per answer event"), std::string::npos);
+}
+
+TEST_F(TraceTest, CategoryMaskDisablesOnlyThatCategory) {
+  SetCategoryEnabled(Category::kRouter, false);
+  EXPECT_FALSE(Enabled(Category::kRouter, Level::kWarn));
+  EXPECT_TRUE(Enabled(Category::kEngine, Level::kWarn));
+  Emit(Category::kRouter, Level::kWarn, "router event");
+  Emit(Category::kEngine, Level::kWarn, "engine event");
+  EXPECT_EQ(EmittedCount(), 1u);
+  std::string dump = Dump();
+  EXPECT_EQ(dump.find("router event"), std::string::npos);
+  EXPECT_NE(dump.find("engine event"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisableStoresNothing) {
+  Disable();
+  Emit(Category::kService, Level::kWarn, "should vanish");
+  EXPECT_EQ(EmittedCount(), 0u);
+  EXPECT_EQ(Dump().find("should vanish"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsTheLoss) {
+  const size_t total = kRingSlots + 100;
+  for (size_t k = 0; k < total; ++k) {
+    Emit(Category::kSeal, Level::kInfo, "ring filler", k);
+  }
+  EXPECT_EQ(EmittedCount(), total);
+  EXPECT_EQ(OverwrittenCount(), total - kRingSlots);
+  // The dump holds the newest kRingSlots events: the first survivor's a0.
+  std::string dump = Dump();
+  EXPECT_EQ(dump.find("a0=99 "), std::string::npos);   // overwritten
+  EXPECT_NE(dump.find("a0=100 "), std::string::npos);  // oldest survivor
+  EXPECT_NE(dump.find("a0=" + std::to_string(total - 1)),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, DumpIsOrderedBySequence) {
+  Emit(Category::kService, Level::kInfo, "first event");
+  Emit(Category::kService, Level::kInfo, "second event");
+  Emit(Category::kService, Level::kInfo, "third event");
+  std::string dump = Dump();
+  size_t p1 = dump.find("first event");
+  size_t p2 = dump.find("second event");
+  size_t p3 = dump.find("third event");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST_F(TraceTest, ParseLevelCoversTheCliVocabulary) {
+  Level level;
+  bool off;
+  ASSERT_TRUE(ParseLevel("debug", &level, &off));
+  EXPECT_EQ(level, Level::kDebug);
+  EXPECT_FALSE(off);
+  ASSERT_TRUE(ParseLevel("info", &level, &off));
+  EXPECT_EQ(level, Level::kInfo);
+  EXPECT_FALSE(off);
+  ASSERT_TRUE(ParseLevel("warn", &level, &off));
+  EXPECT_EQ(level, Level::kWarn);
+  EXPECT_FALSE(off);
+  ASSERT_TRUE(ParseLevel("off", &level, &off));
+  EXPECT_TRUE(off);
+  EXPECT_FALSE(ParseLevel("verbose", &level, &off));
+  EXPECT_FALSE(ParseLevel("", &level, &off));
+}
+
+TEST_F(TraceTest, NamesAreStable) {
+  EXPECT_STREQ(CategoryName(Category::kService), "service");
+  EXPECT_STREQ(CategoryName(Category::kEngine), "engine");
+  EXPECT_STREQ(CategoryName(Category::kSeal), "seal");
+  EXPECT_STREQ(CategoryName(Category::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(CategoryName(Category::kRouter), "router");
+  EXPECT_STREQ(CategoryName(Category::kReplay), "replay");
+  EXPECT_STREQ(LevelName(Level::kDebug), "debug");
+  EXPECT_STREQ(LevelName(Level::kInfo), "info");
+  EXPECT_STREQ(LevelName(Level::kWarn), "warn");
+}
+
+TEST_F(TraceTest, ConcurrentEmittersAllLand) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;  // < kRingSlots: nothing overwritten
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int k = 0; k < kPerThread; ++k) {
+        Emit(Category::kEngine, Level::kInfo, "worker thread event",
+             static_cast<uint64_t>(t), static_cast<uint64_t>(k));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(EmittedCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(OverwrittenCount(), 0u);  // per-thread rings, none filled
+  std::string dump = Dump();
+  // Every thread contributed, and each thread's last event survived.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_NE(dump.find("a0=" + std::to_string(t) + " a1=" +
+                        std::to_string(kPerThread - 1)),
+              std::string::npos)
+        << "thread " << t;
+  }
+}
+
+TEST_F(TraceTest, MacroEvaluatesArgumentsLazily) {
+  int evaluations = 0;
+  auto expensive = [&evaluations]() -> uint64_t {
+    ++evaluations;
+    return 42;
+  };
+  SetMinLevel(Level::kInfo);
+  TCROWD_TRACE(kService, kDebug, "filtered out", expensive());
+  EXPECT_EQ(evaluations, 0);  // filtered: argument never computed
+  TCROWD_TRACE(kService, kWarn, "stored", expensive());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(Dump().find("a0=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcrowd::trace

@@ -16,8 +16,13 @@
 #      subsystem's pieces (behavior/arrival interfaces, the runner, the
 #      registered scenario names, the curve CSV), so the scenario pack
 #      doc cannot rot;
-#   5. README.md and docs/ARCHITECTURE.md must link the lifecycle and
-#      persistence docs, and README.md must link the scenarios doc.
+#   5. docs/OBSERVABILITY.md must exist and keep naming the observability
+#      subsystems (event log + replay driver, trace ring, metrics
+#      exposition, snapshot inspection, report JSON), so the
+#      record/replay and tracing doc cannot rot;
+#   6. README.md and docs/ARCHITECTURE.md must link the lifecycle,
+#      persistence, and observability docs, and README.md must link the
+#      scenarios doc.
 #
 # Run it locally after adding a module or touching the answer path:
 #
@@ -108,7 +113,28 @@ else
   done
 fi
 
-for linked in DATA_LIFECYCLE.md PERSISTENCE.md; do
+observability="$repo_root/docs/OBSERVABILITY.md"
+if [ ! -f "$observability" ]; then
+  echo "check_docs.sh: $observability is missing" >&2
+  fail=1
+else
+  # The observability subsystems' load-bearing names: recorder/replay
+  # APIs, the CLI surface, the trace ring, metrics exposition, and the
+  # snapshot inspector.
+  for anchor in EventRecorder TruthDigest ApplyRecordedLeases \
+                TCROWD_TRACE TCROWD_CRASH_DUMP_DIR --record --trace \
+                metrics-out report-json FormatPrometheus \
+                ApproxPercentile MetricsExporter InspectSnapshot \
+                "tcrowd_cli replay" "tcrowd_cli inspect"; do
+    if ! grep -q -- "$anchor" "$observability"; then
+      echo "check_docs.sh: docs/OBSERVABILITY.md no longer mentions" \
+           "'$anchor' — update the observability doc." >&2
+      fail=1
+    fi
+  done
+fi
+
+for linked in DATA_LIFECYCLE.md PERSISTENCE.md OBSERVABILITY.md; do
   for linker in "$readme" "$doc"; do
     if ! grep -q "$linked" "$linker"; then
       echo "check_docs.sh: $(basename "$linker") does not link" \
@@ -125,4 +151,4 @@ fi
 
 [ "$fail" -eq 0 ] || exit 1
 
-echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle, persistence, and scenarios docs are fresh."
+echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle, persistence, scenarios, and observability docs are fresh."

@@ -15,7 +15,15 @@
 //   serve-sim Stand up the online CrowdService and replay a simulated
 //             worker-arrival stream against it with the load generator;
 //             prints service throughput/latency metrics and the final
-//             inference quality.
+//             inference quality. --record captures a deterministic event
+//             log, --metrics-out exports live Prometheus text metrics,
+//             --report-json writes the run report machine-readably.
+//   replay    Re-drive a CrowdService from an event log recorded with
+//             serve-sim --record and assert the replayed Finalize() truth
+//             state is bit-identical to the recorded digest.
+//   inspect   Print the structural health of a snapshot directory:
+//             manifest version/fingerprint, per-segment answer counts and
+//             CRC status, journal tail, retraction table.
 //
 // Examples:
 //   tcrowd simulate --dataset=restaurant --seed=7 --out=/tmp/restaurant
@@ -24,9 +32,13 @@
 //   tcrowd eval --data=/tmp/restaurant
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "assignment/policies.h"
 #include "common/flags.h"
@@ -42,11 +54,17 @@
 #include "inference/median_inference.h"
 #include "inference/tcrowd_model.h"
 #include "inference/zencrowd.h"
+#include "platform/event_log.h"
 #include "platform/experiment.h"
 #include "platform/metrics.h"
+#include "platform/metrics_exporter.h"
 #include "platform/report.h"
+#include "platform/trace.h"
 #include "service/crowd_service.h"
+#include "service/replay.h"
+#include "service/snapshot_inspect.h"
 #include "service/snapshot_store.h"
+#include "simulation/report_json.h"
 #include "simulation/dataset_synthesizer.h"
 #include "simulation/load_generator.h"
 #include "simulation/scenario.h"
@@ -74,11 +92,23 @@ commands:
              [--batch-size=N] [--threads=T] [--drivers=D] [--abandon=P]
              [--racy] [--checkpoint-dir=DIR] [--crash-after=N] [--seed=S]
              [--scenario=NAME] [--checkpoints=N] [--curve-csv=FILE.csv]
+             [--record=FILE] [--metrics-out=FILE]
+             [--metrics-interval-ms=N] [--report-json=FILE]
+             [--trace=debug|info|warn|off]
+  replay     <event-log> [--threads=T] [--trace=debug|info|warn|off]
+  inspect    <snapshot-dir>
 
 serve-sim durability: --checkpoint-dir=DIR persists the answer log (and
 restores it at startup). --crash-after=N runs a crash drill: serve until N
 answers were accepted, tear the service down mid-flight, restart it from
 the checkpoint, and drive the remainder to completion.
+
+serve-sim observability (docs/OBSERVABILITY.md): --record=FILE writes the
+deterministic event log (a crash drill records phase 1 to FILE.crash, the
+post-restart run to FILE); `replay` re-drives it and exits non-zero on any
+divergence. --metrics-out=FILE re-exports Prometheus text metrics every
+--metrics-interval-ms (default 1000) and at exit. --trace tunes the
+always-on trace ring (debug enables per-answer events).
 
 serve-sim scenarios: --scenario=NAME replays a named adversarial/dynamic
 scenario (hostile worker behaviors + shaped arrivals + retraction pressure,
@@ -357,8 +387,29 @@ int CmdAssign(const FlagParser& flags) {
   return 0;
 }
 
+/// Applies --trace=debug|info|warn|off to the global trace filter. True
+/// when the flag is absent or valid.
+bool ApplyTraceFlag(const FlagParser& flags) {
+  std::string name = flags.GetString("trace");
+  if (name.empty()) return true;
+  trace::Level level;
+  bool off = false;
+  if (!trace::ParseLevel(name, &level, &off)) {
+    std::fprintf(stderr, "unknown --trace=%s (debug|info|warn|off)\n",
+                 name.c_str());
+    return false;
+  }
+  if (off) {
+    trace::Disable();
+  } else {
+    trace::SetMinLevel(level);
+  }
+  return true;
+}
+
 int CmdServeSim(const FlagParser& flags) {
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (!ApplyTraceFlag(flags)) return 2;
 
   // Scenario mode: a named adversarial/dynamic scenario replaces the plain
   // load generator (docs/SCENARIOS.md).
@@ -457,6 +508,26 @@ int CmdServeSim(const FlagParser& flags) {
     return 2;
   }
 
+  // World recipe carried in the event log's kRunStart header: everything
+  // `tcrowd replay` needs to rebuild this world and service config.
+  std::string recipe;
+  if (flags.Has("dataset")) {
+    recipe = StrFormat("dataset=%s", flags.GetString("dataset").c_str());
+  } else {
+    recipe = StrFormat(
+        "rows=%lld cols=%lld ratio=%g workers=%lld",
+        static_cast<long long>(flags.GetInt("rows", 60)),
+        static_cast<long long>(flags.GetInt("cols", 5)),
+        flags.GetDouble("ratio", 0.5),
+        static_cast<long long>(flags.GetInt("workers", 40)));
+  }
+  recipe += StrFormat(" engine=%s target=%d staleness=%d threads=%d",
+                      config.inference.method.c_str(),
+                      config.target_answers_per_task,
+                      config.inference.staleness_threshold,
+                      config.num_threads);
+  const std::string record_path = flags.GetString("record");
+
   sim::LoadGeneratorOptions load;
   load.max_arrivals = static_cast<int>(flags.GetInt("arrivals", 1000000));
   load.tasks_per_request =
@@ -492,9 +563,27 @@ int CmdServeSim(const FlagParser& flags) {
                 "checkpointing to %s --\n",
                 static_cast<long long>(crash_after), checkpoint_dir.c_str());
     {
+      // The phase-1 event log gets its own file: the crash tears the
+      // service down without Finalize, so the log ends at the crash point
+      // — replay drives it through that point and stops, the recorded
+      // shape of an interrupted run.
+      std::unique_ptr<EventRecorder> crash_recorder;
+      service::ServiceConfig phase1_config = config;
+      if (!record_path.empty()) {
+        auto opened = EventRecorder::Open(record_path + ".crash");
+        if (!opened.ok()) {
+          std::fprintf(stderr, "serve-sim: %s\n",
+                       opened.status().ToString().c_str());
+          return 1;
+        }
+        crash_recorder = std::move(*opened);
+        crash_recorder->SetRunInfo(seed, policy_name, recipe);
+        phase1_config.recorder = crash_recorder.get();
+      }
       service::CrowdService svc(world.dataset.schema,
                                 world.dataset.num_rows(),
-                                MakePolicy(policy_name, seed), config);
+                                MakePolicy(policy_name, seed),
+                                phase1_config);
       if (scenario_mode) {
         sim::ScenarioOptions phase1 = scenario_opt;
         phase1.stop_after_answers = crash_after;
@@ -516,7 +605,26 @@ int CmdServeSim(const FlagParser& flags) {
                     r.stopped_early ? "mid-flight" : "drained first");
       }
     }
+    if (!record_path.empty()) {
+      std::printf("crash-phase event log written to %s.crash\n",
+                  record_path.c_str());
+    }
     std::printf("-- phase 2: restarting from %s --\n", checkpoint_dir.c_str());
+  }
+
+  // Declared before the service so it outlives it: the engine may still
+  // record seal events while the service drains in its destructor.
+  std::unique_ptr<EventRecorder> recorder;
+  if (!record_path.empty()) {
+    auto opened = EventRecorder::Open(record_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "serve-sim: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    recorder = std::move(*opened);
+    recorder->SetRunInfo(seed, policy_name, recipe);
+    config.recorder = recorder.get();
   }
 
   auto restart_begin = std::chrono::steady_clock::now();
@@ -536,6 +644,48 @@ int CmdServeSim(const FlagParser& flags) {
                 static_cast<long long>(svc.restored_answers()),
                 recovery.count());
   }
+
+  // Live Prometheus-text metrics exposition. Declared after the service:
+  // destroyed first on every exit path, so the final at-exit export always
+  // runs against a live registry.
+  std::unique_ptr<MetricsExporter> exporter;
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    exporter = std::make_unique<MetricsExporter>(
+        &svc.metrics(), metrics_out,
+        std::chrono::milliseconds(flags.GetInt("metrics-interval-ms", 1000)));
+  }
+  const std::string report_json_path = flags.GetString("report-json");
+
+  // Shared run epilogue: publish the machine-readable report, close the
+  // event log, and write the final metrics exposition.
+  auto epilogue = [&](const std::string& report_json) -> int {
+    if (!report_json_path.empty()) {
+      Status st = sim::WriteReportJson(report_json_path, report_json);
+      if (!st.ok()) {
+        std::fprintf(stderr, "serve-sim: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("report written to %s\n", report_json_path.c_str());
+    }
+    if (recorder != nullptr) {
+      Status st = recorder->Close();
+      if (!st.ok()) {
+        std::fprintf(stderr, "serve-sim: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("event log written to %s\n", record_path.c_str());
+    }
+    if (exporter != nullptr) {
+      Status st = exporter->Stop();
+      if (!st.ok()) {
+        std::fprintf(stderr, "serve-sim: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    return 0;
+  };
 
   std::printf("serving %s (%d rows x %d cols) with %s policy + %s engine, "
               "target %d answers/task\n",
@@ -600,16 +750,16 @@ int CmdServeSim(const FlagParser& flags) {
                 static_cast<long long>(stats.answers_retracted));
 
     InferenceResult final_result = svc.Finalize();
+    double err = NAN, mnad = NAN;
     if (TruthIsKnown(world.dataset.truth)) {
+      err = Metrics::ErrorRate(world.dataset.truth,
+                               final_result.estimated_truth);
+      mnad = Metrics::Mnad(world.dataset.truth, final_result.estimated_truth);
       std::printf("\n-- final inference (%s) --\n",
                   config.inference.method.c_str());
-      std::printf("error rate = %.4f   MNAD = %.4f\n",
-                  Metrics::ErrorRate(world.dataset.truth,
-                                     final_result.estimated_truth),
-                  Metrics::Mnad(world.dataset.truth,
-                                final_result.estimated_truth));
+      std::printf("error rate = %.4f   MNAD = %.4f\n", err, mnad);
     }
-    return 0;
+    return epilogue(sim::FormatScenarioReportJson(report, err, mnad));
   }
 
   sim::LoadGenerator generator(world.crowd.get(), &svc, load);
@@ -640,16 +790,180 @@ int CmdServeSim(const FlagParser& flags) {
   std::printf("\n-- service metrics --\n%s", svc.metrics().ToString().c_str());
 
   InferenceResult final_result = svc.Finalize();
+  double err = NAN, mnad = NAN;
   if (TruthIsKnown(world.dataset.truth)) {
+    err = Metrics::ErrorRate(world.dataset.truth,
+                             final_result.estimated_truth);
+    mnad = Metrics::Mnad(world.dataset.truth, final_result.estimated_truth);
     std::printf("\n-- final inference (%s) --\n",
                 config.inference.method.c_str());
-    std::printf("error rate = %.4f   MNAD = %.4f\n",
-                Metrics::ErrorRate(world.dataset.truth,
-                                   final_result.estimated_truth),
-                Metrics::Mnad(world.dataset.truth,
-                              final_result.estimated_truth));
+    std::printf("error rate = %.4f   MNAD = %.4f\n", err, mnad);
   }
-  return 0;
+  return epilogue(sim::FormatLoadReportJson(report, err, mnad));
+}
+
+int CmdReplay(const FlagParser& flags) {
+  if (!ApplyTraceFlag(flags)) return 2;
+  std::string path = flags.positional().empty() ? flags.GetString("log")
+                                                : flags.positional()[0];
+  if (path.empty()) {
+    std::fprintf(stderr, "replay: usage: tcrowd replay <event-log>\n");
+    return 2;
+  }
+  EventLogReplay log;
+  Status st = ReadEventLogFile(path, &log);
+  if (!st.ok()) {
+    std::fprintf(stderr, "replay: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const RecordedEvent* run = service::FindRunStart(log);
+  if (run == nullptr) {
+    std::fprintf(stderr,
+                 "replay: %s has no run-start header (empty or not an "
+                 "event log)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  // The kRunStart header's world recipe ("key=value key=value ...") is the
+  // blueprint: rebuild the world and service config it names, then re-drive
+  // the service from the log.
+  std::map<std::string, std::string> recipe;
+  for (const std::string& token : Split(run->world, ' ')) {
+    size_t eq = token.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      recipe[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  auto recipe_get = [&recipe](const char* key, const std::string& fallback) {
+    auto it = recipe.find(key);
+    return it == recipe.end() ? fallback : it->second;
+  };
+  const uint64_t seed = run->seed;
+
+  bool bad_dataset = false;
+  sim::SynthesizedWorld world = [&]() -> sim::SynthesizedWorld {
+    if (recipe.count("dataset") != 0) {
+      const std::string which = recipe["dataset"];
+      sim::PaperDataset pd = sim::PaperDataset::kRestaurant;
+      if (which == "celebrity") {
+        pd = sim::PaperDataset::kCelebrity;
+      } else if (which == "restaurant") {
+        pd = sim::PaperDataset::kRestaurant;
+      } else if (which == "emotion") {
+        pd = sim::PaperDataset::kEmotion;
+      } else {
+        bad_dataset = true;
+      }
+      sim::SynthesizerOptions opt;
+      opt.seed = seed;
+      opt.answers_per_task = 0;
+      return sim::SynthesizeDataset(pd, opt);
+    }
+    sim::TableGeneratorOptions topt;
+    topt.num_rows = std::atoi(recipe_get("rows", "60").c_str());
+    topt.num_cols = std::atoi(recipe_get("cols", "5").c_str());
+    topt.categorical_ratio = std::atof(recipe_get("ratio", "0.5").c_str());
+    sim::CrowdOptions copt;
+    copt.num_workers = std::atoi(recipe_get("workers", "40").c_str());
+    Rng rng(seed);
+    sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
+    return sim::SynthesizeFromTable(std::move(table), copt, 0, seed + 1,
+                                    "custom");
+  }();
+  if (bad_dataset) {
+    std::fprintf(stderr, "replay: unknown dataset in recorded recipe: %s\n",
+                 run->world.c_str());
+    return 1;
+  }
+
+  service::ServiceConfig config;
+  config.target_answers_per_task =
+      std::atoi(recipe_get("target", "4").c_str());
+  // --threads overrides the recorded count: replay determinism must not
+  // depend on it (leases come from the log, not the router), and the
+  // determinism tests drive exactly this override.
+  config.num_threads =
+      flags.Has("threads")
+          ? static_cast<int>(flags.GetInt("threads", 2))
+          : std::atoi(recipe_get("threads", "2").c_str());
+  config.inference.method = recipe_get("engine", "tcrowd");
+  config.inference.staleness_threshold =
+      std::atoi(recipe_get("staleness", "64").c_str());
+  config.inference.num_shards = config.num_threads;
+  config.router.seed = seed + 2;
+
+  const std::string policy_name =
+      run->policy.empty() ? "looping" : run->policy;
+  auto policy = MakePolicy(policy_name, seed);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "replay: unknown recorded policy %s\n",
+                 policy_name.c_str());
+    return 1;
+  }
+
+  std::printf("replaying %s: %zu events (%s), world %s, policy %s, "
+              "seed %llu\n",
+              path.c_str(), log.events.size(),
+              log.truncated ? "TORN TAIL dropped" : "clean",
+              run->world.c_str(), policy_name.c_str(),
+              static_cast<unsigned long long>(seed));
+
+  service::CrowdService svc(world.dataset.schema, world.dataset.num_rows(),
+                            std::move(policy), config);
+  service::ReplayReport report;
+  st = service::ReplayEvents(log, &svc, &report);
+  if (!st.ok()) {
+    std::fprintf(stderr, "replay: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("applied %llu events: %llu sessions, %llu leases, "
+              "%llu/%llu answers accepted, %llu retractions, "
+              "%llu restored bootstrapped\n",
+              static_cast<unsigned long long>(report.events_applied),
+              static_cast<unsigned long long>(report.sessions_replayed),
+              static_cast<unsigned long long>(report.leases_replayed),
+              static_cast<unsigned long long>(report.answers_accepted),
+              static_cast<unsigned long long>(report.answers_offered),
+              static_cast<unsigned long long>(report.retractions_replayed),
+              static_cast<unsigned long long>(report.restored_bootstrapped));
+  if (report.status_divergences > 0) {
+    std::printf("status divergences: %llu (first: %s)\n",
+                static_cast<unsigned long long>(report.status_divergences),
+                report.first_divergence.c_str());
+  }
+  if (report.reached_finalize) {
+    std::printf("finalize: recorded digest %016llx (%llu answers), "
+                "replayed %016llx (%llu answers)\n",
+                static_cast<unsigned long long>(report.recorded_digest),
+                static_cast<unsigned long long>(report.recorded_answer_count),
+                static_cast<unsigned long long>(report.replayed_digest),
+                static_cast<unsigned long long>(report.replayed_answer_count));
+  } else {
+    std::printf("crash capture: no finalize event — replayed through the "
+                "crash point\n");
+  }
+  std::printf("replay verdict: %s\n",
+              report.ok() ? "FAITHFUL (bit-identical)" : "DIVERGED");
+  return report.ok() ? 0 : 1;
+}
+
+int CmdInspect(const FlagParser& flags) {
+  std::string dir = flags.positional().empty() ? flags.GetString("dir")
+                                               : flags.positional()[0];
+  if (dir.empty()) {
+    std::fprintf(stderr, "inspect: usage: tcrowd inspect <snapshot-dir>\n");
+    return 2;
+  }
+  service::SnapshotInspection inspection;
+  Status st = service::InspectSnapshot(dir, &inspection);
+  if (!st.ok()) {
+    std::fprintf(stderr, "inspect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", service::FormatInspection(inspection).c_str());
+  return inspection.healthy() ? 0 : 1;
 }
 
 int Main(int argc, const char* const* argv) {
@@ -661,11 +975,17 @@ int Main(int argc, const char* const* argv) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
   }
+  // Crash diagnostics are always armed: a fatal signal dumps every
+  // thread's trace ring to stderr (and $TCROWD_CRASH_DUMP_DIR when set)
+  // before the process dies.
+  trace::InstallCrashHandler();
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "infer") return CmdInfer(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "assign") return CmdAssign(flags);
   if (command == "serve-sim") return CmdServeSim(flags);
+  if (command == "replay") return CmdReplay(flags);
+  if (command == "inspect") return CmdInspect(flags);
   return Usage();
 }
 

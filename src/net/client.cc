@@ -1,0 +1,127 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tcrowd::net {
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  decoder_ = FrameDecoder();
+  return ConnectTcp(host, port, &fd_);
+}
+
+Status Client::Call(const std::string& frame, MsgType expect,
+                    std::string* payload) {
+  if (!connected()) return Status::FailedPrecondition("client not connected");
+  Status st = WriteAll(fd_.get(), frame.data(), frame.size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  char buf[4096];
+  for (;;) {
+    Frame got;
+    std::string error;
+    switch (decoder_.Next(&got, &error)) {
+      case FrameDecoder::Result::kFrame:
+        if (got.type != expect) {
+          Close();
+          return Status::Internal(
+              std::string("unexpected response frame: got ") +
+              MsgTypeName(got.type) + ", want " + MsgTypeName(expect));
+        }
+        *payload = std::move(got.payload);
+        return Status::Ok();
+      case FrameDecoder::Result::kCorrupt:
+        Close();
+        return Status::IoError("server broke framing: " + error);
+      case FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    size_t n = 0;
+    st = ReadSome(fd_.get(), buf, sizeof(buf), &n);
+    if (!st.ok()) {
+      Close();
+      return st;
+    }
+    if (n == 0) {
+      Close();
+      return Status::IoError("connection closed by server");
+    }
+    decoder_.Feed(buf, n);
+  }
+}
+
+Status Client::Hello(const HelloRequest& req, HelloResponse* resp) {
+  std::string frame, payload;
+  EncodeHelloRequest(req, &frame);
+  Status st = Call(frame, MsgType::kHelloResp, &payload);
+  if (!st.ok()) return st;
+  return DecodeHelloResponse(payload.data(), payload.size(), resp);
+}
+
+Status Client::Lease(const LeaseRequest& req, LeaseResponse* resp) {
+  std::string frame, payload;
+  EncodeLeaseRequest(req, &frame);
+  Status st = Call(frame, MsgType::kLeaseResp, &payload);
+  if (!st.ok()) return st;
+  return DecodeLeaseResponse(payload.data(), payload.size(), resp);
+}
+
+Status Client::SubmitBatch(const SubmitBatchRequest& req,
+                           SubmitBatchResponse* resp) {
+  std::string frame;
+  EncodeSubmitBatchRequest(req, &frame);
+  int sleep_micros = options_.retry_later_sleep_micros;
+  for (int attempt = 0; attempt < options_.retry_later_max_attempts;
+       ++attempt) {
+    std::string payload;
+    Status st = Call(frame, MsgType::kSubmitBatchResp, &payload);
+    if (!st.ok()) return st;
+    st = DecodeSubmitBatchResponse(payload.data(), payload.size(), resp);
+    if (!st.ok()) return st;
+    if (resp->status != WireStatus::kRetryLater) return Status::Ok();
+    ++retry_later_seen_;
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+    if (sleep_micros < options_.retry_later_sleep_micros * 64) {
+      sleep_micros *= 2;
+    }
+  }
+  return Status::FailedPrecondition(
+      "server kept shedding the batch (RETRY_LATER) past the retry budget");
+}
+
+Status Client::Retract(const RetractRequest& req, RetractResponse* resp) {
+  std::string frame, payload;
+  EncodeRetractRequest(req, &frame);
+  Status st = Call(frame, MsgType::kRetractResp, &payload);
+  if (!st.ok()) return st;
+  return DecodeRetractResponse(payload.data(), payload.size(), resp);
+}
+
+Status Client::Bye(const ByeRequest& req, ByeResponse* resp) {
+  std::string frame, payload;
+  EncodeByeRequest(req, &frame);
+  Status st = Call(frame, MsgType::kByeResp, &payload);
+  if (!st.ok()) return st;
+  return DecodeByeResponse(payload.data(), payload.size(), resp);
+}
+
+Status Client::Finalize(const FinalizeRequest& req, FinalizeResponse* resp) {
+  std::string frame, payload;
+  EncodeFinalizeRequest(req, &frame);
+  Status st = Call(frame, MsgType::kFinalizeResp, &payload);
+  if (!st.ok()) return st;
+  return DecodeFinalizeResponse(payload.data(), payload.size(), resp);
+}
+
+Status Client::Stats(const StatsRequest& req, StatsResponse* resp) {
+  std::string frame, payload;
+  EncodeStatsRequest(req, &frame);
+  Status st = Call(frame, MsgType::kStatsResp, &payload);
+  if (!st.ok()) return st;
+  return DecodeStatsResponse(payload.data(), payload.size(), resp);
+}
+
+}  // namespace tcrowd::net

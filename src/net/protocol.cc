@@ -1,0 +1,650 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "inference/segment_codec.h"
+
+namespace tcrowd::net {
+namespace {
+
+// --------------------------------------------------------------------------
+// Little-endian primitives (same discipline as segment_codec.cc: explicit
+// byte shifts, never memcpy of the host representation).
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutI64(int64_t v, std::string* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+void PutDouble(double v, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+/// Bounds-checked sequential reader; every getter returns false instead of
+/// reading past the end.
+struct Reader {
+  const uint8_t* p;
+  size_t left;
+
+  Reader(const void* data, size_t size)
+      : p(static_cast<const uint8_t*>(data)), left(size) {}
+
+  bool U8(uint8_t* v) {
+    if (left < 1) return false;
+    *v = p[0];
+    ++p;
+    --left;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (left < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (left < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+  bool I32(int32_t* v) {
+    uint32_t u;
+    if (!U32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool Double(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool Done() const { return left == 0; }
+};
+
+// Value kind tags on the wire (same vocabulary as the disk codec).
+constexpr uint8_t kKindCategorical = 0;
+constexpr uint8_t kKindContinuous = 1;
+constexpr uint8_t kKindMissing = 2;
+
+void PutValue(const Value& v, std::string* out) {
+  if (v.is_categorical()) {
+    PutU8(kKindCategorical, out);
+    PutI32(v.label(), out);
+  } else if (v.is_continuous()) {
+    PutU8(kKindContinuous, out);
+    PutDouble(v.number(), out);
+  } else {
+    PutU8(kKindMissing, out);
+  }
+}
+
+bool GetValue(Reader* r, Value* v) {
+  uint8_t kind;
+  if (!r->U8(&kind)) return false;
+  if (kind == kKindCategorical) {
+    int32_t label;
+    if (!r->I32(&label)) return false;
+    *v = Value::Categorical(label);
+    return true;
+  }
+  if (kind == kKindContinuous) {
+    double number;
+    if (!r->Double(&number)) return false;
+    *v = Value::Continuous(number);
+    return true;
+  }
+  if (kind == kKindMissing) {
+    *v = Value();
+    return true;
+  }
+  return false;
+}
+
+// Smallest possible per-item encodings: sanity-bound decoded counts before
+// any allocation so a hostile count cannot demand a multi-gigabyte reserve.
+constexpr size_t kMinCellBytes = 8;           // row + col
+constexpr size_t kMinSubmitItemBytes = 8 + 1;  // cell + kind tag
+constexpr size_t kMinColumnBytes = 1 + 4;      // type + label_count
+
+/// Appends the frame envelope around an encoded payload.
+void PutFrame(MsgType type, const std::string& payload, std::string* out) {
+  size_t start = out->size();
+  PutU32(kFrameMagic, out);
+  PutU8(static_cast<uint8_t>(kProtocolVersion), out);
+  PutU8(static_cast<uint8_t>(type), out);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+  uint32_t crc = Crc32(out->data() + start, out->size() - start);
+  PutU32(crc, out);
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("net frame payload: ") + what);
+}
+
+/// Parses one frame at `data` (size bytes available). Shared by the strict
+/// connection decoder and the lenient stream decoder; the caller maps the
+/// verdicts onto its own error policy.
+enum class ParseVerdict { kFrame, kNeedMore, kCorrupt };
+
+ParseVerdict ParseFrame(const uint8_t* data, size_t size, size_t max_payload,
+                        Frame* out, size_t* consumed, std::string* error) {
+  if (size < kFrameHeaderBytes) return ParseVerdict::kNeedMore;
+  Reader header(data, size);
+  uint32_t magic, payload_len;
+  uint8_t version, type;
+  header.U32(&magic);
+  header.U8(&version);
+  header.U8(&type);
+  header.U32(&payload_len);
+  if (magic != kFrameMagic) {
+    if (error != nullptr) *error = "bad frame magic";
+    return ParseVerdict::kCorrupt;
+  }
+  if (version != kProtocolVersion) {
+    if (error != nullptr) *error = "unknown protocol version";
+    return ParseVerdict::kCorrupt;
+  }
+  // The hostile-length allocation guard: refuse before touching payload
+  // bytes, so a corrupt length can neither allocate nor stall the stream.
+  if (payload_len > max_payload) {
+    if (error != nullptr) *error = "hostile frame length";
+    return ParseVerdict::kCorrupt;
+  }
+  if (!IsKnownMsgType(type)) {
+    if (error != nullptr) *error = "unknown message type";
+    return ParseVerdict::kCorrupt;
+  }
+  size_t total = kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
+  if (size < total) return ParseVerdict::kNeedMore;
+  Reader trailer(data + kFrameHeaderBytes + payload_len, kFrameTrailerBytes);
+  uint32_t crc;
+  trailer.U32(&crc);
+  if (crc != Crc32(data, kFrameHeaderBytes + payload_len)) {
+    if (error != nullptr) *error = "frame CRC mismatch";
+    return ParseVerdict::kCorrupt;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload.assign(reinterpret_cast<const char*>(data) +
+                          kFrameHeaderBytes,
+                      payload_len);
+  *consumed = total;
+  return ParseVerdict::kFrame;
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kLease: return "Lease";
+    case MsgType::kSubmitBatch: return "SubmitBatch";
+    case MsgType::kRetract: return "Retract";
+    case MsgType::kBye: return "Bye";
+    case MsgType::kFinalize: return "Finalize";
+    case MsgType::kStats: return "Stats";
+    case MsgType::kHelloResp: return "HelloResp";
+    case MsgType::kLeaseResp: return "LeaseResp";
+    case MsgType::kSubmitBatchResp: return "SubmitBatchResp";
+    case MsgType::kRetractResp: return "RetractResp";
+    case MsgType::kByeResp: return "ByeResp";
+    case MsgType::kFinalizeResp: return "FinalizeResp";
+    case MsgType::kStatsResp: return "StatsResp";
+  }
+  return "unknown";
+}
+
+bool IsKnownMsgType(uint8_t type) {
+  uint8_t base = type & 0x7f;
+  return base >= static_cast<uint8_t>(MsgType::kHello) &&
+         base <= static_cast<uint8_t>(MsgType::kStats);
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kRetryLater: return "RETRY_LATER";
+    case WireStatus::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireStatus::kNotFound: return "NOT_FOUND";
+    case WireStatus::kOutOfRange: return "OUT_OF_RANGE";
+    case WireStatus::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case WireStatus::kInternal: return "INTERNAL";
+    case WireStatus::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "unknown";
+}
+
+WireStatus WireStatusFromCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return WireStatus::kOk;
+    case StatusCode::kInvalidArgument: return WireStatus::kInvalidArgument;
+    case StatusCode::kNotFound: return WireStatus::kNotFound;
+    case StatusCode::kOutOfRange: return WireStatus::kOutOfRange;
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kFailedPrecondition;
+    case StatusCode::kInternal: return WireStatus::kInternal;
+    case StatusCode::kIoError: return WireStatus::kInternal;
+  }
+  return WireStatus::kInternal;
+}
+
+// ---------------------------------------------------------------------------
+// Encoders.
+
+void EncodeHelloRequest(const HelloRequest& msg, std::string* out) {
+  std::string payload;
+  PutI32(msg.worker, &payload);
+  PutFrame(MsgType::kHello, payload, out);
+}
+
+void EncodeHelloResponse(const HelloResponse& msg, std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutU64(msg.session, &payload);
+  PutU64(msg.schema_fingerprint, &payload);
+  PutU32(msg.num_rows, &payload);
+  PutU32(static_cast<uint32_t>(msg.columns.size()), &payload);
+  for (const WireColumn& col : msg.columns) {
+    PutU8(col.categorical, &payload);
+    PutU32(col.label_count, &payload);
+  }
+  PutFrame(MsgType::kHelloResp, payload, out);
+}
+
+void EncodeLeaseRequest(const LeaseRequest& msg, std::string* out) {
+  std::string payload;
+  PutU64(msg.session, &payload);
+  PutU32(msg.max_tasks, &payload);
+  PutFrame(MsgType::kLease, payload, out);
+}
+
+void EncodeLeaseResponse(const LeaseResponse& msg, std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutU8(msg.drained, &payload);
+  PutU32(static_cast<uint32_t>(msg.cells.size()), &payload);
+  for (const CellRef& cell : msg.cells) {
+    PutI32(cell.row, &payload);
+    PutI32(cell.col, &payload);
+  }
+  PutFrame(MsgType::kLeaseResp, payload, out);
+}
+
+void EncodeSubmitBatchRequest(const SubmitBatchRequest& msg,
+                              std::string* out) {
+  std::string payload;
+  PutU64(msg.session, &payload);
+  PutU32(static_cast<uint32_t>(msg.items.size()), &payload);
+  for (const auto& [cell, value] : msg.items) {
+    PutI32(cell.row, &payload);
+    PutI32(cell.col, &payload);
+    PutValue(value, &payload);
+  }
+  PutFrame(MsgType::kSubmitBatch, payload, out);
+}
+
+void EncodeSubmitBatchResponse(const SubmitBatchResponse& msg,
+                               std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutU32(static_cast<uint32_t>(msg.item_status.size()), &payload);
+  for (uint8_t st : msg.item_status) PutU8(st, &payload);
+  PutFrame(MsgType::kSubmitBatchResp, payload, out);
+}
+
+void EncodeRetractRequest(const RetractRequest& msg, std::string* out) {
+  std::string payload;
+  PutI32(msg.worker, &payload);
+  PutI32(msg.cell.row, &payload);
+  PutI32(msg.cell.col, &payload);
+  PutFrame(MsgType::kRetract, payload, out);
+}
+
+void EncodeRetractResponse(const RetractResponse& msg, std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutFrame(MsgType::kRetractResp, payload, out);
+}
+
+void EncodeByeRequest(const ByeRequest& msg, std::string* out) {
+  std::string payload;
+  PutU64(msg.session, &payload);
+  PutFrame(MsgType::kBye, payload, out);
+}
+
+void EncodeByeResponse(const ByeResponse& msg, std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutFrame(MsgType::kByeResp, payload, out);
+}
+
+void EncodeFinalizeRequest(const FinalizeRequest&, std::string* out) {
+  PutFrame(MsgType::kFinalize, std::string(), out);
+}
+
+void EncodeFinalizeResponse(const FinalizeResponse& msg, std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutU64(msg.digest, &payload);
+  PutU64(msg.answer_count, &payload);
+  PutFrame(MsgType::kFinalizeResp, payload, out);
+}
+
+void EncodeStatsRequest(const StatsRequest&, std::string* out) {
+  PutFrame(MsgType::kStats, std::string(), out);
+}
+
+void EncodeStatsResponse(const StatsResponse& msg, std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutU32(msg.tasks_open, &payload);
+  PutU32(msg.tasks_assigned, &payload);
+  PutU32(msg.tasks_answered, &payload);
+  PutU32(msg.tasks_finalized, &payload);
+  PutU64(msg.sessions_started, &payload);
+  PutU64(msg.sessions_active, &payload);
+  PutU64(msg.sessions_expired, &payload);
+  PutU64(msg.answers_accepted, &payload);
+  PutU64(msg.answers_rejected, &payload);
+  PutU64(msg.answers_retracted, &payload);
+  PutU64(msg.answers_restored, &payload);
+  PutU64(msg.assignments, &payload);
+  PutI64(msg.budget_spent, &payload);
+  PutI64(msg.budget_remaining, &payload);
+  PutU32(msg.engine_refreshes, &payload);
+  PutU8(msg.drained, &payload);
+  PutU64(msg.connections_accepted, &payload);
+  PutU64(msg.connections_open, &payload);
+  PutU64(msg.frames_processed, &payload);
+  PutU64(msg.retry_later_total, &payload);
+  PutU64(msg.write_queue_peak, &payload);
+  PutU64(msg.http_requests, &payload);
+  PutU64(msg.frame_errors, &payload);
+  PutU64(msg.inflight_answers, &payload);
+  PutU64(msg.inflight_budget, &payload);
+  PutFrame(MsgType::kStatsResp, payload, out);
+}
+
+// ---------------------------------------------------------------------------
+// Payload decoders.
+
+Status DecodeHelloRequest(const void* data, size_t size, HelloRequest* out) {
+  Reader r(data, size);
+  if (!r.I32(&out->worker) || !r.Done()) return Malformed("Hello");
+  return Status::Ok();
+}
+
+Status DecodeHelloResponse(const void* data, size_t size,
+                           HelloResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  uint32_t count;
+  if (!r.U8(&status) || !r.U64(&out->session) ||
+      !r.U64(&out->schema_fingerprint) || !r.U32(&out->num_rows) ||
+      !r.U32(&count)) {
+    return Malformed("HelloResp");
+  }
+  if (static_cast<size_t>(count) * kMinColumnBytes > r.left) {
+    return Malformed("HelloResp column count exceeds payload");
+  }
+  out->status = static_cast<WireStatus>(status);
+  out->columns.clear();
+  out->columns.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireColumn col;
+    if (!r.U8(&col.categorical) || !r.U32(&col.label_count)) {
+      return Malformed("HelloResp column");
+    }
+    out->columns.push_back(col);
+  }
+  if (!r.Done()) return Malformed("HelloResp trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeLeaseRequest(const void* data, size_t size, LeaseRequest* out) {
+  Reader r(data, size);
+  if (!r.U64(&out->session) || !r.U32(&out->max_tasks) || !r.Done()) {
+    return Malformed("Lease");
+  }
+  return Status::Ok();
+}
+
+Status DecodeLeaseResponse(const void* data, size_t size,
+                           LeaseResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  uint32_t count;
+  if (!r.U8(&status) || !r.U8(&out->drained) || !r.U32(&count)) {
+    return Malformed("LeaseResp");
+  }
+  if (static_cast<size_t>(count) * kMinCellBytes > r.left) {
+    return Malformed("LeaseResp cell count exceeds payload");
+  }
+  out->status = static_cast<WireStatus>(status);
+  out->cells.clear();
+  out->cells.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int32_t row, col;
+    if (!r.I32(&row) || !r.I32(&col)) return Malformed("LeaseResp cell");
+    out->cells.push_back(CellRef{row, col});
+  }
+  if (!r.Done()) return Malformed("LeaseResp trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeSubmitBatchRequest(const void* data, size_t size,
+                                SubmitBatchRequest* out) {
+  Reader r(data, size);
+  uint32_t count;
+  if (!r.U64(&out->session) || !r.U32(&count)) {
+    return Malformed("SubmitBatch");
+  }
+  if (static_cast<size_t>(count) * kMinSubmitItemBytes > r.left) {
+    return Malformed("SubmitBatch item count exceeds payload");
+  }
+  out->items.clear();
+  out->items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int32_t row, col;
+    Value value;
+    if (!r.I32(&row) || !r.I32(&col) || !GetValue(&r, &value)) {
+      return Malformed("SubmitBatch item");
+    }
+    out->items.emplace_back(CellRef{row, col}, value);
+  }
+  if (!r.Done()) return Malformed("SubmitBatch trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeSubmitBatchResponse(const void* data, size_t size,
+                                 SubmitBatchResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  uint32_t count;
+  if (!r.U8(&status) || !r.U32(&count)) return Malformed("SubmitBatchResp");
+  if (static_cast<size_t>(count) > r.left) {
+    return Malformed("SubmitBatchResp status count exceeds payload");
+  }
+  out->status = static_cast<WireStatus>(status);
+  out->item_status.clear();
+  out->item_status.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t st;
+    if (!r.U8(&st)) return Malformed("SubmitBatchResp status");
+    out->item_status.push_back(st);
+  }
+  if (!r.Done()) return Malformed("SubmitBatchResp trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeRetractRequest(const void* data, size_t size,
+                            RetractRequest* out) {
+  Reader r(data, size);
+  if (!r.I32(&out->worker) || !r.I32(&out->cell.row) ||
+      !r.I32(&out->cell.col) || !r.Done()) {
+    return Malformed("Retract");
+  }
+  return Status::Ok();
+}
+
+Status DecodeRetractResponse(const void* data, size_t size,
+                             RetractResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  if (!r.U8(&status) || !r.Done()) return Malformed("RetractResp");
+  out->status = static_cast<WireStatus>(status);
+  return Status::Ok();
+}
+
+Status DecodeByeRequest(const void* data, size_t size, ByeRequest* out) {
+  Reader r(data, size);
+  if (!r.U64(&out->session) || !r.Done()) return Malformed("Bye");
+  return Status::Ok();
+}
+
+Status DecodeByeResponse(const void* data, size_t size, ByeResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  if (!r.U8(&status) || !r.Done()) return Malformed("ByeResp");
+  out->status = static_cast<WireStatus>(status);
+  return Status::Ok();
+}
+
+Status DecodeFinalizeRequest(const void* data, size_t size,
+                             FinalizeRequest*) {
+  Reader r(data, size);
+  if (!r.Done()) return Malformed("Finalize trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeFinalizeResponse(const void* data, size_t size,
+                              FinalizeResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  if (!r.U8(&status) || !r.U64(&out->digest) || !r.U64(&out->answer_count) ||
+      !r.Done()) {
+    return Malformed("FinalizeResp");
+  }
+  out->status = static_cast<WireStatus>(status);
+  return Status::Ok();
+}
+
+Status DecodeStatsRequest(const void* data, size_t size, StatsRequest*) {
+  Reader r(data, size);
+  if (!r.Done()) return Malformed("Stats trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeStatsResponse(const void* data, size_t size,
+                           StatsResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  if (!r.U8(&status) || !r.U32(&out->tasks_open) ||
+      !r.U32(&out->tasks_assigned) || !r.U32(&out->tasks_answered) ||
+      !r.U32(&out->tasks_finalized) || !r.U64(&out->sessions_started) ||
+      !r.U64(&out->sessions_active) || !r.U64(&out->sessions_expired) ||
+      !r.U64(&out->answers_accepted) || !r.U64(&out->answers_rejected) ||
+      !r.U64(&out->answers_retracted) || !r.U64(&out->answers_restored) ||
+      !r.U64(&out->assignments) || !r.I64(&out->budget_spent) ||
+      !r.I64(&out->budget_remaining) || !r.U32(&out->engine_refreshes) ||
+      !r.U8(&out->drained) || !r.U64(&out->connections_accepted) ||
+      !r.U64(&out->connections_open) || !r.U64(&out->frames_processed) ||
+      !r.U64(&out->retry_later_total) || !r.U64(&out->write_queue_peak) ||
+      !r.U64(&out->http_requests) || !r.U64(&out->frame_errors) ||
+      !r.U64(&out->inflight_answers) || !r.U64(&out->inflight_budget) ||
+      !r.Done()) {
+    return Malformed("StatsResp");
+  }
+  out->status = static_cast<WireStatus>(status);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+void FrameDecoder::Feed(const void* data, size_t n) {
+  // Compact lazily: only when the dead prefix dominates, so steady-state
+  // feeding is append-only.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* out, std::string* error) {
+  const uint8_t* base =
+      reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_;
+  size_t avail = buffer_.size() - consumed_;
+  size_t consumed = 0;
+  switch (ParseFrame(base, avail, max_payload_, out, &consumed, error)) {
+    case ParseVerdict::kFrame:
+      consumed_ += consumed;
+      return Result::kFrame;
+    case ParseVerdict::kNeedMore:
+      return Result::kNeedMore;
+    case ParseVerdict::kCorrupt:
+      return Result::kCorrupt;
+  }
+  return Result::kCorrupt;
+}
+
+Status DecodeFrameStream(const void* data, size_t size,
+                         FrameStreamReplay* out, size_t max_payload) {
+  out->frames.clear();
+  out->truncated = false;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t left = size;
+  while (left > 0) {
+    Frame frame;
+    size_t consumed = 0;
+    ParseVerdict verdict =
+        ParseFrame(p, left, max_payload, &frame, &consumed, nullptr);
+    if (verdict != ParseVerdict::kFrame) {
+      // Torn tail or corruption: keep the clean prefix, drop the rest. A
+      // framed stream cannot be resynchronized past a bad frame.
+      out->truncated = true;
+      break;
+    }
+    out->frames.push_back(std::move(frame));
+    p += consumed;
+    left -= consumed;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcrowd::net

@@ -1,0 +1,157 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace tcrowd::net {
+namespace {
+
+Status ErrnoStatus(const char* op) {
+  return Status::IoError(std::string(op) + ": " + strerror(errno));
+}
+
+Status ResolveV4(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string target = host.empty() ? "127.0.0.1" : host;
+  if (target == "localhost") {
+    addr->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return Status::Ok();
+  }
+  if (inet_pton(AF_INET, target.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + target);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void OwnedFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status ListenTcp(const std::string& host, uint16_t port, int backlog,
+                 OwnedFd* out, uint16_t* bound_port) {
+  sockaddr_in addr;
+  Status st = ResolveV4(host, port, &addr);
+  if (!st.ok()) return st;
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return ErrnoStatus("listen");
+  st = SetNonBlocking(fd.get());
+  if (!st.ok()) return st;
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return ErrnoStatus("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  *out = std::move(fd);
+  return Status::Ok();
+}
+
+Status ConnectTcp(const std::string& host, uint16_t port, OwnedFd* out) {
+  sockaddr_in addr;
+  Status st = ResolveV4(host, port, &addr);
+  if (!st.ok()) return st;
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("connect");
+  st = SetNoDelay(fd.get());
+  if (!st.ok()) return st;
+  *out = std::move(fd);
+  return Status::Ok();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    ssize_t wrote = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    if (wrote == 0) return Status::IoError("send: zero-length progress");
+    p += wrote;
+    n -= static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+Status ReadSome(int fd, void* buf, size_t cap, size_t* n_read) {
+  for (;;) {
+    ssize_t got = ::read(fd, buf, cap);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read");
+    }
+    *n_read = static_cast<size_t>(got);
+    return Status::Ok();
+  }
+}
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("expected HOST:PORT, got: " + spec);
+  }
+  const std::string port_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  long value = strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end == nullptr || *end != '\0' || value < 0 ||
+      value > 65535) {
+    return Status::InvalidArgument("bad port in: " + spec);
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return Status::Ok();
+}
+
+}  // namespace tcrowd::net

@@ -1,0 +1,78 @@
+#ifndef TCROWD_NET_SOCKET_UTIL_H_
+#define TCROWD_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tcrowd::net {
+
+/// Thin RAII + error-mapping layer over BSD sockets; everything the server
+/// and the blocking client share. All functions report failures as Status
+/// (kIoError with errno text) instead of crashing.
+
+/// Owns one file descriptor; closes it on destruction. Movable, not
+/// copyable.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { Reset(); }
+
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to host:port (SO_REUSEADDR,
+/// non-blocking). Pass port 0 to let the kernel pick; *bound_port receives
+/// the actual port either way.
+Status ListenTcp(const std::string& host, uint16_t port, int backlog,
+                 OwnedFd* out, uint16_t* bound_port);
+
+/// Blocking TCP connect (used by the client side; the server never
+/// connects).
+Status ConnectTcp(const std::string& host, uint16_t port, OwnedFd* out);
+
+/// Switches a descriptor to non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle batching — every protocol exchange is a small
+/// request/response pair, so coalescing only adds latency.
+Status SetNoDelay(int fd);
+
+/// Writes exactly `n` bytes (blocking socket), retrying short writes and
+/// EINTR.
+Status WriteAll(int fd, const void* data, size_t n);
+
+/// Reads up to `cap` bytes (blocking socket), retrying EINTR. *n_read = 0
+/// means clean EOF.
+Status ReadSome(int fd, void* buf, size_t cap, size_t* n_read);
+
+/// Parses "HOST:PORT" (host may be empty → 127.0.0.1).
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+}  // namespace tcrowd::net
+
+#endif  // TCROWD_NET_SOCKET_UTIL_H_

@@ -8,6 +8,9 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "inference/segment_codec.h"
+#include "net/client.h"
+#include "net/socket_util.h"
 
 namespace tcrowd::sim {
 
@@ -26,11 +29,155 @@ LoadGenerator::LoadGenerator(CrowdSimulator* crowd,
                              LoadGeneratorOptions options)
     : crowd_(crowd), service_(svc), options_(options) {
   TCROWD_CHECK(crowd_ != nullptr);
-  TCROWD_CHECK(service_ != nullptr);
+  TCROWD_CHECK(service_ != nullptr || !options_.connect.empty());
   options_.max_arrivals = std::max(1, options_.max_arrivals);
   options_.tasks_per_request = std::max(1, options_.tasks_per_request);
   options_.batch_size = std::max(1, options_.batch_size);
   options_.num_driver_threads = std::max(1, options_.num_driver_threads);
+  options_.num_connections = std::max(1, options_.num_connections);
+}
+
+void LoadGenerator::RunSocket(LoadReport* report) {
+  std::string host;
+  uint16_t port = 0;
+  Status st = net::ParseHostPort(options_.connect, &host, &port);
+  if (!st.ok()) {
+    report->socket_status = st;
+    return;
+  }
+  std::vector<net::Client> clients(
+      static_cast<size_t>(options_.num_connections));
+  for (net::Client& client : clients) {
+    st = client.Connect(host, port);
+    if (!st.ok()) {
+      report->socket_status = st;
+      return;
+    }
+  }
+  const uint64_t local_fingerprint =
+      SchemaFingerprint(crowd_->schema(), crowd_->truth().num_rows());
+
+  // Mirrors RunArrivalDeterministic frame for frame: same (seed, index)
+  // streams, same order-independent simulator calls, same per-arrival call
+  // shape (Hello ≡ StartSession, Lease ≡ RequestTasks, SubmitBatch pages,
+  // Bye ≡ EndSession) — the server's single-threaded loop then books the
+  // identical history the in-process run would have.
+  bool drained = false;
+  while (!drained) {
+    if (StopRequested()) break;
+    if (arrivals_issued_ >= options_.max_arrivals) break;
+    int64_t index = arrivals_issued_++;
+    Rng session_rng(
+        Mix64(options_.seed ^ Mix64(static_cast<uint64_t>(index))));
+    ++report->arrivals;
+
+    net::Client& client = clients[static_cast<size_t>(
+        index % options_.num_connections)];
+    WorkerId worker = crowd_->NextWorker(&session_rng);
+    net::HelloResponse hello;
+    st = client.Hello(net::HelloRequest{worker}, &hello);
+    if (!st.ok()) {
+      report->socket_status = st;
+      return;
+    }
+    if (hello.schema_fingerprint != local_fingerprint) {
+      report->socket_status = Status::FailedPrecondition(
+          "server schema fingerprint does not match the local world — "
+          "refusing to drive a mismatched table");
+      return;
+    }
+
+    net::LeaseRequest lease_req;
+    lease_req.session = hello.session;
+    lease_req.max_tasks = static_cast<uint32_t>(options_.tasks_per_request);
+    net::LeaseResponse lease;
+    st = client.Lease(lease_req, &lease);
+    if (!st.ok()) {
+      report->socket_status = st;
+      return;
+    }
+    report->assignments += static_cast<int64_t>(lease.cells.size());
+
+    bool abandons =
+        !lease.cells.empty() && session_rng.Bernoulli(options_.abandon_prob);
+    if (abandons) {
+      ++report->abandoned_sessions;
+    } else {
+      std::vector<std::pair<CellRef, Value>> items;
+      items.reserve(lease.cells.size());
+      for (const CellRef& cell : lease.cells) {
+        items.emplace_back(cell,
+                           crowd_->AnswerWith(worker, cell, &session_rng));
+      }
+      for (size_t lo = 0; lo < items.size();
+           lo += static_cast<size_t>(options_.batch_size)) {
+        size_t hi = std::min(items.size(),
+                             lo + static_cast<size_t>(options_.batch_size));
+        net::SubmitBatchRequest submit;
+        submit.session = hello.session;
+        submit.items.assign(items.begin() + lo, items.begin() + hi);
+        net::SubmitBatchResponse verdicts;
+        st = client.SubmitBatch(submit, &verdicts);
+        if (!st.ok()) {
+          report->socket_status = st;
+          return;
+        }
+        ++report->batches;
+        for (uint8_t code : verdicts.item_status) {
+          if (code == static_cast<uint8_t>(net::WireStatus::kOk)) {
+            ++report->answers;
+            answers_accepted_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            ++report->rejected;
+          }
+        }
+        if (StopRequested()) break;  // "crash": drop the unanswered leases
+      }
+    }
+    net::ByeResponse bye;
+    st = client.Bye(net::ByeRequest{hello.session}, &bye);
+    if (!st.ok()) {
+      report->socket_status = st;
+      return;
+    }
+    drained = lease.drained != 0;
+  }
+
+  for (net::Client& client : clients) {
+    report->retries += client.retry_later_seen();
+  }
+  net::StatsResponse stats;
+  st = clients[0].Stats(net::StatsRequest{}, &stats);
+  if (!st.ok()) {
+    report->socket_status = st;
+    return;
+  }
+  report->final_stats.tasks_open = static_cast<int>(stats.tasks_open);
+  report->final_stats.tasks_assigned =
+      static_cast<int>(stats.tasks_assigned);
+  report->final_stats.tasks_answered =
+      static_cast<int>(stats.tasks_answered);
+  report->final_stats.tasks_finalized =
+      static_cast<int>(stats.tasks_finalized);
+  report->final_stats.sessions_started =
+      static_cast<int64_t>(stats.sessions_started);
+  report->final_stats.sessions_active =
+      static_cast<int64_t>(stats.sessions_active);
+  report->final_stats.sessions_expired =
+      static_cast<int64_t>(stats.sessions_expired);
+  report->final_stats.answers_accepted =
+      static_cast<int64_t>(stats.answers_accepted);
+  report->final_stats.answers_rejected =
+      static_cast<int64_t>(stats.answers_rejected);
+  report->final_stats.answers_retracted =
+      static_cast<int64_t>(stats.answers_retracted);
+  report->final_stats.answers_restored =
+      static_cast<int64_t>(stats.answers_restored);
+  report->final_stats.assignments = static_cast<int64_t>(stats.assignments);
+  report->final_stats.budget_spent = stats.budget_spent;
+  report->final_stats.budget_remaining = stats.budget_remaining;
+  report->final_stats.engine_refreshes =
+      static_cast<int>(stats.engine_refreshes);
 }
 
 bool LoadGenerator::RunArrivalDeterministic(LoadReport* report) {
@@ -187,6 +334,21 @@ void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
 LoadReport LoadGenerator::Run() {
   LoadReport report;
   auto start = std::chrono::steady_clock::now();
+
+  if (!options_.connect.empty()) {
+    // Socket mode: one driver thread serializes arrivals over the open
+    // connections (determinism requires a total order of arrivals).
+    RunSocket(&report);
+    report.stopped_early = StopRequested();
+    std::chrono::duration<double> socket_elapsed =
+        std::chrono::steady_clock::now() - start;
+    report.wall_seconds = socket_elapsed.count();
+    report.answers_per_second =
+        report.wall_seconds > 0.0
+            ? static_cast<double>(report.answers) / report.wall_seconds
+            : 0.0;
+    return report;
+  }
 
   int n = options_.num_driver_threads;
   std::vector<LoadReport> partials(n);

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 
+#include "net/client.h"
 #include "service/crowd_service.h"
 #include "simulation/crowd_simulator.h"
 
@@ -44,6 +46,19 @@ struct LoadGeneratorOptions {
   /// of run-to-run variation.
   bool deterministic = true;
   uint64_t seed = 7;
+  /// Socket-driving mode: non-empty ("HOST:PORT") drives a remote
+  /// tcrowd_serverd over the binary protocol (docs/PROTOCOL.md) instead of
+  /// calling the service in-process. The arrival pattern is the
+  /// deterministic one — whole arrivals serialized in index order, streams
+  /// derived from (seed, arrival index) — round-robined across
+  /// `num_connections` open connections by ONE driver thread, so the
+  /// server-observed call sequence (and therefore its event log) is a pure
+  /// function of the options, exactly like the in-process deterministic
+  /// mode. RETRY_LATER sheds are absorbed by the client's identical
+  /// resends and never change the accepted history.
+  std::string connect;
+  /// Concurrent protocol connections in socket mode.
+  int num_connections = 4;
 };
 
 /// What a replay run produced, next to the service's own metrics registry.
@@ -60,6 +75,11 @@ struct LoadReport {
   double wall_seconds = 0.0;
   /// Answer-event throughput of the whole run.
   double answers_per_second = 0.0;
+  /// Socket mode only: RETRY_LATER verdicts absorbed by batch resends.
+  int64_t retries = 0;
+  /// Socket mode only: first transport/protocol error that ended the run
+  /// early (OK after a clean run and always in in-process mode).
+  Status socket_status;
   service::ServiceStats final_stats;
 };
 
@@ -70,7 +90,10 @@ struct LoadReport {
 /// through the online stack.
 class LoadGenerator {
  public:
-  /// Both pointers are unowned and must outlive Run().
+  /// Both pointers are unowned and must outlive Run(). In socket mode
+  /// (options.connect non-empty) `svc` may be null — the service lives in
+  /// the remote server process and the report's final_stats come from its
+  /// Stats response.
   LoadGenerator(CrowdSimulator* crowd, service::CrowdService* svc,
                 LoadGeneratorOptions options);
 
@@ -81,6 +104,9 @@ class LoadGenerator {
  private:
   /// One driver thread's loop; shares the arrival budget with its peers.
   void DriveLoop(uint64_t seed, LoadReport* report);
+  /// The socket-mode driver: serialized deterministic arrivals round-robin
+  /// over options_.num_connections protocol connections.
+  void RunSocket(LoadReport* report);
   /// One whole arrival under the generator lock (deterministic mode):
   /// `session_rng` is the arrival's derived stream. Returns false when the
   /// run is over (arrival budget exhausted or service drained).

@@ -20,9 +20,13 @@
 #      subsystems (event log + replay driver, trace ring, metrics
 #      exposition, snapshot inspection, report JSON), so the
 #      record/replay and tracing doc cannot rot;
-#   6. README.md and docs/ARCHITECTURE.md must link the lifecycle,
-#      persistence, and observability docs, and README.md must link the
-#      scenarios doc.
+#   6. docs/PROTOCOL.md must exist and keep naming the socket front-end's
+#      pieces (frame constants, decoders, message vocabulary, the
+#      backpressure knobs, RETRY_LATER semantics, the daemon/client
+#      tooling), so the wire-protocol doc cannot rot;
+#   7. README.md and docs/ARCHITECTURE.md must link the lifecycle,
+#      persistence, observability, and protocol docs, and README.md must
+#      link the scenarios doc.
 #
 # Run it locally after adding a module or touching the answer path:
 #
@@ -134,7 +138,30 @@ else
   done
 fi
 
-for linked in DATA_LIFECYCLE.md PERSISTENCE.md OBSERVABILITY.md; do
+protocol="$repo_root/docs/PROTOCOL.md"
+if [ ! -f "$protocol" ]; then
+  echo "check_docs.sh: $protocol is missing" >&2
+  fail=1
+else
+  # The wire protocol's load-bearing names: frame constants, both
+  # decoders, every message kind, the backpressure machinery, and the
+  # tools that speak it.
+  for anchor in kFrameMagic kMaxFramePayload FrameDecoder \
+                DecodeFrameStream Hello Lease SubmitBatch Retract Bye \
+                Finalize Stats RETRY_LATER write_queue_high \
+                max_frames_per_wake inflight-budget \
+                answers_since_refresh RequestRefresh tcrowd_serverd \
+                "GET /metrics" bench_net smoke_serverd; do
+    if ! grep -q -- "$anchor" "$protocol"; then
+      echo "check_docs.sh: docs/PROTOCOL.md no longer mentions" \
+           "'$anchor' — update the protocol doc." >&2
+      fail=1
+    fi
+  done
+fi
+
+for linked in DATA_LIFECYCLE.md PERSISTENCE.md OBSERVABILITY.md \
+              PROTOCOL.md; do
   for linker in "$readme" "$doc"; do
     if ! grep -q "$linked" "$linker"; then
       echo "check_docs.sh: $(basename "$linker") does not link" \
@@ -151,4 +178,4 @@ fi
 
 [ "$fail" -eq 0 ] || exit 1
 
-echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle, persistence, scenarios, and observability docs are fresh."
+echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle, persistence, scenarios, observability, and protocol docs are fresh."

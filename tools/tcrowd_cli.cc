@@ -54,6 +54,8 @@
 #include "inference/median_inference.h"
 #include "inference/tcrowd_model.h"
 #include "inference/zencrowd.h"
+#include "net/client.h"
+#include "net/socket_util.h"
 #include "platform/event_log.h"
 #include "platform/experiment.h"
 #include "platform/metrics.h"
@@ -97,6 +99,11 @@ commands:
              [--trace=debug|info|warn|off]
   replay     <event-log> [--threads=T] [--trace=debug|info|warn|off]
   inspect    <snapshot-dir>
+  client     --connect=HOST:PORT [--drive] [--finalize] [--stats]
+             [--metrics] [--connections=N] [--arrivals=N]
+             [--tasks-per-worker=K] [--batch-size=N] [--abandon=P]
+             [--dataset=...|--rows=N --cols=M --ratio=R --workers=W]
+             [--seed=S]
 
 serve-sim durability: --checkpoint-dir=DIR persists the answer log (and
 restores it at startup). --crash-after=N runs a crash drill: serve until N
@@ -109,6 +116,14 @@ post-restart run to FILE); `replay` re-drives it and exits non-zero on any
 divergence. --metrics-out=FILE re-exports Prometheus text metrics every
 --metrics-interval-ms (default 1000) and at exit. --trace tunes the
 always-on trace ring (debug enables per-answer events).
+
+client (docs/PROTOCOL.md): drives a live tcrowd_serverd over the TCNP
+binary protocol. --drive rebuilds the server's world locally (pass the SAME
+world flags and --seed the server was started with) and replays the
+deterministic load-generator arrival stream over --connections concurrent
+connections; --finalize requests the final fit and prints the truth digest;
+--stats prints the service + network ledger; --metrics fetches GET /metrics
+over the same listener and prints the Prometheus text.
 
 serve-sim scenarios: --scenario=NAME replays a named adversarial/dynamic
 scenario (hostile worker behaviors + shaped arrivals + retraction pressure,
@@ -949,6 +964,201 @@ int CmdReplay(const FlagParser& flags) {
   return report.ok() ? 0 : 1;
 }
 
+int CmdClient(const FlagParser& flags) {
+  std::string connect = flags.GetString("connect");
+  if (connect.empty()) {
+    std::fprintf(stderr, "client: --connect=HOST:PORT is required\n");
+    return 2;
+  }
+  std::string host;
+  uint16_t port = 0;
+  Status st = net::ParseHostPort(connect, &host, &port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "client: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  bool drive = flags.GetBool("drive", false);
+  bool finalize = flags.GetBool("finalize", false);
+  bool stats_wanted = flags.GetBool("stats", false);
+  bool metrics = flags.GetBool("metrics", false);
+  if (!drive && !finalize && !metrics) stats_wanted = true;
+
+  if (drive) {
+    // Rebuild the server's world locally (same flags + seed derivation as
+    // tcrowd_serverd); the Hello schema-fingerprint handshake catches a
+    // mismatch before any answer is submitted.
+    bool bad_dataset = false;
+    sim::SynthesizedWorld world = [&]() -> sim::SynthesizedWorld {
+      if (flags.Has("dataset")) {
+        std::string which = flags.GetString("dataset");
+        sim::PaperDataset pd = sim::PaperDataset::kRestaurant;
+        if (which == "celebrity") {
+          pd = sim::PaperDataset::kCelebrity;
+        } else if (which == "restaurant") {
+          pd = sim::PaperDataset::kRestaurant;
+        } else if (which == "emotion") {
+          pd = sim::PaperDataset::kEmotion;
+        } else {
+          bad_dataset = true;
+        }
+        sim::SynthesizerOptions opt;
+        opt.seed = seed;
+        opt.answers_per_task = 0;
+        return sim::SynthesizeDataset(pd, opt);
+      }
+      sim::TableGeneratorOptions topt;
+      topt.num_rows = static_cast<int>(flags.GetInt("rows", 60));
+      topt.num_cols = static_cast<int>(flags.GetInt("cols", 5));
+      topt.categorical_ratio = flags.GetDouble("ratio", 0.5);
+      sim::CrowdOptions copt;
+      copt.num_workers = static_cast<int>(flags.GetInt("workers", 40));
+      Rng rng(seed);
+      sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
+      return sim::SynthesizeFromTable(std::move(table), copt, 0, seed + 1,
+                                      "custom");
+    }();
+    if (bad_dataset) {
+      std::fprintf(stderr, "client: unknown --dataset=%s\n",
+                   flags.GetString("dataset").c_str());
+      return 2;
+    }
+
+    sim::LoadGeneratorOptions load;
+    load.connect = connect;
+    load.num_connections =
+        static_cast<int>(flags.GetInt("connections", 4));
+    load.max_arrivals = static_cast<int>(flags.GetInt("arrivals", 1000000));
+    load.tasks_per_request =
+        static_cast<int>(flags.GetInt("tasks-per-worker", 1));
+    load.batch_size = static_cast<int>(flags.GetInt("batch-size", 1));
+    load.abandon_prob = flags.GetDouble("abandon", 0.0);
+    load.seed = seed + 3;  // serve-sim's derivation: same stream, same world
+
+    sim::LoadGenerator generator(world.crowd.get(), nullptr, load);
+    sim::LoadReport report = generator.Run();
+    if (!report.socket_status.ok()) {
+      std::fprintf(stderr, "client: drive failed: %s\n",
+                   report.socket_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("drove %lld arrivals over %d connections: "
+                "assignments=%lld answers=%lld rejected=%lld "
+                "batches=%lld retries=%lld\n",
+                static_cast<long long>(report.arrivals),
+                load.num_connections,
+                static_cast<long long>(report.assignments),
+                static_cast<long long>(report.answers),
+                static_cast<long long>(report.rejected),
+                static_cast<long long>(report.batches),
+                static_cast<long long>(report.retries));
+    std::printf("wall=%.3fs throughput=%.0f answers/s\n",
+                report.wall_seconds, report.answers_per_second);
+  }
+
+  if (finalize) {
+    net::Client client;
+    st = client.Connect(host, port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "client: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    net::FinalizeResponse resp;
+    st = client.Finalize(net::FinalizeRequest{}, &resp);
+    if (!st.ok()) {
+      std::fprintf(stderr, "client: finalize failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("finalize: digest %016llx over %llu answers (%s)\n",
+                static_cast<unsigned long long>(resp.digest),
+                static_cast<unsigned long long>(resp.answer_count),
+                net::WireStatusName(resp.status));
+  }
+
+  if (stats_wanted) {
+    net::Client client;
+    st = client.Connect(host, port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "client: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    net::StatsResponse s;
+    st = client.Stats(net::StatsRequest{}, &s);
+    if (!st.ok()) {
+      std::fprintf(stderr, "client: stats failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("tasks open=%u assigned=%u answered=%u finalized=%u "
+                "drained=%s\n",
+                s.tasks_open, s.tasks_assigned, s.tasks_answered,
+                s.tasks_finalized, s.drained != 0 ? "yes" : "no");
+    std::printf("sessions started=%llu active=%llu expired=%llu\n",
+                static_cast<unsigned long long>(s.sessions_started),
+                static_cast<unsigned long long>(s.sessions_active),
+                static_cast<unsigned long long>(s.sessions_expired));
+    std::printf("answers accepted=%llu rejected=%llu retracted=%llu  "
+                "budget spent=%lld remaining=%lld  refreshes=%u\n",
+                static_cast<unsigned long long>(s.answers_accepted),
+                static_cast<unsigned long long>(s.answers_rejected),
+                static_cast<unsigned long long>(s.answers_retracted),
+                static_cast<long long>(s.budget_spent),
+                static_cast<long long>(s.budget_remaining),
+                s.engine_refreshes);
+    std::printf("net connections=%llu open=%llu frames=%llu "
+                "retry_later=%llu write_queue_peak=%llu http=%llu "
+                "frame_errors=%llu inflight=%llu/%llu\n",
+                static_cast<unsigned long long>(s.connections_accepted),
+                static_cast<unsigned long long>(s.connections_open),
+                static_cast<unsigned long long>(s.frames_processed),
+                static_cast<unsigned long long>(s.retry_later_total),
+                static_cast<unsigned long long>(s.write_queue_peak),
+                static_cast<unsigned long long>(s.http_requests),
+                static_cast<unsigned long long>(s.frame_errors),
+                static_cast<unsigned long long>(s.inflight_answers),
+                static_cast<unsigned long long>(s.inflight_budget));
+  }
+
+  if (metrics) {
+    // The HTTP variant rides the same listener: sniffed by first bytes.
+    net::OwnedFd fd;
+    st = net::ConnectTcp(host, port, &fd);
+    if (!st.ok()) {
+      std::fprintf(stderr, "client: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const std::string request =
+        "GET /metrics HTTP/1.1\r\nHost: tcrowd\r\nConnection: close\r\n\r\n";
+    st = net::WriteAll(fd.get(), request.data(), request.size());
+    if (!st.ok()) {
+      std::fprintf(stderr, "client: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+      size_t n = 0;
+      st = net::ReadSome(fd.get(), buf, sizeof(buf), &n);
+      if (!st.ok()) {
+        std::fprintf(stderr, "client: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      if (n == 0) break;
+      response.append(buf, n);
+    }
+    size_t body = response.find("\r\n\r\n");
+    if (body == std::string::npos ||
+        response.rfind("HTTP/1.1 200", 0) != 0) {
+      std::fprintf(stderr, "client: metrics scrape failed:\n%s\n",
+                   response.c_str());
+      return 1;
+    }
+    std::printf("%s", response.substr(body + 4).c_str());
+  }
+  return 0;
+}
+
 int CmdInspect(const FlagParser& flags) {
   std::string dir = flags.positional().empty() ? flags.GetString("dir")
                                                : flags.positional()[0];
@@ -986,6 +1196,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "serve-sim") return CmdServeSim(flags);
   if (command == "replay") return CmdReplay(flags);
   if (command == "inspect") return CmdInspect(flags);
+  if (command == "client") return CmdClient(flags);
   return Usage();
 }
 

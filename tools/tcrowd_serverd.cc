@@ -1,0 +1,295 @@
+// tcrowd_serverd — the socket front-end of the T-Crowd service
+// (docs/PROTOCOL.md).
+//
+// Stands up a CrowdService over a synthesized world (the same world flags
+// as `tcrowd serve-sim`) and serves the TCNP binary protocol on one
+// listening socket: a single-threaded epoll event loop (poll() under
+// --force-poll) multiplexing any number of client connections, with
+// admission control tied to EM refresh staleness and bounded per-connection
+// write queues. The same listener answers `GET /metrics` with Prometheus
+// text.
+//
+// Drive it with `tcrowd client --connect=HOST:PORT ...` or
+// `tcrowd serve-sim`-style load via the load generator's socket mode.
+// SIGTERM/SIGINT stop the loop cleanly: connections close, the event log
+// (--record) is sealed, and the process exits 0.
+//
+// Example:
+//   tcrowd_serverd --listen=127.0.0.1:7711 --rows=20 --cols=4 --workers=10
+//     --policy=looping --target=3 --record=/tmp/run.events
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "assignment/policies.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "inference/tcrowd_model.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+#include "platform/event_log.h"
+#include "platform/trace.h"
+#include "service/crowd_service.h"
+#include "simulation/dataset_synthesizer.h"
+#include "simulation/table_generator.h"
+
+namespace tcrowd {
+namespace {
+
+net::Server* g_server = nullptr;
+
+void HandleStopSignal(int) {
+  // Only the async-signal-safe self-pipe write happens in here.
+  if (g_server != nullptr) g_server->Stop();
+}
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: tcrowd_serverd [flags]
+
+  --listen=HOST:PORT  bind address (default 127.0.0.1:0 = kernel-assigned;
+                      the bound port is printed on stdout)
+  --dataset=celebrity|restaurant|emotion
+                      serve a paper dataset stand-in world, or:
+  --rows=N --cols=M --ratio=R --workers=W   a custom synthesized world
+  --policy=NAME --engine=METHOD --target=K --staleness=N --threads=T
+  --seed=S            world + service seeds (same derivation as serve-sim)
+  --record=FILE       deterministic event log (replayable via tcrowd replay)
+  --checkpoint-dir=DIR durable answer log
+  --force-poll        use the poll() event loop even where epoll exists
+  --inflight-budget=N admission-control budget (0 = factor * staleness,
+                      -1 = never shed)
+  --inflight-factor=N budget multiplier when derived (default 8)
+  --write-queue-high=BYTES per-connection write-queue high watermark
+  --max-frames-per-wake=N  per-connection fairness cap
+  --trace=debug|info|warn|off
+)");
+  return 2;
+}
+
+std::unique_ptr<AssignmentPolicy> MakePolicy(const std::string& name,
+                                             uint64_t seed) {
+  if (name == "structure") {
+    return std::make_unique<StructureAwarePolicy>(TCrowdOptions::Fast());
+  }
+  if (name == "inherent") {
+    return std::make_unique<InherentGainPolicy>(TCrowdOptions::Fast());
+  }
+  if (name == "entropy") {
+    return std::make_unique<EntropyPolicy>(TCrowdOptions::Fast());
+  }
+  if (name == "random") return std::make_unique<RandomPolicy>(seed);
+  if (name == "looping") return std::make_unique<LoopingPolicy>();
+  if (name == "cdas") return std::make_unique<CdasPolicy>(seed);
+  if (name == "askit") return std::make_unique<AskItPolicy>();
+  return nullptr;
+}
+
+int Main(int argc, const char* const* argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return Usage();
+  }
+  if (flags.GetBool("help", false)) return Usage();
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string trace_flag = flags.GetString("trace");
+  if (!trace_flag.empty()) {
+    trace::Level level;
+    bool off = false;
+    if (!trace::ParseLevel(trace_flag, &level, &off)) return Usage();
+    if (off) {
+      trace::Disable();
+    } else {
+      trace::SetMinLevel(level);
+    }
+  }
+  trace::InstallCrashHandler();
+
+  // World: identical construction (and seed derivation) to serve-sim, so a
+  // client rebuilding the world from the same flags gets the same schema
+  // fingerprint and generative model.
+  bool bad_dataset = false;
+  sim::SynthesizedWorld world = [&]() -> sim::SynthesizedWorld {
+    if (flags.Has("dataset")) {
+      std::string which = flags.GetString("dataset");
+      sim::PaperDataset pd = sim::PaperDataset::kRestaurant;
+      if (which == "celebrity") {
+        pd = sim::PaperDataset::kCelebrity;
+      } else if (which == "restaurant") {
+        pd = sim::PaperDataset::kRestaurant;
+      } else if (which == "emotion") {
+        pd = sim::PaperDataset::kEmotion;
+      } else {
+        bad_dataset = true;
+      }
+      sim::SynthesizerOptions opt;
+      opt.seed = seed;
+      opt.answers_per_task = 0;
+      return sim::SynthesizeDataset(pd, opt);
+    }
+    sim::TableGeneratorOptions topt;
+    topt.num_rows = static_cast<int>(flags.GetInt("rows", 60));
+    topt.num_cols = static_cast<int>(flags.GetInt("cols", 5));
+    topt.categorical_ratio = flags.GetDouble("ratio", 0.5);
+    sim::CrowdOptions copt;
+    copt.num_workers = static_cast<int>(flags.GetInt("workers", 40));
+    Rng rng(seed);
+    sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
+    return sim::SynthesizeFromTable(std::move(table), copt, 0, seed + 1,
+                                    "custom");
+  }();
+  if (bad_dataset) {
+    std::fprintf(stderr, "tcrowd_serverd: unknown --dataset=%s\n",
+                 flags.GetString("dataset").c_str());
+    return 2;
+  }
+
+  std::string policy_name = flags.GetString("policy", "structure");
+  auto policy = MakePolicy(policy_name, seed);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "tcrowd_serverd: unknown --policy=%s\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  service::ServiceConfig config;
+  config.target_answers_per_task =
+      static_cast<int>(flags.GetInt("target", 4));
+  config.num_threads = static_cast<int>(flags.GetInt("threads", 2));
+  config.inference.method = flags.GetString("engine", "tcrowd");
+  config.inference.staleness_threshold =
+      static_cast<int>(flags.GetInt("staleness", 64));
+  config.inference.num_shards = config.num_threads;
+  config.inference.checkpoint.directory = flags.GetString("checkpoint-dir");
+  config.router.seed = seed + 2;
+
+  // World recipe in the event log header — same format as serve-sim, so
+  // `tcrowd replay` rebuilds this world without knowing who recorded it.
+  std::string recipe;
+  if (flags.Has("dataset")) {
+    recipe = StrFormat("dataset=%s", flags.GetString("dataset").c_str());
+  } else {
+    recipe = StrFormat(
+        "rows=%lld cols=%lld ratio=%g workers=%lld",
+        static_cast<long long>(flags.GetInt("rows", 60)),
+        static_cast<long long>(flags.GetInt("cols", 5)),
+        flags.GetDouble("ratio", 0.5),
+        static_cast<long long>(flags.GetInt("workers", 40)));
+  }
+  recipe += StrFormat(" engine=%s target=%d staleness=%d threads=%d",
+                      config.inference.method.c_str(),
+                      config.target_answers_per_task,
+                      config.inference.staleness_threshold,
+                      config.num_threads);
+
+  std::unique_ptr<EventRecorder> recorder;
+  const std::string record_path = flags.GetString("record");
+  if (!record_path.empty()) {
+    auto opened = EventRecorder::Open(record_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "tcrowd_serverd: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    recorder = std::move(*opened);
+    recorder->SetRunInfo(seed, policy_name, recipe);
+    config.recorder = recorder.get();
+  }
+
+  service::CrowdService svc(world.dataset.schema, world.dataset.num_rows(),
+                            std::move(policy), config);
+  if (!config.inference.checkpoint.directory.empty()) {
+    Status ck = svc.checkpoint_status();
+    if (!ck.ok()) {
+      std::fprintf(stderr, "tcrowd_serverd: checkpoint restore failed: %s\n",
+                   ck.ToString().c_str());
+      return 1;
+    }
+  }
+
+  net::ServerOptions server_opt;
+  server_opt.force_poll = flags.GetBool("force-poll", false);
+  server_opt.inflight_budget = flags.GetInt("inflight-budget", 0);
+  server_opt.inflight_budget_factor =
+      static_cast<int>(flags.GetInt("inflight-factor", 8));
+  if (flags.Has("write-queue-high")) {
+    server_opt.write_queue_high =
+        static_cast<size_t>(flags.GetInt("write-queue-high"));
+  }
+  if (flags.Has("max-frames-per-wake")) {
+    server_opt.max_frames_per_wake =
+        static_cast<int>(flags.GetInt("max-frames-per-wake"));
+  }
+
+  std::string host;
+  uint16_t port = 0;
+  st = net::ParseHostPort(flags.GetString("listen", "127.0.0.1:0"), &host,
+                          &port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tcrowd_serverd: %s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  net::Server server(&svc, server_opt);
+  st = server.Listen(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tcrowd_serverd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  struct sigaction action;
+  memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  // Scripts scrape this line for the kernel-assigned port — keep the format
+  // stable and flush before blocking in the event loop.
+  std::printf("tcrowd_serverd listening on %s:%u (%s, budget %lld)\n",
+              host.empty() ? "127.0.0.1" : host.c_str(), server.port(),
+              server_opt.force_poll ? "poll" : "epoll",
+              static_cast<long long>(server.inflight_budget()));
+  std::printf("world %s: %d rows x %d cols, policy %s, engine %s\n",
+              world.dataset.name.c_str(), world.dataset.num_rows(),
+              world.dataset.num_cols(), policy_name.c_str(),
+              config.inference.method.c_str());
+  std::fflush(stdout);
+
+  st = server.Run();
+  g_server = nullptr;
+  if (!st.ok()) {
+    std::fprintf(stderr, "tcrowd_serverd: event loop failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  net::NetStats stats = server.net_stats();
+  std::printf("shutdown: %llu connections served, %llu frames, "
+              "%llu RETRY_LATER, %llu HTTP requests, %llu frame errors\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.frames_processed),
+              static_cast<unsigned long long>(stats.retry_later_total),
+              static_cast<unsigned long long>(stats.http_requests),
+              static_cast<unsigned long long>(stats.frame_errors));
+  if (recorder != nullptr) {
+    st = recorder->Close();
+    if (!st.ok()) {
+      std::fprintf(stderr, "tcrowd_serverd: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("event log written to %s\n", record_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcrowd
+
+int main(int argc, char** argv) { return tcrowd::Main(argc, argv); }

@@ -211,6 +211,15 @@ uint64_t SchemaFingerprint(const Schema& schema, int num_rows) {
   return h;
 }
 
+uint64_t NamespacedFingerprint(uint64_t fingerprint, uint64_t tag) {
+  uint64_t h = fingerprint;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (tag >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 void EncodeAnswerBlock(const Answer* answers, size_t n, std::string* out) {
   size_t start = out->size();
   PutU32(kAnswerBlockMagic, out);

@@ -58,6 +58,16 @@ uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 /// would silently misattribute them.
 uint64_t SchemaFingerprint(const Schema& schema, int num_rows);
 
+/// Folds an owner-scoped namespace tag into a schema fingerprint (FNV-1a
+/// continuation over the tag's little-endian bytes). In a multi-shard layout
+/// every shard's table slice can have an identical shape, so the shape
+/// fingerprint alone cannot tell shard 0's snapshot directory from shard
+/// 1's; SnapshotStore::Open applies this when CheckpointArgs::namespace_tag
+/// is non-zero, making restore refuse a directory written by any other
+/// shard. Tag 0 is reserved for "no namespace" (single-engine layouts keep
+/// their historical fingerprints).
+uint64_t NamespacedFingerprint(uint64_t fingerprint, uint64_t tag);
+
 // ---------------------------------------------------------------------------
 // Answer blocks (segment file payload).
 

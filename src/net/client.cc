@@ -8,6 +8,7 @@ namespace tcrowd::net {
 Status Client::Connect(const std::string& host, uint16_t port) {
   Close();
   decoder_ = FrameDecoder();
+  negotiated_version_ = 1;
   return ConnectTcp(host, port, &fd_);
 }
 
@@ -58,7 +59,11 @@ Status Client::Hello(const HelloRequest& req, HelloResponse* resp) {
   EncodeHelloRequest(req, &frame);
   Status st = Call(frame, MsgType::kHelloResp, &payload);
   if (!st.ok()) return st;
-  return DecodeHelloResponse(payload.data(), payload.size(), resp);
+  st = DecodeHelloResponse(payload.data(), payload.size(), resp);
+  if (st.ok() && resp->status == WireStatus::kOk) {
+    negotiated_version_ = resp->negotiated_version;
+  }
+  return st;
 }
 
 Status Client::Lease(const LeaseRequest& req, LeaseResponse* resp) {
@@ -122,6 +127,19 @@ Status Client::Stats(const StatsRequest& req, StatsResponse* resp) {
   Status st = Call(frame, MsgType::kStatsResp, &payload);
   if (!st.ok()) return st;
   return DecodeStatsResponse(payload.data(), payload.size(), resp);
+}
+
+Status Client::ShardDelta(const ShardDeltaRequest& req,
+                          ShardDeltaResponse* resp) {
+  if (negotiated_version_ < 2) {
+    return Status::FailedPrecondition(
+        "ShardDelta requires a Hello that negotiated protocol version >= 2");
+  }
+  std::string frame, payload;
+  EncodeShardDeltaRequest(req, &frame);
+  Status st = Call(frame, MsgType::kShardDeltaResp, &payload);
+  if (!st.ok()) return st;
+  return DecodeShardDeltaResponse(payload.data(), payload.size(), resp);
 }
 
 }  // namespace tcrowd::net

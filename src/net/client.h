@@ -33,6 +33,10 @@ class Client {
   /// Typed calls: encode the request, block for the matching response
   /// frame. An IoError means the connection is dead; a decode failure means
   /// the server broke protocol (both leave the client closed).
+  /// Hello also pins the connection's protocol version: the server's pick
+  /// from the ranges (see NegotiateProtocolVersion) is remembered and
+  /// readable via negotiated_version(). A default HelloRequest speaks
+  /// legacy v1; set max_version = kProtocolVersionMax to offer v2.
   Status Hello(const HelloRequest& req, HelloResponse* resp);
   Status Lease(const LeaseRequest& req, LeaseResponse* resp);
   /// Honors the backpressure contract: a kRetryLater verdict backs off and
@@ -45,9 +49,14 @@ class Client {
   Status Bye(const ByeRequest& req, ByeResponse* resp);
   Status Finalize(const FinalizeRequest& req, FinalizeResponse* resp);
   Status Stats(const StatsRequest& req, StatsResponse* resp);
+  /// v2 only: ships one inter-shard answer delta (docs/SHARDING.md).
+  /// FailedPrecondition without a prior Hello that negotiated version >= 2.
+  Status ShardDelta(const ShardDeltaRequest& req, ShardDeltaResponse* resp);
 
   /// RETRY_LATER verdicts absorbed by SubmitBatch resends so far.
   int64_t retry_later_seen() const { return retry_later_seen_; }
+  /// Version the last successful Hello negotiated (1 before any Hello).
+  uint8_t negotiated_version() const { return negotiated_version_; }
 
  private:
   /// Sends one pre-encoded frame and blocks until a whole frame of type
@@ -58,6 +67,7 @@ class Client {
   OwnedFd fd_;
   FrameDecoder decoder_;
   int64_t retry_later_seen_ = 0;
+  uint8_t negotiated_version_ = 1;
 };
 
 }  // namespace tcrowd::net

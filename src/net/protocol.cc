@@ -140,11 +140,14 @@ constexpr size_t kMinCellBytes = 8;           // row + col
 constexpr size_t kMinSubmitItemBytes = 8 + 1;  // cell + kind tag
 constexpr size_t kMinColumnBytes = 1 + 4;      // type + label_count
 
-/// Appends the frame envelope around an encoded payload.
-void PutFrame(MsgType type, const std::string& payload, std::string* out) {
+/// Appends the frame envelope around an encoded payload. Messages that
+/// exist in v1 always ship as v1 frames (byte-identical to pre-negotiation
+/// builds); only kinds or fields introduced later ride a higher version.
+void PutFrame(MsgType type, const std::string& payload, std::string* out,
+              uint8_t version = static_cast<uint8_t>(kProtocolVersion)) {
   size_t start = out->size();
   PutU32(kFrameMagic, out);
-  PutU8(static_cast<uint8_t>(kProtocolVersion), out);
+  PutU8(version, out);
   PutU8(static_cast<uint8_t>(type), out);
   PutU32(static_cast<uint32_t>(payload.size()), out);
   out->append(payload);
@@ -175,7 +178,7 @@ ParseVerdict ParseFrame(const uint8_t* data, size_t size, size_t max_payload,
     if (error != nullptr) *error = "bad frame magic";
     return ParseVerdict::kCorrupt;
   }
-  if (version != kProtocolVersion) {
+  if (version < kProtocolVersionMin || version > kProtocolVersionMax) {
     if (error != nullptr) *error = "unknown protocol version";
     return ParseVerdict::kCorrupt;
   }
@@ -189,6 +192,12 @@ ParseVerdict ParseFrame(const uint8_t* data, size_t size, size_t max_payload,
     if (error != nullptr) *error = "unknown message type";
     return ParseVerdict::kCorrupt;
   }
+  if (version < MinProtocolVersionForMsgType(type)) {
+    // A v2-only kind in a v1 frame: the sender never negotiated the
+    // version that defines the message, so the stream is not trustworthy.
+    if (error != nullptr) *error = "message kind not in frame's version";
+    return ParseVerdict::kCorrupt;
+  }
   size_t total = kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
   if (size < total) return ParseVerdict::kNeedMore;
   Reader trailer(data + kFrameHeaderBytes + payload_len, kFrameTrailerBytes);
@@ -199,6 +208,7 @@ ParseVerdict ParseFrame(const uint8_t* data, size_t size, size_t max_payload,
     return ParseVerdict::kCorrupt;
   }
   out->type = static_cast<MsgType>(type);
+  out->version = version;
   out->payload.assign(reinterpret_cast<const char*>(data) +
                           kFrameHeaderBytes,
                       payload_len);
@@ -217,6 +227,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kBye: return "Bye";
     case MsgType::kFinalize: return "Finalize";
     case MsgType::kStats: return "Stats";
+    case MsgType::kShardDelta: return "ShardDelta";
     case MsgType::kHelloResp: return "HelloResp";
     case MsgType::kLeaseResp: return "LeaseResp";
     case MsgType::kSubmitBatchResp: return "SubmitBatchResp";
@@ -224,6 +235,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kByeResp: return "ByeResp";
     case MsgType::kFinalizeResp: return "FinalizeResp";
     case MsgType::kStatsResp: return "StatsResp";
+    case MsgType::kShardDeltaResp: return "ShardDeltaResp";
   }
   return "unknown";
 }
@@ -231,7 +243,23 @@ const char* MsgTypeName(MsgType type) {
 bool IsKnownMsgType(uint8_t type) {
   uint8_t base = type & 0x7f;
   return base >= static_cast<uint8_t>(MsgType::kHello) &&
-         base <= static_cast<uint8_t>(MsgType::kStats);
+         base <= static_cast<uint8_t>(MsgType::kShardDelta);
+}
+
+uint8_t MinProtocolVersionForMsgType(uint8_t type) {
+  uint8_t base = type & 0x7f;
+  return base == static_cast<uint8_t>(MsgType::kShardDelta) ? 2 : 1;
+}
+
+bool NegotiateProtocolVersion(uint8_t client_min, uint8_t client_max,
+                              uint8_t server_min, uint8_t server_max,
+                              uint8_t* negotiated) {
+  if (client_min > client_max || server_min > server_max) return false;
+  uint8_t lo = client_min > server_min ? client_min : server_min;
+  uint8_t hi = client_max < server_max ? client_max : server_max;
+  if (lo > hi) return false;
+  *negotiated = hi;
+  return true;
 }
 
 const char* WireStatusName(WireStatus status) {
@@ -268,6 +296,15 @@ WireStatus WireStatusFromCode(StatusCode code) {
 void EncodeHelloRequest(const HelloRequest& msg, std::string* out) {
   std::string payload;
   PutI32(msg.worker, &payload);
+  if (msg.max_version >= 2) {
+    // Extended v2 Hello: the client's version range rides after the worker
+    // id. A v1-only client keeps the legacy 4-byte payload (and v1 frame)
+    // above, byte-identical to pre-negotiation builds.
+    PutU8(msg.min_version, &payload);
+    PutU8(msg.max_version, &payload);
+    PutFrame(MsgType::kHello, payload, out, 2);
+    return;
+  }
   PutFrame(MsgType::kHello, payload, out);
 }
 
@@ -281,6 +318,11 @@ void EncodeHelloResponse(const HelloResponse& msg, std::string* out) {
   for (const WireColumn& col : msg.columns) {
     PutU8(col.categorical, &payload);
     PutU32(col.label_count, &payload);
+  }
+  if (msg.negotiated_version >= 2) {
+    PutU8(msg.negotiated_version, &payload);
+    PutFrame(MsgType::kHelloResp, payload, out, 2);
+    return;
   }
   PutFrame(MsgType::kHelloResp, payload, out);
 }
@@ -399,12 +441,44 @@ void EncodeStatsResponse(const StatsResponse& msg, std::string* out) {
   PutFrame(MsgType::kStatsResp, payload, out);
 }
 
+void EncodeShardDeltaRequest(const ShardDeltaRequest& msg, std::string* out) {
+  std::string payload;
+  PutU32(msg.shard, &payload);
+  PutU64(msg.schema_fingerprint, &payload);
+  PutU32(static_cast<uint32_t>(msg.seqs.size()), &payload);
+  for (uint64_t seq : msg.seqs) PutU64(seq, &payload);
+  PutU32(static_cast<uint32_t>(msg.retracted_seqs.size()), &payload);
+  for (uint64_t seq : msg.retracted_seqs) PutU64(seq, &payload);
+  PutU32(static_cast<uint32_t>(msg.block.size()), &payload);
+  payload.append(msg.block);
+  PutFrame(MsgType::kShardDelta, payload, out, 2);
+}
+
+void EncodeShardDeltaResponse(const ShardDeltaResponse& msg,
+                              std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutU64(msg.answers_applied, &payload);
+  PutU64(msg.retractions_applied, &payload);
+  PutFrame(MsgType::kShardDeltaResp, payload, out, 2);
+}
+
 // ---------------------------------------------------------------------------
 // Payload decoders.
 
 Status DecodeHelloRequest(const void* data, size_t size, HelloRequest* out) {
   Reader r(data, size);
-  if (!r.I32(&out->worker) || !r.Done()) return Malformed("Hello");
+  if (!r.I32(&out->worker)) return Malformed("Hello");
+  if (r.Done()) {
+    // Legacy v1 Hello: no range on the wire means the client speaks
+    // exactly version 1.
+    out->min_version = 1;
+    out->max_version = 1;
+    return Status::Ok();
+  }
+  if (!r.U8(&out->min_version) || !r.U8(&out->max_version) || !r.Done()) {
+    return Malformed("Hello version range");
+  }
   return Status::Ok();
 }
 
@@ -431,7 +505,13 @@ Status DecodeHelloResponse(const void* data, size_t size,
     }
     out->columns.push_back(col);
   }
-  if (!r.Done()) return Malformed("HelloResp trailing bytes");
+  if (r.Done()) {
+    out->negotiated_version = 1;  // legacy v1 response
+    return Status::Ok();
+  }
+  if (!r.U8(&out->negotiated_version) || !r.Done()) {
+    return Malformed("HelloResp trailing bytes");
+  }
   return Status::Ok();
 }
 
@@ -588,6 +668,58 @@ Status DecodeStatsResponse(const void* data, size_t size,
       !r.U64(&out->inflight_answers) || !r.U64(&out->inflight_budget) ||
       !r.Done()) {
     return Malformed("StatsResp");
+  }
+  out->status = static_cast<WireStatus>(status);
+  return Status::Ok();
+}
+
+Status DecodeShardDeltaRequest(const void* data, size_t size,
+                               ShardDeltaRequest* out) {
+  Reader r(data, size);
+  uint32_t seq_count, retract_count, block_len;
+  if (!r.U32(&out->shard) || !r.U64(&out->schema_fingerprint) ||
+      !r.U32(&seq_count)) {
+    return Malformed("ShardDelta");
+  }
+  if (static_cast<size_t>(seq_count) * 8 > r.left) {
+    return Malformed("ShardDelta seq count exceeds payload");
+  }
+  out->seqs.clear();
+  out->seqs.reserve(seq_count);
+  for (uint32_t i = 0; i < seq_count; ++i) {
+    uint64_t seq;
+    if (!r.U64(&seq)) return Malformed("ShardDelta seq");
+    out->seqs.push_back(seq);
+  }
+  if (!r.U32(&retract_count)) return Malformed("ShardDelta");
+  if (static_cast<size_t>(retract_count) * 8 > r.left) {
+    return Malformed("ShardDelta retraction count exceeds payload");
+  }
+  out->retracted_seqs.clear();
+  out->retracted_seqs.reserve(retract_count);
+  for (uint32_t i = 0; i < retract_count; ++i) {
+    uint64_t seq;
+    if (!r.U64(&seq)) return Malformed("ShardDelta retraction");
+    out->retracted_seqs.push_back(seq);
+  }
+  if (!r.U32(&block_len)) return Malformed("ShardDelta");
+  if (static_cast<size_t>(block_len) > r.left) {
+    return Malformed("ShardDelta block length exceeds payload");
+  }
+  out->block.assign(reinterpret_cast<const char*>(r.p), block_len);
+  r.p += block_len;
+  r.left -= block_len;
+  if (!r.Done()) return Malformed("ShardDelta trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeShardDeltaResponse(const void* data, size_t size,
+                                ShardDeltaResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  if (!r.U8(&status) || !r.U64(&out->answers_applied) ||
+      !r.U64(&out->retractions_applied) || !r.Done()) {
+    return Malformed("ShardDeltaResp");
   }
   out->status = static_cast<WireStatus>(status);
   return Status::Ok();

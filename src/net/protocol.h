@@ -32,7 +32,16 @@ namespace tcrowd::net {
 /// Payload lengths are bounded by kMaxFramePayload BEFORE any allocation,
 /// so a corrupt length field cannot demand a multi-gigabyte buffer.
 
+/// The baseline frame version every peer speaks; v1 messages are emitted
+/// in v1 frames forever, so a pre-negotiation peer sees byte-identical
+/// traffic.
 inline constexpr uint32_t kProtocolVersion = 1;
+/// Version range this build understands. Version 2 added Hello min/max
+/// version negotiation and the inter-shard ShardDelta message kind
+/// (docs/SHARDING.md); a frame whose version is outside [min, max] — or a
+/// v2-only message kind wrapped in a v1 frame — is connection-fatal.
+inline constexpr uint8_t kProtocolVersionMin = 1;
+inline constexpr uint8_t kProtocolVersionMax = 2;
 /// "TCNP" in little-endian byte order on the wire.
 inline constexpr uint32_t kFrameMagic = 0x504e4354;
 /// Upper bound on one frame's payload; both sides refuse bigger frames.
@@ -51,6 +60,7 @@ enum class MsgType : uint8_t {
   kBye = 0x05,          ///< close a session (releases unanswered leases)
   kFinalize = 0x06,     ///< run the final batch-converged fit
   kStats = 0x07,        ///< service + network stats snapshot
+  kShardDelta = 0x08,   ///< v2: sealed-segment answer delta between shards
 
   kHelloResp = 0x81,
   kLeaseResp = 0x82,
@@ -59,10 +69,24 @@ enum class MsgType : uint8_t {
   kByeResp = 0x85,
   kFinalizeResp = 0x86,
   kStatsResp = 0x87,
+  kShardDeltaResp = 0x88,
 };
 
 const char* MsgTypeName(MsgType type);
 bool IsKnownMsgType(uint8_t type);
+/// Lowest frame version a message kind may travel in: 2 for
+/// ShardDelta/ShardDeltaResp, 1 for everything else. A v2-only kind inside
+/// a v1 frame is a framing violation (the sender never negotiated v2).
+uint8_t MinProtocolVersionForMsgType(uint8_t type);
+
+/// Computes the version both ranges can speak: the highest version inside
+/// the intersection of [client_min, client_max] and [server_min,
+/// server_max]. False (and *negotiated untouched) when the ranges are
+/// disjoint or either range is inverted. Hello carries the client range;
+/// HelloResponse pins the server's pick for the connection's lifetime.
+bool NegotiateProtocolVersion(uint8_t client_min, uint8_t client_max,
+                              uint8_t server_min, uint8_t server_max,
+                              uint8_t* negotiated);
 
 /// Response status on the wire. kRetryLater is the backpressure verdict: the
 /// request was shed BEFORE touching the service (nothing was booked) and the
@@ -90,6 +114,11 @@ WireStatus WireStatusFromCode(StatusCode code);
 
 struct HelloRequest {
   int32_t worker = 0;
+  /// Version range the client can speak. The defaults encode as the legacy
+  /// 4-byte v1 Hello (byte-identical to pre-negotiation builds); max >= 2
+  /// encodes the extended v2 Hello carrying the range.
+  uint8_t min_version = 1;
+  uint8_t max_version = 1;
 };
 
 /// Per-column schema summary so a remote client can produce valid answers
@@ -107,6 +136,10 @@ struct HelloResponse {
   uint64_t schema_fingerprint = 0;
   uint32_t num_rows = 0;
   std::vector<WireColumn> columns;
+  /// Version the server picked for this connection (>= 2 appends it to the
+  /// response; 1 encodes the legacy byte-identical v1 response). A v1
+  /// client never sees the field and keeps speaking v1.
+  uint8_t negotiated_version = 1;
 };
 
 struct LeaseRequest {
@@ -199,6 +232,33 @@ struct StatsResponse {
   uint64_t inflight_budget = 0;
 };
 
+/// v2: one sealed-segment delta from a shard to a peer (sibling shard or
+/// standby replica, docs/SHARDING.md). The answers travel as ONE
+/// segment_codec answer block — the exact byte format of a durable segment
+/// file — with rows already remapped to GLOBAL coordinates, so the receiver
+/// needs no copy of the sender's partition map. `seqs` carries the global
+/// arrival sequence number of each answer in the block (same order, same
+/// count — enforced on apply), which is what lets a replica merge deltas
+/// from N shards back into the single global arrival order the merged
+/// Finalize fit runs in. `retracted_seqs` kills answers shipped by an
+/// earlier delta of the same shard.
+struct ShardDeltaRequest {
+  uint32_t shard = 0;
+  /// SchemaFingerprint(schema, num_rows) of the GLOBAL table; a replica
+  /// refuses a delta for a differently shaped world.
+  uint64_t schema_fingerprint = 0;
+  std::vector<uint64_t> seqs;
+  std::vector<uint64_t> retracted_seqs;
+  /// EncodeAnswerBlock bytes holding seqs.size() answers (global rows).
+  std::string block;
+};
+
+struct ShardDeltaResponse {
+  WireStatus status = WireStatus::kOk;
+  uint64_t answers_applied = 0;
+  uint64_t retractions_applied = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Frame encoders. Each appends one complete frame (header + payload + CRC)
 // to `*out`; requests from the client, responses from the server.
@@ -219,6 +279,11 @@ void EncodeFinalizeRequest(const FinalizeRequest& msg, std::string* out);
 void EncodeFinalizeResponse(const FinalizeResponse& msg, std::string* out);
 void EncodeStatsRequest(const StatsRequest& msg, std::string* out);
 void EncodeStatsResponse(const StatsResponse& msg, std::string* out);
+/// ShardDelta frames always travel as protocol v2 (the kind does not exist
+/// in v1); send them only after Hello negotiated version >= 2.
+void EncodeShardDeltaRequest(const ShardDeltaRequest& msg, std::string* out);
+void EncodeShardDeltaResponse(const ShardDeltaResponse& msg,
+                              std::string* out);
 
 // ---------------------------------------------------------------------------
 // Payload decoders. `data/size` is one frame's payload (the FrameDecoder
@@ -248,6 +313,10 @@ Status DecodeFinalizeResponse(const void* data, size_t size,
 Status DecodeStatsRequest(const void* data, size_t size, StatsRequest* out);
 Status DecodeStatsResponse(const void* data, size_t size,
                            StatsResponse* out);
+Status DecodeShardDeltaRequest(const void* data, size_t size,
+                               ShardDeltaRequest* out);
+Status DecodeShardDeltaResponse(const void* data, size_t size,
+                                ShardDeltaResponse* out);
 
 // ---------------------------------------------------------------------------
 // Framing.
@@ -256,6 +325,9 @@ Status DecodeStatsResponse(const void* data, size_t size,
 /// payload with the matching Decode*() above).
 struct Frame {
   MsgType type = MsgType::kHello;
+  /// Frame version as it appeared on the wire (within [kProtocolVersionMin,
+  /// kProtocolVersionMax], or the frame would have been corrupt).
+  uint8_t version = static_cast<uint8_t>(kProtocolVersion);
   std::string payload;
 };
 

@@ -51,16 +51,19 @@ struct Server::Connection {
   bool reads_paused = false;     ///< write queue past the high watermark
   bool close_after_flush = false;
   bool more_frames = false;  ///< whole frames may still be buffered (cap hit)
+  /// Protocol version Hello negotiated for this connection (1 until a v2
+  /// Hello succeeds); gates the v2-only message kinds.
+  uint8_t negotiated_version = 1;
 };
 
-Server::Server(service::CrowdService* service, ServerOptions options)
+Server::Server(service::ServingBackend* service, ServerOptions options)
     : service_(service), options_(options) {
   if (options_.inflight_budget > 0) {
     inflight_budget_ = options_.inflight_budget;
   } else if (options_.inflight_budget == 0) {
     inflight_budget_ =
         static_cast<int64_t>(options_.inflight_budget_factor) *
-        std::max(1, service_->config().inference.staleness_threshold);
+        std::max(1, service_->staleness_threshold());
   } else {
     inflight_budget_ = -1;  // shedding disabled
   }
@@ -174,6 +177,19 @@ bool Server::Dispatch(Connection* conn, const Frame& frame) {
       HelloRequest req;
       if (!DecodeHelloRequest(p.data(), p.size(), &req).ok()) return false;
       HelloResponse out;
+      uint8_t negotiated = 0;
+      if (!NegotiateProtocolVersion(req.min_version, req.max_version,
+                                    kProtocolVersionMin, kProtocolVersionMax,
+                                    &negotiated)) {
+        // Disjoint version ranges: no session is opened. The refusal ships
+        // as a v1 frame — the one layout every peer past or future decodes.
+        out.status = WireStatus::kFailedPrecondition;
+        out.negotiated_version = 1;
+        EncodeHelloResponse(out, &resp);
+        break;
+      }
+      conn->negotiated_version = negotiated;
+      out.negotiated_version = negotiated;
       out.session =
           static_cast<uint64_t>(service_->StartSession(req.worker));
       out.schema_fingerprint =
@@ -193,7 +209,7 @@ bool Server::Dispatch(Connection* conn, const Frame& frame) {
       if (!DecodeLeaseRequest(p.data(), p.size(), &req).ok()) return false;
       LeaseResponse out;
       out.cells = service_->RequestTasks(
-          static_cast<service::CrowdService::SessionId>(req.session),
+          static_cast<service::ServingBackend::SessionId>(req.session),
           static_cast<int>(std::min<uint32_t>(req.max_tasks, 1u << 16)));
       out.drained = service_->Drained() ? 1 : 0;
       EncodeLeaseResponse(out, &resp);
@@ -210,19 +226,19 @@ bool Server::Dispatch(Connection* conn, const Frame& frame) {
       // is booked, so the client's identical resend keeps the accepted
       // history — and therefore the finalized truths — unchanged.
       if (inflight_budget_ >= 0 &&
-          service_->engine().answers_since_refresh() >= inflight_budget_) {
+          service_->answers_since_refresh() >= inflight_budget_) {
         out.status = WireStatus::kRetryLater;
         // A shed must also schedule the refresh that clears the meter:
         // once ingest stalls, nothing else resets answers_since_refresh,
         // and RETRY_LATER would never resolve. RequestRefresh coalesces
         // with an in-flight pass and no-ops below min_answers_for_fit.
-        service_->engine().RequestRefresh();
+        service_->RequestRefresh();
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.retry_later_total;
       } else {
         std::vector<Status> verdicts =
             service_->SubmitAnswerBatch(
-                static_cast<service::CrowdService::SessionId>(req.session),
+                static_cast<service::ServingBackend::SessionId>(req.session),
                 req.items);
         out.item_status.reserve(verdicts.size());
         for (const Status& v : verdicts) {
@@ -249,7 +265,7 @@ bool Server::Dispatch(Connection* conn, const Frame& frame) {
       ByeResponse out;
       out.status = WireStatusFromCode(
           service_->EndSession(
-                      static_cast<service::CrowdService::SessionId>(
+                      static_cast<service::ServingBackend::SessionId>(
                           req.session))
               .code());
       EncodeByeResponse(out, &resp);
@@ -265,7 +281,7 @@ bool Server::Dispatch(Connection* conn, const Frame& frame) {
       InferenceResult result = service_->Finalize();
       FinalizeResponse out;
       out.digest = TruthDigest(result.estimated_truth);
-      out.answer_count = service_->engine().num_answers();
+      out.answer_count = service_->num_answers();
       EncodeFinalizeResponse(out, &resp);
       break;
     }
@@ -301,11 +317,31 @@ bool Server::Dispatch(Connection* conn, const Frame& frame) {
         out.frame_errors = stats_.frame_errors;
       }
       out.inflight_answers = static_cast<uint64_t>(
-          std::max(0, service_->engine().answers_since_refresh()));
+          std::max<int64_t>(0, service_->answers_since_refresh()));
       out.inflight_budget =
           inflight_budget_ < 0 ? 0
                                : static_cast<uint64_t>(inflight_budget_);
       EncodeStatsResponse(out, &resp);
+      break;
+    }
+    case MsgType::kShardDelta: {
+      ShardDeltaRequest req;
+      if (!DecodeShardDeltaRequest(p.data(), p.size(), &req).ok()) {
+        return false;
+      }
+      ShardDeltaResponse out;
+      if (conn->negotiated_version < 2 || !options_.shard_delta_handler) {
+        // Either the peer never negotiated v2 or this server has no
+        // replica role; answer instead of dropping so the sender can tell
+        // refusal from corruption.
+        out.status = WireStatus::kFailedPrecondition;
+      } else {
+        Status st = options_.shard_delta_handler(req, &out);
+        if (!st.ok() && out.status == WireStatus::kOk) {
+          out.status = WireStatusFromCode(st.code());
+        }
+      }
+      EncodeShardDeltaResponse(out, &resp);
       break;
     }
     default:

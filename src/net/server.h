@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,6 +37,13 @@ struct ServerOptions {
   /// Fairness: max frames served per connection per event-loop wake, so a
   /// flooding connection with a full read buffer cannot starve its peers.
   int max_frames_per_wake = 16;
+  /// v2 inter-shard replication hook (docs/SHARDING.md): when set, a
+  /// ShardDelta frame arriving on a connection that negotiated protocol
+  /// version >= 2 is handed here (e.g. into a service::StandbyReplica).
+  /// Unset, or on a v1 connection, the request is answered with
+  /// FAILED_PRECONDITION instead of being dropped.
+  std::function<Status(const ShardDeltaRequest&, ShardDeltaResponse*)>
+      shard_delta_handler;
 };
 
 /// Counters the event loop maintains; exported via Stats responses and
@@ -68,7 +76,7 @@ struct NetStats {
 /// read until it drains.
 class Server {
  public:
-  Server(service::CrowdService* service, ServerOptions options);
+  Server(service::ServingBackend* service, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -119,7 +127,7 @@ class Server {
   void UpdateEpoll(int epfd, Connection* conn);
 #endif
 
-  service::CrowdService* const service_;
+  service::ServingBackend* const service_;
   const ServerOptions options_;
   int64_t inflight_budget_ = 0;
 

@@ -89,6 +89,52 @@ struct ServiceStats {
   int engine_refreshes = 0;
 };
 
+/// The serving surface drivers program against: everything the network
+/// front-end (net::Server), the load generator, and the tools need from a
+/// crowd-serving backend, whether one engine serves the whole table
+/// (CrowdService) or the table is partitioned across N engine shards behind
+/// the ShardRouter façade (src/service/shard_router.h). Keeping the surface
+/// abstract is what lets `tcrowd_serverd --shards=N` swap the topology
+/// without the event loop knowing.
+class ServingBackend {
+ public:
+  using SessionId = int64_t;
+
+  virtual ~ServingBackend() = default;
+
+  virtual SessionId StartSession(WorkerId worker) = 0;
+  virtual std::vector<CellRef> RequestTasks(SessionId session, int k) = 0;
+  virtual Status SubmitAnswer(SessionId session, CellRef cell,
+                              const Value& value) = 0;
+  virtual std::vector<Status> SubmitAnswerBatch(
+      SessionId session,
+      const std::vector<std::pair<CellRef, Value>>& items) = 0;
+  virtual Status RetractAnswer(WorkerId worker, CellRef cell) = 0;
+  /// Replay seam: books exactly `cells` as leases without consulting any
+  /// routing policy (see CrowdService::ApplyRecordedLeases).
+  virtual Status ApplyRecordedLeases(SessionId session,
+                                     const std::vector<CellRef>& cells) = 0;
+  virtual Status EndSession(SessionId session) = 0;
+  virtual int ExpireStaleSessions() = 0;
+  virtual bool Drained() const = 0;
+  virtual ServiceStats Stats() const = 0;
+  virtual Status checkpoint_status() const = 0;
+  virtual InferenceResult Finalize() = 0;
+  virtual MetricsRegistry& metrics() = 0;
+  virtual const Schema& schema() const = 0;
+  virtual int num_rows() const = 0;
+
+  /// Admission-control meters (net::Server backpressure): answers absorbed
+  /// since the last inference refresh (the laggiest shard in a sharded
+  /// backend), an explicit refresh request that clears the meter, the total
+  /// absorbed answer count, and the staleness threshold the in-flight
+  /// budget is derived from.
+  virtual int64_t answers_since_refresh() = 0;
+  virtual void RequestRefresh() = 0;
+  virtual uint64_t num_answers() = 0;
+  virtual int staleness_threshold() const = 0;
+};
+
 /// The online crowdsourcing façade over the batch pipeline: workers open
 /// sessions, lease the most informative tasks from the TaskRouter, submit
 /// answers that feed the IncrementalInferenceEngine, and tasks progress
@@ -108,27 +154,27 @@ struct ServiceStats {
 /// threads. Request handling is serialized on one service mutex (policies
 /// are stateful); truth-inference refreshes run asynchronously on the
 /// service's own common::ThreadPool and never block the request path.
-class CrowdService {
+class CrowdService : public ServingBackend {
  public:
-  using SessionId = int64_t;
+  using SessionId = ServingBackend::SessionId;
 
   CrowdService(const Schema& schema, int num_rows,
                std::unique_ptr<AssignmentPolicy> policy,
                ServiceConfig config);
-  ~CrowdService();
+  ~CrowdService() override;
 
   CrowdService(const CrowdService&) = delete;
   CrowdService& operator=(const CrowdService&) = delete;
 
   /// Opens a worker session. Ids are unique for the service's lifetime.
   /// Never blocks on inference.
-  SessionId StartSession(WorkerId worker);
+  SessionId StartSession(WorkerId worker) override;
 
   /// Leases up to `k` tasks to the session. Empty when the session is
   /// unknown/closed/expired, the budget is exhausted, or nothing is
   /// assignable. May block on an inline policy refit the first time the
   /// routing policy needs its model.
-  std::vector<CellRef> RequestTasks(SessionId session, int k);
+  std::vector<CellRef> RequestTasks(SessionId session, int k) override;
 
   /// Accepts one answer for a cell the session holds a lease on. Rejects
   /// answers without a lease, with a mismatched value type, or an
@@ -136,7 +182,8 @@ class CrowdService {
   /// async configuration (refreshes run on the service's own pool); with
   /// inference.async_refresh = false the staleness-crossing call runs the
   /// refresh inline.
-  Status SubmitAnswer(SessionId session, CellRef cell, const Value& value);
+  Status SubmitAnswer(SessionId session, CellRef cell,
+                      const Value& value) override;
 
   /// Batched ingestion: accepts a whole page of answers from one session
   /// under a single acquisition of the service mutex, then hands the
@@ -150,7 +197,7 @@ class CrowdService {
   /// input. Never blocks on an EM refresh in async mode.
   std::vector<Status> SubmitAnswerBatch(
       SessionId session,
-      const std::vector<std::pair<CellRef, Value>>& items);
+      const std::vector<std::pair<CellRef, Value>>& items) override;
 
   /// Retracts the newest accepted answer `worker` gave on `cell` — the
   /// online tombstone path: the engine tombstones the answer in its
@@ -162,7 +209,7 @@ class CrowdService {
   /// session that produced it expired). NotFound when the worker has no
   /// live answer on the cell. Runs under the service mutex end to end —
   /// retraction is the rare slow path, consistency wins.
-  Status RetractAnswer(WorkerId worker, CellRef cell);
+  Status RetractAnswer(WorkerId worker, CellRef cell) override;
 
   /// Replay seam: books exactly `cells` as leases on the session — task
   /// lease counts, budget commitment, session state — WITHOUT consulting
@@ -171,12 +218,12 @@ class CrowdService {
   /// the original run's async refresh timing are reproduced verbatim.
   /// Rejects an unknown session or an out-of-range cell.
   Status ApplyRecordedLeases(SessionId session,
-                             const std::vector<CellRef>& cells);
+                             const std::vector<CellRef>& cells) override;
 
   /// Closes the session; unanswered leases return to the open pool (and
   /// their budget commitment is refunded) so backfill can re-route them.
   /// Never blocks on inference.
-  Status EndSession(SessionId session);
+  Status EndSession(SessionId session) override;
 
   /// Sweeps sessions whose lease deadline has passed (workers that never
   /// called EndSession), releasing their leases and refunding their budget
@@ -184,36 +231,48 @@ class CrowdService {
   /// SubmitAnswer; exposed for drivers that want deterministic reclamation
   /// (e.g. between replay phases). Returns the number of sessions expired
   /// by this sweep. No-op when session_lease_timeout_seconds <= 0.
-  int ExpireStaleSessions();
+  int ExpireStaleSessions() override;
 
   TaskState task_state(CellRef cell) const;
   int AnswerCount(CellRef cell) const;
   /// True when no further assignment can ever happen (budget exhausted or
   /// every task finalized).
-  bool Drained() const;
+  bool Drained() const override;
 
   /// Aggregate snapshot; takes the service mutex briefly, never blocks on
   /// inference.
-  ServiceStats Stats() const;
+  ServiceStats Stats() const override;
   /// Health of the persistence subsystem (OK when checkpointing is
   /// disabled). A restore failure surfaces here — the service still comes
   /// up empty and serving, it just is not durable.
-  Status checkpoint_status() const { return engine_->checkpoint_status(); }
+  Status checkpoint_status() const override {
+    return engine_->checkpoint_status();
+  }
   /// Answers recovered from the checkpoint directory at construction.
   int64_t restored_answers() const {
     return static_cast<int64_t>(engine_->restored_answers());
   }
-  MetricsRegistry& metrics() { return metrics_; }
+  MetricsRegistry& metrics() override { return metrics_; }
   IncrementalInferenceEngine& engine() { return *engine_; }
-  const Schema& schema() const { return schema_; }
-  int num_rows() const { return num_rows_; }
+  const Schema& schema() const override { return schema_; }
+  int num_rows() const override { return num_rows_; }
   const ServiceConfig& config() const { return config_; }
+
+  // ServingBackend admission meters: thin forwards onto the single engine.
+  int64_t answers_since_refresh() override {
+    return engine_->answers_since_refresh();
+  }
+  void RequestRefresh() override { engine_->RequestRefresh(); }
+  uint64_t num_answers() override { return engine_->num_answers(); }
+  int staleness_threshold() const override {
+    return config_.inference.staleness_threshold;
+  }
 
   /// Waits out pending refreshes and returns the final batch-converged
   /// truth inference over everything collected. Blocks for a full EM fit;
   /// concurrent submits keep being accepted but are not part of the
   /// returned result's snapshot.
-  InferenceResult Finalize();
+  InferenceResult Finalize() override;
 
  private:
   struct TaskEntry {

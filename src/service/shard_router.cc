@@ -1,0 +1,621 @@
+#include "service/shard_router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+#include "inference/segment_codec.h"
+
+namespace tcrowd::service {
+
+namespace {
+
+/// Sub-shard checkpoint directory: "<root>/shard-NNN".
+std::string ShardDirectory(const std::string& root, int shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "/shard-%03d", shard);
+  return root + buf;
+}
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Finalize-only engine configuration: same model knobs as the shards, no
+/// persistence/recording, and refreshes suppressed so the only fit is the
+/// exact batch fit Finalize() runs.
+InferenceArgs MergeEngineArgs(InferenceArgs args) {
+  args.checkpoint = CheckpointArgs{};
+  args.recorder = nullptr;
+  args.async_refresh = false;
+  args.staleness_threshold = 1 << 30;
+  return args;
+}
+
+}  // namespace
+
+std::vector<ShardRange> PartitionRows(int num_rows, int num_shards) {
+  TCROWD_CHECK(num_rows > 0);
+  TCROWD_CHECK(num_shards > 0);
+  std::vector<ShardRange> ranges(static_cast<size_t>(num_shards));
+  int base = num_rows / num_shards;
+  int extra = num_rows % num_shards;
+  int row = 0;
+  for (int i = 0; i < num_shards; ++i) {
+    int rows = base + (i < extra ? 1 : 0);
+    ranges[i] = ShardRange{row, row + rows};
+    row += rows;
+  }
+  TCROWD_CHECK(row == num_rows);
+  return ranges;
+}
+
+ShardRouter::ShardRouter(const Schema& schema, int num_rows,
+                         ShardRouterConfig config)
+    : schema_(schema),
+      num_rows_(num_rows),
+      config_(std::move(config)),
+      fingerprint_(SchemaFingerprint(schema, num_rows)),
+      metrics_(),
+      deltas_shipped_(&metrics_.counter("router.deltas_shipped")),
+      delta_answers_shipped_(&metrics_.counter("router.delta_answers")) {
+  TCROWD_CHECK(config_.num_shards >= 1);
+  TCROWD_CHECK(config_.num_shards <= num_rows_);
+  TCROWD_CHECK(static_cast<bool>(config_.policy_factory));
+  ranges_ = PartitionRows(num_rows_, config_.num_shards);
+  ledgers_.resize(static_cast<size_t>(config_.num_shards));
+  retracted_since_push_.resize(static_cast<size_t>(config_.num_shards));
+  shards_.resize(static_cast<size_t>(config_.num_shards));
+  for (int i = 0; i < config_.num_shards; ++i) {
+    shards_[i] = std::make_unique<CrowdService>(
+        schema_, ranges_[i].num_rows(), config_.policy_factory(i),
+        ShardConfig(i));
+  }
+}
+
+ShardRouter::~ShardRouter() = default;
+
+ServiceConfig ShardRouter::ShardConfig(int i) const {
+  ServiceConfig cfg = config_.base;
+  // The router owns session lifecycle and lease expiry globally; shards
+  // must never expire a sub-session on their own.
+  cfg.session_lease_timeout_seconds = 0.0;
+  // Record/replay stays a single-shard feature (the global event order
+  // lives above the shards); never let a shard double-record.
+  cfg.recorder = nullptr;
+  cfg.inference.recorder = nullptr;
+  // De-correlate the per-shard routing policies.
+  cfg.router.seed = config_.base.router.seed + static_cast<uint64_t>(i);
+  if (cfg.inference.checkpoint.enabled()) {
+    cfg.inference.checkpoint.directory =
+        ShardDirectory(config_.base.inference.checkpoint.directory, i);
+    // Shard dirs of the same table are shape-identical; the namespace tag
+    // keeps shard i from silently restoring shard j's log.
+    cfg.inference.checkpoint.namespace_tag =
+        (static_cast<uint64_t>(config_.num_shards) << 48) |
+        (static_cast<uint64_t>(i) << 32) |
+        static_cast<uint32_t>(ranges_[i].row_begin);
+  }
+  if (config_.base.max_total_answers >= 0) {
+    // Split an explicit budget proportionally to cells owned, exactly
+    // (cumulative rounding; shares sum to the global budget).
+    int64_t total = config_.base.max_total_answers;
+    int64_t cells_before = static_cast<int64_t>(ranges_[i].row_begin) *
+                           schema_.num_columns();
+    int64_t cells_through = static_cast<int64_t>(ranges_[i].row_end) *
+                            schema_.num_columns();
+    int64_t total_cells =
+        static_cast<int64_t>(num_rows_) * schema_.num_columns();
+    cfg.max_total_answers = total * cells_through / total_cells -
+                            total * cells_before / total_cells;
+  }
+  return cfg;
+}
+
+int64_t ShardRouter::NowNanos() const {
+  return config_.base.clock_nanos ? config_.base.clock_nanos()
+                                  : SteadyNowNanos();
+}
+
+int ShardRouter::ShardForRow(int row) const {
+  TCROWD_CHECK(row >= 0 && row < num_rows_);
+  // Ranges are contiguous and sorted; binary-search the owning one.
+  int lo = 0, hi = config_.num_shards - 1;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (row >= ranges_[mid].row_end) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+ShardRouter::SessionId ShardRouter::StartSession(WorkerId worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowNanos();
+  ExpireStaleSessionsLocked(now, /*force=*/false);
+  SessionId id = next_session_++;
+  GlobalSession session;
+  session.worker = worker;
+  session.sub.assign(static_cast<size_t>(config_.num_shards), -1);
+  session.last_active_nanos = now;
+  for (int s = 0; s < config_.num_shards; ++s) {
+    if (shards_[s]) session.sub[s] = shards_[s]->StartSession(worker);
+  }
+  sessions_.emplace(id, std::move(session));
+  ++sessions_started_total_;
+  return id;
+}
+
+std::vector<CellRef> ShardRouter::RequestTasks(SessionId session, int k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowNanos();
+  ExpireStaleSessionsLocked(now, /*force=*/false);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || k <= 0) return {};
+  it->second.last_active_nanos = now;
+  std::vector<CellRef> leased;
+  // Rotate the starting shard per call so lease pressure spreads instead of
+  // always draining shard 0 first.
+  size_t start = spread_cursor_++ % static_cast<size_t>(config_.num_shards);
+  for (int j = 0; j < config_.num_shards; ++j) {
+    int s = static_cast<int>((start + static_cast<size_t>(j)) %
+                             static_cast<size_t>(config_.num_shards));
+    if (!shards_[s] || it->second.sub[s] < 0) continue;
+    int need = k - static_cast<int>(leased.size());
+    if (need <= 0) break;
+    std::vector<CellRef> local =
+        shards_[s]->RequestTasks(it->second.sub[s], need);
+    for (CellRef cell : local) {
+      leased.push_back(CellRef{cell.row + ranges_[s].row_begin, cell.col});
+    }
+  }
+  return leased;
+}
+
+Status ShardRouter::SubmitAnswer(SessionId session, CellRef cell,
+                                 const Value& value) {
+  std::vector<Status> statuses = SubmitAnswerBatch(session, {{cell, value}});
+  return statuses.empty() ? Status::NotFound("unknown session")
+                          : statuses.front();
+}
+
+std::vector<Status> ShardRouter::SubmitAnswerBatch(
+    SessionId session, const std::vector<std::pair<CellRef, Value>>& items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowNanos();
+  ExpireStaleSessionsLocked(now, /*force=*/false);
+  std::vector<Status> statuses(items.size(), Status::Ok());
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    for (auto& st : statuses) st = Status::NotFound("unknown session");
+    return statuses;
+  }
+  GlobalSession& gs = it->second;
+  gs.last_active_nanos = now;
+
+  // Group by owning shard, preserving each shard's relative item order (the
+  // order its engine will log them in).
+  std::vector<std::vector<std::pair<CellRef, Value>>> grouped(
+      static_cast<size_t>(config_.num_shards));
+  std::vector<std::vector<size_t>> origin(
+      static_cast<size_t>(config_.num_shards));
+  std::vector<int> item_shard(items.size(), -1);
+  for (size_t i = 0; i < items.size(); ++i) {
+    int row = items[i].first.row;
+    if (row < 0 || row >= num_rows_) {
+      statuses[i] = Status::OutOfRange("row outside the table");
+      continue;
+    }
+    int s = ShardForRow(row);
+    if (!shards_[s] || gs.sub[s] < 0) {
+      statuses[i] = Status::FailedPrecondition("owning shard is down");
+      continue;
+    }
+    grouped[s].push_back(
+        {CellRef{row - ranges_[s].row_begin, items[i].first.col},
+         items[i].second});
+    origin[s].push_back(i);
+    item_shard[i] = s;
+  }
+  for (int s = 0; s < config_.num_shards; ++s) {
+    if (grouped[s].empty()) continue;
+    std::vector<Status> sub =
+        shards_[s]->SubmitAnswerBatch(gs.sub[s], grouped[s]);
+    for (size_t j = 0; j < sub.size(); ++j) {
+      statuses[origin[s][j]] = std::move(sub[j]);
+    }
+  }
+  // Stamp global arrival seqs over the accepted items in ORIGINAL item
+  // order — this ledger order is what merged Finalize sorts by, so the
+  // merged log replays the exact submission history.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!statuses[i].ok()) continue;
+    int s = item_shard[i];
+    SeqEntry entry;
+    entry.seq = next_seq_++;
+    entry.answer = Answer{gs.worker, items[i].first, items[i].second};
+    ledgers_[s].push_back(std::move(entry));
+  }
+  return statuses;
+}
+
+Status ShardRouter::RetractAnswer(WorkerId worker, CellRef cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cell.row < 0 || cell.row >= num_rows_) {
+    return Status::OutOfRange("row outside the table");
+  }
+  int s = ShardForRow(cell.row);
+  if (!shards_[s]) return Status::FailedPrecondition("owning shard is down");
+  Status st = shards_[s]->RetractAnswer(
+      worker, CellRef{cell.row - ranges_[s].row_begin, cell.col});
+  if (!st.ok()) return st;
+  // Mirror the engine's semantics in the ledger: the NEWEST live matching
+  // entry is the one the shard tombstoned.
+  auto& ledger = ledgers_[s];
+  for (auto rit = ledger.rbegin(); rit != ledger.rend(); ++rit) {
+    if (rit->live && rit->answer.worker == worker &&
+        rit->answer.cell == cell) {
+      rit->live = false;
+      if (rit->shipped) retracted_since_push_[s].push_back(rit->seq);
+      return st;
+    }
+  }
+  // The shard accepted the retraction, so the ledger must have held the
+  // answer — reaching here means the two diverged.
+  return Status::Internal("retraction accepted by shard but not in ledger");
+}
+
+Status ShardRouter::ApplyRecordedLeases(SessionId session,
+                                        const std::vector<CellRef>& cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowNanos();
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  GlobalSession& gs = it->second;
+  gs.last_active_nanos = now;
+  std::vector<std::vector<CellRef>> grouped(
+      static_cast<size_t>(config_.num_shards));
+  for (CellRef cell : cells) {
+    if (cell.row < 0 || cell.row >= num_rows_) {
+      return Status::OutOfRange("row outside the table");
+    }
+    int s = ShardForRow(cell.row);
+    if (!shards_[s] || gs.sub[s] < 0) {
+      return Status::FailedPrecondition("owning shard is down");
+    }
+    grouped[s].push_back(CellRef{cell.row - ranges_[s].row_begin, cell.col});
+  }
+  Status first = Status::Ok();
+  for (int s = 0; s < config_.num_shards; ++s) {
+    if (grouped[s].empty()) continue;
+    Status st = shards_[s]->ApplyRecordedLeases(gs.sub[s], grouped[s]);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status ShardRouter::EndSession(SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  EndSubSessionsLocked(&it->second);
+  sessions_.erase(it);
+  return Status::Ok();
+}
+
+void ShardRouter::EndSubSessionsLocked(GlobalSession* session) {
+  for (int s = 0; s < config_.num_shards; ++s) {
+    if (shards_[s] && session->sub[s] >= 0) {
+      shards_[s]->EndSession(session->sub[s]);
+    }
+  }
+}
+
+int ShardRouter::ExpireStaleSessions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ExpireStaleSessionsLocked(NowNanos(), /*force=*/true);
+}
+
+int ShardRouter::ExpireStaleSessionsLocked(int64_t now, bool force) {
+  double timeout = config_.base.session_lease_timeout_seconds;
+  if (timeout <= 0.0) return 0;
+  int64_t deadline = static_cast<int64_t>(timeout * 1e9);
+  if (!force && now - last_sweep_nanos_ < deadline) return 0;
+  last_sweep_nanos_ = now;
+  int expired = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_active_nanos > deadline) {
+      EndSubSessionsLocked(&it->second);
+      it = sessions_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  sessions_expired_total_ += expired;
+  return expired;
+}
+
+bool ShardRouter::Drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    if (!shard || !shard->Drained()) return false;
+  }
+  return true;
+}
+
+ServiceStats ShardRouter::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats total;
+  for (const auto& shard : shards_) {
+    if (!shard) continue;
+    ServiceStats s = shard->Stats();
+    total.tasks_open += s.tasks_open;
+    total.tasks_assigned += s.tasks_assigned;
+    total.tasks_answered += s.tasks_answered;
+    total.tasks_finalized += s.tasks_finalized;
+    total.answers_accepted += s.answers_accepted;
+    total.answers_rejected += s.answers_rejected;
+    total.answers_retracted += s.answers_retracted;
+    total.answers_restored += s.answers_restored;
+    total.assignments += s.assignments;
+    total.backfilled += s.backfilled;
+    total.budget_spent += s.budget_spent;
+    total.budget_remaining += s.budget_remaining;
+    total.engine_refreshes += s.engine_refreshes;
+  }
+  // Session accounting is router-global (the sub-sessions a shard counts
+  // are an implementation detail, N per worker arrival).
+  total.sessions_started = sessions_started_total_;
+  total.sessions_active = static_cast<int64_t>(sessions_.size());
+  total.sessions_expired = sessions_expired_total_;
+  return total;
+}
+
+Status ShardRouter::checkpoint_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    if (!shard) continue;
+    Status st = shard->checkpoint_status();
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+int64_t ShardRouter::answers_since_refresh() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t laggiest = 0;
+  for (const auto& shard : shards_) {
+    if (!shard) continue;
+    laggiest = std::max(
+        laggiest, static_cast<int64_t>(shard->answers_since_refresh()));
+  }
+  return laggiest;
+}
+
+void ShardRouter::RequestRefresh() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    if (shard) shard->RequestRefresh();
+  }
+}
+
+uint64_t ShardRouter::num_answers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard) total += shard->num_answers();
+  }
+  return total;
+}
+
+Status ShardRouter::PushDeltas() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!config_.delta_sink) return Status::Ok();
+  for (int s = 0; s < config_.num_shards; ++s) {
+    std::vector<SeqEntry*> fresh;
+    for (auto& entry : ledgers_[s]) {
+      if (!entry.shipped && entry.live) fresh.push_back(&entry);
+    }
+    if (fresh.empty() && retracted_since_push_[s].empty()) continue;
+    net::ShardDeltaRequest req;
+    req.shard = static_cast<uint32_t>(s);
+    req.schema_fingerprint = fingerprint_;
+    std::vector<Answer> answers;
+    answers.reserve(fresh.size());
+    for (SeqEntry* entry : fresh) {
+      req.seqs.push_back(entry->seq);
+      answers.push_back(entry->answer);  // global rows on the wire
+    }
+    req.retracted_seqs = retracted_since_push_[s];
+    EncodeAnswerBlock(answers.data(), answers.size(), &req.block);
+    Status st = config_.delta_sink(req);
+    if (!st.ok()) return st;  // everything stays pending for the next push
+    for (SeqEntry* entry : fresh) entry->shipped = true;
+    // Entries retracted before ever shipping need no tombstone on the wire;
+    // mark them shipped so they stop being rescanned.
+    for (auto& entry : ledgers_[s]) {
+      if (!entry.live) entry.shipped = true;
+    }
+    retracted_since_push_[s].clear();
+    deltas_shipped_->Increment();
+    delta_answers_shipped_->Increment(static_cast<int64_t>(answers.size()));
+  }
+  return Status::Ok();
+}
+
+InferenceResult ShardRouter::Finalize() {
+  // Bring a standby current before computing the digest it must match. A
+  // sink failure leaves deltas pending but never blocks finalization.
+  PushDeltas();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Gather each shard ENGINE's live answer log (not the router's copy) so
+  // a restored shard proves its disk state, and pair it positionally with
+  // the ledger's live seqs — both are in log order, so the pairing is 1:1.
+  std::vector<std::pair<uint64_t, Answer>> merged;
+  for (int s = 0; s < config_.num_shards; ++s) {
+    std::vector<const SeqEntry*> live;
+    for (const auto& entry : ledgers_[s]) {
+      if (entry.live) live.push_back(&entry);
+    }
+    bool from_engine = false;
+    if (shards_[s]) {
+      AnswerSet snapshot = shards_[s]->engine().SnapshotAnswers();
+      if (snapshot.size() == live.size()) {
+        for (size_t i = 0; i < live.size(); ++i) {
+          Answer answer = snapshot.answer(static_cast<int>(i));
+          answer.cell.row += ranges_[s].row_begin;
+          merged.push_back({live[i]->seq, answer});
+        }
+        from_engine = true;
+      }
+    }
+    if (!from_engine) {
+      // Shard down (or ledger/engine divergence): the ledger's own copies
+      // keep the merged history complete.
+      for (const SeqEntry* entry : live) {
+        merged.push_back({entry->seq, entry->answer});
+      }
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // One fresh engine over the seq-ordered merged log: the engine Finalize
+  // contract (bit-identical to a batch fit over the same log) is what makes
+  // this equal to the single-shard run's digest.
+  IncrementalInferenceEngine engine(
+      schema_, num_rows_, MergeEngineArgs(config_.base.inference), nullptr);
+  std::vector<Answer> ordered;
+  ordered.reserve(merged.size());
+  for (auto& [seq, answer] : merged) ordered.push_back(std::move(answer));
+  engine.SubmitAnswerBatch(ordered.data(), ordered.size());
+  return engine.Finalize();
+}
+
+void ShardRouter::CrashShard(int i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TCROWD_CHECK(i >= 0 && i < config_.num_shards);
+  shards_[i].reset();
+  for (auto& [id, session] : sessions_) session.sub[i] = -1;
+}
+
+Status ShardRouter::RestoreShard(int i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TCROWD_CHECK(i >= 0 && i < config_.num_shards);
+  if (shards_[i]) {
+    return Status::FailedPrecondition("shard is up; crash it first");
+  }
+  auto restored = std::make_unique<CrowdService>(
+      schema_, ranges_[i].num_rows(), config_.policy_factory(i),
+      ShardConfig(i));
+  Status st = restored->checkpoint_status();
+  if (!st.ok()) return st;
+  int64_t live = 0;
+  for (const auto& entry : ledgers_[i]) {
+    if (entry.live) ++live;
+  }
+  if (restored->restored_answers() != live) {
+    return Status::Internal(
+        "restored answer log disagrees with the router ledger");
+  }
+  shards_[i] = std::move(restored);
+  // Re-open sub-sessions for every live router session; the crashed
+  // shard's leases are gone by design (sessions are not persisted), so
+  // workers re-lease before answering rows it owns.
+  for (auto& [id, session] : sessions_) {
+    session.sub[i] = shards_[i]->StartSession(session.worker);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// StandbyReplica.
+
+StandbyReplica::StandbyReplica(const Schema& schema, int num_rows)
+    : schema_(schema),
+      num_rows_(num_rows),
+      fingerprint_(SchemaFingerprint(schema, num_rows)) {}
+
+Status StandbyReplica::Apply(const net::ShardDeltaRequest& delta) {
+  if (delta.schema_fingerprint != fingerprint_) {
+    return Status::FailedPrecondition(
+        "delta fingerprint does not match the standby's table");
+  }
+  std::vector<Answer> answers;
+  Status st = DecodeAnswerBlock(delta.block.data(), delta.block.size(),
+                                &answers);
+  if (!st.ok()) return st;
+  if (answers.size() != delta.seqs.size()) {
+    return Status::InvalidArgument(
+        "delta seq count does not match its answer block");
+  }
+  for (const Answer& answer : answers) {
+    if (answer.cell.row < 0 || answer.cell.row >= num_rows_ ||
+        answer.cell.col < 0 || answer.cell.col >= schema_.num_columns()) {
+      return Status::InvalidArgument("delta answer outside the table");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < answers.size(); ++i) {
+    uint64_t seq = delta.seqs[i];
+    if (early_tombstones_.count(seq)) continue;  // retraction already won
+    answers_[seq] = answers[i];
+  }
+  for (uint64_t seq : delta.retracted_seqs) {
+    if (answers_.erase(seq) == 0) early_tombstones_[seq] = true;
+  }
+  ++deltas_applied_;
+  return Status::Ok();
+}
+
+Status StandbyReplica::ApplyFrame(const void* data, size_t size) {
+  net::FrameDecoder decoder;
+  decoder.Feed(data, size);
+  net::Frame frame;
+  std::string error;
+  if (decoder.Next(&frame, &error) != net::FrameDecoder::Result::kFrame) {
+    return Status::InvalidArgument("not a whole TCNP frame: " + error);
+  }
+  if (frame.type != net::MsgType::kShardDelta) {
+    return Status::InvalidArgument("frame is not a shard delta");
+  }
+  net::ShardDeltaRequest delta;
+  Status st = net::DecodeShardDeltaRequest(frame.payload.data(),
+                                           frame.payload.size(), &delta);
+  if (!st.ok()) return st;
+  return Apply(delta);
+}
+
+size_t StandbyReplica::live_answers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return answers_.size();
+}
+
+uint64_t StandbyReplica::deltas_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deltas_applied_;
+}
+
+InferenceResult StandbyReplica::Finalize(const InferenceArgs& args) {
+  std::vector<Answer> ordered;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ordered.reserve(answers_.size());
+    for (const auto& [seq, answer] : answers_) ordered.push_back(answer);
+  }
+  IncrementalInferenceEngine engine(schema_, num_rows_, MergeEngineArgs(args),
+                                    nullptr);
+  engine.SubmitAnswerBatch(ordered.data(), ordered.size());
+  return engine.Finalize();
+}
+
+}  // namespace tcrowd::service

@@ -1,0 +1,229 @@
+#ifndef TCROWD_SERVICE_SHARD_ROUTER_H_
+#define TCROWD_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assignment/policy.h"
+#include "net/protocol.h"
+#include "service/crowd_service.h"
+
+namespace tcrowd::service {
+
+/// Contiguous tuple range a shard owns: global rows [row_begin, row_end).
+struct ShardRange {
+  int row_begin = 0;
+  int row_end = 0;
+
+  int num_rows() const { return row_end - row_begin; }
+};
+
+/// Even partition of `num_rows` into `num_shards` contiguous ranges; the
+/// first (num_rows % num_shards) shards get one extra row.
+std::vector<ShardRange> PartitionRows(int num_rows, int num_shards);
+
+struct ShardRouterConfig {
+  /// Engine shards the table is partitioned across (>= 1).
+  int num_shards = 2;
+  /// Per-shard service template. The router derives each shard's actual
+  /// config from it: lease expiry moves to the router (sub-timeouts 0),
+  /// the recorder stays router-level (sub-recorders null), checkpoint
+  /// directories get a per-shard "/shard-NNN" suffix plus a namespace tag
+  /// (docs/SHARDING.md), router seeds de-correlate per shard, and an
+  /// explicit answer budget splits proportionally to each shard's cells.
+  ServiceConfig base;
+  /// Builds shard `i`'s assignment policy over its OWN sub-table shape.
+  /// Required (every shard routes leases independently).
+  std::function<std::unique_ptr<AssignmentPolicy>(int shard)> policy_factory;
+  /// Optional sealed-delta sink: PushDeltas() hands every newly shipped
+  /// per-shard delta (global-row answer block + seqs, wire layout of
+  /// net::ShardDeltaRequest) to this callback — an in-process
+  /// StandbyReplica, or a net::Client::ShardDelta call to a standby
+  /// server. A non-OK return leaves the delta unshipped for the next push.
+  std::function<Status(const net::ShardDeltaRequest&)> delta_sink;
+};
+
+/// Multi-shard serving tier: partitions the table across N engine shards
+/// (each its own CrowdService: engine + snapshot dir + router policy) and
+/// presents them as ONE ServingBackend. Sessions span all shards; leases,
+/// submits, and retractions route to the shard owning the cell's row; and
+/// Finalize() merges the per-shard truth states into one global answer set
+/// whose digest is bit-identical to a single-shard run over the same
+/// accepted history (tests/test_shard_router.cc).
+///
+/// The identity hinges on the global arrival ledger: worker quality couples
+/// across tuples in the EM, so per-shard fits cannot simply concatenate.
+/// Every accepted answer is stamped with a router-global sequence number in
+/// submission order; Finalize() gathers each shard ENGINE's live answer log
+/// (so the crash drill genuinely exercises disk restore), remaps local rows
+/// to global, merge-sorts by seq, and batch-fits a fresh engine over the
+/// merged log — which the engine Finalize contract makes bit-identical to
+/// the single-engine run that saw the same history. See docs/SHARDING.md.
+///
+/// Thread-safety: same contract as CrowdService — all public methods may be
+/// called from concurrent driver threads; router state is serialized on one
+/// mutex, per-shard work runs under the sub-service's own lock.
+class ShardRouter : public ServingBackend {
+ public:
+  ShardRouter(const Schema& schema, int num_rows, ShardRouterConfig config);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // ---- ServingBackend surface (semantics documented on the interface).
+  SessionId StartSession(WorkerId worker) override;
+  std::vector<CellRef> RequestTasks(SessionId session, int k) override;
+  Status SubmitAnswer(SessionId session, CellRef cell,
+                      const Value& value) override;
+  std::vector<Status> SubmitAnswerBatch(
+      SessionId session,
+      const std::vector<std::pair<CellRef, Value>>& items) override;
+  Status RetractAnswer(WorkerId worker, CellRef cell) override;
+  Status ApplyRecordedLeases(SessionId session,
+                             const std::vector<CellRef>& cells) override;
+  Status EndSession(SessionId session) override;
+  int ExpireStaleSessions() override;
+  bool Drained() const override;
+  ServiceStats Stats() const override;
+  Status checkpoint_status() const override;
+  InferenceResult Finalize() override;
+  MetricsRegistry& metrics() override { return metrics_; }
+  const Schema& schema() const override { return schema_; }
+  int num_rows() const override { return num_rows_; }
+  int64_t answers_since_refresh() override;
+  void RequestRefresh() override;
+  uint64_t num_answers() override;
+  int staleness_threshold() const override {
+    return config_.base.inference.staleness_threshold;
+  }
+
+  // ---- Sharding surface.
+  int shards() const { return config_.num_shards; }
+  const ShardRange& range(int shard) const { return ranges_[shard]; }
+  int ShardForRow(int row) const;
+  /// Shard `i`'s sub-service; null while crashed (see CrashShard).
+  CrowdService* shard(int i) { return shards_[i].get(); }
+  /// Global-table fingerprint stamped on every shipped delta.
+  uint64_t global_fingerprint() const { return fingerprint_; }
+
+  /// Ships every not-yet-shipped accepted answer (and every retraction of
+  /// an already-shipped one) to the delta sink, one net::ShardDeltaRequest
+  /// per shard with pending work. No-op without a sink. Returns the first
+  /// sink error (those deltas stay pending). Finalize() pushes implicitly
+  /// so a standby is current at the digest point.
+  Status PushDeltas();
+
+  /// Fault-injection seam: tears down shard `i`'s sub-service (its snapshot
+  /// directory survives). Requests routed to a downed shard fail with
+  /// FailedPrecondition; leases spread over the remaining shards, which
+  /// keep serving undisturbed.
+  void CrashShard(int i);
+  /// Rebuilds shard `i` from its own snapshot directory (same derived
+  /// config, fresh policy from the factory) and re-opens sub-sessions for
+  /// every live router session. Internal error when the restored answer
+  /// log disagrees with the router's live ledger for the shard — merged
+  /// Finalize identity could no longer be guaranteed.
+  Status RestoreShard(int i);
+
+ private:
+  /// One accepted answer's ledger entry: its global arrival seq, the
+  /// answer with GLOBAL row coordinates, liveness (retraction clears it),
+  /// and whether a delta already shipped it.
+  struct SeqEntry {
+    uint64_t seq = 0;
+    Answer answer;
+    bool live = true;
+    bool shipped = false;
+  };
+  struct GlobalSession {
+    WorkerId worker = -1;
+    /// Sub-session ids, indexed by shard; -1 while the shard is down.
+    std::vector<SessionId> sub;
+    int64_t last_active_nanos = 0;
+  };
+
+  int64_t NowNanos() const;
+  /// Derives shard `i`'s ServiceConfig from the template (see
+  /// ShardRouterConfig::base).
+  ServiceConfig ShardConfig(int i) const;
+  /// Lazy lease-deadline sweep mirroring CrowdService (watermark-capped
+  /// unless `force`); `mu_` must be held. Returns sessions expired.
+  int ExpireStaleSessionsLocked(int64_t now, bool force);
+  /// Ends `session`'s sub-sessions on every live shard; `mu_` must be held.
+  void EndSubSessionsLocked(GlobalSession* session);
+
+  const Schema schema_;
+  const int num_rows_;
+  ShardRouterConfig config_;
+  uint64_t fingerprint_ = 0;
+  std::vector<ShardRange> ranges_;
+  std::vector<std::unique_ptr<CrowdService>> shards_;
+
+  MetricsRegistry metrics_;
+  Counter* deltas_shipped_;
+  Counter* delta_answers_shipped_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<SessionId, GlobalSession> sessions_;
+  SessionId next_session_ = 1;
+  int64_t sessions_started_total_ = 0;
+  int64_t sessions_expired_total_ = 0;
+  int64_t last_sweep_nanos_ = 0;
+  uint64_t next_seq_ = 1;
+  /// Per-shard arrival ledgers, append-ordered exactly like the shard
+  /// engine's answer log (retraction clears the NEWEST live matching
+  /// entry, mirroring engine semantics).
+  std::vector<std::vector<SeqEntry>> ledgers_;
+  /// Per shard: seqs retracted AFTER they shipped (next delta carries the
+  /// tombstone). Retractions of never-shipped entries just drop them.
+  std::vector<std::vector<uint64_t>> retracted_since_push_;
+  /// Rotates the shard a RequestTasks fan-out starts at, spreading lease
+  /// pressure across shards.
+  size_t spread_cursor_ = 0;
+};
+
+/// Warm standby fed by ShardRouter deltas: accumulates the global live
+/// answer set (seq-keyed, so retraction tombstones and out-of-order shard
+/// pushes land correctly) and can batch-fit it into the same final truth
+/// the primary's merged Finalize produces (digest-identical when it has
+/// seen every delta). Apply/ApplyFrame are what a standby server's
+/// ServerOptions::shard_delta_handler plugs into.
+class StandbyReplica {
+ public:
+  StandbyReplica(const Schema& schema, int num_rows);
+
+  /// Applies one delta: fingerprint must match the standby's table shape
+  /// (FailedPrecondition), the block's answer count must equal the seq
+  /// count (InvalidArgument). Idempotent per seq; retractions may precede
+  /// their answer (the tombstone wins).
+  Status Apply(const net::ShardDeltaRequest& delta);
+  /// Decodes one whole TCNP kShardDelta frame, then Apply().
+  Status ApplyFrame(const void* data, size_t size);
+
+  size_t live_answers() const;
+  uint64_t deltas_applied() const;
+  /// Batch-fits the accumulated live set in seq order with a fresh engine.
+  InferenceResult Finalize(const InferenceArgs& args);
+
+ private:
+  const Schema schema_;
+  const int num_rows_;
+  uint64_t fingerprint_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Answer> answers_;  ///< seq -> live answer (global rows)
+  /// Seqs retracted before their answer arrived (tombstone wins on apply).
+  std::map<uint64_t, bool> early_tombstones_;
+  uint64_t deltas_applied_ = 0;
+};
+
+}  // namespace tcrowd::service
+
+#endif  // TCROWD_SERVICE_SHARD_ROUTER_H_

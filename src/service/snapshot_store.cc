@@ -176,6 +176,9 @@ Status SnapshotStore::Open(const Schema& schema, int num_rows,
   }
   fs::path dir(args_.directory);
   uint64_t fingerprint = SchemaFingerprint(schema, num_rows);
+  if (args_.namespace_tag != 0) {
+    fingerprint = NamespacedFingerprint(fingerprint, args_.namespace_tag);
+  }
 
   std::string manifest_path = (dir / kManifestName).string();
   if (fs::exists(manifest_path)) {

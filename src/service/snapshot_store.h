@@ -33,6 +33,13 @@ struct CheckpointArgs {
   /// disables durable compaction.
   int max_segment_files = 64;
 
+  /// Owner-scoped snapshot namespace (0 = none). When non-zero the
+  /// manifest's schema fingerprint is NamespacedFingerprint(shape, tag), so
+  /// a directory written under one tag is refused under any other — the
+  /// guard that keeps one shard of a multi-shard layout from silently
+  /// restoring a sibling's equally-shaped snapshot (see docs/SHARDING.md).
+  uint64_t namespace_tag = 0;
+
   bool enabled() const { return !directory.empty(); }
 };
 

@@ -25,7 +25,7 @@ uint64_t Mix64(uint64_t x) {
 }  // namespace
 
 LoadGenerator::LoadGenerator(CrowdSimulator* crowd,
-                             service::CrowdService* svc,
+                             service::ServingBackend* svc,
                              LoadGeneratorOptions options)
     : crowd_(crowd), service_(svc), options_(options) {
   TCROWD_CHECK(crowd_ != nullptr);
@@ -200,7 +200,7 @@ bool LoadGenerator::RunArrivalDeterministic(LoadReport* report) {
   ++report->arrivals;
 
   WorkerId worker = crowd_->NextWorker(&session_rng);
-  service::CrowdService::SessionId session = service_->StartSession(worker);
+  service::ServingBackend::SessionId session = service_->StartSession(worker);
   std::vector<CellRef> tasks =
       service_->RequestTasks(session, options_.tasks_per_request);
   report->assignments += static_cast<int64_t>(tasks.size());
@@ -271,7 +271,7 @@ void LoadGenerator::DriveLoop(uint64_t seed, LoadReport* report) {
     }
     ++report->arrivals;
 
-    service::CrowdService::SessionId session = service_->StartSession(worker);
+    service::ServingBackend::SessionId session = service_->StartSession(worker);
     std::vector<CellRef> tasks =
         service_->RequestTasks(session, options_.tasks_per_request);
     report->assignments += static_cast<int64_t>(tasks.size());

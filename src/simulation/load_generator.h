@@ -83,7 +83,8 @@ struct LoadReport {
   service::ServiceStats final_stats;
 };
 
-/// Replays a CrowdSimulator worker-arrival stream against a CrowdService:
+/// Replays a CrowdSimulator worker-arrival stream against a ServingBackend
+/// (single-engine CrowdService or multi-shard ShardRouter alike):
 /// every arrival opens a session, leases tasks, answers them from the
 /// simulator's generative model (or abandons), and closes the session. This
 /// is the harness that pushes hundreds of thousands of answer events
@@ -94,7 +95,7 @@ class LoadGenerator {
   /// (options.connect non-empty) `svc` may be null — the service lives in
   /// the remote server process and the report's final_stats come from its
   /// Stats response.
-  LoadGenerator(CrowdSimulator* crowd, service::CrowdService* svc,
+  LoadGenerator(CrowdSimulator* crowd, service::ServingBackend* svc,
                 LoadGeneratorOptions options);
 
   /// Drives the service until it drains or max_arrivals is hit. May be
@@ -119,7 +120,7 @@ class LoadGenerator {
   }
 
   CrowdSimulator* const crowd_;
-  service::CrowdService* const service_;
+  service::ServingBackend* const service_;
   LoadGeneratorOptions options_;
 
   std::mutex mu_;  ///< guards crowd_ (the simulator is single-threaded)

@@ -17,6 +17,7 @@
 
 #include "data/schema.h"
 #include "data/table.h"
+#include "test_helpers.h"
 
 namespace tcrowd {
 namespace {
@@ -196,8 +197,11 @@ TEST(EventLog, RefusesFutureFormatVersion) {
 }
 
 // Every byte is CRC-covered within its frame, so every flip must kill that
-// frame — never a silently different decode — and keep the clean prefix.
-TEST(EventLogFuzz, EveryByteFlipKeepsACleanPrefixAndNeverFabricates) {
+// frame — never a silently different decode — and keep the clean prefix;
+// a cut keeps exactly the events wholly before it. The shared matrix in
+// tests/test_helpers.h drives both (same masks and cut points as
+// test_segment_codec.cc and test_net_protocol.cc).
+TEST(EventLogFuzz, EveryByteFlipAndTruncationKeepsACleanPrefix) {
   std::vector<RecordedEvent> in = FullVocabulary();
   std::vector<size_t> boundaries = {0};
   std::string bytes;
@@ -206,52 +210,20 @@ TEST(EventLogFuzz, EveryByteFlipKeepsACleanPrefixAndNeverFabricates) {
     boundaries.push_back(bytes.size());
   }
 
-  constexpr unsigned char kFlipMasks[] = {0x01, 0x80, 0xff};
-  for (size_t pos = 0; pos < bytes.size(); ++pos) {
-    // The frame this byte belongs to: events before it must survive.
-    size_t intact = 0;
-    while (boundaries[intact + 1] <= pos) ++intact;
-    for (unsigned char mask : kFlipMasks) {
-      std::string mutated = bytes;
-      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
-      EventLogReplay out;
-      ASSERT_TRUE(
-          DecodeEventLog(mutated.data(), mutated.size(), &out).ok());
-      EXPECT_TRUE(out.truncated)
-          << "flip mask 0x" << std::hex << int(mask) << " at byte "
-          << std::dec << pos << " silently accepted";
-      ASSERT_EQ(out.events.size(), intact) << "flip at byte " << pos;
-      for (size_t k = 0; k < intact; ++k) {
-        ExpectEventsEqual(in[k], out.events[k]);
-      }
-    }
-  }
-}
-
-TEST(EventLogFuzz, TruncationAtEveryLengthKeepsACleanPrefix) {
-  std::vector<RecordedEvent> in = FullVocabulary();
-  std::vector<size_t> boundaries = {0};
-  std::string bytes;
-  for (const RecordedEvent& e : in) {
-    EncodeEvent(e, &bytes);
-    boundaries.push_back(bytes.size());
-  }
-
-  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
-    size_t whole = 0;
-    while (boundaries[whole + 1] <= cut && whole + 1 < boundaries.size() - 1)
-      ++whole;
-    if (cut >= boundaries.back()) whole = in.size();
-    const bool at_boundary = boundaries[whole] == cut || cut == bytes.size();
+  auto decode = [&](const char* data, size_t size,
+                    tcrowd::testing::FuzzReplay* fuzz) {
     EventLogReplay out;
-    ASSERT_TRUE(DecodeEventLog(bytes.data(), cut, &out).ok())
-        << "cut at " << cut;
-    EXPECT_EQ(out.truncated, !at_boundary) << "cut at " << cut;
-    ASSERT_EQ(out.events.size(), whole) << "cut at " << cut;
-    for (size_t k = 0; k < whole; ++k) {
+    if (!DecodeEventLog(data, size, &out).ok()) return false;
+    fuzz->items = out.events.size();
+    fuzz->truncated = out.truncated;
+    if (out.events.size() > in.size()) return false;
+    for (size_t k = 0; k < out.events.size(); ++k) {
       ExpectEventsEqual(in[k], out.events[k]);
     }
-  }
+    return true;
+  };
+  tcrowd::testing::RunCleanPrefixFuzz(bytes, boundaries, decode,
+                                      "event log");
 }
 
 TEST(EventLogFuzz, CorruptCountCannotDemandHugeAllocation) {

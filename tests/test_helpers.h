@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -102,6 +106,109 @@ struct SimWorld {
     return sim::GenerateTable(opt, &rng);
   }
 };
+
+// ---------------------------------------------------------------------------
+// Shared corruption-fuzz harness: the canonical mutation matrix every codec
+// hardening test in this repo runs — every byte position flipped with each
+// of the masks {0x01, 0x80, 0xff} (low bit, high bit, all bits), plus
+// truncation at every length. Used by test_segment_codec.cc,
+// test_event_log.cc, and test_net_protocol.cc so the matrix stays identical
+// across the three wire formats.
+
+/// The three canonical flip masks.
+inline const std::vector<unsigned char>& FuzzFlipMasks() {
+  static const std::vector<unsigned char> kMasks = {0x01, 0x80, 0xff};
+  return kMasks;
+}
+
+/// Strict-codec matrix: `decode(data, size)` returns whether the codec
+/// accepted the bytes. Every single-byte flip and every proper-prefix
+/// truncation of a valid encoding must be REFUSED (CRC / length / shape
+/// guards) — a single silent acceptance fails the test.
+inline void RunStrictCodecFuzz(
+    const std::string& bytes,
+    const std::function<bool(const char* data, size_t size)>& decode,
+    const std::string& what) {
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (unsigned char mask : FuzzFlipMasks()) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+      EXPECT_FALSE(decode(mutated.data(), mutated.size()))
+          << what << ": flip mask 0x" << std::hex << int(mask)
+          << " at byte " << std::dec << pos << " silently accepted";
+    }
+  }
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode(bytes.data(), cut))
+        << what << ": truncation to " << cut << " bytes silently accepted";
+  }
+}
+
+/// What a lenient decoder reports back to the matrix driver.
+struct FuzzReplay {
+  /// Whole stream items (records/events/frames) that survived the decode.
+  size_t items = 0;
+  /// The decoder's torn/corrupt-tail verdict.
+  bool truncated = false;
+};
+
+/// Lenient-codec (clean-prefix) matrix over a stream of items.
+/// `boundaries` are the cumulative END offsets of each whole item, starting
+/// with 0 — boundaries.size() == items + 1 and boundaries.back() ==
+/// bytes.size(). `decode(data, size, &replay)` runs the codec's lenient
+/// reader, fills the replay, and must ITSELF assert the surviving items are
+/// a bit-exact prefix of the pristine ones (returning false fails fast).
+///
+/// The matrix asserts the codec's recovery contract:
+///  - a flip anywhere loses exactly the items from the damaged one on
+///    (survivors == items wholly before the flipped byte) and marks the
+///    stream truncated — every byte is integrity-covered, so no mutation
+///    may go unnoticed;
+///  - a cut keeps exactly the items wholly before it, and only a cut on an
+///    item boundary decodes as NOT truncated.
+inline void RunCleanPrefixFuzz(
+    const std::string& bytes, const std::vector<size_t>& boundaries,
+    const std::function<bool(const char* data, size_t size,
+                             FuzzReplay* replay)>& decode,
+    const std::string& what) {
+  ASSERT_GE(boundaries.size(), 2u) << what;
+  ASSERT_EQ(boundaries.front(), 0u) << what;
+  ASSERT_EQ(boundaries.back(), bytes.size()) << what;
+
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    size_t intact = 0;
+    while (boundaries[intact + 1] <= pos) ++intact;
+    for (unsigned char mask : FuzzFlipMasks()) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+      FuzzReplay replay;
+      ASSERT_TRUE(decode(mutated.data(), mutated.size(), &replay))
+          << what << ": flip at byte " << pos;
+      EXPECT_TRUE(replay.truncated)
+          << what << ": flip mask 0x" << std::hex << int(mask)
+          << " at byte " << std::dec << pos << " silently accepted";
+      EXPECT_EQ(replay.items, intact)
+          << what << ": flip mask 0x" << std::hex << int(mask)
+          << " at byte " << std::dec << pos;
+    }
+  }
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    // Items wholly before the cut.
+    size_t whole = 0;
+    for (size_t i = 1; i < boundaries.size(); ++i) {
+      if (boundaries[i] <= cut) whole = i;
+    }
+    const bool at_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) !=
+        boundaries.end();
+    FuzzReplay replay;
+    ASSERT_TRUE(decode(bytes.data(), cut, &replay))
+        << what << ": cut at " << cut;
+    EXPECT_EQ(replay.truncated, !at_boundary) << what << ": cut at " << cut;
+    EXPECT_EQ(replay.items, whole) << what << ": cut at " << cut;
+  }
+}
 
 /// Cell-by-cell table comparison; `tol == 0.0` demands bit-identical
 /// continuous estimates (EXPECT_NEAR with a zero bound is exact equality).

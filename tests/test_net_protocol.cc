@@ -15,6 +15,10 @@
 #include <utility>
 #include <vector>
 
+#include "data/answer.h"
+#include "inference/segment_codec.h"
+#include "test_helpers.h"
+
 namespace tcrowd::net {
 namespace {
 
@@ -151,9 +155,49 @@ StatsResponse MakeStatsResponse() {
   return msg;
 }
 
-/// Every frame kind once, each encoded as one complete frame.
+HelloRequest MakeHelloRequestV2() {
+  HelloRequest msg;
+  msg.worker = -123456;
+  msg.min_version = kProtocolVersionMin;
+  msg.max_version = kProtocolVersionMax;
+  return msg;
+}
+
+HelloResponse MakeHelloResponseV2() {
+  HelloResponse msg = MakeHelloResponse();
+  msg.negotiated_version = 2;
+  return msg;
+}
+
+ShardDeltaRequest MakeShardDeltaRequest() {
+  ShardDeltaRequest msg;
+  msg.shard = 3;
+  msg.schema_fingerprint = 0xfeedfacecafebeefull;
+  msg.seqs = {1, 2, 0xffffffffffffffffull};
+  msg.retracted_seqs = {7, 0x8000000000000000ull};
+  std::vector<Answer> answers = {
+      Answer{-2147483647 - 1, CellRef{0, 0}, Value::Categorical(3)},
+      Answer{42, CellRef{2147483647, 2147483647},
+             Value::Continuous(std::numeric_limits<double>::quiet_NaN())},
+      Answer{7, CellRef{5, 2}, Value::Continuous(-0.0)},
+  };
+  EncodeAnswerBlock(answers.data(), answers.size(), &msg.block);
+  return msg;
+}
+
+ShardDeltaResponse MakeShardDeltaResponse() {
+  ShardDeltaResponse msg;
+  msg.status = WireStatus::kFailedPrecondition;
+  msg.answers_applied = 0xdeadbeefull;
+  msg.retractions_applied = 3;
+  return msg;
+}
+
+/// Every frame kind once, each encoded as one complete frame — v1 and v2
+/// frames interleaved, the coexistence every decoder must handle on one
+/// stream.
 std::vector<std::string> AllFrames() {
-  std::vector<std::string> frames(14);
+  std::vector<std::string> frames(18);
   EncodeHelloRequest(MakeHelloRequest(), &frames[0]);
   EncodeHelloResponse(MakeHelloResponse(), &frames[1]);
   EncodeLeaseRequest(MakeLeaseRequest(), &frames[2]);
@@ -168,6 +212,11 @@ std::vector<std::string> AllFrames() {
   EncodeFinalizeResponse(MakeFinalizeResponse(), &frames[11]);
   EncodeStatsRequest(StatsRequest{}, &frames[12]);
   EncodeStatsResponse(MakeStatsResponse(), &frames[13]);
+  // Protocol v2: version-negotiating Hello forms and the shard-delta pair.
+  EncodeHelloRequest(MakeHelloRequestV2(), &frames[14]);
+  EncodeHelloResponse(MakeHelloResponseV2(), &frames[15]);
+  EncodeShardDeltaRequest(MakeShardDeltaRequest(), &frames[16]);
+  EncodeShardDeltaResponse(MakeShardDeltaResponse(), &frames[17]);
   return frames;
 }
 
@@ -352,108 +401,71 @@ TEST(FrameDecoder, ByteAtATimeFeedingYieldsIdenticalFrames) {
 }
 
 // -------------------------------------------------------------------------
-// The fuzz matrix: every byte flipped with each of {0x01, 0x80, 0xff} over
-// a stream holding every frame kind. CRC-32 detects any single-byte
-// corruption, so the decode must recover EXACTLY the frames before the
-// damaged one — bit-identical — and report truncation. Never crash.
+// The shared fuzz matrix (tests/test_helpers.h): every byte flipped with
+// each of {0x01, 0x80, 0xff} and truncation at every length over a stream
+// holding every frame kind — v1 AND v2 (shard-delta) frames interleaved.
+// CRC-32 detects any single-byte corruption, so the decode must recover
+// EXACTLY the frames before the damaged one — bit-identical — and report
+// truncation. Never crash. The strict connection decoder must peel the same
+// prefix, then report corrupt-or-starved for a flip and plain kNeedMore for
+// a torn tail.
 
-TEST(FrameFuzz, EveryByteFlipKeepsBitExactCleanPrefix) {
+TEST(FrameFuzz, EveryByteFlipAndTruncationKeepsBitExactCleanPrefix) {
   std::vector<std::string> frames = AllFrames();
   std::string stream;
-  std::vector<size_t> starts;  // offset of each frame in the stream
+  std::vector<size_t> boundaries = {0};
   for (const std::string& f : frames) {
-    starts.push_back(stream.size());
     stream += f;
+    boundaries.push_back(stream.size());
   }
   FrameStreamReplay clean;
   ASSERT_TRUE(DecodeFrameStream(stream.data(), stream.size(), &clean).ok());
   ASSERT_EQ(clean.frames.size(), frames.size());
   ASSERT_FALSE(clean.truncated);
 
-  const uint8_t kMasks[] = {0x01, 0x80, 0xff};
-  size_t frame_idx = 0;
-  for (size_t i = 0; i < stream.size(); ++i) {
-    while (frame_idx + 1 < starts.size() && i >= starts[frame_idx + 1]) {
-      ++frame_idx;
-    }
-    for (uint8_t mask : kMasks) {
-      std::string mutated = stream;
-      mutated[i] = static_cast<char>(mutated[i] ^ mask);
-
-      // Lenient one-shot decoder: bit-exact clean prefix, then truncation.
-      FrameStreamReplay replay;
-      ASSERT_TRUE(
-          DecodeFrameStream(mutated.data(), mutated.size(), &replay).ok());
-      ASSERT_EQ(replay.frames.size(), frame_idx)
-          << "flip 0x" << std::hex << int(mask) << " at byte " << std::dec
-          << i;
-      EXPECT_TRUE(replay.truncated);
-      for (size_t k = 0; k < replay.frames.size(); ++k) {
-        ASSERT_EQ(replay.frames[k].type, clean.frames[k].type);
-        ASSERT_EQ(replay.frames[k].payload, clean.frames[k].payload);
-      }
-
-      // Strict connection decoder: same prefix, then corrupt-or-starved
-      // (a flipped length can also leave the stream looking torn).
-      FrameDecoder decoder;
-      decoder.Feed(mutated.data(), mutated.size());
-      Frame out;
-      std::string error;
-      size_t peeled = 0;
-      FrameDecoder::Result result;
-      while ((result = decoder.Next(&out, &error)) ==
-             FrameDecoder::Result::kFrame) {
-        ASSERT_LT(peeled, frame_idx);
-        ASSERT_EQ(out.payload, clean.frames[peeled].payload);
-        ++peeled;
-      }
-      EXPECT_EQ(peeled, frame_idx);
-      EXPECT_NE(result, FrameDecoder::Result::kFrame);
-    }
-  }
-}
-
-TEST(FrameFuzz, EveryTruncationKeepsBitExactCleanPrefix) {
-  std::vector<std::string> frames = AllFrames();
-  std::string stream;
-  std::vector<size_t> ends;  // exclusive end offset of each frame
-  for (const std::string& f : frames) {
-    stream += f;
-    ends.push_back(stream.size());
-  }
-  FrameStreamReplay clean;
-  ASSERT_TRUE(DecodeFrameStream(stream.data(), stream.size(), &clean).ok());
-
-  for (size_t len = 0; len < stream.size(); ++len) {
-    size_t whole = 0;
-    while (whole < ends.size() && ends[whole] <= len) ++whole;
-    bool on_boundary = (whole == 0 && len == 0) ||
-                       (whole > 0 && ends[whole - 1] == len);
-
+  auto decode = [&](const char* data, size_t size,
+                    tcrowd::testing::FuzzReplay* fuzz) {
+    // Lenient one-shot decoder: bit-exact clean prefix.
     FrameStreamReplay replay;
-    ASSERT_TRUE(DecodeFrameStream(stream.data(), len, &replay).ok());
-    ASSERT_EQ(replay.frames.size(), whole) << "prefix length " << len;
-    EXPECT_EQ(replay.truncated, !on_boundary) << "prefix length " << len;
-    for (size_t k = 0; k < whole; ++k) {
-      ASSERT_EQ(replay.frames[k].type, clean.frames[k].type);
-      ASSERT_EQ(replay.frames[k].payload, clean.frames[k].payload);
+    if (!DecodeFrameStream(data, size, &replay).ok()) return false;
+    fuzz->items = replay.frames.size();
+    fuzz->truncated = replay.truncated;
+    for (size_t k = 0; k < replay.frames.size(); ++k) {
+      if (k >= clean.frames.size()) return false;
+      EXPECT_EQ(replay.frames[k].type, clean.frames[k].type) << "frame " << k;
+      EXPECT_EQ(replay.frames[k].version, clean.frames[k].version)
+          << "frame " << k;
+      if (replay.frames[k].payload != clean.frames[k].payload) return false;
     }
 
-    // The connection decoder just waits for the rest: a torn tail is
-    // kNeedMore, never corruption.
+    // Strict connection decoder: same prefix. A truncation (the mutated
+    // bytes are a strict prefix of the pristine stream) must end in
+    // kNeedMore — a torn tail is never corruption; a flip ends in
+    // corrupt-or-starved (a flipped length can also look torn).
+    const bool is_truncation =
+        size < stream.size() && std::memcmp(data, stream.data(), size) == 0;
     FrameDecoder decoder;
-    decoder.Feed(stream.data(), len);
+    decoder.Feed(data, size);
     Frame out;
     std::string error;
     size_t peeled = 0;
     FrameDecoder::Result result;
     while ((result = decoder.Next(&out, &error)) ==
            FrameDecoder::Result::kFrame) {
+      if (peeled >= fuzz->items) return false;
+      if (out.payload != clean.frames[peeled].payload) return false;
       ++peeled;
     }
-    EXPECT_EQ(peeled, whole);
-    EXPECT_EQ(result, FrameDecoder::Result::kNeedMore);
-  }
+    EXPECT_EQ(peeled, fuzz->items);
+    if (is_truncation) {
+      EXPECT_EQ(result, FrameDecoder::Result::kNeedMore);
+    } else {
+      EXPECT_NE(result, FrameDecoder::Result::kFrame);
+    }
+    return true;
+  };
+  tcrowd::testing::RunCleanPrefixFuzz(stream, boundaries, decode,
+                                      "TCNP frame stream");
 }
 
 // -------------------------------------------------------------------------
@@ -620,17 +632,247 @@ TEST(NetProtocol, WireStatusMappingCoversEveryStatusCode) {
 }
 
 TEST(NetProtocol, MsgTypeNamesAndRanges) {
-  for (uint8_t t = 0x01; t <= 0x07; ++t) {
+  for (uint8_t t = 0x01; t <= 0x08; ++t) {
     EXPECT_TRUE(IsKnownMsgType(t));
     EXPECT_TRUE(IsKnownMsgType(t | 0x80));
     EXPECT_STRNE(MsgTypeName(static_cast<MsgType>(t)), "unknown");
     EXPECT_STRNE(MsgTypeName(static_cast<MsgType>(t | 0x80)), "unknown");
   }
   EXPECT_FALSE(IsKnownMsgType(0x00));
-  EXPECT_FALSE(IsKnownMsgType(0x08));
+  EXPECT_FALSE(IsKnownMsgType(0x09));
   EXPECT_FALSE(IsKnownMsgType(0x80));
-  EXPECT_FALSE(IsKnownMsgType(0x88));
+  EXPECT_FALSE(IsKnownMsgType(0x89));
   EXPECT_FALSE(IsKnownMsgType(0xff));
+
+  // The shard-delta pair is v2-only; the rest of the vocabulary is v1.
+  for (uint8_t t = 0x01; t <= 0x07; ++t) {
+    EXPECT_EQ(MinProtocolVersionForMsgType(t), 1) << int(t);
+    EXPECT_EQ(MinProtocolVersionForMsgType(t | 0x80), 1) << int(t);
+  }
+  EXPECT_EQ(MinProtocolVersionForMsgType(0x08), 2);
+  EXPECT_EQ(MinProtocolVersionForMsgType(0x88), 2);
+}
+
+// -------------------------------------------------------------------------
+// Protocol v2: version negotiation and the shard-delta message kind
+// (docs/SHARDING.md). The compatibility contract — a v2 shard-delta peer
+// coexists with v1 clients on the same listener — is pinned here.
+
+TEST(Negotiation, VersionRangeConstantsArePinned) {
+  // v1 must stay in the supported range forever: pre-negotiation clients
+  // send byte-identical v1 traffic and must keep working.
+  EXPECT_EQ(kProtocolVersion, 1u);
+  EXPECT_EQ(kProtocolVersionMin, 1);
+  EXPECT_EQ(kProtocolVersionMax, 2);
+  EXPECT_LE(kProtocolVersionMin, static_cast<uint8_t>(kProtocolVersion));
+  EXPECT_GE(kProtocolVersionMax, static_cast<uint8_t>(kProtocolVersion));
+}
+
+TEST(Negotiation, MatrixPicksHighestCommonVersion) {
+  struct Case {
+    uint8_t cmin, cmax, smin, smax;
+    bool ok;
+    uint8_t want;
+  };
+  const Case kCases[] = {
+      // Legacy v1 client against a v2 server — the coexistence case.
+      {1, 1, 1, 2, true, 1},
+      // v2 client against a v2 server: both ends prefer the highest.
+      {1, 2, 1, 2, true, 2},
+      // v2 client against a legacy v1 server falls back to v1.
+      {1, 2, 1, 1, true, 1},
+      // Exact single-version overlap.
+      {2, 2, 1, 2, true, 2},
+      {1, 1, 1, 1, true, 1},
+      // Future-proofing: a wider client range still lands on server max.
+      {1, 9, 1, 2, true, 2},
+      {3, 9, 1, 9, true, 9},
+      // Disjoint ranges: no version both sides speak.
+      {3, 9, 1, 2, false, 0},
+      {1, 1, 2, 2, false, 0},
+      // Inverted (hostile) ranges are refused outright.
+      {2, 1, 1, 2, false, 0},
+      {1, 2, 2, 1, false, 0},
+  };
+  for (const Case& c : kCases) {
+    uint8_t negotiated = 0xee;
+    bool ok = NegotiateProtocolVersion(c.cmin, c.cmax, c.smin, c.smax,
+                                       &negotiated);
+    EXPECT_EQ(ok, c.ok) << "[" << int(c.cmin) << "," << int(c.cmax)
+                        << "] x [" << int(c.smin) << "," << int(c.smax)
+                        << "]";
+    if (c.ok) {
+      EXPECT_EQ(negotiated, c.want)
+          << "[" << int(c.cmin) << "," << int(c.cmax) << "] x ["
+          << int(c.smin) << "," << int(c.smax) << "]";
+    } else {
+      EXPECT_EQ(negotiated, 0xee) << "negotiated clobbered on failure";
+    }
+  }
+}
+
+TEST(Negotiation, LegacyHelloEncodingIsByteIdenticalAndDecodesAsV1) {
+  // The default-constructed request IS the pre-negotiation wire form:
+  // a v1 frame holding exactly the 4-byte worker id.
+  std::string frame;
+  EncodeHelloRequest(MakeHelloRequest(), &frame);
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  std::string error;
+  ASSERT_EQ(decoder.Next(&out, &error), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.version, 1);
+  EXPECT_EQ(out.payload.size(), 4u);
+
+  HelloRequest req;
+  ASSERT_TRUE(
+      DecodeHelloRequest(out.payload.data(), out.payload.size(), &req).ok());
+  EXPECT_EQ(req.worker, MakeHelloRequest().worker);
+  EXPECT_EQ(req.min_version, 1);
+  EXPECT_EQ(req.max_version, 1);
+
+  // Same for the legacy response: no trailing negotiated byte on the wire,
+  // and the decode reports version 1.
+  frame.clear();
+  EncodeHelloResponse(MakeHelloResponse(), &frame);
+  HelloResponse resp =
+      DecodeOneFrame(frame, MsgType::kHelloResp, DecodeHelloResponse);
+  EXPECT_EQ(resp.negotiated_version, 1);
+}
+
+TEST(Negotiation, V2HelloRoundTripsTheVersionRange) {
+  std::string frame;
+  EncodeHelloRequest(MakeHelloRequestV2(), &frame);
+  HelloRequest req =
+      DecodeOneFrame(frame, MsgType::kHello, DecodeHelloRequest);
+  EXPECT_EQ(req.worker, MakeHelloRequestV2().worker);
+  EXPECT_EQ(req.min_version, kProtocolVersionMin);
+  EXPECT_EQ(req.max_version, kProtocolVersionMax);
+
+  frame.clear();
+  EncodeHelloResponse(MakeHelloResponseV2(), &frame);
+  HelloResponse resp =
+      DecodeOneFrame(frame, MsgType::kHelloResp, DecodeHelloResponse);
+  HelloResponse want = MakeHelloResponseV2();
+  EXPECT_EQ(resp.status, want.status);
+  EXPECT_EQ(resp.session, want.session);
+  EXPECT_EQ(resp.negotiated_version, 2);
+  ASSERT_EQ(resp.columns.size(), want.columns.size());
+}
+
+TEST(ShardDelta, RoundTripsBitExactly) {
+  ShardDeltaRequest want = MakeShardDeltaRequest();
+  std::string frame;
+  EncodeShardDeltaRequest(want, &frame);
+
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame out;
+  std::string error;
+  ASSERT_EQ(decoder.Next(&out, &error), FrameDecoder::Result::kFrame)
+      << error;
+  EXPECT_EQ(out.type, MsgType::kShardDelta);
+  EXPECT_EQ(out.version, 2);  // the kind only exists in v2 frames
+
+  ShardDeltaRequest req;
+  ASSERT_TRUE(DecodeShardDeltaRequest(out.payload.data(), out.payload.size(),
+                                      &req)
+                  .ok());
+  EXPECT_EQ(req.shard, want.shard);
+  EXPECT_EQ(req.schema_fingerprint, want.schema_fingerprint);
+  EXPECT_EQ(req.seqs, want.seqs);
+  EXPECT_EQ(req.retracted_seqs, want.retracted_seqs);
+  ASSERT_EQ(req.block, want.block);  // byte-identical segment block
+
+  // And the block itself decodes back to the awkward answers bit-exactly.
+  std::vector<Answer> answers;
+  ASSERT_TRUE(
+      DecodeAnswerBlock(req.block.data(), req.block.size(), &answers).ok());
+  ASSERT_EQ(answers.size(), req.seqs.size());
+  EXPECT_EQ(answers[0].worker, -2147483647 - 1);
+  EXPECT_EQ(answers[1].cell.row, 2147483647);
+  EXPECT_TRUE(std::isnan(answers[1].value.number()));
+  EXPECT_TRUE(SameBits(answers[2].value.number(), -0.0));
+
+  frame.clear();
+  EncodeShardDeltaResponse(MakeShardDeltaResponse(), &frame);
+  ShardDeltaResponse resp = DecodeOneFrame(frame, MsgType::kShardDeltaResp,
+                                           DecodeShardDeltaResponse);
+  EXPECT_EQ(resp.status, MakeShardDeltaResponse().status);
+  EXPECT_EQ(resp.answers_applied, MakeShardDeltaResponse().answers_applied);
+  EXPECT_EQ(resp.retractions_applied,
+            MakeShardDeltaResponse().retractions_applied);
+}
+
+TEST(ShardDelta, HostileCountsRejectedBeforeAllocation) {
+  {
+    std::string payload;
+    PutU32(0, &payload);             // shard
+    PutU64(1, &payload);             // fingerprint
+    PutU32(0x20000000u, &payload);   // seq count demanding ~4 GiB
+    ShardDeltaRequest out;
+    Status st =
+        DecodeShardDeltaRequest(payload.data(), payload.size(), &out);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(out.seqs.empty());
+  }
+  {
+    std::string payload;
+    PutU32(0, &payload);             // shard
+    PutU64(1, &payload);             // fingerprint
+    PutU32(0, &payload);             // no seqs
+    PutU32(0xffffffffu, &payload);   // hostile retraction count
+    ShardDeltaRequest out;
+    Status st =
+        DecodeShardDeltaRequest(payload.data(), payload.size(), &out);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(out.retracted_seqs.empty());
+  }
+  {
+    std::string payload;
+    PutU32(0, &payload);             // shard
+    PutU64(1, &payload);             // fingerprint
+    PutU32(0, &payload);             // no seqs
+    PutU32(0, &payload);             // no retractions
+    PutU32(0x7fffffffu, &payload);   // block length past the payload end
+    ShardDeltaRequest out;
+    Status st =
+        DecodeShardDeltaRequest(payload.data(), payload.size(), &out);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(out.block.empty());
+  }
+}
+
+TEST(ShardDelta, V2OnlyKindInV1FrameIsCorrupt) {
+  // Hand-craft a kShardDelta frame whose version byte claims v1: the kind
+  // does not exist in v1, so BOTH decoders must refuse it — a peer that
+  // never negotiated v2 can never smuggle v2 messages.
+  std::string frame;
+  EncodeShardDeltaRequest(MakeShardDeltaRequest(), &frame);
+  ASSERT_EQ(static_cast<uint8_t>(frame[4]), 2);  // version byte
+  // Rewriting the version invalidates the CRC, so recompute the whole
+  // frame by hand: header with version 1, same payload, fresh CRC.
+  const char* payload = frame.data() + kFrameHeaderBytes;
+  size_t payload_len = frame.size() - kFrameHeaderBytes - kFrameTrailerBytes;
+  std::string evil;
+  PutU32(kFrameMagic, &evil);
+  PutU8(1, &evil);  // v1 frame...
+  PutU8(static_cast<uint8_t>(MsgType::kShardDelta), &evil);  // ...v2 kind
+  PutU32(static_cast<uint32_t>(payload_len), &evil);
+  evil.append(payload, payload_len);
+  PutU32(Crc32(evil.data(), evil.size()), &evil);
+
+  FrameDecoder decoder;
+  decoder.Feed(evil.data(), evil.size());
+  Frame out;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&out, &error), FrameDecoder::Result::kCorrupt);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  FrameStreamReplay replay;
+  ASSERT_TRUE(DecodeFrameStream(evil.data(), evil.size(), &replay).ok());
+  EXPECT_TRUE(replay.frames.empty());
+  EXPECT_TRUE(replay.truncated);
 }
 
 }  // namespace

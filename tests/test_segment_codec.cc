@@ -8,6 +8,8 @@
 #include <limits>
 #include <vector>
 
+#include "test_helpers.h"
+
 namespace tcrowd {
 namespace {
 
@@ -297,34 +299,24 @@ TEST(Journal, RetractionRecordsInterleaveWithBatches) {
 }
 
 // ---------------------------------------------------------------------------
-// Fuzz-style decoder hardening: for every frame kind, flip every byte
-// position (several bit patterns) and truncate at every length. Strict
+// Fuzz-style decoder hardening via the shared matrix in tests/test_helpers.h
+// (the same matrix test_event_log.cc and test_net_protocol.cc run): flip
+// every byte position with each mask and truncate at every length. Strict
 // decoders must refuse every mutation with a clean Status; the journal (the
 // one lenient reader) must always return OK but never fabricate records —
 // whatever survives must be a bit-exact prefix of what was written.
-
-constexpr unsigned char kFlipMasks[] = {0x01, 0x80, 0xff};
 
 TEST(CodecFuzz, AnswerBlockRefusesEveryByteFlipAndTruncation) {
   std::vector<Answer> in = AwkwardAnswers();
   std::string bytes;
   EncodeAnswerBlock(in.data(), in.size(), &bytes);
-  for (size_t pos = 0; pos < bytes.size(); ++pos) {
-    for (unsigned char mask : kFlipMasks) {
-      std::string mutated = bytes;
-      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
-      std::vector<Answer> out;
-      Status st = DecodeAnswerBlock(mutated.data(), mutated.size(), &out);
-      EXPECT_FALSE(st.ok()) << "flip mask 0x" << std::hex << int(mask)
-                            << " at byte " << std::dec << pos
-                            << " silently accepted";
-    }
-  }
-  for (size_t cut = 0; cut < bytes.size(); ++cut) {
-    std::vector<Answer> out;
-    EXPECT_FALSE(DecodeAnswerBlock(bytes.data(), cut, &out).ok())
-        << "truncation to " << cut << " bytes silently accepted";
-  }
+  testing::RunStrictCodecFuzz(
+      bytes,
+      [](const char* data, size_t size) {
+        std::vector<Answer> out;
+        return DecodeAnswerBlock(data, size, &out).ok();
+      },
+      "answer block");
 }
 
 TEST(CodecFuzz, ManifestRefusesEveryByteFlipAndTruncation) {
@@ -336,106 +328,71 @@ TEST(CodecFuzz, ManifestRefusesEveryByteFlipAndTruncation) {
   in.retracted_ids = {0, 7, 41};
   std::string bytes;
   EncodeManifest(in, &bytes);
-  for (size_t pos = 0; pos < bytes.size(); ++pos) {
-    for (unsigned char mask : kFlipMasks) {
-      std::string mutated = bytes;
-      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
-      SnapshotManifest out;
-      Status st = DecodeManifest(mutated.data(), mutated.size(), &out);
-      EXPECT_FALSE(st.ok()) << "flip mask 0x" << std::hex << int(mask)
-                            << " at byte " << std::dec << pos
-                            << " silently accepted";
-    }
-  }
-  for (size_t cut = 0; cut < bytes.size(); ++cut) {
-    SnapshotManifest out;
-    EXPECT_FALSE(DecodeManifest(bytes.data(), cut, &out).ok())
-        << "truncation to " << cut << " bytes silently accepted";
-  }
+  testing::RunStrictCodecFuzz(
+      bytes,
+      [](const char* data, size_t size) {
+        SnapshotManifest out;
+        return DecodeManifest(data, size, &out).ok();
+      },
+      "snapshot manifest");
 }
 
-TEST(CodecFuzz, JournalMutationsKeepACleanPrefixAndNeverFabricate) {
+TEST(CodecFuzz, JournalMutationsKeepABitExactCleanPrefix) {
+  // Batch records and retraction records interleaved, ending on a batch of
+  // awkward values — both record kinds and both positions in the stream get
+  // the full matrix. The item layout (record/retraction per boundary) lets
+  // the callback check the per-kind split, not just the total.
   std::vector<Answer> batch1 = {Cat(1, 0, 0, 1), Cont(2, 1, 1, 0.25)};
   std::vector<Answer> batch2 = AwkwardAnswers();
   std::string bytes;
+  std::vector<size_t> boundaries = {0};
+  std::vector<bool> is_record;
   EncodeJournalRecord(0, batch1.data(), batch1.size(), &bytes);
+  boundaries.push_back(bytes.size());
+  is_record.push_back(true);
   EncodeRetractionRecord(1, &bytes);
+  boundaries.push_back(bytes.size());
+  is_record.push_back(false);
   EncodeJournalRecord(2, batch2.data(), batch2.size(), &bytes);
+  boundaries.push_back(bytes.size());
+  is_record.push_back(true);
   EncodeRetractionRecord(5, &bytes);
+  boundaries.push_back(bytes.size());
+  is_record.push_back(false);
 
   JournalReplay pristine;
   ASSERT_TRUE(DecodeJournal(bytes.data(), bytes.size(), &pristine).ok());
   ASSERT_EQ(pristine.records.size(), 2u);
   ASSERT_EQ(pristine.retracted_ids.size(), 2u);
 
-  auto expect_clean_prefix = [&](const JournalReplay& replay,
-                                 const std::string& what) {
-    ASSERT_LE(replay.records.size(), pristine.records.size()) << what;
-    for (size_t k = 0; k < replay.records.size(); ++k) {
-      EXPECT_EQ(replay.records[k].base_id, pristine.records[k].base_id)
-          << what;
-      ExpectAnswersEqual(pristine.records[k].answers,
-                         replay.records[k].answers);
-    }
-    ASSERT_LE(replay.retracted_ids.size(), pristine.retracted_ids.size())
-        << what;
-    for (size_t k = 0; k < replay.retracted_ids.size(); ++k) {
-      EXPECT_EQ(replay.retracted_ids[k], pristine.retracted_ids[k]) << what;
-    }
-  };
-
-  for (size_t pos = 0; pos < bytes.size(); ++pos) {
-    for (unsigned char mask : kFlipMasks) {
-      std::string mutated = bytes;
-      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
-      JournalReplay replay;
-      ASSERT_TRUE(
-          DecodeJournal(mutated.data(), mutated.size(), &replay).ok());
-      // Every byte is CRC-covered, so every flip must cost SOMETHING —
-      // a fully intact replay of a mutated journal is silent acceptance.
-      EXPECT_TRUE(replay.truncated)
-          << "flip mask 0x" << std::hex << int(mask) << " at byte "
-          << std::dec << pos << " silently accepted";
-      expect_clean_prefix(
-          replay, "flip at byte " + std::to_string(pos));
-    }
-  }
-}
-
-TEST(CodecFuzz, JournalTruncationAtEveryLengthKeepsACleanPrefix) {
-  std::vector<Answer> batch = {Cat(1, 0, 0, 1), Cont(2, 1, 1, 4.0)};
-  std::string bytes;
-  std::vector<size_t> boundaries = {0};
-  EncodeJournalRecord(0, batch.data(), batch.size(), &bytes);
-  boundaries.push_back(bytes.size());
-  EncodeRetractionRecord(0, &bytes);
-  boundaries.push_back(bytes.size());
-  EncodeJournalRecord(2, batch.data(), batch.size(), &bytes);
-  boundaries.push_back(bytes.size());
-
-  JournalReplay pristine;
-  ASSERT_TRUE(DecodeJournal(bytes.data(), bytes.size(), &pristine).ok());
-
-  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+  auto decode = [&](const char* data, size_t size,
+                    testing::FuzzReplay* fuzz) {
     JournalReplay replay;
-    ASSERT_TRUE(DecodeJournal(bytes.data(), cut, &replay).ok())
-        << "cut at " << cut;
-    bool at_boundary = std::find(boundaries.begin(), boundaries.end(),
-                                 cut) != boundaries.end();
-    EXPECT_EQ(replay.truncated, !at_boundary) << "cut at " << cut;
-    // The replay holds exactly the records wholly before the cut.
-    size_t want_records = 0, want_retractions = 0;
-    if (cut >= boundaries[1]) ++want_records;
-    if (cut >= boundaries[2]) ++want_retractions;
-    if (cut >= boundaries[3]) ++want_records;
-    EXPECT_EQ(replay.records.size(), want_records) << "cut at " << cut;
-    EXPECT_EQ(replay.retracted_ids.size(), want_retractions)
-        << "cut at " << cut;
+    if (!DecodeJournal(data, size, &replay).ok()) return false;
+    fuzz->items = replay.records.size() + replay.retracted_ids.size();
+    fuzz->truncated = replay.truncated;
+    // The split across kinds must match the first `items` of the layout —
+    // a replay may not trade a lost record for a fabricated retraction.
+    size_t want_records = 0;
+    for (size_t k = 0; k < fuzz->items && k < is_record.size(); ++k) {
+      if (is_record[k]) ++want_records;
+    }
+    if (replay.records.size() != want_records) return false;
+    // And the surviving items must be bit-exact prefixes of the pristine
+    // decode, kind by kind.
     for (size_t k = 0; k < replay.records.size(); ++k) {
+      if (replay.records[k].base_id != pristine.records[k].base_id) {
+        return false;
+      }
       ExpectAnswersEqual(pristine.records[k].answers,
                          replay.records[k].answers);
     }
-  }
+    for (size_t k = 0; k < replay.retracted_ids.size(); ++k) {
+      if (replay.retracted_ids[k] != pristine.retracted_ids[k]) return false;
+    }
+    return true;
+  };
+  testing::RunCleanPrefixFuzz(bytes, boundaries, decode, "journal");
 }
 
 TEST(SchemaFingerprint, SensitiveToEveryShapeDetail) {

@@ -24,9 +24,13 @@
 #      pieces (frame constants, decoders, message vocabulary, the
 #      backpressure knobs, RETRY_LATER semantics, the daemon/client
 #      tooling), so the wire-protocol doc cannot rot;
-#   7. README.md and docs/ARCHITECTURE.md must link the lifecycle,
-#      persistence, observability, and protocol docs, and README.md must
-#      link the scenarios doc.
+#   7. docs/SHARDING.md must exist and keep naming the multi-shard
+#      serving tier's pieces (the router and partition map, namespace
+#      tags, the global arrival ledger, the delta wire format, the
+#      standby, the crash/restore drill), so the sharding doc cannot rot;
+#   8. README.md and docs/ARCHITECTURE.md must link the lifecycle,
+#      persistence, observability, protocol, and sharding docs, and
+#      README.md must link the scenarios doc.
 #
 # Run it locally after adding a module or touching the answer path:
 #
@@ -148,9 +152,10 @@ else
   # tools that speak it.
   for anchor in kFrameMagic kMaxFramePayload FrameDecoder \
                 DecodeFrameStream Hello Lease SubmitBatch Retract Bye \
-                Finalize Stats RETRY_LATER write_queue_high \
+                Finalize Stats ShardDelta RETRY_LATER write_queue_high \
                 max_frames_per_wake inflight-budget \
                 answers_since_refresh RequestRefresh tcrowd_serverd \
+                NegotiateProtocolVersion MinProtocolVersionForMsgType \
                 "GET /metrics" bench_net smoke_serverd; do
     if ! grep -q -- "$anchor" "$protocol"; then
       echo "check_docs.sh: docs/PROTOCOL.md no longer mentions" \
@@ -160,8 +165,30 @@ else
   done
 fi
 
+sharding="$repo_root/docs/SHARDING.md"
+if [ ! -f "$sharding" ]; then
+  echo "check_docs.sh: $sharding is missing" >&2
+  fail=1
+else
+  # The multi-shard serving tier's load-bearing names: the router facade,
+  # the partition map, the merge machinery that buys the bit-identity
+  # guarantee, the delta wire format, the standby, and the failover drill.
+  for anchor in ShardRouter ShardRouterConfig PartitionRows \
+                namespace_tag NamespacedFingerprint shard-NNN \
+                kShardDelta ShardDeltaRequest PushDeltas delta_sink \
+                EncodeAnswerBlock StandbyReplica CrashShard RestoreShard \
+                NegotiateProtocolVersion TruthDigest bench_shard \
+                --shards; do
+    if ! grep -q -- "$anchor" "$sharding"; then
+      echo "check_docs.sh: docs/SHARDING.md no longer mentions" \
+           "'$anchor' — update the sharding doc." >&2
+      fail=1
+    fi
+  done
+fi
+
 for linked in DATA_LIFECYCLE.md PERSISTENCE.md OBSERVABILITY.md \
-              PROTOCOL.md; do
+              PROTOCOL.md SHARDING.md; do
   for linker in "$readme" "$doc"; do
     if ! grep -q "$linked" "$linker"; then
       echo "check_docs.sh: $(basename "$linker") does not link" \
@@ -178,4 +205,4 @@ fi
 
 [ "$fail" -eq 0 ] || exit 1
 
-echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle, persistence, scenarios, observability, and protocol docs are fresh."
+echo "check_docs.sh: all $(ls -d "$repo_root"/src/*/ | wc -l | tr -d ' ') src/ modules are documented; data-lifecycle, persistence, scenarios, observability, protocol, and sharding docs are fresh."

@@ -4,8 +4,10 @@
 # (paper Fig. 11), inference (paper Fig. 12), answer ingestion (segment
 # substrate: per-answer vs batched submit, rebuild vs incremental layout),
 # segment persistence (snapshot write/load throughput, crash-recovery
-# latency vs history size), and the socket front-end (bench_net: loopback
-# TCNP round-trip p50/p99 for stats/lease/submit) — and snapshots their
+# latency vs history size), the socket front-end (bench_net: loopback
+# TCNP round-trip p50/p99 for stats/lease/submit), and the multi-shard
+# serving tier (bench_shard: routed-ingest / merged-Finalize / delta-push
+# scaling over 1/2/4/8 shards, docs/SHARDING.md) — and snapshots their
 # JSON output into one
 # BENCH_baseline.json, so later optimizations have a fixed reference to
 # diff against (tools/diff_bench.py; the nightly bench workflow posts the
@@ -22,7 +24,7 @@ build_dir=${BENCH_BUILD_DIR:-$repo_root/build}
 out=${1:-$repo_root/BENCH_baseline.json}
 filter=${BENCH_FILTER:-}
 
-benches="bench_fig11_assignment_efficiency bench_fig12_inference_efficiency bench_ingest bench_snapshot bench_net"
+benches="bench_fig11_assignment_efficiency bench_fig12_inference_efficiency bench_ingest bench_snapshot bench_net bench_shard"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 # shellcheck disable=SC2086  # word-splitting the target list is intended

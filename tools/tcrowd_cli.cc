@@ -63,6 +63,7 @@
 #include "platform/report.h"
 #include "platform/trace.h"
 #include "service/crowd_service.h"
+#include "service/shard_router.h"
 #include "service/replay.h"
 #include "service/snapshot_inspect.h"
 #include "service/snapshot_store.h"
@@ -92,6 +93,8 @@ commands:
              [--policy=NAME] [--engine=METHOD] [--target=K]
              [--arrivals=N] [--tasks-per-worker=K] [--staleness=N]
              [--batch-size=N] [--threads=T] [--drivers=D] [--abandon=P]
+             [--shards=N] (multi-shard serving tier, docs/SHARDING.md;
+             plain load runs only — not --scenario/--record/--crash-after)
              [--racy] [--checkpoint-dir=DIR] [--crash-after=N] [--seed=S]
              [--scenario=NAME] [--checkpoints=N] [--curve-csv=FILE.csv]
              [--record=FILE] [--metrics-out=FILE]
@@ -507,6 +510,21 @@ int CmdServeSim(const FlagParser& flags) {
                  "serve-sim: --crash-after requires --checkpoint-dir\n");
     return 2;
   }
+  int num_shards = static_cast<int>(flags.GetInt("shards", 1));
+  if (num_shards < 1) {
+    std::fprintf(stderr, "serve-sim: --shards must be >= 1\n");
+    return 2;
+  }
+  if (num_shards > 1 &&
+      (scenario_mode || crash_after > 0 || flags.Has("record"))) {
+    // Scenario replay, record/replay, and the single-process crash drill
+    // are single-shard features; the sharded crash drill lives in
+    // tests/test_shard_router.cc.
+    std::fprintf(stderr,
+                 "serve-sim: --shards>1 supports plain load runs only "
+                 "(not --scenario/--record/--crash-after)\n");
+    return 2;
+  }
 
   service::ServiceConfig config;
   config.target_answers_per_task = static_cast<int>(flags.GetInt("target", 4));
@@ -643,12 +661,37 @@ int CmdServeSim(const FlagParser& flags) {
   }
 
   auto restart_begin = std::chrono::steady_clock::now();
-  service::CrowdService svc(world.dataset.schema, world.dataset.num_rows(),
-                            std::move(policy), config);
+  // svc stays non-null only in the single-shard topology (the scenario
+  // runner needs the concrete service); everything else drives `backend`.
+  std::unique_ptr<service::ServingBackend> backend;
+  service::CrowdService* svc = nullptr;
+  if (num_shards > 1) {
+    if (num_shards > world.dataset.num_rows()) {
+      std::fprintf(stderr,
+                   "serve-sim: --shards=%d exceeds the table's %d rows\n",
+                   num_shards, world.dataset.num_rows());
+      return 2;
+    }
+    service::ShardRouterConfig router_config;
+    router_config.num_shards = num_shards;
+    router_config.base = config;
+    router_config.policy_factory = [policy_name, seed](int shard) {
+      return MakePolicy(policy_name, seed + static_cast<uint64_t>(shard));
+    };
+    backend = std::make_unique<service::ShardRouter>(
+        world.dataset.schema, world.dataset.num_rows(),
+        std::move(router_config));
+  } else {
+    auto single = std::make_unique<service::CrowdService>(
+        world.dataset.schema, world.dataset.num_rows(), std::move(policy),
+        config);
+    svc = single.get();
+    backend = std::move(single);
+  }
   std::chrono::duration<double> recovery =
       std::chrono::steady_clock::now() - restart_begin;
   if (!checkpoint_dir.empty()) {
-    Status st = svc.checkpoint_status();
+    Status st = backend->checkpoint_status();
     if (!st.ok()) {
       std::fprintf(stderr, "serve-sim: checkpoint restore failed: %s\n",
                    st.ToString().c_str());
@@ -656,7 +699,7 @@ int CmdServeSim(const FlagParser& flags) {
     }
     std::printf("checkpoint %s: restored %lld answers in %.3fs\n",
                 checkpoint_dir.c_str(),
-                static_cast<long long>(svc.restored_answers()),
+                static_cast<long long>(backend->Stats().answers_restored),
                 recovery.count());
   }
 
@@ -667,7 +710,7 @@ int CmdServeSim(const FlagParser& flags) {
   const std::string metrics_out = flags.GetString("metrics-out");
   if (!metrics_out.empty()) {
     exporter = std::make_unique<MetricsExporter>(
-        &svc.metrics(), metrics_out,
+        &backend->metrics(), metrics_out,
         std::chrono::milliseconds(flags.GetInt("metrics-interval-ms", 1000)));
   }
   const std::string report_json_path = flags.GetString("report-json");
@@ -707,12 +750,12 @@ int CmdServeSim(const FlagParser& flags) {
               world_name.c_str(), world.dataset.num_rows(),
               world.dataset.num_cols(), policy_name.c_str(),
               config.inference.method.c_str(),
-              svc.config().target_answers_per_task);
+              config.target_answers_per_task);
 
   if (scenario_mode) {
     std::printf("scenario %s: %s\n", scenario.name.c_str(),
                 scenario.description.c_str());
-    sim::ScenarioRunner runner(scenario, world.crowd.get(), &svc,
+    sim::ScenarioRunner runner(scenario, world.crowd.get(), svc,
                                scenario_opt);
     sim::ScenarioReport report = runner.Run();
 
@@ -764,7 +807,7 @@ int CmdServeSim(const FlagParser& flags) {
                 stats.engine_refreshes,
                 static_cast<long long>(stats.answers_retracted));
 
-    InferenceResult final_result = svc.Finalize();
+    InferenceResult final_result = backend->Finalize();
     double err = NAN, mnad = NAN;
     if (TruthIsKnown(world.dataset.truth)) {
       err = Metrics::ErrorRate(world.dataset.truth,
@@ -777,7 +820,7 @@ int CmdServeSim(const FlagParser& flags) {
     return epilogue(sim::FormatScenarioReportJson(report, err, mnad));
   }
 
-  sim::LoadGenerator generator(world.crowd.get(), &svc, load);
+  sim::LoadGenerator generator(world.crowd.get(), backend.get(), load);
   sim::LoadReport report = generator.Run();
 
   std::printf("\n-- load report --\n");
@@ -802,9 +845,10 @@ int CmdServeSim(const FlagParser& flags) {
               static_cast<long long>(stats.budget_remaining),
               stats.engine_refreshes);
 
-  std::printf("\n-- service metrics --\n%s", svc.metrics().ToString().c_str());
+  std::printf("\n-- service metrics --\n%s",
+              backend->metrics().ToString().c_str());
 
-  InferenceResult final_result = svc.Finalize();
+  InferenceResult final_result = backend->Finalize();
   double err = NAN, mnad = NAN;
   if (TruthIsKnown(world.dataset.truth)) {
     err = Metrics::ErrorRate(world.dataset.truth,

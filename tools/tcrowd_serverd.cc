@@ -35,6 +35,7 @@
 #include "platform/event_log.h"
 #include "platform/trace.h"
 #include "service/crowd_service.h"
+#include "service/shard_router.h"
 #include "simulation/dataset_synthesizer.h"
 #include "simulation/table_generator.h"
 
@@ -57,8 +58,11 @@ int Usage() {
                       serve a paper dataset stand-in world, or:
   --rows=N --cols=M --ratio=R --workers=W   a custom synthesized world
   --policy=NAME --engine=METHOD --target=K --staleness=N --threads=T
+  --shards=N          partition the table across N engine shards behind the
+                      ShardRouter (docs/SHARDING.md); 1 = single service
   --seed=S            world + service seeds (same derivation as serve-sim)
-  --record=FILE       deterministic event log (replayable via tcrowd replay)
+  --record=FILE       deterministic event log (replayable via tcrowd replay;
+                      single-shard only)
   --checkpoint-dir=DIR durable answer log
   --force-poll        use the poll() event loop even where epoll exists
   --inflight-budget=N admission-control budget (0 = factor * staleness,
@@ -188,9 +192,23 @@ int Main(int argc, const char* const* argv) {
                       config.inference.staleness_threshold,
                       config.num_threads);
 
+  int num_shards = static_cast<int>(flags.GetInt("shards", 1));
+  if (num_shards < 1) {
+    std::fprintf(stderr, "tcrowd_serverd: --shards must be >= 1\n");
+    return 2;
+  }
+
   std::unique_ptr<EventRecorder> recorder;
   const std::string record_path = flags.GetString("record");
   if (!record_path.empty()) {
+    if (num_shards > 1) {
+      // The deterministic event order lives above the shards; recording a
+      // sharded run would interleave N engines' seals meaninglessly.
+      std::fprintf(stderr,
+                   "tcrowd_serverd: --record is single-shard only "
+                   "(drop --shards or set --shards=1)\n");
+      return 2;
+    }
     auto opened = EventRecorder::Open(record_path);
     if (!opened.ok()) {
       std::fprintf(stderr, "tcrowd_serverd: %s\n",
@@ -202,10 +220,30 @@ int Main(int argc, const char* const* argv) {
     config.recorder = recorder.get();
   }
 
-  service::CrowdService svc(world.dataset.schema, world.dataset.num_rows(),
-                            std::move(policy), config);
+  if (num_shards > world.dataset.num_rows()) {
+    std::fprintf(stderr,
+                 "tcrowd_serverd: --shards=%d exceeds the table's %d rows\n",
+                 num_shards, world.dataset.num_rows());
+    return 2;
+  }
+  std::unique_ptr<service::ServingBackend> backend;
+  if (num_shards > 1) {
+    service::ShardRouterConfig router_config;
+    router_config.num_shards = num_shards;
+    router_config.base = config;
+    router_config.policy_factory = [policy_name, seed](int shard) {
+      return MakePolicy(policy_name, seed + static_cast<uint64_t>(shard));
+    };
+    backend = std::make_unique<service::ShardRouter>(
+        world.dataset.schema, world.dataset.num_rows(),
+        std::move(router_config));
+  } else {
+    backend = std::make_unique<service::CrowdService>(
+        world.dataset.schema, world.dataset.num_rows(), std::move(policy),
+        config);
+  }
   if (!config.inference.checkpoint.directory.empty()) {
-    Status ck = svc.checkpoint_status();
+    Status ck = backend->checkpoint_status();
     if (!ck.ok()) {
       std::fprintf(stderr, "tcrowd_serverd: checkpoint restore failed: %s\n",
                    ck.ToString().c_str());
@@ -236,7 +274,7 @@ int Main(int argc, const char* const* argv) {
     return 2;
   }
 
-  net::Server server(&svc, server_opt);
+  net::Server server(backend.get(), server_opt);
   st = server.Listen(host, port);
   if (!st.ok()) {
     std::fprintf(stderr, "tcrowd_serverd: %s\n", st.ToString().c_str());
@@ -256,10 +294,11 @@ int Main(int argc, const char* const* argv) {
               host.empty() ? "127.0.0.1" : host.c_str(), server.port(),
               server_opt.force_poll ? "poll" : "epoll",
               static_cast<long long>(server.inflight_budget()));
-  std::printf("world %s: %d rows x %d cols, policy %s, engine %s\n",
+  std::printf("world %s: %d rows x %d cols, policy %s, engine %s, "
+              "shards %d\n",
               world.dataset.name.c_str(), world.dataset.num_rows(),
               world.dataset.num_cols(), policy_name.c_str(),
-              config.inference.method.c_str());
+              config.inference.method.c_str(), num_shards);
   std::fflush(stdout);
 
   st = server.Run();

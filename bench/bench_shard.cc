@@ -14,17 +14,26 @@
 // (c) Delta shipping: PushDeltas() encoding every shard's pending answers
 //     as TCNP kShardDelta payloads into an in-process StandbyReplica —
 //     the wire-codec cost of keeping a warm standby current.
+// (d) Multi-process mode: the same routed-ingest sweep with every shard
+//     behind a real net::Server on loopback and the router on
+//     RemoteShardBackends — the per-answer cost of moving a shard out of
+//     process (TCNP round-trips on the router's mutex), comparable
+//     head-to-head with (a).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "assignment/policies.h"
 #include "common/rng.h"
+#include "inference/segment_codec.h"
+#include "net/server.h"
+#include "service/shard_backend.h"
 #include "service/shard_router.h"
 #include "simulation/crowd_simulator.h"
 #include "simulation/table_generator.h"
@@ -157,6 +166,87 @@ BENCHMARK(BM_ShardRouterMergedFinalize)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Shard daemons in miniature for bench (d): each shard's derived
+/// CrowdService behind a net::Server on a loopback kernel-assigned port,
+/// event loop on its own thread — `tcrowd_serverd --shard-index` without
+/// the fork/exec.
+struct SocketShardFarm {
+  std::vector<std::unique_ptr<service::CrowdService>> services;
+  std::vector<std::unique_ptr<net::Server>> servers;
+  std::vector<std::thread> threads;
+  std::vector<uint16_t> ports;
+
+  SocketShardFarm(const sim::GeneratedTable& table,
+                  const service::ServiceConfig& base, int shards) {
+    int rows = table.truth.num_rows();
+    std::vector<service::ShardRange> ranges =
+        service::PartitionRows(rows, shards);
+    net::ServerOptions options;
+    options.inflight_budget = -1;  // the script owns pacing
+    for (int i = 0; i < shards; ++i) {
+      services.push_back(std::make_unique<service::CrowdService>(
+          table.schema, ranges[i].num_rows(),
+          std::make_unique<LoopingPolicy>(),
+          service::DeriveShardServiceConfig(base, table.schema, rows,
+                                            ranges[i], shards, i)));
+      servers.push_back(
+          std::make_unique<net::Server>(services.back().get(), options));
+      Status st = servers.back()->Listen("127.0.0.1", 0);
+      if (!st.ok()) std::abort();
+      ports.push_back(servers.back()->port());
+      net::Server* server = servers.back().get();
+      threads.emplace_back([server] { server->Run(); });
+    }
+  }
+
+  ~SocketShardFarm() {
+    for (auto& server : servers) server->Stop();
+    for (auto& thread : threads) thread.join();
+  }
+};
+
+void BM_ShardRouterIngestOverSockets(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ShardWorld world(static_cast<int>(state.range(1)));
+  int rows = world.table.truth.num_rows();
+  std::vector<service::ShardRange> ranges =
+      service::PartitionRows(rows, shards);
+  for (auto _ : state) {
+    state.PauseTiming();  // daemon boot/teardown is not the ingest path
+    {
+      service::ShardRouterConfig config =
+          RouterConfig(shards, /*with_fits=*/false);
+      SocketShardFarm farm(world.table, config.base, shards);
+      config.policy_factory = nullptr;
+      config.backend_factory = [&farm, &world, &ranges](int shard) {
+        service::RemoteShardBackend::Options options;
+        options.port = farm.ports[static_cast<size_t>(shard)];
+        options.expected_fingerprint = SchemaFingerprint(
+            world.table.schema,
+            ranges[static_cast<size_t>(shard)].num_rows());
+        return std::make_unique<service::RemoteShardBackend>(options);
+      };
+      service::ShardRouter router(world.table.schema, rows,
+                                  std::move(config));
+      state.ResumeTiming();
+      DriveScript(&router, world);
+      benchmark::DoNotOptimize(router.num_answers());
+      state.PauseTiming();
+    }  // router + farm torn down off the clock
+    state.ResumeTiming();
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["answers"] = static_cast<double>(world.answers.size());
+  state.counters["answers_per_sec"] = benchmark::Counter(
+      static_cast<double>(world.answers.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ShardRouterIngestOverSockets)
+    ->Args({1, 20000})
+    ->Args({2, 20000})
+    ->Args({4, 20000})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ShardDeltaPushToStandby(benchmark::State& state) {

@@ -55,11 +55,9 @@ Status Client::Call(const std::string& frame, MsgType expect,
 }
 
 Status Client::Hello(const HelloRequest& req, HelloResponse* resp) {
-  std::string frame, payload;
+  std::string frame;
   EncodeHelloRequest(req, &frame);
-  Status st = Call(frame, MsgType::kHelloResp, &payload);
-  if (!st.ok()) return st;
-  st = DecodeHelloResponse(payload.data(), payload.size(), resp);
+  Status st = Request(frame, MsgType::kHelloResp, DecodeHelloResponse, resp);
   if (st.ok() && resp->status == WireStatus::kOk) {
     negotiated_version_ = resp->negotiated_version;
   }
@@ -67,11 +65,9 @@ Status Client::Hello(const HelloRequest& req, HelloResponse* resp) {
 }
 
 Status Client::Lease(const LeaseRequest& req, LeaseResponse* resp) {
-  std::string frame, payload;
+  std::string frame;
   EncodeLeaseRequest(req, &frame);
-  Status st = Call(frame, MsgType::kLeaseResp, &payload);
-  if (!st.ok()) return st;
-  return DecodeLeaseResponse(payload.data(), payload.size(), resp);
+  return Request(frame, MsgType::kLeaseResp, DecodeLeaseResponse, resp);
 }
 
 Status Client::SubmitBatch(const SubmitBatchRequest& req,
@@ -81,10 +77,8 @@ Status Client::SubmitBatch(const SubmitBatchRequest& req,
   int sleep_micros = options_.retry_later_sleep_micros;
   for (int attempt = 0; attempt < options_.retry_later_max_attempts;
        ++attempt) {
-    std::string payload;
-    Status st = Call(frame, MsgType::kSubmitBatchResp, &payload);
-    if (!st.ok()) return st;
-    st = DecodeSubmitBatchResponse(payload.data(), payload.size(), resp);
+    Status st = Request(frame, MsgType::kSubmitBatchResp,
+                        DecodeSubmitBatchResponse, resp);
     if (!st.ok()) return st;
     if (resp->status != WireStatus::kRetryLater) return Status::Ok();
     ++retry_later_seen_;
@@ -98,35 +92,27 @@ Status Client::SubmitBatch(const SubmitBatchRequest& req,
 }
 
 Status Client::Retract(const RetractRequest& req, RetractResponse* resp) {
-  std::string frame, payload;
+  std::string frame;
   EncodeRetractRequest(req, &frame);
-  Status st = Call(frame, MsgType::kRetractResp, &payload);
-  if (!st.ok()) return st;
-  return DecodeRetractResponse(payload.data(), payload.size(), resp);
+  return Request(frame, MsgType::kRetractResp, DecodeRetractResponse, resp);
 }
 
 Status Client::Bye(const ByeRequest& req, ByeResponse* resp) {
-  std::string frame, payload;
+  std::string frame;
   EncodeByeRequest(req, &frame);
-  Status st = Call(frame, MsgType::kByeResp, &payload);
-  if (!st.ok()) return st;
-  return DecodeByeResponse(payload.data(), payload.size(), resp);
+  return Request(frame, MsgType::kByeResp, DecodeByeResponse, resp);
 }
 
 Status Client::Finalize(const FinalizeRequest& req, FinalizeResponse* resp) {
-  std::string frame, payload;
+  std::string frame;
   EncodeFinalizeRequest(req, &frame);
-  Status st = Call(frame, MsgType::kFinalizeResp, &payload);
-  if (!st.ok()) return st;
-  return DecodeFinalizeResponse(payload.data(), payload.size(), resp);
+  return Request(frame, MsgType::kFinalizeResp, DecodeFinalizeResponse, resp);
 }
 
 Status Client::Stats(const StatsRequest& req, StatsResponse* resp) {
-  std::string frame, payload;
+  std::string frame;
   EncodeStatsRequest(req, &frame);
-  Status st = Call(frame, MsgType::kStatsResp, &payload);
-  if (!st.ok()) return st;
-  return DecodeStatsResponse(payload.data(), payload.size(), resp);
+  return Request(frame, MsgType::kStatsResp, DecodeStatsResponse, resp);
 }
 
 Status Client::ShardDelta(const ShardDeltaRequest& req,
@@ -135,11 +121,34 @@ Status Client::ShardDelta(const ShardDeltaRequest& req,
     return Status::FailedPrecondition(
         "ShardDelta requires a Hello that negotiated protocol version >= 2");
   }
-  std::string frame, payload;
+  std::string frame;
   EncodeShardDeltaRequest(req, &frame);
-  Status st = Call(frame, MsgType::kShardDeltaResp, &payload);
-  if (!st.ok()) return st;
-  return DecodeShardDeltaResponse(payload.data(), payload.size(), resp);
+  return Request(frame, MsgType::kShardDeltaResp, DecodeShardDeltaResponse,
+                 resp);
+}
+
+Status Client::LogGather(const LogGatherRequest& req,
+                         LogGatherResponse* resp) {
+  if (negotiated_version_ < 3) {
+    return Status::FailedPrecondition(
+        "LogGather requires a Hello that negotiated protocol version >= 3");
+  }
+  std::string frame;
+  EncodeLogGatherRequest(req, &frame);
+  return Request(frame, MsgType::kLogGatherResp, DecodeLogGatherResponse,
+                 resp);
+}
+
+Status Client::ApplyLeases(const ApplyLeasesRequest& req,
+                           ApplyLeasesResponse* resp) {
+  if (negotiated_version_ < 3) {
+    return Status::FailedPrecondition(
+        "ApplyLeases requires a Hello that negotiated protocol version >= 3");
+  }
+  std::string frame;
+  EncodeApplyLeasesRequest(req, &frame);
+  return Request(frame, MsgType::kApplyLeasesResp, DecodeApplyLeasesResponse,
+                 resp);
 }
 
 }  // namespace tcrowd::net

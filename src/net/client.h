@@ -11,8 +11,9 @@
 namespace tcrowd::net {
 
 /// Blocking request/response client over one TCP connection — the driver
-/// side of the protocol (LoadGenerator socket mode, `tcrowd_cli client`).
-/// Not thread-safe: one Client per driving thread/connection.
+/// side of the protocol (LoadGenerator socket mode, `tcrowd_cli client`,
+/// the router's RemoteShardBackend). Not thread-safe: one Client per
+/// driving thread/connection.
 class Client {
  public:
   struct Options {
@@ -30,13 +31,16 @@ class Client {
   void Close() { fd_.Reset(); }
   bool connected() const { return fd_.valid(); }
 
-  /// Typed calls: encode the request, block for the matching response
-  /// frame. An IoError means the connection is dead; a decode failure means
-  /// the server broke protocol (both leave the client closed).
+  /// Typed calls: every method is a thin wrapper over the shared Request()
+  /// core — encode the request, block for the matching response frame,
+  /// decode its payload. An IoError means the connection is dead; a decode
+  /// failure means the server broke protocol (both leave the client
+  /// closed).
   /// Hello also pins the connection's protocol version: the server's pick
   /// from the ranges (see NegotiateProtocolVersion) is remembered and
   /// readable via negotiated_version(). A default HelloRequest speaks
-  /// legacy v1; set max_version = kProtocolVersionMax to offer v2.
+  /// legacy v1; set max_version = kProtocolVersionMax to offer the full
+  /// range.
   Status Hello(const HelloRequest& req, HelloResponse* resp);
   Status Lease(const LeaseRequest& req, LeaseResponse* resp);
   /// Honors the backpressure contract: a kRetryLater verdict backs off and
@@ -52,6 +56,13 @@ class Client {
   /// v2 only: ships one inter-shard answer delta (docs/SHARDING.md).
   /// FailedPrecondition without a prior Hello that negotiated version >= 2.
   Status ShardDelta(const ShardDeltaRequest& req, ShardDeltaResponse* resp);
+  /// v3 only: gathers the shard daemon's ordered live answer log / books
+  /// recorded leases onto a session (router-to-daemon traffic,
+  /// docs/SHARDING.md). FailedPrecondition without a prior Hello that
+  /// negotiated version >= 3.
+  Status LogGather(const LogGatherRequest& req, LogGatherResponse* resp);
+  Status ApplyLeases(const ApplyLeasesRequest& req,
+                     ApplyLeasesResponse* resp);
 
   /// RETRY_LATER verdicts absorbed by SubmitBatch resends so far.
   int64_t retry_later_seen() const { return retry_later_seen_; }
@@ -62,6 +73,17 @@ class Client {
   /// Sends one pre-encoded frame and blocks until a whole frame of type
   /// `expect` arrives; fills *payload with its payload bytes.
   Status Call(const std::string& frame, MsgType expect, std::string* payload);
+
+  /// The one request/response core every typed method wraps: send the
+  /// frame, wait for the `expect` response, decode its payload into *resp.
+  template <typename Resp>
+  Status Request(const std::string& frame, MsgType expect,
+                 Status (*decode)(const void*, size_t, Resp*), Resp* resp) {
+    std::string payload;
+    Status st = Call(frame, expect, &payload);
+    if (!st.ok()) return st;
+    return decode(payload.data(), payload.size(), resp);
+  }
 
   Options options_;
   OwnedFd fd_;

@@ -228,6 +228,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kFinalize: return "Finalize";
     case MsgType::kStats: return "Stats";
     case MsgType::kShardDelta: return "ShardDelta";
+    case MsgType::kLogGather: return "LogGather";
+    case MsgType::kApplyLeases: return "ApplyLeases";
     case MsgType::kHelloResp: return "HelloResp";
     case MsgType::kLeaseResp: return "LeaseResp";
     case MsgType::kSubmitBatchResp: return "SubmitBatchResp";
@@ -236,6 +238,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kFinalizeResp: return "FinalizeResp";
     case MsgType::kStatsResp: return "StatsResp";
     case MsgType::kShardDeltaResp: return "ShardDeltaResp";
+    case MsgType::kLogGatherResp: return "LogGatherResp";
+    case MsgType::kApplyLeasesResp: return "ApplyLeasesResp";
   }
   return "unknown";
 }
@@ -243,11 +247,12 @@ const char* MsgTypeName(MsgType type) {
 bool IsKnownMsgType(uint8_t type) {
   uint8_t base = type & 0x7f;
   return base >= static_cast<uint8_t>(MsgType::kHello) &&
-         base <= static_cast<uint8_t>(MsgType::kShardDelta);
+         base <= static_cast<uint8_t>(MsgType::kApplyLeases);
 }
 
 uint8_t MinProtocolVersionForMsgType(uint8_t type) {
   uint8_t base = type & 0x7f;
+  if (base >= static_cast<uint8_t>(MsgType::kLogGather)) return 3;
   return base == static_cast<uint8_t>(MsgType::kShardDelta) ? 2 : 1;
 }
 
@@ -461,6 +466,39 @@ void EncodeShardDeltaResponse(const ShardDeltaResponse& msg,
   PutU64(msg.answers_applied, &payload);
   PutU64(msg.retractions_applied, &payload);
   PutFrame(MsgType::kShardDeltaResp, payload, out, 2);
+}
+
+void EncodeLogGatherRequest(const LogGatherRequest&, std::string* out) {
+  PutFrame(MsgType::kLogGather, std::string(), out, 3);
+}
+
+void EncodeLogGatherResponse(const LogGatherResponse& msg,
+                             std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutU64(msg.answer_count, &payload);
+  PutU32(static_cast<uint32_t>(msg.block.size()), &payload);
+  payload.append(msg.block);
+  PutFrame(MsgType::kLogGatherResp, payload, out, 3);
+}
+
+void EncodeApplyLeasesRequest(const ApplyLeasesRequest& msg,
+                              std::string* out) {
+  std::string payload;
+  PutU64(msg.session, &payload);
+  PutU32(static_cast<uint32_t>(msg.cells.size()), &payload);
+  for (const CellRef& cell : msg.cells) {
+    PutI32(cell.row, &payload);
+    PutI32(cell.col, &payload);
+  }
+  PutFrame(MsgType::kApplyLeases, payload, out, 3);
+}
+
+void EncodeApplyLeasesResponse(const ApplyLeasesResponse& msg,
+                               std::string* out) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(msg.status), &payload);
+  PutFrame(MsgType::kApplyLeasesResp, payload, out, 3);
 }
 
 // ---------------------------------------------------------------------------
@@ -721,6 +759,62 @@ Status DecodeShardDeltaResponse(const void* data, size_t size,
       !r.U64(&out->retractions_applied) || !r.Done()) {
     return Malformed("ShardDeltaResp");
   }
+  out->status = static_cast<WireStatus>(status);
+  return Status::Ok();
+}
+
+Status DecodeLogGatherRequest(const void* data, size_t size,
+                              LogGatherRequest*) {
+  Reader r(data, size);
+  if (!r.Done()) return Malformed("LogGather trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeLogGatherResponse(const void* data, size_t size,
+                               LogGatherResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  uint32_t block_len;
+  if (!r.U8(&status) || !r.U64(&out->answer_count) || !r.U32(&block_len)) {
+    return Malformed("LogGatherResp");
+  }
+  if (static_cast<size_t>(block_len) > r.left) {
+    return Malformed("LogGatherResp block length exceeds payload");
+  }
+  out->status = static_cast<WireStatus>(status);
+  out->block.assign(reinterpret_cast<const char*>(r.p), block_len);
+  r.p += block_len;
+  r.left -= block_len;
+  if (!r.Done()) return Malformed("LogGatherResp trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeApplyLeasesRequest(const void* data, size_t size,
+                                ApplyLeasesRequest* out) {
+  Reader r(data, size);
+  uint32_t count;
+  if (!r.U64(&out->session) || !r.U32(&count)) {
+    return Malformed("ApplyLeases");
+  }
+  if (static_cast<size_t>(count) * kMinCellBytes > r.left) {
+    return Malformed("ApplyLeases cell count exceeds payload");
+  }
+  out->cells.clear();
+  out->cells.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int32_t row, col;
+    if (!r.I32(&row) || !r.I32(&col)) return Malformed("ApplyLeases cell");
+    out->cells.push_back(CellRef{row, col});
+  }
+  if (!r.Done()) return Malformed("ApplyLeases trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeApplyLeasesResponse(const void* data, size_t size,
+                                 ApplyLeasesResponse* out) {
+  Reader r(data, size);
+  uint8_t status;
+  if (!r.U8(&status) || !r.Done()) return Malformed("ApplyLeasesResp");
   out->status = static_cast<WireStatus>(status);
   return Status::Ok();
 }

@@ -38,10 +38,13 @@ namespace tcrowd::net {
 inline constexpr uint32_t kProtocolVersion = 1;
 /// Version range this build understands. Version 2 added Hello min/max
 /// version negotiation and the inter-shard ShardDelta message kind
-/// (docs/SHARDING.md); a frame whose version is outside [min, max] — or a
-/// v2-only message kind wrapped in a v1 frame — is connection-fatal.
+/// (docs/SHARDING.md); version 3 added the router-to-shard-daemon kinds
+/// LogGather and ApplyLeases (multi-process deployment, docs/SHARDING.md).
+/// A frame whose version is outside [min, max] — or a message kind wrapped
+/// in a frame older than the version that defines it — is
+/// connection-fatal.
 inline constexpr uint8_t kProtocolVersionMin = 1;
-inline constexpr uint8_t kProtocolVersionMax = 2;
+inline constexpr uint8_t kProtocolVersionMax = 3;
 /// "TCNP" in little-endian byte order on the wire.
 inline constexpr uint32_t kFrameMagic = 0x504e4354;
 /// Upper bound on one frame's payload; both sides refuse bigger frames.
@@ -61,6 +64,8 @@ enum class MsgType : uint8_t {
   kFinalize = 0x06,     ///< run the final batch-converged fit
   kStats = 0x07,        ///< service + network stats snapshot
   kShardDelta = 0x08,   ///< v2: sealed-segment answer delta between shards
+  kLogGather = 0x09,    ///< v3: gather the ordered live answer log
+  kApplyLeases = 0x0a,  ///< v3: book recorded leases onto a session
 
   kHelloResp = 0x81,
   kLeaseResp = 0x82,
@@ -70,13 +75,16 @@ enum class MsgType : uint8_t {
   kFinalizeResp = 0x86,
   kStatsResp = 0x87,
   kShardDeltaResp = 0x88,
+  kLogGatherResp = 0x89,
+  kApplyLeasesResp = 0x8a,
 };
 
 const char* MsgTypeName(MsgType type);
 bool IsKnownMsgType(uint8_t type);
-/// Lowest frame version a message kind may travel in: 2 for
-/// ShardDelta/ShardDeltaResp, 1 for everything else. A v2-only kind inside
-/// a v1 frame is a framing violation (the sender never negotiated v2).
+/// Lowest frame version a message kind may travel in: 3 for
+/// LogGather/ApplyLeases, 2 for ShardDelta, 1 for everything else. A
+/// newer-only kind inside an older frame is a framing violation (the
+/// sender never negotiated the version that defines the message).
 uint8_t MinProtocolVersionForMsgType(uint8_t type);
 
 /// Computes the version both ranges can speak: the highest version inside
@@ -259,6 +267,37 @@ struct ShardDeltaResponse {
   uint64_t retractions_applied = 0;
 };
 
+/// v3: ask a shard daemon for its ordered live answer log — the router's
+/// Finalize seam (docs/SHARDING.md). The response carries the engine's
+/// answers in arrival order as ONE segment_codec answer block with the
+/// daemon's LOCAL row coordinates; the router pairs them positionally with
+/// its global arrival-seq ledger, exactly as it snapshots an in-process
+/// shard.
+struct LogGatherRequest {};
+
+struct LogGatherResponse {
+  WireStatus status = WireStatus::kOk;
+  /// Answers in `block` (kOutOfRange with an empty block when the log no
+  /// longer fits one frame — kMaxFramePayload bounds a gather to ~40k
+  /// answers; chunked gathers are future work).
+  uint64_t answer_count = 0;
+  /// EncodeAnswerBlock bytes holding answer_count answers (local rows,
+  /// arrival order).
+  std::string block;
+};
+
+/// v3: book previously recorded lease decisions onto a session — the wire
+/// form of ServingBackend::ApplyRecordedLeases, used by deterministic
+/// replay drivers against a remote shard.
+struct ApplyLeasesRequest {
+  uint64_t session = 0;
+  std::vector<CellRef> cells;
+};
+
+struct ApplyLeasesResponse {
+  WireStatus status = WireStatus::kOk;
+};
+
 // ---------------------------------------------------------------------------
 // Frame encoders. Each appends one complete frame (header + payload + CRC)
 // to `*out`; requests from the client, responses from the server.
@@ -284,6 +323,14 @@ void EncodeStatsResponse(const StatsResponse& msg, std::string* out);
 void EncodeShardDeltaRequest(const ShardDeltaRequest& msg, std::string* out);
 void EncodeShardDeltaResponse(const ShardDeltaResponse& msg,
                               std::string* out);
+/// LogGather/ApplyLeases frames always travel as protocol v3 (the kinds do
+/// not exist earlier); send them only after Hello negotiated version >= 3.
+void EncodeLogGatherRequest(const LogGatherRequest& msg, std::string* out);
+void EncodeLogGatherResponse(const LogGatherResponse& msg, std::string* out);
+void EncodeApplyLeasesRequest(const ApplyLeasesRequest& msg,
+                              std::string* out);
+void EncodeApplyLeasesResponse(const ApplyLeasesResponse& msg,
+                               std::string* out);
 
 // ---------------------------------------------------------------------------
 // Payload decoders. `data/size` is one frame's payload (the FrameDecoder
@@ -317,6 +364,14 @@ Status DecodeShardDeltaRequest(const void* data, size_t size,
                                ShardDeltaRequest* out);
 Status DecodeShardDeltaResponse(const void* data, size_t size,
                                 ShardDeltaResponse* out);
+Status DecodeLogGatherRequest(const void* data, size_t size,
+                              LogGatherRequest* out);
+Status DecodeLogGatherResponse(const void* data, size_t size,
+                               LogGatherResponse* out);
+Status DecodeApplyLeasesRequest(const void* data, size_t size,
+                                ApplyLeasesRequest* out);
+Status DecodeApplyLeasesResponse(const void* data, size_t size,
+                                 ApplyLeasesResponse* out);
 
 // ---------------------------------------------------------------------------
 // Framing.

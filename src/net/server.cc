@@ -324,6 +324,50 @@ bool Server::Dispatch(Connection* conn, const Frame& frame) {
       EncodeStatsResponse(out, &resp);
       break;
     }
+    case MsgType::kApplyLeases: {
+      ApplyLeasesRequest req;
+      if (!DecodeApplyLeasesRequest(p.data(), p.size(), &req).ok()) {
+        return false;
+      }
+      ApplyLeasesResponse out;
+      if (conn->negotiated_version < 3) {
+        // v3 vocabulary on an older session: refuse cleanly so the sender
+        // can tell a version gap from corruption.
+        out.status = WireStatus::kFailedPrecondition;
+      } else {
+        out.status = WireStatusFromCode(
+            service_->ApplyRecordedLeases(
+                        static_cast<service::ServingBackend::SessionId>(
+                            req.session),
+                        req.cells)
+                .code());
+      }
+      EncodeApplyLeasesResponse(out, &resp);
+      break;
+    }
+    case MsgType::kLogGather: {
+      LogGatherRequest req;
+      if (!DecodeLogGatherRequest(p.data(), p.size(), &req).ok()) {
+        return false;
+      }
+      LogGatherResponse out;
+      if (conn->negotiated_version < 3) {
+        out.status = WireStatus::kFailedPrecondition;
+      } else {
+        std::vector<Answer> log = service_->GatherAnswerLog();
+        EncodeAnswerBlock(log.data(), log.size(), &out.block);
+        out.answer_count = static_cast<uint64_t>(log.size());
+        if (out.block.size() + 64 > kMaxFramePayload) {
+          // The whole log must fit one frame (~40k answers); past that the
+          // gather seam refuses rather than truncating silently.
+          out.status = WireStatus::kOutOfRange;
+          out.block.clear();
+          out.answer_count = 0;
+        }
+      }
+      EncodeLogGatherResponse(out, &resp);
+      break;
+    }
     case MsgType::kShardDelta: {
       ShardDeltaRequest req;
       if (!DecodeShardDeltaRequest(p.data(), p.size(), &req).ok()) {

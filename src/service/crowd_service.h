@@ -96,6 +96,16 @@ struct ServiceStats {
 /// the ShardRouter façade (src/service/shard_router.h). Keeping the surface
 /// abstract is what lets `tcrowd_serverd --shards=N` swap the topology
 /// without the event loop knowing.
+///
+/// Do not conflate this with ShardBackend (src/service/shard_backend.h):
+/// ServingBackend is the NORTH-facing façade (drivers/front-ends talk DOWN
+/// into a whole serving topology, GLOBAL row coordinates, thread-safe —
+/// every implementation serializes internally, so concurrent driver
+/// threads may call it freely), while ShardBackend is the SOUTH-facing
+/// seam (the ShardRouter talks DOWN to ONE shard — in-process or a remote
+/// daemon — LOCAL row coordinates, NOT thread-safe: the router serializes
+/// calls under its own mutex). A ShardRouter is a ServingBackend built on
+/// N ShardBackends.
 class ServingBackend {
  public:
   using SessionId = int64_t;
@@ -120,6 +130,12 @@ class ServingBackend {
   virtual ServiceStats Stats() const = 0;
   virtual Status checkpoint_status() const = 0;
   virtual InferenceResult Finalize() = 0;
+  /// The ordered live answer log (arrival order, retractions already
+  /// removed) — the gather seam behind the merged Finalize and the
+  /// kLogGather wire request: a router daemon answers it from its merged
+  /// ledger, a single-engine daemon from its engine snapshot. Blocks only
+  /// briefly (one mutex + a copy), never on an EM fit.
+  virtual std::vector<Answer> GatherAnswerLog() = 0;
   virtual MetricsRegistry& metrics() = 0;
   virtual const Schema& schema() const = 0;
   virtual int num_rows() const = 0;
@@ -273,6 +289,11 @@ class CrowdService : public ServingBackend {
   /// concurrent submits keep being accepted but are not part of the
   /// returned result's snapshot.
   InferenceResult Finalize() override;
+
+  /// The engine's live answers in arrival order (ServingBackend contract).
+  std::vector<Answer> GatherAnswerLog() override {
+    return engine_->SnapshotAnswers().answers();
+  }
 
  private:
   struct TaskEntry {

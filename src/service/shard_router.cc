@@ -12,13 +12,6 @@ namespace tcrowd::service {
 
 namespace {
 
-/// Sub-shard checkpoint directory: "<root>/shard-NNN".
-std::string ShardDirectory(const std::string& root, int shard) {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "/shard-%03d", shard);
-  return root + buf;
-}
-
 int64_t SteadyNowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -65,55 +58,33 @@ ShardRouter::ShardRouter(const Schema& schema, int num_rows,
       delta_answers_shipped_(&metrics_.counter("router.delta_answers")) {
   TCROWD_CHECK(config_.num_shards >= 1);
   TCROWD_CHECK(config_.num_shards <= num_rows_);
-  TCROWD_CHECK(static_cast<bool>(config_.policy_factory));
+  TCROWD_CHECK(static_cast<bool>(config_.policy_factory) ||
+               static_cast<bool>(config_.backend_factory));
   ranges_ = PartitionRows(num_rows_, config_.num_shards);
   ledgers_.resize(static_cast<size_t>(config_.num_shards));
   retracted_since_push_.resize(static_cast<size_t>(config_.num_shards));
   shards_.resize(static_cast<size_t>(config_.num_shards));
   for (int i = 0; i < config_.num_shards; ++i) {
-    shards_[i] = std::make_unique<CrowdService>(
-        schema_, ranges_[i].num_rows(), config_.policy_factory(i),
-        ShardConfig(i));
+    shards_[i] = MakeBackend(i);
   }
 }
 
 ShardRouter::~ShardRouter() = default;
 
-ServiceConfig ShardRouter::ShardConfig(int i) const {
-  ServiceConfig cfg = config_.base;
-  // The router owns session lifecycle and lease expiry globally; shards
-  // must never expire a sub-session on their own.
-  cfg.session_lease_timeout_seconds = 0.0;
-  // Record/replay stays a single-shard feature (the global event order
-  // lives above the shards); never let a shard double-record.
-  cfg.recorder = nullptr;
-  cfg.inference.recorder = nullptr;
-  // De-correlate the per-shard routing policies.
-  cfg.router.seed = config_.base.router.seed + static_cast<uint64_t>(i);
-  if (cfg.inference.checkpoint.enabled()) {
-    cfg.inference.checkpoint.directory =
-        ShardDirectory(config_.base.inference.checkpoint.directory, i);
-    // Shard dirs of the same table are shape-identical; the namespace tag
-    // keeps shard i from silently restoring shard j's log.
-    cfg.inference.checkpoint.namespace_tag =
-        (static_cast<uint64_t>(config_.num_shards) << 48) |
-        (static_cast<uint64_t>(i) << 32) |
-        static_cast<uint32_t>(ranges_[i].row_begin);
-  }
-  if (config_.base.max_total_answers >= 0) {
-    // Split an explicit budget proportionally to cells owned, exactly
-    // (cumulative rounding; shares sum to the global budget).
-    int64_t total = config_.base.max_total_answers;
-    int64_t cells_before = static_cast<int64_t>(ranges_[i].row_begin) *
-                           schema_.num_columns();
-    int64_t cells_through = static_cast<int64_t>(ranges_[i].row_end) *
-                            schema_.num_columns();
-    int64_t total_cells =
-        static_cast<int64_t>(num_rows_) * schema_.num_columns();
-    cfg.max_total_answers = total * cells_through / total_cells -
-                            total * cells_before / total_cells;
-  }
-  return cfg;
+std::unique_ptr<ShardBackend> ShardRouter::MakeBackend(int i) const {
+  if (config_.backend_factory) return config_.backend_factory(i);
+  return std::make_unique<LocalShardBackend>(
+      schema_, ranges_[i].num_rows(), config_.policy_factory(i),
+      DeriveShardServiceConfig(config_.base, schema_, num_rows_, ranges_[i],
+                               config_.num_shards, i));
+}
+
+ShardBackend* ShardRouter::LiveShardLocked(int s) {
+  if (UpLocked(s)) return shards_[s].get();
+  if (!config_.auto_restore) return nullptr;
+  // Router-daemon mode: one rebuild attempt per touch — a restarted shard
+  // daemon rejoins here; a still-dead one keeps the shard failing fast.
+  return RestoreShardLocked(s).ok() ? shards_[s].get() : nullptr;
 }
 
 int64_t ShardRouter::NowNanos() const {
@@ -146,7 +117,9 @@ ShardRouter::SessionId ShardRouter::StartSession(WorkerId worker) {
   session.sub.assign(static_cast<size_t>(config_.num_shards), -1);
   session.last_active_nanos = now;
   for (int s = 0; s < config_.num_shards; ++s) {
-    if (shards_[s]) session.sub[s] = shards_[s]->StartSession(worker);
+    if (ShardBackend* b = LiveShardLocked(s)) {
+      session.sub[s] = b->StartSession(worker);
+    }
   }
   sessions_.emplace(id, std::move(session));
   ++sessions_started_total_;
@@ -167,11 +140,11 @@ std::vector<CellRef> ShardRouter::RequestTasks(SessionId session, int k) {
   for (int j = 0; j < config_.num_shards; ++j) {
     int s = static_cast<int>((start + static_cast<size_t>(j)) %
                              static_cast<size_t>(config_.num_shards));
-    if (!shards_[s] || it->second.sub[s] < 0) continue;
+    ShardBackend* b = LiveShardLocked(s);
+    if (b == nullptr || it->second.sub[s] < 0) continue;
     int need = k - static_cast<int>(leased.size());
     if (need <= 0) break;
-    std::vector<CellRef> local =
-        shards_[s]->RequestTasks(it->second.sub[s], need);
+    std::vector<CellRef> local = b->RequestTasks(it->second.sub[s], need);
     for (CellRef cell : local) {
       leased.push_back(CellRef{cell.row + ranges_[s].row_begin, cell.col});
     }
@@ -214,7 +187,7 @@ std::vector<Status> ShardRouter::SubmitAnswerBatch(
       continue;
     }
     int s = ShardForRow(row);
-    if (!shards_[s] || gs.sub[s] < 0) {
+    if (LiveShardLocked(s) == nullptr || gs.sub[s] < 0) {
       statuses[i] = Status::FailedPrecondition("owning shard is down");
       continue;
     }
@@ -252,7 +225,9 @@ Status ShardRouter::RetractAnswer(WorkerId worker, CellRef cell) {
     return Status::OutOfRange("row outside the table");
   }
   int s = ShardForRow(cell.row);
-  if (!shards_[s]) return Status::FailedPrecondition("owning shard is down");
+  if (LiveShardLocked(s) == nullptr) {
+    return Status::FailedPrecondition("owning shard is down");
+  }
   Status st = shards_[s]->RetractAnswer(
       worker, CellRef{cell.row - ranges_[s].row_begin, cell.col});
   if (!st.ok()) return st;
@@ -287,7 +262,7 @@ Status ShardRouter::ApplyRecordedLeases(SessionId session,
       return Status::OutOfRange("row outside the table");
     }
     int s = ShardForRow(cell.row);
-    if (!shards_[s] || gs.sub[s] < 0) {
+    if (LiveShardLocked(s) == nullptr || gs.sub[s] < 0) {
       return Status::FailedPrecondition("owning shard is down");
     }
     grouped[s].push_back(CellRef{cell.row - ranges_[s].row_begin, cell.col});
@@ -312,7 +287,7 @@ Status ShardRouter::EndSession(SessionId session) {
 
 void ShardRouter::EndSubSessionsLocked(GlobalSession* session) {
   for (int s = 0; s < config_.num_shards; ++s) {
-    if (shards_[s] && session->sub[s] >= 0) {
+    if (UpLocked(s) && session->sub[s] >= 0) {
       shards_[s]->EndSession(session->sub[s]);
     }
   }
@@ -355,7 +330,7 @@ ServiceStats ShardRouter::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats total;
   for (const auto& shard : shards_) {
-    if (!shard) continue;
+    if (!shard || shard->down()) continue;
     ServiceStats s = shard->Stats();
     total.tasks_open += s.tasks_open;
     total.tasks_assigned += s.tasks_assigned;
@@ -393,7 +368,7 @@ int64_t ShardRouter::answers_since_refresh() {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t laggiest = 0;
   for (const auto& shard : shards_) {
-    if (!shard) continue;
+    if (!shard || shard->down()) continue;
     laggiest = std::max(
         laggiest, static_cast<int64_t>(shard->answers_since_refresh()));
   }
@@ -403,7 +378,7 @@ int64_t ShardRouter::answers_since_refresh() {
 void ShardRouter::RequestRefresh() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& shard : shards_) {
-    if (shard) shard->RequestRefresh();
+    if (shard && !shard->down()) shard->RequestRefresh();
   }
 }
 
@@ -411,7 +386,7 @@ uint64_t ShardRouter::num_answers() {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    if (shard) total += shard->num_answers();
+    if (shard && !shard->down()) total += shard->num_answers();
   }
   return total;
 }
@@ -451,35 +426,32 @@ Status ShardRouter::PushDeltas() {
   return Status::Ok();
 }
 
-InferenceResult ShardRouter::Finalize() {
-  // Bring a standby current before computing the digest it must match. A
-  // sink failure leaves deltas pending but never blocks finalization.
-  PushDeltas();
-
-  std::lock_guard<std::mutex> lock(mu_);
-  // Gather each shard ENGINE's live answer log (not the router's copy) so
-  // a restored shard proves its disk state, and pair it positionally with
-  // the ledger's live seqs — both are in log order, so the pairing is 1:1.
+std::vector<Answer> ShardRouter::GatherMergedLogLocked() {
+  // Gather each SHARD's live answer log (not the router's copy) so a
+  // restored shard proves its disk state — via GatherLog, which is a
+  // kLogGather round-trip for a remote shard — and pair it positionally
+  // with the ledger's live seqs: both are in log order, so the pairing is
+  // 1:1.
   std::vector<std::pair<uint64_t, Answer>> merged;
   for (int s = 0; s < config_.num_shards; ++s) {
     std::vector<const SeqEntry*> live;
     for (const auto& entry : ledgers_[s]) {
       if (entry.live) live.push_back(&entry);
     }
-    bool from_engine = false;
-    if (shards_[s]) {
-      AnswerSet snapshot = shards_[s]->engine().SnapshotAnswers();
-      if (snapshot.size() == live.size()) {
+    bool from_shard = false;
+    if (UpLocked(s)) {
+      std::vector<Answer> log;
+      if (shards_[s]->GatherLog(&log).ok() && log.size() == live.size()) {
         for (size_t i = 0; i < live.size(); ++i) {
-          Answer answer = snapshot.answer(static_cast<int>(i));
+          Answer answer = log[i];
           answer.cell.row += ranges_[s].row_begin;
           merged.push_back({live[i]->seq, answer});
         }
-        from_engine = true;
+        from_shard = true;
       }
     }
-    if (!from_engine) {
-      // Shard down (or ledger/engine divergence): the ledger's own copies
+    if (!from_shard) {
+      // Shard down (or ledger/shard divergence): the ledger's own copies
       // keep the merged history complete.
       for (const SeqEntry* entry : live) {
         merged.push_back({entry->seq, entry->answer});
@@ -488,15 +460,29 @@ InferenceResult ShardRouter::Finalize() {
   }
   std::sort(merged.begin(), merged.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-
-  // One fresh engine over the seq-ordered merged log: the engine Finalize
-  // contract (bit-identical to a batch fit over the same log) is what makes
-  // this equal to the single-shard run's digest.
-  IncrementalInferenceEngine engine(
-      schema_, num_rows_, MergeEngineArgs(config_.base.inference), nullptr);
   std::vector<Answer> ordered;
   ordered.reserve(merged.size());
   for (auto& [seq, answer] : merged) ordered.push_back(std::move(answer));
+  return ordered;
+}
+
+std::vector<Answer> ShardRouter::GatherAnswerLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GatherMergedLogLocked();
+}
+
+InferenceResult ShardRouter::Finalize() {
+  // Bring a standby current before computing the digest it must match. A
+  // sink failure leaves deltas pending but never blocks finalization.
+  PushDeltas();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // One fresh engine over the seq-ordered merged log: the engine Finalize
+  // contract (bit-identical to a batch fit over the same log) is what makes
+  // this equal to the single-shard run's digest.
+  std::vector<Answer> ordered = GatherMergedLogLocked();
+  IncrementalInferenceEngine engine(
+      schema_, num_rows_, MergeEngineArgs(config_.base.inference), nullptr);
   engine.SubmitAnswerBatch(ordered.data(), ordered.size());
   return engine.Finalize();
 }
@@ -511,19 +497,29 @@ void ShardRouter::CrashShard(int i) {
 Status ShardRouter::RestoreShard(int i) {
   std::lock_guard<std::mutex> lock(mu_);
   TCROWD_CHECK(i >= 0 && i < config_.num_shards);
-  if (shards_[i]) {
+  if (UpLocked(i)) {
     return Status::FailedPrecondition("shard is up; crash it first");
   }
-  auto restored = std::make_unique<CrowdService>(
-      schema_, ranges_[i].num_rows(), config_.policy_factory(i),
-      ShardConfig(i));
+  return RestoreShardLocked(i);
+}
+
+Status ShardRouter::RestoreShardLocked(int i) {
+  std::unique_ptr<ShardBackend> restored = MakeBackend(i);
   Status st = restored->checkpoint_status();
+  if (!st.ok()) return st;
+  // Agreement check: the rebuilt shard's live log must match the router's
+  // ledger answer-for-answer in count. Exact for a daemon restarted from
+  // its snapshot AND for a live daemon the router merely reconnected to,
+  // and it catches torn remote batches (booked by the daemon, never
+  // stamped by the router).
+  std::vector<Answer> log;
+  st = restored->GatherLog(&log);
   if (!st.ok()) return st;
   int64_t live = 0;
   for (const auto& entry : ledgers_[i]) {
     if (entry.live) ++live;
   }
-  if (restored->restored_answers() != live) {
+  if (static_cast<int64_t>(log.size()) != live) {
     return Status::Internal(
         "restored answer log disagrees with the router ledger");
   }

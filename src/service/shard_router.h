@@ -13,6 +13,7 @@
 #include "assignment/policy.h"
 #include "net/protocol.h"
 #include "service/crowd_service.h"
+#include "service/shard_backend.h"
 
 namespace tcrowd::service {
 
@@ -39,8 +40,21 @@ struct ShardRouterConfig {
   /// explicit answer budget splits proportionally to each shard's cells.
   ServiceConfig base;
   /// Builds shard `i`'s assignment policy over its OWN sub-table shape.
-  /// Required (every shard routes leases independently).
+  /// Required unless backend_factory is set (every in-process shard routes
+  /// leases independently).
   std::function<std::unique_ptr<AssignmentPolicy>(int shard)> policy_factory;
+  /// Builds shard `i`'s backend. Unset → LocalShardBackend over the derived
+  /// per-shard config + policy_factory (today's in-process topology); set →
+  /// any ShardBackend, e.g. a RemoteShardBackend per `tcrowd_serverd` shard
+  /// daemon (the `--router` process topology, docs/SHARDING.md). Also
+  /// re-invoked by RestoreShard to rebuild a crashed shard.
+  std::function<std::unique_ptr<ShardBackend>(int shard)> backend_factory;
+  /// Router-daemon resilience: a request routed to a down shard first
+  /// re-runs the backend factory (reconnect, checkpoint/ledger agreement
+  /// checks, sub-session re-open) before failing fast — so a shard daemon
+  /// restarted from its snapshot dir rejoins on the next touch without
+  /// restarting the router (whose in-memory arrival ledger must survive).
+  bool auto_restore = false;
   /// Optional sealed-delta sink: PushDeltas() hands every newly shipped
   /// per-shard delta (global-row answer block + seqs, wire layout of
   /// net::ShardDeltaRequest) to this callback — an in-process
@@ -49,26 +63,32 @@ struct ShardRouterConfig {
   std::function<Status(const net::ShardDeltaRequest&)> delta_sink;
 };
 
-/// Multi-shard serving tier: partitions the table across N engine shards
-/// (each its own CrowdService: engine + snapshot dir + router policy) and
-/// presents them as ONE ServingBackend. Sessions span all shards; leases,
-/// submits, and retractions route to the shard owning the cell's row; and
-/// Finalize() merges the per-shard truth states into one global answer set
-/// whose digest is bit-identical to a single-shard run over the same
-/// accepted history (tests/test_shard_router.cc).
+/// Multi-shard serving tier: partitions the table across N shards — each a
+/// ShardBackend, in-process (LocalShardBackend owning a CrowdService:
+/// engine + snapshot dir + router policy) or a remote `tcrowd_serverd`
+/// daemon (RemoteShardBackend) — and presents them as ONE ServingBackend.
+/// Sessions span all shards; leases, submits, and retractions route to the
+/// shard owning the cell's row; and Finalize() merges the per-shard truth
+/// states into one global answer set whose digest is bit-identical to a
+/// single-shard run over the same accepted history
+/// (tests/test_shard_router.cc, tests/test_remote_shard.cc).
 ///
 /// The identity hinges on the global arrival ledger: worker quality couples
 /// across tuples in the EM, so per-shard fits cannot simply concatenate.
 /// Every accepted answer is stamped with a router-global sequence number in
-/// submission order; Finalize() gathers each shard ENGINE's live answer log
-/// (so the crash drill genuinely exercises disk restore), remaps local rows
-/// to global, merge-sorts by seq, and batch-fits a fresh engine over the
-/// merged log — which the engine Finalize contract makes bit-identical to
-/// the single-engine run that saw the same history. See docs/SHARDING.md.
+/// submission order; Finalize() gathers each shard's live answer log
+/// through ShardBackend::GatherLog — the shard ENGINE's log, in-process or
+/// over the wire (kLogGather), so the crash drill genuinely exercises disk
+/// restore — remaps local rows to global, merge-sorts by seq, and
+/// batch-fits a fresh engine over the merged log, which the engine
+/// Finalize contract makes bit-identical to the single-engine run that saw
+/// the same history. See docs/SHARDING.md.
 ///
 /// Thread-safety: same contract as CrowdService — all public methods may be
-/// called from concurrent driver threads; router state is serialized on one
-/// mutex, per-shard work runs under the sub-service's own lock.
+/// called from concurrent driver threads; router state AND every
+/// ShardBackend call are serialized on the router mutex (backends are not
+/// thread-safe, see shard_backend.h), so remote round-trips bound the
+/// router's mutex hold times.
 class ShardRouter : public ServingBackend {
  public:
   ShardRouter(const Schema& schema, int num_rows, ShardRouterConfig config);
@@ -103,13 +123,21 @@ class ShardRouter : public ServingBackend {
   int staleness_threshold() const override {
     return config_.base.inference.staleness_threshold;
   }
+  /// The merged global live log (seq order, global rows) — what a router
+  /// daemon serves for kLogGather.
+  std::vector<Answer> GatherAnswerLog() override;
 
   // ---- Sharding surface.
   int shards() const { return config_.num_shards; }
   const ShardRange& range(int shard) const { return ranges_[shard]; }
   int ShardForRow(int row) const;
-  /// Shard `i`'s sub-service; null while crashed (see CrashShard).
-  CrowdService* shard(int i) { return shards_[i].get(); }
+  /// Shard `i`'s in-process sub-service; null while crashed (see
+  /// CrashShard) and null for a remote backend (test/introspection seam).
+  CrowdService* shard(int i) {
+    return shards_[i] ? shards_[i]->local_service() : nullptr;
+  }
+  /// Shard `i`'s backend; null while crashed.
+  ShardBackend* backend(int i) { return shards_[i].get(); }
   /// Global-table fingerprint stamped on every shipped delta.
   uint64_t global_fingerprint() const { return fingerprint_; }
 
@@ -120,16 +148,17 @@ class ShardRouter : public ServingBackend {
   /// so a standby is current at the digest point.
   Status PushDeltas();
 
-  /// Fault-injection seam: tears down shard `i`'s sub-service (its snapshot
-  /// directory survives). Requests routed to a downed shard fail with
-  /// FailedPrecondition; leases spread over the remaining shards, which
-  /// keep serving undisturbed.
+  /// Fault-injection seam: tears down shard `i`'s backend (its snapshot
+  /// directory — or remote daemon — survives). Requests routed to a downed
+  /// shard fail with FailedPrecondition; leases spread over the remaining
+  /// shards, which keep serving undisturbed.
   void CrashShard(int i);
-  /// Rebuilds shard `i` from its own snapshot directory (same derived
-  /// config, fresh policy from the factory) and re-opens sub-sessions for
-  /// every live router session. Internal error when the restored answer
-  /// log disagrees with the router's live ledger for the shard — merged
-  /// Finalize identity could no longer be guaranteed.
+  /// Rebuilds shard `i` via the backend factory — from its own snapshot
+  /// directory in-process, or by reconnecting to its (restarted) daemon —
+  /// and re-opens sub-sessions for every live router session. Internal
+  /// error when the restored answer log disagrees with the router's live
+  /// ledger for the shard — merged Finalize identity could no longer be
+  /// guaranteed.
   Status RestoreShard(int i);
 
  private:
@@ -150,9 +179,23 @@ class ShardRouter : public ServingBackend {
   };
 
   int64_t NowNanos() const;
-  /// Derives shard `i`'s ServiceConfig from the template (see
-  /// ShardRouterConfig::base).
-  ServiceConfig ShardConfig(int i) const;
+  /// Builds shard `i`'s backend: the configured factory, or a
+  /// LocalShardBackend over DeriveShardServiceConfig + policy_factory.
+  std::unique_ptr<ShardBackend> MakeBackend(int i) const;
+  /// True while shard `s` has a reachable backend; `mu_` must be held.
+  bool UpLocked(int s) const {
+    return shards_[s] != nullptr && !shards_[s]->down();
+  }
+  /// Shard `s`'s backend if reachable — after an auto_restore rebuild
+  /// attempt when it is not. Null means the shard is down; callers must
+  /// re-read a session's sub id afterwards (restore re-opens them).
+  /// `mu_` must be held.
+  ShardBackend* LiveShardLocked(int s);
+  /// Factory rebuild + agreement checks + sub-session re-open; `mu_` must
+  /// be held and the shard must be down.
+  Status RestoreShardLocked(int i);
+  /// The merged live log in seq order (global rows); `mu_` must be held.
+  std::vector<Answer> GatherMergedLogLocked();
   /// Lazy lease-deadline sweep mirroring CrowdService (watermark-capped
   /// unless `force`); `mu_` must be held. Returns sessions expired.
   int ExpireStaleSessionsLocked(int64_t now, bool force);
@@ -164,7 +207,7 @@ class ShardRouter : public ServingBackend {
   ShardRouterConfig config_;
   uint64_t fingerprint_ = 0;
   std::vector<ShardRange> ranges_;
-  std::vector<std::unique_ptr<CrowdService>> shards_;
+  std::vector<std::unique_ptr<ShardBackend>> shards_;
 
   MetricsRegistry metrics_;
   Counter* deltas_shipped_;

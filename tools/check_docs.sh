@@ -152,7 +152,8 @@ else
   # tools that speak it.
   for anchor in kFrameMagic kMaxFramePayload FrameDecoder \
                 DecodeFrameStream Hello Lease SubmitBatch Retract Bye \
-                Finalize Stats ShardDelta RETRY_LATER write_queue_high \
+                Finalize Stats ShardDelta LogGather ApplyLeases \
+                RETRY_LATER write_queue_high \
                 max_frames_per_wake inflight-budget \
                 answers_since_refresh RequestRefresh tcrowd_serverd \
                 NegotiateProtocolVersion MinProtocolVersionForMsgType \
@@ -172,13 +173,16 @@ if [ ! -f "$sharding" ]; then
 else
   # The multi-shard serving tier's load-bearing names: the router facade,
   # the partition map, the merge machinery that buys the bit-identity
-  # guarantee, the delta wire format, the standby, and the failover drill.
+  # guarantee, the delta wire format, the standby, the failover drill,
+  # and the multi-process topology behind the ShardBackend seam.
   for anchor in ShardRouter ShardRouterConfig PartitionRows \
                 namespace_tag NamespacedFingerprint shard-NNN \
                 kShardDelta ShardDeltaRequest PushDeltas delta_sink \
                 EncodeAnswerBlock StandbyReplica CrashShard RestoreShard \
                 NegotiateProtocolVersion TruthDigest bench_shard \
-                --shards; do
+                --shards ShardBackend LocalShardBackend \
+                RemoteShardBackend LogGather --router --shard-index \
+                auto-restore smoke_router; do
     if ! grep -q -- "$anchor" "$sharding"; then
       echo "check_docs.sh: docs/SHARDING.md no longer mentions" \
            "'$anchor' — update the sharding doc." >&2

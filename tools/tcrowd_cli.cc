@@ -62,6 +62,7 @@
 #include "platform/metrics_exporter.h"
 #include "platform/report.h"
 #include "platform/trace.h"
+#include "serving_options.h"
 #include "service/crowd_service.h"
 #include "service/shard_router.h"
 #include "service/replay.h"
@@ -335,20 +336,8 @@ int CmdEval(const FlagParser& flags) {
 
 std::unique_ptr<AssignmentPolicy> MakePolicy(const std::string& name,
                                              uint64_t seed) {
-  if (name == "structure") {
-    return std::make_unique<StructureAwarePolicy>(TCrowdOptions::Fast());
-  }
-  if (name == "inherent") {
-    return std::make_unique<InherentGainPolicy>(TCrowdOptions::Fast());
-  }
-  if (name == "entropy") {
-    return std::make_unique<EntropyPolicy>(TCrowdOptions::Fast());
-  }
-  if (name == "random") return std::make_unique<RandomPolicy>(seed);
-  if (name == "looping") return std::make_unique<LoopingPolicy>();
-  if (name == "cdas") return std::make_unique<CdasPolicy>(seed);
-  if (name == "askit") return std::make_unique<AskItPolicy>();
-  return nullptr;
+  // One policy table for every serving entry point (serving_options.cc).
+  return tools::MakeServingPolicy(name, seed);
 }
 
 int CmdAssign(const FlagParser& flags) {
@@ -454,56 +443,25 @@ int CmdServeSim(const FlagParser& flags) {
     }
   }
 
+  // Shared serving flags (tools/serving_options.h): world shape, policy,
+  // engine knobs — one parse used by serve-sim, tcrowd_serverd, and the
+  // router alike, so every entry point derives the identical world.
+  tools::ServingOptions sopt;
+  Status sost = tools::ParseServingOptions(flags, &sopt);
+  if (!sost.ok()) {
+    std::fprintf(stderr, "serve-sim: %s\n", sost.message().c_str());
+    return 2;
+  }
+
   // World: one of the paper's dataset stand-ins, or a custom table. The
   // answer set starts EMPTY — every answer flows through the service.
-  // Built via copy elision: a SynthesizedWorld must not be moved (its crowd
-  // points back into its own dataset).
-  bool bad_dataset = false;
-  sim::SynthesizedWorld world = [&]() -> sim::SynthesizedWorld {
-    if (flags.Has("dataset")) {
-      std::string which = flags.GetString("dataset");
-      sim::PaperDataset pd = sim::PaperDataset::kRestaurant;
-      if (which == "celebrity") {
-        pd = sim::PaperDataset::kCelebrity;
-      } else if (which == "restaurant") {
-        pd = sim::PaperDataset::kRestaurant;
-      } else if (which == "emotion") {
-        pd = sim::PaperDataset::kEmotion;
-      } else {
-        bad_dataset = true;
-      }
-      sim::SynthesizerOptions opt;
-      opt.seed = seed;
-      opt.answers_per_task = 0;
-      return sim::SynthesizeDataset(pd, opt);
-    }
-    sim::TableGeneratorOptions topt;
-    topt.num_rows = static_cast<int>(flags.GetInt("rows", 60));
-    topt.num_cols = static_cast<int>(flags.GetInt("cols", 5));
-    topt.categorical_ratio = flags.GetDouble("ratio", 0.5);
-    sim::CrowdOptions copt;
-    copt.num_workers = static_cast<int>(flags.GetInt("workers", 40));
-    Rng rng(seed);
-    sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
-    return sim::SynthesizeFromTable(std::move(table), copt, 0, seed + 1,
-                                    "custom");
-  }();
-  if (bad_dataset) {
-    std::fprintf(stderr, "serve-sim: unknown --dataset=%s\n",
-                 flags.GetString("dataset").c_str());
-    return 2;
-  }
+  sim::SynthesizedWorld world = tools::BuildServingWorld(sopt);
   const std::string& world_name = world.dataset.name;
 
-  std::string policy_name = flags.GetString("policy", "structure");
+  const std::string& policy_name = sopt.policy;
   auto policy = MakePolicy(policy_name, seed);
-  if (policy == nullptr) {
-    std::fprintf(stderr, "serve-sim: unknown --policy=%s\n",
-                 policy_name.c_str());
-    return 2;
-  }
 
-  std::string checkpoint_dir = flags.GetString("checkpoint-dir");
+  const std::string& checkpoint_dir = sopt.checkpoint_dir;
   int64_t crash_after = flags.GetInt("crash-after", 0);
   if (crash_after > 0 && checkpoint_dir.empty()) {
     std::fprintf(stderr,
@@ -526,15 +484,7 @@ int CmdServeSim(const FlagParser& flags) {
     return 2;
   }
 
-  service::ServiceConfig config;
-  config.target_answers_per_task = static_cast<int>(flags.GetInt("target", 4));
-  config.num_threads = static_cast<int>(flags.GetInt("threads", 2));
-  config.inference.method = flags.GetString("engine", "tcrowd");
-  config.inference.staleness_threshold =
-      static_cast<int>(flags.GetInt("staleness", 64));
-  config.inference.num_shards = config.num_threads;
-  config.inference.checkpoint.directory = checkpoint_dir;
-  config.router.seed = seed + 2;
+  service::ServiceConfig config = tools::MakeServingConfig(sopt);
   if (MakeMethod(config.inference.method, world.dataset.schema) == nullptr) {
     std::fprintf(stderr, "serve-sim: unknown --engine=%s\n",
                  config.inference.method.c_str());
@@ -543,22 +493,7 @@ int CmdServeSim(const FlagParser& flags) {
 
   // World recipe carried in the event log's kRunStart header: everything
   // `tcrowd replay` needs to rebuild this world and service config.
-  std::string recipe;
-  if (flags.Has("dataset")) {
-    recipe = StrFormat("dataset=%s", flags.GetString("dataset").c_str());
-  } else {
-    recipe = StrFormat(
-        "rows=%lld cols=%lld ratio=%g workers=%lld",
-        static_cast<long long>(flags.GetInt("rows", 60)),
-        static_cast<long long>(flags.GetInt("cols", 5)),
-        flags.GetDouble("ratio", 0.5),
-        static_cast<long long>(flags.GetInt("workers", 40)));
-  }
-  recipe += StrFormat(" engine=%s target=%d staleness=%d threads=%d",
-                      config.inference.method.c_str(),
-                      config.target_answers_per_task,
-                      config.inference.staleness_threshold,
-                      config.num_threads);
+  std::string recipe = tools::ServingRecipe(sopt);
   const std::string record_path = flags.GetString("record");
 
   sim::LoadGeneratorOptions load;
@@ -1030,43 +965,16 @@ int CmdClient(const FlagParser& flags) {
 
   if (drive) {
     // Rebuild the server's world locally (same flags + seed derivation as
-    // tcrowd_serverd); the Hello schema-fingerprint handshake catches a
-    // mismatch before any answer is submitted.
-    bool bad_dataset = false;
-    sim::SynthesizedWorld world = [&]() -> sim::SynthesizedWorld {
-      if (flags.Has("dataset")) {
-        std::string which = flags.GetString("dataset");
-        sim::PaperDataset pd = sim::PaperDataset::kRestaurant;
-        if (which == "celebrity") {
-          pd = sim::PaperDataset::kCelebrity;
-        } else if (which == "restaurant") {
-          pd = sim::PaperDataset::kRestaurant;
-        } else if (which == "emotion") {
-          pd = sim::PaperDataset::kEmotion;
-        } else {
-          bad_dataset = true;
-        }
-        sim::SynthesizerOptions opt;
-        opt.seed = seed;
-        opt.answers_per_task = 0;
-        return sim::SynthesizeDataset(pd, opt);
-      }
-      sim::TableGeneratorOptions topt;
-      topt.num_rows = static_cast<int>(flags.GetInt("rows", 60));
-      topt.num_cols = static_cast<int>(flags.GetInt("cols", 5));
-      topt.categorical_ratio = flags.GetDouble("ratio", 0.5);
-      sim::CrowdOptions copt;
-      copt.num_workers = static_cast<int>(flags.GetInt("workers", 40));
-      Rng rng(seed);
-      sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
-      return sim::SynthesizeFromTable(std::move(table), copt, 0, seed + 1,
-                                      "custom");
-    }();
-    if (bad_dataset) {
-      std::fprintf(stderr, "client: unknown --dataset=%s\n",
-                   flags.GetString("dataset").c_str());
+    // tcrowd_serverd, via the shared serving options); the Hello
+    // schema-fingerprint handshake catches a mismatch before any answer is
+    // submitted.
+    tools::ServingOptions sopt;
+    st = tools::ParseServingOptions(flags, &sopt);
+    if (!st.ok()) {
+      std::fprintf(stderr, "client: %s\n", st.message().c_str());
       return 2;
     }
+    sim::SynthesizedWorld world = tools::BuildServingWorld(sopt);
 
     sim::LoadGeneratorOptions load;
     load.connect = connect;

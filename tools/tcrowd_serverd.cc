@@ -1,9 +1,22 @@
 // tcrowd_serverd — the socket front-end of the T-Crowd service
-// (docs/PROTOCOL.md).
+// (docs/PROTOCOL.md), in one of three roles (docs/SHARDING.md):
 //
-// Stands up a CrowdService over a synthesized world (the same world flags
-// as `tcrowd serve-sim`) and serves the TCNP binary protocol on one
-// listening socket: a single-threaded epoll event loop (poll() under
+//   default             one CrowdService (or an in-process ShardRouter with
+//                       --shards=N) over a synthesized world, serving TCNP
+//                       on one listening socket.
+//   --shard-index=I     one SHARD DAEMON: serves sub-table I of the world
+//     --shard-count=N   partitioned N ways, exactly the sub-service an
+//                       in-process router would have built (same config
+//                       derivation, same checkpoint layout), so a router
+//                       process can adopt it transparently.
+//   --router            the ROUTER: a ShardRouter whose shards live in
+//     --connect-shard=  other processes, one RemoteShardBackend per
+//     HOST:PORT,...     HOST:PORT, speaking TCNP to the shard daemons.
+//                       Crashed daemons fail fast per shard; a restarted
+//                       daemon is re-adopted on the next request that
+//                       touches it (auto-restore).
+//
+// All roles share one event loop: single-threaded epoll (poll() under
 // --force-poll) multiplexing any number of client connections, with
 // admission control tied to EM refresh staleness and bounded per-connection
 // write queues. The same listener answers `GET /metrics` with Prometheus
@@ -14,9 +27,13 @@
 // SIGTERM/SIGINT stop the loop cleanly: connections close, the event log
 // (--record) is sealed, and the process exits 0.
 //
-// Example:
-//   tcrowd_serverd --listen=127.0.0.1:7711 --rows=20 --cols=4 --workers=10
-//     --policy=looping --target=3 --record=/tmp/run.events
+// Example (two shard daemons + router):
+//   tcrowd_serverd --shard-index=0 --shard-count=2 --rows=20 --cols=4
+//     --workers=10 --seed=7 --listen=127.0.0.1:7701
+//   tcrowd_serverd --shard-index=1 --shard-count=2 --rows=20 --cols=4
+//     --workers=10 --seed=7 --listen=127.0.0.1:7702
+//   tcrowd_serverd --router --connect-shard=127.0.0.1:7701,127.0.0.1:7702
+//     --rows=20 --cols=4 --workers=10 --seed=7 --listen=127.0.0.1:7711
 
 #include <signal.h>
 
@@ -25,19 +42,19 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
-#include "assignment/policies.h"
 #include "common/flags.h"
 #include "common/string_util.h"
-#include "inference/tcrowd_model.h"
+#include "inference/segment_codec.h"
 #include "net/server.h"
 #include "net/socket_util.h"
 #include "platform/event_log.h"
 #include "platform/trace.h"
+#include "serving_options.h"
 #include "service/crowd_service.h"
+#include "service/shard_backend.h"
 #include "service/shard_router.h"
-#include "simulation/dataset_synthesizer.h"
-#include "simulation/table_generator.h"
 
 namespace tcrowd {
 namespace {
@@ -58,39 +75,28 @@ int Usage() {
                       serve a paper dataset stand-in world, or:
   --rows=N --cols=M --ratio=R --workers=W   a custom synthesized world
   --policy=NAME --engine=METHOD --target=K --staleness=N --threads=T
-  --shards=N          partition the table across N engine shards behind the
-                      ShardRouter (docs/SHARDING.md); 1 = single service
+  --shards=N          partition the table across N engine shards behind an
+                      in-process ShardRouter (docs/SHARDING.md)
+  --shard-index=I --shard-count=N
+                      serve ONE shard (sub-table I of N) as its own daemon;
+                      pair with a --router process
+  --router --connect-shard=HOST:PORT,HOST:PORT,...
+                      serve the router over remote shard daemons (one
+                      address per shard, in shard order)
   --seed=S            world + service seeds (same derivation as serve-sim)
   --record=FILE       deterministic event log (replayable via tcrowd replay;
                       single-shard only)
-  --checkpoint-dir=DIR durable answer log
+  --checkpoint-dir=DIR durable answer log (shard daemons append /shard-NNN)
   --force-poll        use the poll() event loop even where epoll exists
   --inflight-budget=N admission-control budget (0 = factor * staleness,
-                      -1 = never shed)
+                      -1 = never shed; router mode defaults to -1, the
+                      shard daemons meter their own admission)
   --inflight-factor=N budget multiplier when derived (default 8)
   --write-queue-high=BYTES per-connection write-queue high watermark
   --max-frames-per-wake=N  per-connection fairness cap
   --trace=debug|info|warn|off
 )");
   return 2;
-}
-
-std::unique_ptr<AssignmentPolicy> MakePolicy(const std::string& name,
-                                             uint64_t seed) {
-  if (name == "structure") {
-    return std::make_unique<StructureAwarePolicy>(TCrowdOptions::Fast());
-  }
-  if (name == "inherent") {
-    return std::make_unique<InherentGainPolicy>(TCrowdOptions::Fast());
-  }
-  if (name == "entropy") {
-    return std::make_unique<EntropyPolicy>(TCrowdOptions::Fast());
-  }
-  if (name == "random") return std::make_unique<RandomPolicy>(seed);
-  if (name == "looping") return std::make_unique<LoopingPolicy>();
-  if (name == "cdas") return std::make_unique<CdasPolicy>(seed);
-  if (name == "askit") return std::make_unique<AskItPolicy>();
-  return nullptr;
 }
 
 int Main(int argc, const char* const* argv) {
@@ -101,7 +107,6 @@ int Main(int argc, const char* const* argv) {
     return Usage();
   }
   if (flags.GetBool("help", false)) return Usage();
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   std::string trace_flag = flags.GetString("trace");
   if (!trace_flag.empty()) {
     trace::Level level;
@@ -115,98 +120,82 @@ int Main(int argc, const char* const* argv) {
   }
   trace::InstallCrashHandler();
 
+  tools::ServingOptions opt;
+  st = tools::ParseServingOptions(flags, &opt);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tcrowd_serverd: %s\n", st.message().c_str());
+    return 2;
+  }
+  uint64_t seed = opt.seed;
+  const std::string& policy_name = opt.policy;
+
   // World: identical construction (and seed derivation) to serve-sim, so a
-  // client rebuilding the world from the same flags gets the same schema
-  // fingerprint and generative model.
-  bool bad_dataset = false;
-  sim::SynthesizedWorld world = [&]() -> sim::SynthesizedWorld {
-    if (flags.Has("dataset")) {
-      std::string which = flags.GetString("dataset");
-      sim::PaperDataset pd = sim::PaperDataset::kRestaurant;
-      if (which == "celebrity") {
-        pd = sim::PaperDataset::kCelebrity;
-      } else if (which == "restaurant") {
-        pd = sim::PaperDataset::kRestaurant;
-      } else if (which == "emotion") {
-        pd = sim::PaperDataset::kEmotion;
-      } else {
-        bad_dataset = true;
-      }
-      sim::SynthesizerOptions opt;
-      opt.seed = seed;
-      opt.answers_per_task = 0;
-      return sim::SynthesizeDataset(pd, opt);
-    }
-    sim::TableGeneratorOptions topt;
-    topt.num_rows = static_cast<int>(flags.GetInt("rows", 60));
-    topt.num_cols = static_cast<int>(flags.GetInt("cols", 5));
-    topt.categorical_ratio = flags.GetDouble("ratio", 0.5);
-    sim::CrowdOptions copt;
-    copt.num_workers = static_cast<int>(flags.GetInt("workers", 40));
-    Rng rng(seed);
-    sim::GeneratedTable table = sim::GenerateTable(topt, &rng);
-    return sim::SynthesizeFromTable(std::move(table), copt, 0, seed + 1,
-                                    "custom");
-  }();
-  if (bad_dataset) {
-    std::fprintf(stderr, "tcrowd_serverd: unknown --dataset=%s\n",
-                 flags.GetString("dataset").c_str());
-    return 2;
-  }
+  // client — or a router and its shard daemons — rebuilding the world from
+  // the same flags gets the same schema fingerprint and generative model.
+  sim::SynthesizedWorld world = tools::BuildServingWorld(opt);
+  service::ServiceConfig config = tools::MakeServingConfig(opt);
 
-  std::string policy_name = flags.GetString("policy", "structure");
-  auto policy = MakePolicy(policy_name, seed);
-  if (policy == nullptr) {
-    std::fprintf(stderr, "tcrowd_serverd: unknown --policy=%s\n",
-                 policy_name.c_str());
-    return 2;
-  }
-
-  service::ServiceConfig config;
-  config.target_answers_per_task =
-      static_cast<int>(flags.GetInt("target", 4));
-  config.num_threads = static_cast<int>(flags.GetInt("threads", 2));
-  config.inference.method = flags.GetString("engine", "tcrowd");
-  config.inference.staleness_threshold =
-      static_cast<int>(flags.GetInt("staleness", 64));
-  config.inference.num_shards = config.num_threads;
-  config.inference.checkpoint.directory = flags.GetString("checkpoint-dir");
-  config.router.seed = seed + 2;
-
-  // World recipe in the event log header — same format as serve-sim, so
-  // `tcrowd replay` rebuilds this world without knowing who recorded it.
-  std::string recipe;
-  if (flags.Has("dataset")) {
-    recipe = StrFormat("dataset=%s", flags.GetString("dataset").c_str());
-  } else {
-    recipe = StrFormat(
-        "rows=%lld cols=%lld ratio=%g workers=%lld",
-        static_cast<long long>(flags.GetInt("rows", 60)),
-        static_cast<long long>(flags.GetInt("cols", 5)),
-        flags.GetDouble("ratio", 0.5),
-        static_cast<long long>(flags.GetInt("workers", 40)));
-  }
-  recipe += StrFormat(" engine=%s target=%d staleness=%d threads=%d",
-                      config.inference.method.c_str(),
-                      config.target_answers_per_task,
-                      config.inference.staleness_threshold,
-                      config.num_threads);
-
+  // Role selection.
+  bool router_mode = flags.GetBool("router", false);
+  bool shard_mode = flags.Has("shard-index") || flags.Has("shard-count");
   int num_shards = static_cast<int>(flags.GetInt("shards", 1));
   if (num_shards < 1) {
     std::fprintf(stderr, "tcrowd_serverd: --shards must be >= 1\n");
     return 2;
   }
+  if ((router_mode && shard_mode) ||
+      ((router_mode || shard_mode) && num_shards > 1)) {
+    std::fprintf(stderr,
+                 "tcrowd_serverd: --router, --shard-index, and --shards are "
+                 "mutually exclusive roles\n");
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, uint16_t>> shard_addrs;
+  if (router_mode) {
+    for (const std::string& addr :
+         Split(flags.GetString("connect-shard"), ',')) {
+      std::string host;
+      uint16_t port = 0;
+      st = net::ParseHostPort(addr, &host, &port);
+      if (!st.ok()) {
+        std::fprintf(stderr, "tcrowd_serverd: --connect-shard: %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+      shard_addrs.push_back({host.empty() ? "127.0.0.1" : host, port});
+    }
+    if (shard_addrs.empty()) {
+      std::fprintf(stderr,
+                   "tcrowd_serverd: --router requires "
+                   "--connect-shard=HOST:PORT[,HOST:PORT...]\n");
+      return 2;
+    }
+    num_shards = static_cast<int>(shard_addrs.size());
+  }
+
+  int shard_index = static_cast<int>(flags.GetInt("shard-index", 0));
+  int shard_count = static_cast<int>(flags.GetInt("shard-count", 1));
+  if (shard_mode &&
+      (shard_count < 1 || shard_index < 0 || shard_index >= shard_count)) {
+    std::fprintf(stderr,
+                 "tcrowd_serverd: need 0 <= --shard-index < --shard-count\n");
+    return 2;
+  }
+
+  // World recipe in the event log header — same format as serve-sim, so
+  // `tcrowd replay` rebuilds this world without knowing who recorded it.
+  std::string recipe = tools::ServingRecipe(opt);
 
   std::unique_ptr<EventRecorder> recorder;
   const std::string record_path = flags.GetString("record");
   if (!record_path.empty()) {
-    if (num_shards > 1) {
+    if (num_shards > 1 || shard_mode) {
       // The deterministic event order lives above the shards; recording a
       // sharded run would interleave N engines' seals meaninglessly.
       std::fprintf(stderr,
                    "tcrowd_serverd: --record is single-shard only "
-                   "(drop --shards or set --shards=1)\n");
+                   "(drop --shards/--router/--shard-index)\n");
       return 2;
     }
     auto opened = EventRecorder::Open(record_path);
@@ -220,32 +209,73 @@ int Main(int argc, const char* const* argv) {
     config.recorder = recorder.get();
   }
 
-  if (num_shards > world.dataset.num_rows()) {
+  int partitions = shard_mode ? shard_count : num_shards;
+  if (partitions > world.dataset.num_rows()) {
     std::fprintf(stderr,
-                 "tcrowd_serverd: --shards=%d exceeds the table's %d rows\n",
-                 num_shards, world.dataset.num_rows());
+                 "tcrowd_serverd: %d shards exceed the table's %d rows\n",
+                 partitions, world.dataset.num_rows());
     return 2;
   }
+
   std::unique_ptr<service::ServingBackend> backend;
-  if (num_shards > 1) {
+  if (shard_mode && shard_count > 1) {
+    // One shard daemon: the exact sub-service an in-process router would
+    // have built — same config derivation, same /shard-NNN checkpoint
+    // layout — serving its sub-table in LOCAL row space.
+    std::vector<service::ShardRange> ranges =
+        service::PartitionRows(world.dataset.num_rows(), shard_count);
+    const service::ShardRange& range = ranges[shard_index];
+    backend = std::make_unique<service::CrowdService>(
+        world.dataset.schema, range.num_rows(),
+        tools::MakeServingPolicy(policy_name,
+                                 seed + static_cast<uint64_t>(shard_index)),
+        service::DeriveShardServiceConfig(config, world.dataset.schema,
+                                          world.dataset.num_rows(), range,
+                                          shard_count, shard_index));
+  } else if (router_mode) {
+    std::vector<service::ShardRange> ranges =
+        service::PartitionRows(world.dataset.num_rows(), num_shards);
+    service::ShardRouterConfig router_config;
+    router_config.num_shards = num_shards;
+    router_config.base = config;
+    // A request touching a downed shard first re-runs this factory —
+    // reconnect + ledger agreement — so a restarted daemon rejoins without
+    // restarting the router.
+    router_config.auto_restore = true;
+    router_config.backend_factory =
+        [&world, shard_addrs, ranges](int shard) {
+          service::RemoteShardBackend::Options ropt;
+          ropt.host = shard_addrs[static_cast<size_t>(shard)].first;
+          ropt.port = shard_addrs[static_cast<size_t>(shard)].second;
+          ropt.expected_fingerprint = SchemaFingerprint(
+              world.dataset.schema, ranges[static_cast<size_t>(shard)]
+                                        .num_rows());
+          return std::make_unique<service::RemoteShardBackend>(ropt);
+        };
+    backend = std::make_unique<service::ShardRouter>(
+        world.dataset.schema, world.dataset.num_rows(),
+        std::move(router_config));
+  } else if (num_shards > 1) {
     service::ShardRouterConfig router_config;
     router_config.num_shards = num_shards;
     router_config.base = config;
     router_config.policy_factory = [policy_name, seed](int shard) {
-      return MakePolicy(policy_name, seed + static_cast<uint64_t>(shard));
+      return tools::MakeServingPolicy(policy_name,
+                                      seed + static_cast<uint64_t>(shard));
     };
     backend = std::make_unique<service::ShardRouter>(
         world.dataset.schema, world.dataset.num_rows(),
         std::move(router_config));
   } else {
     backend = std::make_unique<service::CrowdService>(
-        world.dataset.schema, world.dataset.num_rows(), std::move(policy),
-        config);
+        world.dataset.schema, world.dataset.num_rows(),
+        tools::MakeServingPolicy(policy_name, seed), config);
   }
-  if (!config.inference.checkpoint.directory.empty()) {
+  if (!config.inference.checkpoint.directory.empty() || router_mode) {
     Status ck = backend->checkpoint_status();
     if (!ck.ok()) {
-      std::fprintf(stderr, "tcrowd_serverd: checkpoint restore failed: %s\n",
+      std::fprintf(stderr, "tcrowd_serverd: %s failed: %s\n",
+                   router_mode ? "shard attach" : "checkpoint restore",
                    ck.ToString().c_str());
       return 1;
     }
@@ -253,7 +283,10 @@ int Main(int argc, const char* const* argv) {
 
   net::ServerOptions server_opt;
   server_opt.force_poll = flags.GetBool("force-poll", false);
-  server_opt.inflight_budget = flags.GetInt("inflight-budget", 0);
+  // Router role: the shard daemons meter their own admission; shedding at
+  // the router too would double-count the same in-flight answers.
+  server_opt.inflight_budget =
+      flags.GetInt("inflight-budget", router_mode ? -1 : 0);
   server_opt.inflight_budget_factor =
       static_cast<int>(flags.GetInt("inflight-factor", 8));
   if (flags.Has("write-queue-high")) {
@@ -294,11 +327,25 @@ int Main(int argc, const char* const* argv) {
               host.empty() ? "127.0.0.1" : host.c_str(), server.port(),
               server_opt.force_poll ? "poll" : "epoll",
               static_cast<long long>(server.inflight_budget()));
-  std::printf("world %s: %d rows x %d cols, policy %s, engine %s, "
-              "shards %d\n",
-              world.dataset.name.c_str(), world.dataset.num_rows(),
-              world.dataset.num_cols(), policy_name.c_str(),
-              config.inference.method.c_str(), num_shards);
+  if (shard_mode && shard_count > 1) {
+    std::printf("world %s: shard %d/%d (%d of %d rows), policy %s, "
+                "engine %s\n",
+                world.dataset.name.c_str(), shard_index, shard_count,
+                backend->num_rows(), world.dataset.num_rows(),
+                policy_name.c_str(), config.inference.method.c_str());
+  } else if (router_mode) {
+    std::printf("world %s: %d rows x %d cols, router over %d shard "
+                "daemons, engine %s\n",
+                world.dataset.name.c_str(), world.dataset.num_rows(),
+                world.dataset.num_cols(), num_shards,
+                config.inference.method.c_str());
+  } else {
+    std::printf("world %s: %d rows x %d cols, policy %s, engine %s, "
+                "shards %d\n",
+                world.dataset.name.c_str(), world.dataset.num_rows(),
+                world.dataset.num_cols(), policy_name.c_str(),
+                config.inference.method.c_str(), num_shards);
+  }
   std::fflush(stdout);
 
   st = server.Run();
